@@ -1,0 +1,94 @@
+//! Whole-model mantissa quantisation.
+//!
+//! "The length of mantissa can be reduced by couple of bits without
+//! compromising the accuracy of speech recognition." (paper, Section IV-B)
+//! This module produces a copy of an acoustic model whose every Gaussian
+//! parameter has been truncated to a chosen [`MantissaWidth`], which the WER
+//! experiment (E3) decodes with to confirm that claim.
+
+use crate::model::AcousticModel;
+use crate::AcousticError;
+use asr_float::{MantissaWidth, Quantizer};
+
+/// Returns a copy of `model` with every Gaussian parameter quantised to
+/// `width`.  The triphone inventory and transition matrix are shared
+/// unchanged (transitions are tiny and not part of the paper's sweep).
+///
+/// # Errors
+///
+/// Propagates [`AcousticError`] if the quantised parts fail re-validation
+/// (which cannot happen for a valid input model).
+pub fn quantize_model(
+    model: &AcousticModel,
+    width: MantissaWidth,
+) -> Result<AcousticModel, AcousticError> {
+    if width == MantissaWidth::FULL {
+        return Ok(model.clone());
+    }
+    let quantizer = Quantizer::new(width);
+    let pool = model.senones().quantized(&quantizer);
+    AcousticModel::new(
+        model.config().clone(),
+        pool,
+        model.triphones().clone(),
+        model.transitions().clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AcousticModelConfig;
+    use crate::senone::SenoneId;
+
+    #[test]
+    fn full_width_is_identical() {
+        let m = AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap();
+        let q = quantize_model(&m, MantissaWidth::FULL).unwrap();
+        let x = vec![0.25f32; m.feature_dim()];
+        for (a, b) in m.score_all_senones(&x).iter().zip(q.score_all_senones(&x)) {
+            assert_eq!(a.raw(), b.raw());
+        }
+    }
+
+    #[test]
+    fn reduced_widths_score_close_but_not_identical() {
+        let m = AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap();
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.37 * d as f32 + 0.11).collect();
+        for width in [MantissaWidth::BITS_15, MantissaWidth::BITS_12] {
+            let q = quantize_model(&m, width).unwrap();
+            let a = m.score_senone(SenoneId(0), &x).unwrap();
+            let b = q.score_senone(SenoneId(0), &x).unwrap();
+            assert!((a.raw() - b.raw()).abs() < 0.1, "{width}");
+            assert_eq!(q.senones().len(), m.senones().len());
+            assert_eq!(q.gaussian_param_count(), m.gaussian_param_count());
+        }
+    }
+
+    #[test]
+    fn ranking_is_preserved_at_12_bits() {
+        // Quantisation must not reorder which senone scores best for a vector
+        // that clearly belongs to one senone — this is the mechanism behind
+        // the paper's "WER unchanged at 12 bits" claim.
+        let m = AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap();
+        let q = quantize_model(&m, MantissaWidth::BITS_12).unwrap();
+        let target = m.senones().get(SenoneId(7)).unwrap();
+        let x: Vec<f32> = target.mixture().components()[0].mean().to_vec();
+        let best_full = m
+            .score_all_senones(&x)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let best_quant = q
+            .score_all_senones(&x)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best_full, best_quant);
+        assert_eq!(best_full, 7);
+    }
+}

@@ -1,0 +1,340 @@
+//! A small k-means + EM trainer for diagonal Gaussian mixtures.
+//!
+//! The paper uses acoustic models trained by CMU Sphinx on WSJ data.  Since
+//! those models and recordings are not available here, the synthetic corpus
+//! generator (`asr-corpus`) creates well-separated senone distributions
+//! directly — but to keep the substrate honest this trainer can also re-fit
+//! mixtures from sampled feature data (used in the corpus crate's round-trip
+//! tests and in the `train_from_samples` example).
+
+use crate::gmm::{DiagGaussian, GaussianMixture, VARIANCE_FLOOR};
+use crate::AcousticError;
+
+/// Configuration of the GMM trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Number of mixture components to fit.
+    pub num_components: usize,
+    /// Number of k-means iterations used for initialisation.
+    pub kmeans_iterations: usize,
+    /// Number of EM iterations after k-means.
+    pub em_iterations: usize,
+    /// Variance floor applied after every M step.
+    pub variance_floor: f32,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            num_components: 8,
+            kmeans_iterations: 10,
+            em_iterations: 5,
+            variance_floor: VARIANCE_FLOOR,
+        }
+    }
+}
+
+/// Fits diagonal Gaussian mixtures to feature data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmmTrainer {
+    config: TrainerConfig,
+}
+
+impl GmmTrainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainerConfig) -> Self {
+        GmmTrainer { config }
+    }
+
+    /// The trainer configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Fits a mixture to the given data points (each of the same dimension).
+    ///
+    /// Initialisation is deterministic: centroids start on evenly spaced data
+    /// points, so results are reproducible without a random source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcousticError::InvalidParameter`] if there are no data
+    /// points, the points disagree on dimension, or fewer points than
+    /// components were supplied.
+    pub fn fit(&self, data: &[Vec<f32>]) -> Result<GaussianMixture, AcousticError> {
+        if data.is_empty() {
+            return Err(AcousticError::InvalidParameter(
+                "cannot train on empty data".into(),
+            ));
+        }
+        let dim = data[0].len();
+        if dim == 0 || data.iter().any(|x| x.len() != dim) {
+            return Err(AcousticError::InvalidParameter(
+                "training vectors must share a positive dimension".into(),
+            ));
+        }
+        let k = self.config.num_components.max(1);
+        if data.len() < k {
+            return Err(AcousticError::InvalidParameter(format!(
+                "need at least {k} points to fit {k} components, got {}",
+                data.len()
+            )));
+        }
+
+        // --- k-means initialisation (deterministic spread seeding) ---
+        let mut centroids: Vec<Vec<f32>> = (0..k)
+            .map(|i| data[i * (data.len() - 1) / k.max(1)].clone())
+            .collect();
+        let mut assignment = vec![0usize; data.len()];
+        for _ in 0..self.config.kmeans_iterations {
+            // Assign.
+            for (n, x) in data.iter().enumerate() {
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let d: f32 = x
+                        .iter()
+                        .zip(centroid)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                assignment[n] = best;
+            }
+            // Update.
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                let members: Vec<&Vec<f32>> = data
+                    .iter()
+                    .zip(&assignment)
+                    .filter(|(_, &a)| a == c)
+                    .map(|(x, _)| x)
+                    .collect();
+                if members.is_empty() {
+                    continue;
+                }
+                for d in 0..dim {
+                    centroid[d] =
+                        members.iter().map(|x| x[d]).sum::<f32>() / members.len() as f32;
+                }
+            }
+        }
+
+        // --- initial mixture from the k-means clusters ---
+        let mut weights = vec![0.0f64; k];
+        let mut means = centroids;
+        let mut vars = vec![vec![1.0f32; dim]; k];
+        for c in 0..k {
+            let members: Vec<&Vec<f32>> = data
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == c)
+                .map(|(x, _)| x)
+                .collect();
+            weights[c] = (members.len() as f64 / data.len() as f64).max(1.0e-6);
+            if members.len() > 1 {
+                for d in 0..dim {
+                    let var = members
+                        .iter()
+                        .map(|x| (x[d] - means[c][d]).powi(2))
+                        .sum::<f32>()
+                        / members.len() as f32;
+                    vars[c][d] = var.max(self.config.variance_floor);
+                }
+            }
+        }
+
+        // --- EM refinement ---
+        for _ in 0..self.config.em_iterations {
+            let mixture = Self::assemble(&weights, &means, &vars)?;
+            // E step: responsibilities.
+            let mut resp = vec![vec![0.0f64; k]; data.len()];
+            for (n, x) in data.iter().enumerate() {
+                let mut comp_ll = vec![0.0f64; k];
+                let mut max_ll = f64::NEG_INFINITY;
+                for c in 0..k {
+                    let ll = (weights[c]).ln()
+                        + mixture.components()[c].log_density(x).raw() as f64;
+                    comp_ll[c] = ll;
+                    if ll > max_ll {
+                        max_ll = ll;
+                    }
+                }
+                let denom: f64 = comp_ll.iter().map(|&l| (l - max_ll).exp()).sum();
+                for c in 0..k {
+                    resp[n][c] = (comp_ll[c] - max_ll).exp() / denom;
+                }
+            }
+            // M step.
+            for c in 0..k {
+                let total: f64 = resp.iter().map(|r| r[c]).sum();
+                if total < 1.0e-8 {
+                    continue;
+                }
+                weights[c] = total / data.len() as f64;
+                for d in 0..dim {
+                    let mean = data
+                        .iter()
+                        .zip(&resp)
+                        .map(|(x, r)| r[c] * x[d] as f64)
+                        .sum::<f64>()
+                        / total;
+                    means[c][d] = mean as f32;
+                }
+                for d in 0..dim {
+                    let var = data
+                        .iter()
+                        .zip(&resp)
+                        .map(|(x, r)| r[c] * (x[d] as f64 - means[c][d] as f64).powi(2))
+                        .sum::<f64>()
+                        / total;
+                    vars[c][d] = (var as f32).max(self.config.variance_floor);
+                }
+            }
+        }
+        Self::assemble(&weights, &means, &vars)
+    }
+
+    fn assemble(
+        weights: &[f64],
+        means: &[Vec<f32>],
+        vars: &[Vec<f32>],
+    ) -> Result<GaussianMixture, AcousticError> {
+        let comps: Result<Vec<(f32, DiagGaussian)>, AcousticError> = weights
+            .iter()
+            .zip(means.iter().zip(vars))
+            .map(|(&w, (m, v))| {
+                DiagGaussian::new(m.clone(), v.clone()).map(|g| (w.max(1.0e-6) as f32, g))
+            })
+            .collect();
+        GaussianMixture::new(comps?)
+    }
+
+    /// Average per-frame log likelihood of `data` under `mixture` — the
+    /// quantity EM is meant to increase; exposed for tests and examples.
+    pub fn mean_log_likelihood(mixture: &GaussianMixture, data: &[Vec<f32>]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        data.iter()
+            .map(|x| mixture.log_likelihood(x).raw() as f64)
+            .sum::<f64>()
+            / data.len() as f64
+    }
+}
+
+impl Default for GmmTrainer {
+    fn default() -> Self {
+        GmmTrainer::new(TrainerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random generator for test data (LCG) so the
+    /// trainer tests need no external crates.
+    fn lcg(seed: &mut u64) -> f32 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 33) as f32 / (1u64 << 30) as f32) - 1.0
+    }
+
+    fn two_cluster_data(n: usize) -> Vec<Vec<f32>> {
+        let mut seed = 42u64;
+        (0..n)
+            .map(|i| {
+                let centre = if i % 2 == 0 { -5.0 } else { 5.0 };
+                vec![
+                    centre + lcg(&mut seed) * 0.5,
+                    -centre + lcg(&mut seed) * 0.5,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let t = GmmTrainer::default();
+        assert!(t.fit(&[]).is_err());
+        assert!(t.fit(&[vec![]]).is_err());
+        assert!(t.fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        // Fewer points than components.
+        let t2 = GmmTrainer::new(TrainerConfig {
+            num_components: 8,
+            ..TrainerConfig::default()
+        });
+        assert!(t2.fit(&vec![vec![1.0, 2.0]; 3]).is_err());
+        assert_eq!(t.config().num_components, 8);
+    }
+
+    #[test]
+    fn recovers_two_well_separated_clusters() {
+        let data = two_cluster_data(400);
+        let trainer = GmmTrainer::new(TrainerConfig {
+            num_components: 2,
+            kmeans_iterations: 10,
+            em_iterations: 5,
+            variance_floor: 1e-4,
+        });
+        let mix = trainer.fit(&data).unwrap();
+        assert_eq!(mix.num_components(), 2);
+        // The two component means should land near (-5, 5) and (5, -5).
+        let mut m0 = mix.components()[0].mean().to_vec();
+        let mut m1 = mix.components()[1].mean().to_vec();
+        if m0[0] > m1[0] {
+            std::mem::swap(&mut m0, &mut m1);
+        }
+        assert!((m0[0] + 5.0).abs() < 0.5, "{m0:?}");
+        assert!((m1[0] - 5.0).abs() < 0.5, "{m1:?}");
+        // Weights should be roughly balanced.
+        assert!((mix.weights()[0] - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn em_does_not_decrease_likelihood() {
+        let data = two_cluster_data(200);
+        let no_em = GmmTrainer::new(TrainerConfig {
+            num_components: 2,
+            kmeans_iterations: 8,
+            em_iterations: 0,
+            variance_floor: 1e-4,
+        })
+        .fit(&data)
+        .unwrap();
+        let with_em = GmmTrainer::new(TrainerConfig {
+            num_components: 2,
+            kmeans_iterations: 8,
+            em_iterations: 6,
+            variance_floor: 1e-4,
+        })
+        .fit(&data)
+        .unwrap();
+        let ll_no = GmmTrainer::mean_log_likelihood(&no_em, &data);
+        let ll_em = GmmTrainer::mean_log_likelihood(&with_em, &data);
+        assert!(ll_em >= ll_no - 1e-6, "EM decreased likelihood: {ll_no} -> {ll_em}");
+    }
+
+    #[test]
+    fn single_component_fits_mean_and_variance() {
+        let mut seed = 7u64;
+        let data: Vec<Vec<f32>> = (0..500)
+            .map(|_| vec![3.0 + lcg(&mut seed), -1.0 + 0.5 * lcg(&mut seed)])
+            .collect();
+        let mix = GmmTrainer::new(TrainerConfig {
+            num_components: 1,
+            kmeans_iterations: 1,
+            em_iterations: 3,
+            variance_floor: 1e-4,
+        })
+        .fit(&data)
+        .unwrap();
+        let mean = mix.components()[0].mean();
+        assert!((mean[0] - 3.0).abs() < 0.1);
+        assert!((mean[1] + 1.0).abs() < 0.1);
+        assert!(mix.components()[0].variance()[0] > 0.0);
+        assert_eq!(GmmTrainer::mean_log_likelihood(&mix, &[]), 0.0);
+    }
+}

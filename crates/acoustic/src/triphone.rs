@@ -1,0 +1,313 @@
+//! Phones, triphones and the triphone → senone mapping.
+//!
+//! "Each of the phones along with its neighboring phones (left and right) are
+//! called triphones. For each phone and triphone, there is a corresponding
+//! statistical model called hidden Markov model." (paper, Section II)
+
+use crate::hmm::HmmTopology;
+use crate::senone::SenoneId;
+use crate::AcousticError;
+use std::collections::HashMap;
+
+/// Identifier of a base phone (one of the ~51 phones of English).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhoneId(pub u16);
+
+impl PhoneId {
+    /// The numeric index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for PhoneId {
+    fn from(v: u16) -> Self {
+        PhoneId(v)
+    }
+}
+
+impl core::fmt::Display for PhoneId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "phone#{}", self.0)
+    }
+}
+
+/// Identifier of a triphone inside a [`TriphoneInventory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TriphoneId(pub u32);
+
+impl TriphoneId {
+    /// The numeric index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for TriphoneId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "triphone#{}", self.0)
+    }
+}
+
+/// A context-dependent phone: base phone with left and right context.
+///
+/// `None` context means "any" (used for word-boundary / context-independent
+/// fallback models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Triphone {
+    /// The central (base) phone.
+    pub base: PhoneId,
+    /// Left-context phone, if modelled.
+    pub left: Option<PhoneId>,
+    /// Right-context phone, if modelled.
+    pub right: Option<PhoneId>,
+}
+
+impl Triphone {
+    /// A context-independent phone model.
+    pub fn context_independent(base: PhoneId) -> Self {
+        Triphone {
+            base,
+            left: None,
+            right: None,
+        }
+    }
+
+    /// A fully context-dependent triphone.
+    pub fn new(base: PhoneId, left: PhoneId, right: PhoneId) -> Self {
+        Triphone {
+            base,
+            left: Some(left),
+            right: Some(right),
+        }
+    }
+
+    /// Returns `true` if this model has no context (a monophone).
+    pub fn is_context_independent(&self) -> bool {
+        self.left.is_none() && self.right.is_none()
+    }
+}
+
+impl core::fmt::Display for Triphone {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match (self.left, self.right) {
+            (Some(l), Some(r)) => write!(f, "{}-{}+{}", l.0, self.base.0, r.0),
+            _ => write!(f, "{}", self.base.0),
+        }
+    }
+}
+
+/// The inventory of all triphones in an acoustic model: each triphone maps to
+/// a sequence of senones (one per emitting HMM state).
+///
+/// Lookup falls back to the context-independent model of the base phone when
+/// an unseen context is requested, the standard back-off used by HMM systems.
+#[derive(Debug, Clone)]
+pub struct TriphoneInventory {
+    topology: HmmTopology,
+    triphones: Vec<(Triphone, Vec<SenoneId>)>,
+    index: HashMap<Triphone, TriphoneId>,
+    ci_index: HashMap<PhoneId, TriphoneId>,
+}
+
+impl TriphoneInventory {
+    /// Creates an empty inventory with the given HMM topology.
+    pub fn new(topology: HmmTopology) -> Self {
+        TriphoneInventory {
+            topology,
+            triphones: Vec::new(),
+            index: HashMap::new(),
+            ci_index: HashMap::new(),
+        }
+    }
+
+    /// The HMM topology shared by every triphone.
+    pub fn topology(&self) -> HmmTopology {
+        self.topology
+    }
+
+    /// Number of registered triphones (including context-independent models).
+    pub fn len(&self) -> usize {
+        self.triphones.len()
+    }
+
+    /// Returns `true` if no triphone has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.triphones.is_empty()
+    }
+
+    /// Registers a triphone with its per-state senones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcousticError::InvalidParameter`] if the senone sequence does
+    /// not have exactly one senone per emitting state, or the triphone is
+    /// already registered.
+    pub fn add(
+        &mut self,
+        triphone: Triphone,
+        senones: Vec<SenoneId>,
+    ) -> Result<TriphoneId, AcousticError> {
+        if senones.len() != self.topology.num_states() {
+            return Err(AcousticError::InvalidParameter(format!(
+                "triphone needs {} senones (one per state), got {}",
+                self.topology.num_states(),
+                senones.len()
+            )));
+        }
+        if self.index.contains_key(&triphone) {
+            return Err(AcousticError::InvalidParameter(format!(
+                "triphone {triphone} already registered"
+            )));
+        }
+        let id = TriphoneId(self.triphones.len() as u32);
+        if triphone.is_context_independent() {
+            self.ci_index.insert(triphone.base, id);
+        }
+        self.index.insert(triphone, id);
+        self.triphones.push((triphone, senones));
+        Ok(id)
+    }
+
+    /// Looks up a triphone id by exact context.
+    pub fn id_of(&self, triphone: &Triphone) -> Option<TriphoneId> {
+        self.index.get(triphone).copied()
+    }
+
+    /// Looks up a triphone, falling back to the context-independent model of
+    /// the base phone when the exact context is not modelled.
+    pub fn resolve(&self, triphone: &Triphone) -> Option<TriphoneId> {
+        self.id_of(triphone)
+            .or_else(|| self.ci_index.get(&triphone.base).copied())
+    }
+
+    /// The triphone definition and its senone sequence.
+    pub fn get(&self, id: TriphoneId) -> Option<(&Triphone, &[SenoneId])> {
+        self.triphones
+            .get(id.index())
+            .map(|(t, s)| (t, s.as_slice()))
+    }
+
+    /// The senone sequence of a triphone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcousticError::UnknownId`] for an unknown id.
+    pub fn senones(&self, id: TriphoneId) -> Result<&[SenoneId], AcousticError> {
+        self.get(id)
+            .map(|(_, s)| s)
+            .ok_or_else(|| AcousticError::UnknownId(format!("{id}")))
+    }
+
+    /// Iterates over `(id, triphone, senones)`.
+    pub fn iter(&self) -> impl Iterator<Item = (TriphoneId, &Triphone, &[SenoneId])> {
+        self.triphones
+            .iter()
+            .enumerate()
+            .map(|(i, (t, s))| (TriphoneId(i as u32), t, s.as_slice()))
+    }
+
+    /// The set of distinct senones used by a list of triphones — this is the
+    /// "phones for evaluation" feedback the word-decode stage sends to the
+    /// phone-decode stage.
+    pub fn active_senones(&self, triphones: &[TriphoneId]) -> Vec<SenoneId> {
+        let mut set: Vec<SenoneId> = triphones
+            .iter()
+            .filter_map(|&id| self.get(id))
+            .flat_map(|(_, s)| s.iter().copied())
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn senones(ids: &[u32]) -> Vec<SenoneId> {
+        ids.iter().map(|&i| SenoneId(i)).collect()
+    }
+
+    #[test]
+    fn phone_and_triphone_display() {
+        assert_eq!(format!("{}", PhoneId(3)), "phone#3");
+        assert_eq!(format!("{}", TriphoneId(9)), "triphone#9");
+        let t = Triphone::new(PhoneId(1), PhoneId(0), PhoneId(2));
+        assert_eq!(format!("{t}"), "0-1+2");
+        let ci = Triphone::context_independent(PhoneId(5));
+        assert_eq!(format!("{ci}"), "5");
+        assert!(ci.is_context_independent());
+        assert!(!t.is_context_independent());
+        assert_eq!(PhoneId::from(4u16).index(), 4);
+        assert_eq!(TriphoneId(7).index(), 7);
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut inv = TriphoneInventory::new(HmmTopology::Three);
+        assert!(inv.is_empty());
+        let ci = Triphone::context_independent(PhoneId(1));
+        let tri = Triphone::new(PhoneId(1), PhoneId(0), PhoneId(2));
+        let id_ci = inv.add(ci, senones(&[0, 1, 2])).unwrap();
+        let id_tri = inv.add(tri, senones(&[3, 4, 5])).unwrap();
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv.id_of(&tri), Some(id_tri));
+        assert_eq!(inv.id_of(&ci), Some(id_ci));
+        assert_eq!(inv.senones(id_tri).unwrap(), senones(&[3, 4, 5]).as_slice());
+        assert_eq!(inv.get(id_ci).unwrap().0, &ci);
+        assert_eq!(inv.iter().count(), 2);
+        assert_eq!(inv.topology(), HmmTopology::Three);
+    }
+
+    #[test]
+    fn resolve_falls_back_to_ci() {
+        let mut inv = TriphoneInventory::new(HmmTopology::Three);
+        let ci = Triphone::context_independent(PhoneId(1));
+        let id_ci = inv.add(ci, senones(&[0, 1, 2])).unwrap();
+        // Unseen context falls back to the CI model.
+        let unseen = Triphone::new(PhoneId(1), PhoneId(7), PhoneId(9));
+        assert_eq!(inv.resolve(&unseen), Some(id_ci));
+        // Completely unknown base phone resolves to nothing.
+        let unknown = Triphone::new(PhoneId(40), PhoneId(7), PhoneId(9));
+        assert_eq!(inv.resolve(&unknown), None);
+    }
+
+    #[test]
+    fn add_validation() {
+        let mut inv = TriphoneInventory::new(HmmTopology::Three);
+        let t = Triphone::context_independent(PhoneId(0));
+        // Wrong senone count.
+        assert!(inv.add(t, senones(&[1, 2])).is_err());
+        inv.add(t, senones(&[1, 2, 3])).unwrap();
+        // Duplicate registration.
+        assert!(inv.add(t, senones(&[1, 2, 3])).is_err());
+        // Unknown id errors.
+        assert!(inv.senones(TriphoneId(99)).is_err());
+    }
+
+    #[test]
+    fn five_state_topology_needs_five_senones() {
+        let mut inv = TriphoneInventory::new(HmmTopology::Five);
+        let t = Triphone::context_independent(PhoneId(0));
+        assert!(inv.add(t, senones(&[1, 2, 3])).is_err());
+        assert!(inv.add(t, senones(&[1, 2, 3, 4, 5])).is_ok());
+    }
+
+    #[test]
+    fn active_senones_dedups() {
+        let mut inv = TriphoneInventory::new(HmmTopology::Three);
+        let a = inv
+            .add(Triphone::context_independent(PhoneId(0)), senones(&[0, 1, 2]))
+            .unwrap();
+        let b = inv
+            .add(Triphone::context_independent(PhoneId(1)), senones(&[2, 3, 4]))
+            .unwrap();
+        let active = inv.active_senones(&[a, b, a]);
+        assert_eq!(active, senones(&[0, 1, 2, 3, 4]));
+        assert!(inv.active_senones(&[]).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Fixed-point score analysis.
+//!
+//! "The observation probabilities are calculated in logarithmic domain so the
+//! values can vary from zero to very large negative value, which may cause a
+//! problem for the systems using fixed point computation." — this module
+//! quantifies that problem: it pushes a set of log-domain scores through the
+//! Q16.16 arithmetic a fixed-point software decoder would use and reports how
+//! many saturate and how much precision the survivors lose.
+
+use asr_float::{LogProb, Q16_16};
+
+/// Outcome of passing one batch of log scores through fixed-point arithmetic.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FixedPointReport {
+    /// Number of scores analysed.
+    pub total: usize,
+    /// Scores that saturated the Q16.16 range (information destroyed).
+    pub saturated: usize,
+    /// Largest absolute representation error among the non-saturated scores.
+    pub max_abs_error: f64,
+    /// Mean absolute representation error among the non-saturated scores.
+    pub mean_abs_error: f64,
+}
+
+impl FixedPointReport {
+    /// Fraction of scores destroyed by saturation.
+    pub fn saturation_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.saturated as f64 / self.total as f64
+        }
+    }
+}
+
+/// Analyses fixed-point behaviour of log-domain scores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FixedPointAnalysis;
+
+impl FixedPointAnalysis {
+    /// Creates the analyser.
+    pub fn new() -> Self {
+        FixedPointAnalysis
+    }
+
+    /// Converts each score to Q16.16 and back, reporting saturation and error.
+    pub fn analyze(&self, scores: &[LogProb]) -> FixedPointReport {
+        let mut report = FixedPointReport {
+            total: scores.len(),
+            ..FixedPointReport::default()
+        };
+        let mut err_sum = 0.0f64;
+        let mut kept = 0usize;
+        for &s in scores {
+            let q = Q16_16::from_f32(s.raw());
+            if q.is_saturated() || s.is_zero() {
+                report.saturated += 1;
+                continue;
+            }
+            let err = (q.to_f64() - s.raw() as f64).abs();
+            report.max_abs_error = report.max_abs_error.max(err);
+            err_sum += err;
+            kept += 1;
+        }
+        if kept > 0 {
+            report.mean_abs_error = err_sum / kept as f64;
+        }
+        report
+    }
+
+    /// Analyses the accumulated *path* scores of an utterance: per-frame
+    /// scores add up over `frames` frames, which is what actually overflows a
+    /// 16-bit integer range first.
+    pub fn analyze_accumulated(&self, per_frame_score: LogProb, frames: usize) -> FixedPointReport {
+        let scores: Vec<LogProb> = (1..=frames)
+            .map(|t| LogProb::new(per_frame_score.raw() * t as f32))
+            .collect();
+        self.analyze(&scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moderate_scores_survive() {
+        let a = FixedPointAnalysis::new();
+        let scores: Vec<LogProb> = (1..100).map(|i| LogProb::new(-(i as f32))).collect();
+        let r = a.analyze(&scores);
+        assert_eq!(r.total, 99);
+        assert_eq!(r.saturated, 0);
+        assert!(r.max_abs_error < 1.0e-4);
+        assert!(r.mean_abs_error <= r.max_abs_error);
+        assert_eq!(r.saturation_rate(), 0.0);
+    }
+
+    #[test]
+    fn very_negative_scores_saturate() {
+        // This is exactly the paper's warning: log scores reach very large
+        // negative values and destroy a fixed-point representation.
+        let a = FixedPointAnalysis::new();
+        let scores = vec![
+            LogProb::new(-10.0),
+            LogProb::new(-40_000.0),
+            LogProb::new(-1.0e7),
+            LogProb::zero(),
+        ];
+        let r = a.analyze(&scores);
+        assert_eq!(r.total, 4);
+        assert_eq!(r.saturated, 3);
+        assert!((r.saturation_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulated_path_scores_overflow_within_seconds() {
+        let a = FixedPointAnalysis::new();
+        // A typical per-frame log score of −80 overflows Q16.16 (−32768)
+        // after ~410 frames ≈ 4 seconds of speech.
+        let r = a.analyze_accumulated(LogProb::new(-80.0), 1_000);
+        assert!(r.saturated > 0, "long utterances must overflow");
+        assert!(r.saturated < r.total, "short prefixes must survive");
+        let first_overflow = r.total - r.saturated;
+        assert!(
+            (300..500).contains(&first_overflow),
+            "overflow after ~410 frames, got {first_overflow}"
+        );
+        assert_eq!(a.analyze(&[]).saturation_rate(), 0.0);
+    }
+}

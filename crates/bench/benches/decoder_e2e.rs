@@ -1,0 +1,34 @@
+//! E5 / E6 bench: end-to-end decoding of synthetic utterances on the hardware
+//! model with one and two accelerator structures, and on the software
+//! reference backend.
+
+use asr_bench::experiments::{build_eval_task, recognizer};
+use asr_core::DecoderConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_decode(c: &mut Criterion) {
+    let task = build_eval_task(500, 3);
+    let (features, _) = task.synthesize_utterance(3, 0.3, 1);
+    let mut group = c.benchmark_group("e5_decode_utterance");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let configs = [
+        ("hardware_1_structure", DecoderConfig::hardware(1)),
+        ("hardware_2_structures", DecoderConfig::hardware(2)),
+        ("software_reference", DecoderConfig::software()),
+    ];
+    for (name, config) in configs {
+        let rec = recognizer(&task, config).expect("recogniser");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rec, |b, rec| {
+            b.iter(|| rec.decode_features(&features).expect("decode").hypothesis.words.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

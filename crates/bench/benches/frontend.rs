@@ -1,0 +1,27 @@
+//! Frontend bench: MFCC extraction throughput (the paper's software stage,
+//! "a lightweight process" — this bench verifies it stays far below real time
+//! on the host).
+
+use asr_frontend::{Frontend, FrontendConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_frontend(c: &mut Criterion) {
+    let frontend = Frontend::new(FrontendConfig::default()).expect("frontend");
+    // One second of 16 kHz audio.
+    let samples: Vec<f32> = (0..16_000)
+        .map(|n| (2.0 * std::f32::consts::PI * 440.0 * n as f32 / 16_000.0).sin())
+        .collect();
+    let mut group = c.benchmark_group("f1_frontend");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("mfcc_1s_audio", |b| {
+        b.iter(|| frontend.process(&samples).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

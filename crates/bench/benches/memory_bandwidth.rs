@@ -1,0 +1,39 @@
+//! E1 bench: packing the acoustic model into its flash image at each mantissa
+//! width, measuring packer throughput and reporting the resulting sizes.
+
+use asr_acoustic::{AcousticModel, AcousticModelConfig, FlashImage, StorageLayout};
+use asr_float::MantissaWidth;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_flash_packing(c: &mut Criterion) {
+    let model = AcousticModel::untrained(AcousticModelConfig {
+        num_senones: 200,
+        ..AcousticModelConfig::tiny()
+    })
+    .expect("model");
+    let mut group = c.benchmark_group("e1_flash_packing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for width in MantissaWidth::PAPER_SWEEP {
+        // Report the full-scale analytic sizes alongside the packed bench.
+        let layout = StorageLayout::for_config(&AcousticModelConfig::paper_default(), width);
+        println!(
+            "# {}: paper-scale model {:.2} MB, worst-case bandwidth {:.3} GB/s",
+            width,
+            layout.model_megabytes(),
+            layout.worst_case_bandwidth_gb_per_s()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}")),
+            &width,
+            |b, &w| b.iter(|| FlashImage::pack(&model, w).payload_bytes()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flash_packing);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Decoder configuration.
+
+use crate::DecodeError;
+use asr_hw::SocConfig;
+
+/// Which backend scores senones and advances HMMs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoringBackendKind {
+    /// The cycle-accurate hardware model (`asr-hw`): OP units + Viterbi units,
+    /// flash/DMA traffic and power accounting.  This is the paper's system.
+    Hardware(SocConfig),
+    /// A pure-software floating-point reference (no cycle/power accounting in
+    /// the decode loop; the baseline crate wraps this with a host-CPU cost
+    /// model for the related-work comparison).
+    Software,
+}
+
+impl Default for ScoringBackendKind {
+    fn default() -> Self {
+        ScoringBackendKind::Hardware(SocConfig::default())
+    }
+}
+
+/// The four-layer fast-GMM-computation scheme of Chan et al. that the paper's
+/// architecture "adapts to".  Each layer skips work at a different
+/// granularity; Conditional Down Sampling (the frame layer) is the one the
+/// paper highlights as having "the potential to cut the power usage by a
+/// considerable margin".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GmmSelectionConfig {
+    /// Frame layer — Conditional Down Sampling: fully score senones only every
+    /// `cds_period` frames and reuse the previous scores in between (1 = off).
+    pub cds_period: usize,
+    /// GMM layer: only senones requested by the word-decode feedback are
+    /// scored at all (this is the paper's own feedback mechanism; always on in
+    /// the real system but can be disabled to measure its effect).
+    pub senone_feedback: bool,
+    /// Gaussian layer: evaluate only the best-scoring mixture component
+    /// instead of the full log-sum (a common approximation).
+    pub best_component_only: bool,
+    /// Component layer: evaluate only the first `max_dims` feature dimensions
+    /// of each Gaussian (`None` = all), a dimension-truncation shortcut.
+    pub max_dims: Option<usize>,
+}
+
+impl Default for GmmSelectionConfig {
+    fn default() -> Self {
+        GmmSelectionConfig {
+            cds_period: 1,
+            senone_feedback: true,
+            best_component_only: false,
+            max_dims: None,
+        }
+    }
+}
+
+impl GmmSelectionConfig {
+    /// All four layers disabled except the architectural senone feedback.
+    pub fn baseline() -> Self {
+        Self::default()
+    }
+
+    /// Conditional Down Sampling at the given period, other layers default.
+    pub fn with_cds(period: usize) -> Self {
+        GmmSelectionConfig {
+            cds_period: period.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// Configuration of the token-passing decoder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecoderConfig {
+    /// Scoring backend.
+    pub backend: ScoringBackendKind,
+    /// Main beam: active HMM instances whose best state score falls more than
+    /// this (in natural-log units) below the frame's best are pruned.
+    pub beam: f32,
+    /// Word-end beam (tighter than the main beam, as usual).
+    pub word_beam: f32,
+    /// Hard cap on simultaneously active HMM instances (histogram pruning).
+    pub max_active_hmms: usize,
+    /// Language-model weight applied to LM log probabilities.
+    pub lm_weight: f32,
+    /// Word insertion penalty (natural-log, negative discourages insertions).
+    pub word_insertion_penalty: f32,
+    /// Fast-GMM-computation layers.
+    pub gmm_selection: GmmSelectionConfig,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        DecoderConfig {
+            backend: ScoringBackendKind::default(),
+            beam: 60.0,
+            word_beam: 40.0,
+            max_active_hmms: 2_000,
+            lm_weight: 4.0,
+            word_insertion_penalty: -1.0,
+            gmm_selection: GmmSelectionConfig::default(),
+        }
+    }
+}
+
+impl DecoderConfig {
+    /// A configuration using the software reference backend.
+    pub fn software() -> Self {
+        DecoderConfig {
+            backend: ScoringBackendKind::Software,
+            ..Self::default()
+        }
+    }
+
+    /// A configuration using the hardware model with `n` accelerator
+    /// structures.
+    pub fn hardware(num_structures: usize) -> Self {
+        DecoderConfig {
+            backend: ScoringBackendKind::Hardware(SocConfig {
+                num_structures,
+                ..SocConfig::default()
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidConfig`] for non-positive beams, a zero
+    /// instance cap, a non-positive LM weight or an invalid SoC configuration.
+    pub fn validate(&self) -> Result<(), DecodeError> {
+        if self.beam <= 0.0 || self.word_beam <= 0.0 {
+            return Err(DecodeError::InvalidConfig("beams must be positive".into()));
+        }
+        if self.max_active_hmms == 0 {
+            return Err(DecodeError::InvalidConfig("max_active_hmms == 0".into()));
+        }
+        if self.lm_weight <= 0.0 {
+            return Err(DecodeError::InvalidConfig("lm_weight must be positive".into()));
+        }
+        if self.gmm_selection.cds_period == 0 {
+            return Err(DecodeError::InvalidConfig("cds_period must be >= 1".into()));
+        }
+        if let ScoringBackendKind::Hardware(soc) = &self.backend {
+            soc.validate()
+                .map_err(|e| DecodeError::InvalidConfig(e.to_string()))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        DecoderConfig::default().validate().unwrap();
+        DecoderConfig::software().validate().unwrap();
+        DecoderConfig::hardware(1).validate().unwrap();
+        DecoderConfig::hardware(2).validate().unwrap();
+        assert!(matches!(
+            DecoderConfig::default().backend,
+            ScoringBackendKind::Hardware(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = DecoderConfig::default();
+        c.beam = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = DecoderConfig::default();
+        c.word_beam = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = DecoderConfig::default();
+        c.max_active_hmms = 0;
+        assert!(c.validate().is_err());
+        let mut c = DecoderConfig::default();
+        c.lm_weight = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = DecoderConfig::default();
+        c.gmm_selection.cds_period = 0;
+        assert!(c.validate().is_err());
+        let c = DecoderConfig::hardware(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn gmm_selection_helpers() {
+        let base = GmmSelectionConfig::baseline();
+        assert_eq!(base.cds_period, 1);
+        assert!(base.senone_feedback);
+        assert!(!base.best_component_only);
+        assert_eq!(base.max_dims, None);
+        let cds = GmmSelectionConfig::with_cds(2);
+        assert_eq!(cds.cds_period, 2);
+        assert_eq!(GmmSelectionConfig::with_cds(0).cds_period, 1);
+    }
+}

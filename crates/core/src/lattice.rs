@@ -1,0 +1,287 @@
+//! The word lattice produced by the word-decode stage and searched by the
+//! global best path stage.
+//!
+//! "The word decode generates a lattice of probable words spoken. The global
+//! best path search iterates over the word lattice and combines the language
+//! model to produce the utterance."
+
+use asr_float::LogProb;
+use asr_lexicon::{NGramModel, WordId};
+
+/// One word candidate in the lattice: a word hypothesised to span
+/// `[start_frame, end_frame]` with a given acoustic score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordLatticeEntry {
+    /// The hypothesised word.
+    pub word: WordId,
+    /// First frame of the word (inclusive).
+    pub start_frame: usize,
+    /// Last frame of the word (inclusive).
+    pub end_frame: usize,
+    /// Acoustic log score accumulated over the word's frames.
+    pub acoustic_score: LogProb,
+}
+
+/// A lattice of word candidates over an utterance.
+#[derive(Debug, Clone, Default)]
+pub struct WordLattice {
+    entries: Vec<WordLatticeEntry>,
+    num_frames: usize,
+}
+
+impl WordLattice {
+    /// Creates an empty lattice for an utterance of `num_frames` frames.
+    pub fn new(num_frames: usize) -> Self {
+        WordLattice {
+            entries: Vec::new(),
+            num_frames,
+        }
+    }
+
+    /// Number of frames the lattice covers.
+    pub fn num_frames(&self) -> usize {
+        self.num_frames
+    }
+
+    /// Number of word candidates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the lattice has no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds a word candidate.
+    pub fn push(&mut self, entry: WordLatticeEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All candidates (unordered).
+    pub fn entries(&self) -> &[WordLatticeEntry] {
+        &self.entries
+    }
+
+    /// Candidates ending at a given frame.
+    pub fn ending_at(&self, frame: usize) -> Vec<&WordLatticeEntry> {
+        self.entries.iter().filter(|e| e.end_frame == frame).collect()
+    }
+
+    /// Mean number of distinct word candidates per frame (lattice density),
+    /// a proxy for the word-decode stage's workload.
+    pub fn density(&self) -> f64 {
+        if self.num_frames == 0 {
+            return 0.0;
+        }
+        self.entries.len() as f64 / self.num_frames as f64
+    }
+
+    /// The global best path search: a dynamic program over lattice entries
+    /// that combines acoustic scores with the weighted language model and a
+    /// word-insertion penalty, returning the best-scoring word sequence.
+    ///
+    /// Adjacent words must be (approximately) contiguous in time: the next
+    /// word must start within `gap_tolerance` frames of the previous word's
+    /// end.
+    pub fn best_path(
+        &self,
+        lm: &NGramModel,
+        lm_weight: f32,
+        word_insertion_penalty: f32,
+        gap_tolerance: usize,
+    ) -> Vec<WordId> {
+        if self.entries.is_empty() {
+            return Vec::new();
+        }
+        // Sort entry indices by end frame for a left-to-right DP.
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| (self.entries[i].end_frame, self.entries[i].start_frame));
+
+        // dp[i] = best score of any path ending with entry i; back[i] = predecessor.
+        let mut dp = vec![LogProb::zero(); self.entries.len()];
+        let mut back: Vec<Option<usize>> = vec![None; self.entries.len()];
+
+        for &i in &order {
+            let e = &self.entries[i];
+            // Starting a new path with this word.
+            let start_score = e.acoustic_score
+                + lm.log_prob(&[], e.word).powf(lm_weight)
+                + LogProb::new(word_insertion_penalty);
+            if e.start_frame <= gap_tolerance {
+                dp[i] = start_score;
+            }
+            // Extending a previous path.
+            for &j in &order {
+                if j == i {
+                    continue;
+                }
+                let prev = &self.entries[j];
+                if prev.end_frame >= e.start_frame
+                    || e.start_frame - prev.end_frame > gap_tolerance + 1
+                {
+                    continue;
+                }
+                if dp[j].is_zero() {
+                    continue;
+                }
+                let mut history = vec![prev.word];
+                if let Some(grand) = back[j] {
+                    history.insert(0, self.entries[grand].word);
+                }
+                let candidate = dp[j]
+                    + e.acoustic_score
+                    + lm.log_prob(&history, e.word).powf(lm_weight)
+                    + LogProb::new(word_insertion_penalty);
+                if candidate.raw() > dp[i].raw() {
+                    dp[i] = candidate;
+                    back[i] = Some(j);
+                }
+            }
+        }
+
+        // Best final entry: prefer entries reaching the end of the utterance.
+        let last_frame = self.num_frames.saturating_sub(1);
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if dp[i].is_zero() {
+                continue;
+            }
+            let reaches_end = e.end_frame + gap_tolerance >= last_frame;
+            let best_reaches_end = best
+                .map(|b| self.entries[b].end_frame + gap_tolerance >= last_frame)
+                .unwrap_or(false);
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    if reaches_end != best_reaches_end {
+                        reaches_end
+                    } else {
+                        dp[i].raw() > dp[b].raw()
+                    }
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+
+        // Trace back.
+        let mut words = Vec::new();
+        let mut cursor = best;
+        while let Some(i) = cursor {
+            words.push(self.entries[i].word);
+            cursor = back[i];
+        }
+        words.reverse();
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_lexicon::NGramOrder;
+
+    fn entry(word: u32, start: usize, end: usize, score: f32) -> WordLatticeEntry {
+        WordLatticeEntry {
+            word: WordId(word),
+            start_frame: start,
+            end_frame: end,
+            acoustic_score: LogProb::new(score),
+        }
+    }
+
+    #[test]
+    fn empty_lattice() {
+        let l = WordLattice::new(100);
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+        assert_eq!(l.num_frames(), 100);
+        assert_eq!(l.density(), 0.0);
+        let lm = NGramModel::uniform(10).unwrap();
+        assert!(l.best_path(&lm, 1.0, 0.0, 3).is_empty());
+        assert_eq!(WordLattice::new(0).density(), 0.0);
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let mut l = WordLattice::new(30);
+        l.push(entry(1, 0, 9, -10.0));
+        l.push(entry(2, 10, 19, -12.0));
+        l.push(entry(3, 10, 19, -15.0));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.ending_at(19).len(), 2);
+        assert_eq!(l.ending_at(9).len(), 1);
+        assert!(l.ending_at(5).is_empty());
+        assert!((l.density() - 0.1).abs() < 1e-12);
+        assert_eq!(l.entries().len(), 3);
+    }
+
+    #[test]
+    fn best_path_picks_acoustically_better_chain() {
+        let mut l = WordLattice::new(20);
+        l.push(entry(1, 0, 9, -10.0));
+        l.push(entry(2, 10, 19, -12.0)); // good second word
+        l.push(entry(3, 10, 19, -30.0)); // much worse alternative
+        let lm = NGramModel::uniform(10).unwrap();
+        let path = l.best_path(&lm, 1.0, 0.0, 2);
+        assert_eq!(path, vec![WordId(1), WordId(2)]);
+    }
+
+    #[test]
+    fn best_path_respects_time_contiguity() {
+        let mut l = WordLattice::new(40);
+        l.push(entry(1, 0, 9, -10.0));
+        // A very good word that overlaps word 1 cannot follow it.
+        l.push(entry(2, 5, 15, -1.0));
+        // A word that starts far after word 1 ends (gap > tolerance) cannot follow either.
+        l.push(entry(3, 30, 39, -1.0));
+        let lm = NGramModel::uniform(10).unwrap();
+        let path = l.best_path(&lm, 1.0, 0.0, 2);
+        // Paths: [1], [2] (starts at 5 > tolerance → cannot start), [3] (cannot start), [1] alone…
+        // Best single-start path is word 1; nothing can legally follow it.
+        assert_eq!(path, vec![WordId(1)]);
+    }
+
+    #[test]
+    fn language_model_breaks_acoustic_ties() {
+        // Train a bigram LM that strongly prefers 0 → 1 over 0 → 2.
+        let sentences: Vec<Vec<WordId>> = (0..20).map(|_| vec![WordId(0), WordId(1)]).collect();
+        let lm = NGramModel::train(NGramOrder::Bigram, 3, &sentences).unwrap();
+        let mut l = WordLattice::new(20);
+        l.push(entry(0, 0, 9, -10.0));
+        l.push(entry(1, 10, 19, -12.0));
+        l.push(entry(2, 10, 19, -12.0)); // acoustically identical to word 1
+        let path = l.best_path(&lm, 4.0, 0.0, 2);
+        assert_eq!(path, vec![WordId(0), WordId(1)]);
+    }
+
+    #[test]
+    fn insertion_penalty_discourages_many_short_words() {
+        let lm = NGramModel::uniform(10).unwrap();
+        let mut l = WordLattice::new(20);
+        // One long word covering everything…
+        l.push(entry(1, 0, 19, -20.0));
+        // …or two short words with the same total acoustic score.
+        l.push(entry(2, 0, 9, -10.0));
+        l.push(entry(3, 10, 19, -10.0));
+        // LM cost alone already favours fewer words under a uniform LM; a big
+        // insertion penalty must force the single-word reading.
+        let path = l.best_path(&lm, 1.0, -20.0, 2);
+        assert_eq!(path, vec![WordId(1)]);
+    }
+
+    #[test]
+    fn prefers_paths_reaching_the_end() {
+        let lm = NGramModel::uniform(10).unwrap();
+        let mut l = WordLattice::new(30);
+        // A great word covering only the first third…
+        l.push(entry(1, 0, 9, -1.0));
+        // …and a weaker chain that covers the whole utterance.
+        l.push(entry(2, 0, 14, -20.0));
+        l.push(entry(3, 15, 29, -20.0));
+        let path = l.best_path(&lm, 1.0, 0.0, 2);
+        assert_eq!(path, vec![WordId(2), WordId(3)]);
+    }
+}

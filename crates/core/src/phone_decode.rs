@@ -1,0 +1,423 @@
+//! The phone-decode stage: senone scoring and HMM stepping on a selectable
+//! backend (cycle-accurate hardware model or software reference), plus the
+//! four-layer fast-GMM machinery.
+
+use crate::config::{GmmSelectionConfig, ScoringBackendKind};
+use crate::DecodeError;
+use asr_acoustic::{AcousticModel, SenoneId, TransitionMatrix};
+use asr_float::LogProb;
+use asr_hw::{SpeechSoc, UtteranceReport};
+use std::collections::HashMap;
+
+/// Result of advancing one HMM by one frame, independent of backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HmmStepResult {
+    /// New per-state path scores.
+    pub scores: Vec<LogProb>,
+    /// Best score of leaving the HMM this frame.
+    pub exit_score: LogProb,
+}
+
+/// The senone-scoring / HMM-stepping backend.
+#[derive(Debug)]
+pub enum ScoringBackend {
+    /// The paper's system: OP units + Viterbi units with cycle, bandwidth and
+    /// power accounting.
+    Hardware(Box<SpeechSoc>),
+    /// Pure-software reference (same arithmetic, no hardware accounting).
+    Software,
+}
+
+impl ScoringBackend {
+    /// Builds a backend from its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidConfig`] if the SoC configuration is
+    /// invalid.
+    pub fn from_kind(kind: &ScoringBackendKind) -> Result<Self, DecodeError> {
+        match kind {
+            ScoringBackendKind::Hardware(cfg) => Ok(ScoringBackend::Hardware(Box::new(
+                SpeechSoc::new(cfg.clone()).map_err(|e| DecodeError::InvalidConfig(e.to_string()))?,
+            ))),
+            ScoringBackendKind::Software => Ok(ScoringBackend::Software),
+        }
+    }
+
+    /// Returns `true` for the hardware backend.
+    pub fn is_hardware(&self) -> bool {
+        matches!(self, ScoringBackend::Hardware(_))
+    }
+
+    /// Access to the underlying SoC model (hardware backend only).
+    pub fn soc(&self) -> Option<&SpeechSoc> {
+        match self {
+            ScoringBackend::Hardware(soc) => Some(soc),
+            ScoringBackend::Software => None,
+        }
+    }
+}
+
+/// The phone-decode stage.
+#[derive(Debug)]
+pub struct PhoneDecoder {
+    backend: ScoringBackend,
+    selection: GmmSelectionConfig,
+    /// Scores reused across frames by Conditional Down Sampling.
+    cached_scores: HashMap<SenoneId, LogProb>,
+    frame_index: usize,
+}
+
+impl PhoneDecoder {
+    /// Creates the stage.
+    pub fn new(backend: ScoringBackend, selection: GmmSelectionConfig) -> Self {
+        PhoneDecoder {
+            backend,
+            selection,
+            cached_scores: HashMap::new(),
+            frame_index: 0,
+        }
+    }
+
+    /// The backend (for inspecting hardware reports).
+    pub fn backend(&self) -> &ScoringBackend {
+        &self.backend
+    }
+
+    /// Starts a frame: loads the feature vector into the hardware.
+    pub fn begin_frame(&mut self, feature: &[f32]) {
+        if let ScoringBackend::Hardware(soc) = &mut self.backend {
+            soc.begin_frame(feature);
+        }
+    }
+
+    /// Scores the requested senones for the current frame, honouring the
+    /// fast-GMM layers.  Returns the score map and whether the evaluation was
+    /// skipped by Conditional Down Sampling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware errors as [`DecodeError::Hardware`].
+    pub fn score_frame(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+    ) -> Result<(HashMap<SenoneId, LogProb>, bool), DecodeError> {
+        let cds_skip = self.selection.cds_period > 1
+            && self.frame_index % self.selection.cds_period != 0
+            && !self.cached_scores.is_empty();
+        if cds_skip {
+            // Reuse the previous frame's scores; senones that were not cached
+            // get a neutral (poor but finite) score so new words can still
+            // start, at reduced fidelity — this is the accuracy/power
+            // trade-off CDS makes.
+            let floor = self
+                .cached_scores
+                .values()
+                .fold(LogProb::zero(), |acc, &p| acc.max(p))
+                + LogProb::new(-20.0);
+            let map = active
+                .iter()
+                .map(|id| (*id, *self.cached_scores.get(id).unwrap_or(&floor)))
+                .collect();
+            self.frame_index += 1;
+            return Ok((map, true));
+        }
+
+        let scored: Vec<(SenoneId, LogProb)> = match &mut self.backend {
+            ScoringBackend::Hardware(soc) => soc
+                .score_senones(model, active)
+                .map_err(|e| DecodeError::Hardware(e.to_string()))?,
+            ScoringBackend::Software => active
+                .iter()
+                .map(|&id| {
+                    let senone = model.senones().get(id).expect("active ids are valid");
+                    let mix = senone.mixture();
+                    let score = if self.selection.best_component_only {
+                        mix.max_component_log_likelihood(&self.truncated(feature))
+                    } else if self.selection.max_dims.is_some() {
+                        mix.log_likelihood(&self.truncated(feature))
+                    } else {
+                        mix.log_likelihood(feature)
+                    };
+                    (id, score)
+                })
+                .collect(),
+        };
+        self.cached_scores = scored.iter().copied().collect();
+        self.frame_index += 1;
+        Ok((self.cached_scores.clone(), false))
+    }
+
+    fn truncated(&self, feature: &[f32]) -> Vec<f32> {
+        match self.selection.max_dims {
+            Some(d) if d < feature.len() => {
+                // Dimension truncation keeps the vector length (the model
+                // expects the full dimension) but zeroes the tail so those
+                // dimensions contribute only their constant term.
+                let mut v = feature.to_vec();
+                for x in v.iter_mut().skip(d) {
+                    *x = 0.0;
+                }
+                v
+            }
+            _ => feature.to_vec(),
+        }
+    }
+
+    /// Advances one HMM by one frame on the configured backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware errors as [`DecodeError::Hardware`].
+    pub fn step_hmm(
+        &mut self,
+        prev_scores: &[LogProb],
+        entry_score: LogProb,
+        transitions: &TransitionMatrix,
+        senone_scores: &[LogProb],
+    ) -> Result<HmmStepResult, DecodeError> {
+        match &mut self.backend {
+            ScoringBackend::Hardware(soc) => {
+                let step = soc
+                    .step_hmm(prev_scores, entry_score, transitions, senone_scores)
+                    .map_err(|e| DecodeError::Hardware(e.to_string()))?;
+                Ok(HmmStepResult {
+                    scores: step.scores,
+                    exit_score: step.exit_score,
+                })
+            }
+            ScoringBackend::Software => {
+                let n = transitions.num_states();
+                if prev_scores.len() != n || senone_scores.len() != n {
+                    return Err(DecodeError::DimensionMismatch {
+                        expected: n,
+                        got: prev_scores.len(),
+                    });
+                }
+                let mut scores = Vec::with_capacity(n);
+                for j in 0..n {
+                    let mut best = LogProb::zero();
+                    for (i, a_ij) in transitions.column(j) {
+                        let c = prev_scores[i] + a_ij;
+                        if c.raw() > best.raw() {
+                            best = c;
+                        }
+                    }
+                    if j == 0 && entry_score.raw() > best.raw() {
+                        best = entry_score;
+                    }
+                    scores.push(best + senone_scores[j]);
+                }
+                let mut exit = LogProb::zero();
+                for i in 0..n {
+                    let e = scores[i] + transitions.log_exit_prob(i);
+                    if e.raw() > exit.raw() {
+                        exit = e;
+                    }
+                }
+                Ok(HmmStepResult {
+                    scores,
+                    exit_score: exit,
+                })
+            }
+        }
+    }
+
+    /// Records a dictionary / LM fetch over the DMA (hardware backend only).
+    pub fn dma_fetch(&mut self, bytes: u64) {
+        if let ScoringBackend::Hardware(soc) = &mut self.backend {
+            soc.dma_fetch(bytes);
+        }
+    }
+
+    /// Ends the frame on the hardware backend (charges the host-CPU software
+    /// stages and closes the bandwidth window).
+    pub fn end_frame(&mut self, active_triphones: usize, lattice_edges: usize) {
+        if let ScoringBackend::Hardware(soc) = &mut self.backend {
+            soc.end_frame(active_triphones, lattice_edges);
+        }
+    }
+
+    /// Finishes the utterance, returning the hardware report if available.
+    pub fn finish_utterance(&mut self) -> Option<UtteranceReport> {
+        self.frame_index = 0;
+        self.cached_scores.clear();
+        match &mut self.backend {
+            ScoringBackend::Hardware(soc) => Some(soc.finish_utterance()),
+            ScoringBackend::Software => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_acoustic::AcousticModelConfig;
+    use asr_hw::SocConfig;
+
+    fn model() -> AcousticModel {
+        AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap()
+    }
+
+    fn hardware_decoder(selection: GmmSelectionConfig) -> PhoneDecoder {
+        let backend =
+            ScoringBackend::from_kind(&ScoringBackendKind::Hardware(SocConfig::default()))
+                .unwrap();
+        PhoneDecoder::new(backend, selection)
+    }
+
+    #[test]
+    fn backend_construction() {
+        assert!(ScoringBackend::from_kind(&ScoringBackendKind::Software).is_ok());
+        let hw = ScoringBackend::from_kind(&ScoringBackendKind::Hardware(SocConfig::default()))
+            .unwrap();
+        assert!(hw.is_hardware());
+        assert!(hw.soc().is_some());
+        let sw = ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap();
+        assert!(!sw.is_hardware());
+        assert!(sw.soc().is_none());
+        let bad = ScoringBackendKind::Hardware(SocConfig {
+            num_structures: 0,
+            ..SocConfig::default()
+        });
+        assert!(ScoringBackend::from_kind(&bad).is_err());
+    }
+
+    #[test]
+    fn hardware_and_software_scores_agree() {
+        let m = model();
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.1 * d as f32).collect();
+        let ids: Vec<SenoneId> = (0..m.senones().len() as u32).map(SenoneId).collect();
+
+        let mut hw = hardware_decoder(GmmSelectionConfig::default());
+        hw.begin_frame(&x);
+        let (hw_scores, skipped_hw) = hw.score_frame(&m, &ids, &x).unwrap();
+
+        let mut sw = PhoneDecoder::new(
+            ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
+            GmmSelectionConfig::default(),
+        );
+        sw.begin_frame(&x);
+        let (sw_scores, skipped_sw) = sw.score_frame(&m, &ids, &x).unwrap();
+
+        assert!(!skipped_hw && !skipped_sw);
+        for id in &ids {
+            let a = hw_scores[id].raw();
+            let b = sw_scores[id].raw();
+            assert!((a - b).abs() < 0.1, "{id:?}: hw {a} sw {b}");
+        }
+    }
+
+    #[test]
+    fn cds_skips_and_reuses_scores() {
+        let m = model();
+        let x = vec![0.2f32; m.feature_dim()];
+        let ids: Vec<SenoneId> = (0..5).map(SenoneId).collect();
+        let mut dec = hardware_decoder(GmmSelectionConfig::with_cds(2));
+        dec.begin_frame(&x);
+        let (first, skip0) = dec.score_frame(&m, &ids, &x).unwrap();
+        dec.begin_frame(&x);
+        let (second, skip1) = dec.score_frame(&m, &ids, &x).unwrap();
+        dec.begin_frame(&x);
+        let (_third, skip2) = dec.score_frame(&m, &ids, &x).unwrap();
+        assert!(!skip0);
+        assert!(skip1);
+        assert!(!skip2);
+        for id in &ids {
+            assert_eq!(first[id].raw(), second[id].raw(), "CDS must reuse scores");
+        }
+        // A senone never scored before gets the floor score on a skipped frame.
+        dec.begin_frame(&x);
+        let (fourth, skip3) = dec.score_frame(&m, &[SenoneId(20)], &x).unwrap();
+        assert!(skip3);
+        assert!(fourth[&SenoneId(20)].raw() < first[&ids[0]].raw());
+    }
+
+    #[test]
+    fn software_fast_gmm_layers() {
+        let m = model();
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.3 * d as f32).collect();
+        let ids: Vec<SenoneId> = (0..m.senones().len() as u32).map(SenoneId).collect();
+        let full = {
+            let mut d = PhoneDecoder::new(
+                ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
+                GmmSelectionConfig::default(),
+            );
+            d.score_frame(&m, &ids, &x).unwrap().0
+        };
+        let best_comp = {
+            let mut d = PhoneDecoder::new(
+                ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
+                GmmSelectionConfig {
+                    best_component_only: true,
+                    ..GmmSelectionConfig::default()
+                },
+            );
+            d.score_frame(&m, &ids, &x).unwrap().0
+        };
+        let truncated = {
+            let mut d = PhoneDecoder::new(
+                ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
+                GmmSelectionConfig {
+                    max_dims: Some(3),
+                    ..GmmSelectionConfig::default()
+                },
+            );
+            d.score_frame(&m, &ids, &x).unwrap().0
+        };
+        for id in &ids {
+            // Best-component is a lower bound on the full mixture.
+            assert!(best_comp[id].raw() <= full[id].raw() + 1e-5);
+            // Truncation changes the score but keeps it finite.
+            assert!(truncated[id].raw().is_finite());
+        }
+    }
+
+    #[test]
+    fn hmm_step_backends_agree() {
+        let m = model();
+        let t = m.transitions();
+        let n = t.num_states();
+        let prev = vec![LogProb::new(-4.0), LogProb::new(-6.0), LogProb::new(-9.0)];
+        let obs = vec![LogProb::new(-1.0), LogProb::new(-2.0), LogProb::new(-1.5)];
+        let mut hw = hardware_decoder(GmmSelectionConfig::default());
+        let mut sw = PhoneDecoder::new(
+            ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
+            GmmSelectionConfig::default(),
+        );
+        let a = hw.step_hmm(&prev, LogProb::new(-3.0), t, &obs).unwrap();
+        let b = sw.step_hmm(&prev, LogProb::new(-3.0), t, &obs).unwrap();
+        assert_eq!(a.scores.len(), n);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert!((x.raw() - y.raw()).abs() < 1e-3);
+        }
+        assert!((a.exit_score.raw() - b.exit_score.raw()).abs() < 1e-3);
+        // Software backend validates shapes.
+        assert!(sw.step_hmm(&prev[..2], LogProb::zero(), t, &obs).is_err());
+    }
+
+    #[test]
+    fn utterance_lifecycle() {
+        let m = model();
+        let x = vec![0.0f32; m.feature_dim()];
+        let mut dec = hardware_decoder(GmmSelectionConfig::default());
+        dec.begin_frame(&x);
+        dec.score_frame(&m, &[SenoneId(0), SenoneId(1)], &x).unwrap();
+        dec.dma_fetch(128);
+        dec.end_frame(2, 1);
+        let report = dec.finish_utterance().unwrap();
+        assert_eq!(report.frames, 1);
+        assert_eq!(report.senones_scored, 2);
+        // Software backend has no hardware report.
+        let mut sw = PhoneDecoder::new(
+            ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
+            GmmSelectionConfig::default(),
+        );
+        sw.begin_frame(&x);
+        sw.dma_fetch(128);
+        sw.end_frame(0, 0);
+        assert!(sw.finish_utterance().is_none());
+    }
+}

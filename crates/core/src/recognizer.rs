@@ -1,0 +1,335 @@
+//! The top-level recogniser: frontend to recognised text.
+
+use crate::config::DecoderConfig;
+use crate::lattice::WordLattice;
+use crate::phone_decode::{PhoneDecoder, ScoringBackend};
+use crate::search::{SearchNetwork, TokenPassingSearch};
+use crate::stats::DecodeStats;
+use crate::DecodeError;
+use asr_acoustic::AcousticModel;
+use asr_frontend::Frontend;
+use asr_hw::UtteranceReport;
+use asr_lexicon::{Dictionary, NGramModel, WordId};
+
+/// A recognised word sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Hypothesis {
+    /// Word identifiers in order.
+    pub words: Vec<WordId>,
+    /// Word spellings in order (the paper's word-ID → ASCII mapping applied).
+    pub text: Vec<String>,
+}
+
+impl Hypothesis {
+    /// The hypothesis as a single space-separated string.
+    pub fn to_sentence(&self) -> String {
+        self.text.join(" ")
+    }
+}
+
+/// Everything produced by decoding one utterance.
+#[derive(Debug, Clone)]
+pub struct DecodeResult {
+    /// The utterance chosen by the global best path search over the lattice
+    /// (falls back to the live search's best token when the lattice search
+    /// finds nothing).
+    pub hypothesis: Hypothesis,
+    /// The raw best-token hypothesis from the on-the-fly search.
+    pub live_hypothesis: Hypothesis,
+    /// The word lattice.
+    pub lattice: WordLattice,
+    /// Per-frame decoding statistics (active senones, pruning, CDS).
+    pub stats: DecodeStats,
+    /// Hardware report (cycles, bandwidth, power, energy) when decoding on the
+    /// hardware backend.
+    pub hardware: Option<UtteranceReport>,
+}
+
+/// The complete recogniser of Figure 1.
+#[derive(Debug)]
+pub struct Recognizer {
+    model: AcousticModel,
+    dictionary: Dictionary,
+    lm: NGramModel,
+    network: SearchNetwork,
+    config: DecoderConfig,
+}
+
+impl Recognizer {
+    /// Assembles a recogniser from its knowledge sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidConfig`] for an invalid decoder
+    /// configuration and [`DecodeError::InconsistentModels`] if the dictionary
+    /// references phones missing from the acoustic model.
+    pub fn new(
+        model: AcousticModel,
+        dictionary: Dictionary,
+        lm: NGramModel,
+        config: DecoderConfig,
+    ) -> Result<Self, DecodeError> {
+        config.validate()?;
+        let network = SearchNetwork::build(&model, &dictionary)?;
+        Ok(Recognizer {
+            model,
+            dictionary,
+            lm,
+            network,
+            config,
+        })
+    }
+
+    /// The acoustic model.
+    pub fn model(&self) -> &AcousticModel {
+        &self.model
+    }
+
+    /// The dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// The language model.
+    pub fn language_model(&self) -> &NGramModel {
+        &self.lm
+    }
+
+    /// The decoder configuration.
+    pub fn config(&self) -> &DecoderConfig {
+        &self.config
+    }
+
+    /// The static search network.
+    pub fn network(&self) -> &SearchNetwork {
+        &self.network
+    }
+
+    fn spell(&self, words: &[WordId]) -> Hypothesis {
+        Hypothesis {
+            words: words.to_vec(),
+            text: words
+                .iter()
+                .map(|&w| {
+                    self.dictionary
+                        .spelling(w)
+                        .unwrap_or("<unk>")
+                        .to_string()
+                })
+                .collect(),
+        }
+    }
+
+    /// Decodes one utterance of feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, dimension and hardware errors.
+    pub fn decode_features(&self, features: &[Vec<f32>]) -> Result<DecodeResult, DecodeError> {
+        let mut phone_decoder = PhoneDecoder::new(
+            ScoringBackend::from_kind(&self.config.backend)?,
+            self.config.gmm_selection,
+        );
+        let search = TokenPassingSearch::new(&self.model, &self.network, &self.lm, &self.config);
+        let outcome = search.decode(features, &mut phone_decoder)?;
+        let hardware = phone_decoder.finish_utterance();
+
+        // Global best path search over the word lattice with the LM.
+        let lattice_words = outcome.lattice.best_path(
+            &self.lm,
+            self.config.lm_weight,
+            self.config.word_insertion_penalty,
+            3,
+        );
+        let chosen = if lattice_words.is_empty() {
+            outcome.best_token_words.clone()
+        } else {
+            lattice_words
+        };
+        Ok(DecodeResult {
+            hypothesis: self.spell(&chosen),
+            live_hypothesis: self.spell(&outcome.best_token_words),
+            lattice: outcome.lattice,
+            stats: outcome.stats,
+            hardware,
+        })
+    }
+
+    /// Decodes raw audio samples by running the software frontend first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::DimensionMismatch`] if the frontend's feature
+    /// dimension differs from the acoustic model's, plus any decoding error.
+    pub fn decode_audio(
+        &self,
+        samples: &[f32],
+        frontend: &Frontend,
+    ) -> Result<DecodeResult, DecodeError> {
+        if frontend.config().feature_dim() != self.model.feature_dim() {
+            return Err(DecodeError::DimensionMismatch {
+                expected: self.model.feature_dim(),
+                got: frontend.config().feature_dim(),
+            });
+        }
+        let features = frontend.process(samples);
+        self.decode_features(&features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScoringBackendKind;
+    use asr_acoustic::{
+        AcousticModelConfig, DiagGaussian, GaussianMixture, HmmTopology, PhoneId, SenoneId,
+        SenonePool, TransitionMatrix, Triphone, TriphoneInventory,
+    };
+    use asr_lexicon::Pronunciation;
+
+    const DIM: usize = 4;
+    const NUM_PHONES: usize = 5;
+
+    fn tiny_model() -> AcousticModel {
+        let states = 3;
+        let mixtures: Vec<GaussianMixture> = (0..NUM_PHONES * states)
+            .map(|i| {
+                let mean = vec![(7 * (i / states) + 2 * (i % states)) as f32; DIM];
+                GaussianMixture::new(vec![(
+                    1.0,
+                    DiagGaussian::new(mean, vec![0.5; DIM]).unwrap(),
+                )])
+                .unwrap()
+            })
+            .collect();
+        let pool = SenonePool::new(mixtures).unwrap();
+        let mut inventory = TriphoneInventory::new(HmmTopology::Three);
+        for p in 0..NUM_PHONES {
+            let senones: Vec<SenoneId> =
+                (0..states).map(|s| SenoneId((p * states + s) as u32)).collect();
+            inventory
+                .add(Triphone::context_independent(PhoneId(p as u16)), senones)
+                .unwrap();
+        }
+        AcousticModel::new(
+            AcousticModelConfig {
+                num_senones: NUM_PHONES * states,
+                num_components: 1,
+                feature_dim: DIM,
+                topology: HmmTopology::Three,
+                num_phones: NUM_PHONES,
+                self_loop_prob: 0.5,
+            },
+            pool,
+            inventory,
+            TransitionMatrix::bakis(HmmTopology::Three, 0.5).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn tiny_dictionary() -> Dictionary {
+        let mut d = Dictionary::new();
+        let p = |ids: &[u16]| Pronunciation::new(ids.iter().map(|&i| PhoneId(i)).collect());
+        d.add_word("one", p(&[1, 2])).unwrap();
+        d.add_word("two", p(&[3, 4])).unwrap();
+        d
+    }
+
+    fn synth(dict: &Dictionary, words: &[&str]) -> Vec<Vec<f32>> {
+        let mut frames = Vec::new();
+        for w in words {
+            let id = dict.id_of(w).unwrap();
+            for &phone in dict.pronunciation(id).unwrap().phones() {
+                for state in 0..3usize {
+                    for _ in 0..3 {
+                        frames.push(vec![(7 * phone.index() + 2 * state) as f32; DIM]);
+                    }
+                }
+            }
+        }
+        frames
+    }
+
+    fn recognizer(backend: ScoringBackendKind) -> Recognizer {
+        Recognizer::new(
+            tiny_model(),
+            tiny_dictionary(),
+            NGramModel::uniform(2).unwrap(),
+            DecoderConfig {
+                backend,
+                ..DecoderConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_software_decode() {
+        let rec = recognizer(ScoringBackendKind::Software);
+        let dict = tiny_dictionary();
+        let features = synth(&dict, &["one", "two"]);
+        let result = rec.decode_features(&features).unwrap();
+        assert_eq!(result.hypothesis.text, vec!["one", "two"]);
+        assert_eq!(result.hypothesis.to_sentence(), "one two");
+        assert!(result.hardware.is_none());
+        assert!(!result.lattice.is_empty());
+        assert_eq!(result.stats.num_frames(), features.len());
+        assert_eq!(result.live_hypothesis.words, result.hypothesis.words);
+    }
+
+    #[test]
+    fn end_to_end_hardware_decode_with_report() {
+        let rec = recognizer(ScoringBackendKind::Hardware(asr_hw::SocConfig::default()));
+        let dict = tiny_dictionary();
+        let features = synth(&dict, &["two", "one"]);
+        let result = rec.decode_features(&features).unwrap();
+        assert_eq!(result.hypothesis.text, vec!["two", "one"]);
+        let hw = result.hardware.expect("hardware backend produces a report");
+        assert_eq!(hw.frames, features.len());
+        assert!(hw.senones_scored > 0);
+        assert!(hw.real_time_fraction > 0.99, "tiny task must be real-time");
+        assert!(hw.energy.total_energy_j() > 0.0);
+        // Feedback keeps the active fraction well under 1.
+        assert!(result.stats.mean_active_senone_fraction() < 0.9);
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let rec = recognizer(ScoringBackendKind::Software);
+        assert_eq!(rec.dictionary().len(), 2);
+        assert_eq!(rec.model().senones().len(), NUM_PHONES * 3);
+        assert_eq!(rec.language_model().vocab_size(), 2);
+        assert!(rec.network().num_instances() > 0);
+        assert!(rec.config().validate().is_ok());
+        // Invalid config is rejected at construction.
+        let mut bad = DecoderConfig::software();
+        bad.beam = -1.0;
+        assert!(Recognizer::new(
+            tiny_model(),
+            tiny_dictionary(),
+            NGramModel::uniform(2).unwrap(),
+            bad
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn decode_audio_checks_dimensions() {
+        let rec = recognizer(ScoringBackendKind::Software);
+        let frontend = Frontend::new(asr_frontend::FrontendConfig::default()).unwrap();
+        // The default frontend produces 39-dim vectors but the tiny model wants 4.
+        assert!(matches!(
+            rec.decode_audio(&vec![0.0; 16_000], &frontend),
+            Err(DecodeError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_feature_input() {
+        let rec = recognizer(ScoringBackendKind::Software);
+        let result = rec.decode_features(&[]).unwrap();
+        assert!(result.hypothesis.words.is_empty());
+        assert!(result.hypothesis.to_sentence().is_empty());
+        assert_eq!(Hypothesis::default().to_sentence(), "");
+    }
+}

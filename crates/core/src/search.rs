@@ -1,0 +1,606 @@
+//! The word-decode stage: a token-passing Viterbi search over the lexical
+//! prefix tree.
+//!
+//! Each active lexical-tree node holds one triphone HMM instance.  Every
+//! frame the search:
+//!
+//! 1. collects the senones of all active instances — the
+//!    "Phones for evaluation" feedback to the phone-decode stage;
+//! 2. has the phone-decode stage score exactly that set;
+//! 3. advances every instance with the Viterbi unit;
+//! 4. propagates good exit scores into child nodes (word-internal
+//!    transitions) and into the word lattice at word-end nodes;
+//! 5. starts new words from the tree root after each word end,
+//!    applying the language model and the word-insertion penalty;
+//! 6. prunes instances outside the beam and beyond the instance cap.
+
+use crate::config::DecoderConfig;
+use crate::lattice::{WordLattice, WordLatticeEntry};
+use crate::phone_decode::PhoneDecoder;
+use crate::stats::{DecodeStats, FrameStats};
+use crate::DecodeError;
+use asr_acoustic::{AcousticModel, PhoneId, SenoneId, Triphone};
+use asr_float::LogProb;
+use asr_lexicon::{Dictionary, LexNodeId, LexTree, NGramModel, WordId};
+use std::collections::HashMap;
+
+/// The static search network: the lexical tree with each node resolved to a
+/// senone sequence (one per HMM state) of the acoustic model.
+#[derive(Debug, Clone)]
+pub struct SearchNetwork {
+    lextree: LexTree,
+    /// Senone sequence per lexical-tree node (index = node id; root empty).
+    node_senones: Vec<Vec<SenoneId>>,
+}
+
+impl SearchNetwork {
+    /// Builds the network from a dictionary and an acoustic model.
+    ///
+    /// Triphone contexts are resolved with the left context taken from the
+    /// parent node's phone (silence at word starts) and the acoustic model's
+    /// context-independent fallback for unseen contexts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InconsistentModels`] if a dictionary phone has
+    /// no acoustic model at all.
+    pub fn build(model: &AcousticModel, dictionary: &Dictionary) -> Result<Self, DecodeError> {
+        let lextree = LexTree::build(dictionary);
+        let silence = PhoneId(0);
+        let mut node_senones = vec![Vec::new(); lextree.num_nodes()];
+        // Breadth-first walk from the root resolving each node.
+        let mut queue = vec![LexNodeId::ROOT];
+        while let Some(node) = queue.pop() {
+            let parent_phone = lextree.phone(node).unwrap_or(silence);
+            for (phone, child) in lextree.successors(node) {
+                let successors = lextree.successors(child);
+                let right = successors
+                    .first()
+                    .map(|&(p, _)| p)
+                    .unwrap_or(silence);
+                let triphone = Triphone::new(phone, parent_phone, right);
+                let id = model.triphones().resolve(&triphone).ok_or_else(|| {
+                    DecodeError::InconsistentModels(format!(
+                        "no acoustic model for phone {phone} (triphone {triphone})"
+                    ))
+                })?;
+                let senones = model
+                    .triphones()
+                    .senones(id)
+                    .map_err(|e| DecodeError::InconsistentModels(e.to_string()))?
+                    .to_vec();
+                node_senones[child.index()] = senones;
+                queue.push(child);
+            }
+        }
+        Ok(SearchNetwork {
+            lextree,
+            node_senones,
+        })
+    }
+
+    /// The lexical tree.
+    pub fn lextree(&self) -> &LexTree {
+        &self.lextree
+    }
+
+    /// Senones of a node (empty for the root).
+    pub fn senones(&self, node: LexNodeId) -> &[SenoneId] {
+        &self.node_senones[node.index()]
+    }
+
+    /// Total number of HMM instances the network can instantiate.
+    pub fn num_instances(&self) -> usize {
+        self.lextree.num_nodes().saturating_sub(1)
+    }
+}
+
+/// A live HMM instance at one lexical-tree node.
+#[derive(Debug, Clone)]
+struct Token {
+    scores: Vec<LogProb>,
+    history: Vec<WordId>,
+    word_start_frame: usize,
+    score_at_word_start: LogProb,
+}
+
+impl Token {
+    fn best(&self) -> LogProb {
+        self.scores
+            .iter()
+            .fold(LogProb::zero(), |acc, &s| acc.max(s))
+    }
+}
+
+/// A token about to enter a node at the next frame.
+#[derive(Debug, Clone)]
+struct PendingEntry {
+    entry_score: LogProb,
+    history: Vec<WordId>,
+    word_start_frame: usize,
+    score_at_word_start: LogProb,
+}
+
+/// Output of decoding one utterance.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best word sequence found by the on-the-fly search (token history).
+    pub best_token_words: Vec<WordId>,
+    /// The word lattice handed to the global best path search.
+    pub lattice: WordLattice,
+    /// Per-frame statistics.
+    pub stats: DecodeStats,
+}
+
+/// The token-passing search engine.
+#[derive(Debug)]
+pub struct TokenPassingSearch<'a> {
+    model: &'a AcousticModel,
+    network: &'a SearchNetwork,
+    lm: &'a NGramModel,
+    config: &'a DecoderConfig,
+}
+
+impl<'a> TokenPassingSearch<'a> {
+    /// Creates a search engine over prebuilt knowledge sources.
+    pub fn new(
+        model: &'a AcousticModel,
+        network: &'a SearchNetwork,
+        lm: &'a NGramModel,
+        config: &'a DecoderConfig,
+    ) -> Self {
+        TokenPassingSearch {
+            model,
+            network,
+            lm,
+            config,
+        }
+    }
+
+    fn lm_score(&self, history: &[WordId], word: WordId) -> LogProb {
+        let tail: Vec<WordId> = history
+            .iter()
+            .rev()
+            .take(2)
+            .rev()
+            .copied()
+            .collect();
+        self.lm.log_prob(&tail, word).powf(self.config.lm_weight)
+            + LogProb::new(self.config.word_insertion_penalty)
+    }
+
+    /// Decodes one utterance of feature vectors, driving the phone-decode
+    /// stage for senone scores and HMM updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::DimensionMismatch`] if a feature vector has the
+    /// wrong dimension, or propagates backend errors.
+    pub fn decode(
+        &self,
+        features: &[Vec<f32>],
+        phone_decoder: &mut PhoneDecoder,
+    ) -> Result<SearchOutcome, DecodeError> {
+        let dim = self.model.feature_dim();
+        for f in features {
+            if f.len() != dim {
+                return Err(DecodeError::DimensionMismatch {
+                    expected: dim,
+                    got: f.len(),
+                });
+            }
+        }
+        let num_frames = features.len();
+        let tree = self.network.lextree();
+        let inventory_size = self.model.senones().len();
+        let states = self.model.config().topology.num_states();
+        let transitions = self.model.transitions();
+
+        let mut active: HashMap<LexNodeId, Token> = HashMap::new();
+        let mut pending: HashMap<LexNodeId, PendingEntry> = HashMap::new();
+        let mut lattice = WordLattice::new(num_frames);
+        let mut stats = DecodeStats::new();
+        // Best completed (word-end) hypothesis: (score, history, end frame).
+        let mut best_final: Option<(LogProb, Vec<WordId>, usize)> = None;
+
+        // Initial word starts at frame 0.
+        for (_, node) in tree.successors(LexNodeId::ROOT) {
+            pending.insert(
+                node,
+                PendingEntry {
+                    entry_score: LogProb::ONE,
+                    history: Vec::new(),
+                    word_start_frame: 0,
+                    score_at_word_start: LogProb::ONE,
+                },
+            );
+        }
+
+        for (t, feature) in features.iter().enumerate() {
+            phone_decoder.begin_frame(feature);
+
+            // Merge pending entries into the active set.
+            let mut entry_map: HashMap<LexNodeId, PendingEntry> = HashMap::new();
+            for (node, entry) in pending.drain() {
+                match active.get_mut(&node) {
+                    Some(token) => {
+                        // The entering path may take over the instance's word
+                        // bookkeeping if it is stronger than everything inside.
+                        if entry.entry_score.raw() > token.best().raw() {
+                            token.history = entry.history.clone();
+                            token.word_start_frame = entry.word_start_frame;
+                            token.score_at_word_start = entry.score_at_word_start;
+                        }
+                        entry_map.insert(node, entry);
+                    }
+                    None => {
+                        active.insert(
+                            node,
+                            Token {
+                                scores: vec![LogProb::zero(); states],
+                                history: entry.history.clone(),
+                                word_start_frame: entry.word_start_frame,
+                                score_at_word_start: entry.score_at_word_start,
+                            },
+                        );
+                        entry_map.insert(node, entry);
+                    }
+                }
+            }
+
+            // Active senone set — the feedback to the phone decode stage.
+            let mut active_senones: Vec<SenoneId> = active
+                .keys()
+                .flat_map(|&node| self.network.senones(node).iter().copied())
+                .collect();
+            active_senones.sort_unstable();
+            active_senones.dedup();
+            let requested = if self.config.gmm_selection.senone_feedback {
+                active_senones.clone()
+            } else {
+                // Feedback disabled (for the E4 ablation): score everything.
+                (0..inventory_size as u32).map(SenoneId).collect()
+            };
+            let (score_map, cds_skipped) =
+                phone_decoder.score_frame(self.model, &requested, feature)?;
+
+            // Advance every active instance.
+            let mut frame_best = LogProb::zero();
+            let mut exits: Vec<(LexNodeId, LogProb)> = Vec::new();
+            let node_ids: Vec<LexNodeId> = active.keys().copied().collect();
+            for node in node_ids {
+                let senones = self.network.senones(node).to_vec();
+                let obs: Vec<LogProb> = senones
+                    .iter()
+                    .map(|id| *score_map.get(id).unwrap_or(&LogProb::new(-1.0e6)))
+                    .collect();
+                let entry_score = entry_map
+                    .get(&node)
+                    .map(|e| e.entry_score)
+                    .unwrap_or_else(LogProb::zero);
+                let token = active.get_mut(&node).expect("node is active");
+                let step =
+                    phone_decoder.step_hmm(&token.scores, entry_score, transitions, &obs)?;
+                token.scores = step.scores;
+                let best = token.best();
+                if best.raw() > frame_best.raw() {
+                    frame_best = best;
+                }
+                if !step.exit_score.is_zero() {
+                    exits.push((node, step.exit_score));
+                }
+            }
+
+            // Handle exits: word ends and word-internal propagation.
+            let word_beam_floor = frame_best + LogProb::new(-self.config.word_beam);
+            let mut word_ends_this_frame = 0usize;
+            for (node, exit_score) in exits {
+                if exit_score.raw() < word_beam_floor.raw() {
+                    continue;
+                }
+                let token = active.get(&node).expect("node is active").clone();
+                // Word ends at this node.
+                for &word in tree.words_at(node) {
+                    word_ends_this_frame += 1;
+                    let acoustic = exit_score - token.score_at_word_start;
+                    lattice.push(WordLatticeEntry {
+                        word,
+                        start_frame: token.word_start_frame,
+                        end_frame: t,
+                        acoustic_score: acoustic,
+                    });
+                    let with_lm = exit_score + self.lm_score(&token.history, word);
+                    let mut new_history = token.history.clone();
+                    new_history.push(word);
+                    let better_final = best_final
+                        .as_ref()
+                        .map(|(s, _, e)| {
+                            t > *e || (t == *e && with_lm.raw() > s.raw())
+                        })
+                        .unwrap_or(true);
+                    if better_final {
+                        best_final = Some((with_lm, new_history.clone(), t));
+                    }
+                    // Start new words at the next frame.
+                    if t + 1 < num_frames {
+                        for (_, root_child) in tree.successors(LexNodeId::ROOT) {
+                            let candidate = PendingEntry {
+                                entry_score: with_lm,
+                                history: new_history.clone(),
+                                word_start_frame: t + 1,
+                                score_at_word_start: with_lm,
+                            };
+                            match pending.get(&root_child) {
+                                Some(existing)
+                                    if existing.entry_score.raw() >= candidate.entry_score.raw() => {}
+                                _ => {
+                                    pending.insert(root_child, candidate);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Word-internal transition into child nodes.
+                if t + 1 < num_frames {
+                    for (_, child) in tree.successors(node) {
+                        let candidate = PendingEntry {
+                            entry_score: exit_score,
+                            history: token.history.clone(),
+                            word_start_frame: token.word_start_frame,
+                            score_at_word_start: token.score_at_word_start,
+                        };
+                        match pending.get(&child) {
+                            Some(existing)
+                                if existing.entry_score.raw() >= candidate.entry_score.raw() => {}
+                            _ => {
+                                pending.insert(child, candidate);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Beam pruning and the instance cap.
+            let beam_floor = frame_best + LogProb::new(-self.config.beam);
+            let before = active.len();
+            active.retain(|_, token| token.best().raw() >= beam_floor.raw());
+            if active.len() > self.config.max_active_hmms {
+                let mut scored: Vec<(LexNodeId, LogProb)> = active
+                    .iter()
+                    .map(|(&node, token)| (node, token.best()))
+                    .collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+                let keep: std::collections::HashSet<LexNodeId> = scored
+                    .iter()
+                    .take(self.config.max_active_hmms)
+                    .map(|&(n, _)| n)
+                    .collect();
+                active.retain(|node, _| keep.contains(node));
+            }
+            let pruned = before.saturating_sub(active.len());
+
+            stats.push(FrameStats {
+                frame: t,
+                senones_scored: if cds_skipped { 0 } else { requested.len() },
+                senone_inventory: inventory_size,
+                active_hmms: active.len(),
+                pruned_hmms: pruned,
+                word_ends: word_ends_this_frame,
+                cds_skipped,
+            });
+            // Word-decode dictionary lookups go over the DMA.
+            phone_decoder.dma_fetch((word_ends_this_frame * 64) as u64);
+            phone_decoder.end_frame(active.len(), lattice.len());
+        }
+
+        let best_token_words = best_final.map(|(_, h, _)| h).unwrap_or_default();
+        Ok(SearchOutcome {
+            best_token_words,
+            lattice,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GmmSelectionConfig, ScoringBackendKind};
+    use crate::phone_decode::ScoringBackend;
+    use asr_acoustic::{
+        AcousticModel, AcousticModelConfig, DiagGaussian, GaussianMixture, HmmTopology,
+        SenonePool, TransitionMatrix, TriphoneInventory,
+    };
+    use asr_lexicon::{NGramModel, Pronunciation};
+
+    const DIM: usize = 5;
+    const NUM_PHONES: usize = 6;
+
+    /// Builds a tiny, well-separated acoustic model: phone p, state s has a
+    /// single Gaussian with mean (10p + 3s) in every dimension.
+    fn tiny_model() -> AcousticModel {
+        let states = 3;
+        let mixtures: Vec<GaussianMixture> = (0..NUM_PHONES * states)
+            .map(|i| {
+                let phone = i / states;
+                let state = i % states;
+                let mean = vec![(10 * phone + 3 * state) as f32; DIM];
+                GaussianMixture::new(vec![(
+                    1.0,
+                    DiagGaussian::new(mean, vec![1.0; DIM]).unwrap(),
+                )])
+                .unwrap()
+            })
+            .collect();
+        let pool = SenonePool::new(mixtures).unwrap();
+        let mut inventory = TriphoneInventory::new(HmmTopology::Three);
+        for p in 0..NUM_PHONES {
+            let senones: Vec<SenoneId> =
+                (0..states).map(|s| SenoneId((p * states + s) as u32)).collect();
+            inventory
+                .add(Triphone::context_independent(PhoneId(p as u16)), senones)
+                .unwrap();
+        }
+        let transitions = TransitionMatrix::bakis(HmmTopology::Three, 0.5).unwrap();
+        let config = AcousticModelConfig {
+            num_senones: NUM_PHONES * states,
+            num_components: 1,
+            feature_dim: DIM,
+            topology: HmmTopology::Three,
+            num_phones: NUM_PHONES,
+            self_loop_prob: 0.5,
+        };
+        AcousticModel::new(config, pool, inventory, transitions).unwrap()
+    }
+
+    fn tiny_dictionary() -> Dictionary {
+        let mut d = Dictionary::new();
+        let p = |ids: &[u16]| Pronunciation::new(ids.iter().map(|&i| PhoneId(i)).collect());
+        d.add_word("alpha", p(&[1, 2])).unwrap(); // word 0
+        d.add_word("bravo", p(&[3, 4])).unwrap(); // word 1
+        d.add_word("mix", p(&[1, 4])).unwrap(); // word 2
+        d
+    }
+
+    /// Synthesises feature frames for a word sequence: each phone contributes
+    /// 3 states × `frames_per_state` frames of that state's Gaussian mean.
+    fn synth_features(dict: &Dictionary, words: &[&str], frames_per_state: usize) -> Vec<Vec<f32>> {
+        let mut frames = Vec::new();
+        for w in words {
+            let id = dict.id_of(w).unwrap();
+            for &phone in dict.pronunciation(id).unwrap().phones() {
+                for state in 0..3 {
+                    let mean = vec![(10 * phone.index() + 3 * state) as f32; DIM];
+                    for _ in 0..frames_per_state {
+                        frames.push(mean.clone());
+                    }
+                }
+            }
+        }
+        frames
+    }
+
+    fn decode_with(
+        backend_kind: &ScoringBackendKind,
+        words: &[&str],
+    ) -> (SearchOutcome, Vec<WordId>, Dictionary) {
+        let model = tiny_model();
+        let dict = tiny_dictionary();
+        let network = SearchNetwork::build(&model, &dict).unwrap();
+        let lm = NGramModel::uniform(dict.len()).unwrap();
+        let config = DecoderConfig {
+            backend: backend_kind.clone(),
+            ..DecoderConfig::default()
+        };
+        let features = synth_features(&dict, words, 3);
+        let mut phone_decoder = PhoneDecoder::new(
+            ScoringBackend::from_kind(backend_kind).unwrap(),
+            GmmSelectionConfig::default(),
+        );
+        let search = TokenPassingSearch::new(&model, &network, &lm, &config);
+        let outcome = search.decode(&features, &mut phone_decoder).unwrap();
+        let expected: Vec<WordId> = words.iter().map(|w| dict.id_of(w).unwrap()).collect();
+        (outcome, expected, dict)
+    }
+
+    #[test]
+    fn network_build_resolves_all_nodes() {
+        let model = tiny_model();
+        let dict = tiny_dictionary();
+        let network = SearchNetwork::build(&model, &dict).unwrap();
+        assert_eq!(network.num_instances(), network.lextree().num_nodes() - 1);
+        for node in 1..network.lextree().num_nodes() {
+            assert_eq!(network.senones(LexNodeId(node as u32)).len(), 3);
+        }
+        assert!(network.senones(LexNodeId::ROOT).is_empty());
+    }
+
+    #[test]
+    fn network_build_fails_for_unknown_phone() {
+        let model = tiny_model();
+        let mut dict = tiny_dictionary();
+        dict.add_word(
+            "zz",
+            Pronunciation::new(vec![PhoneId(40)]), // no acoustic model
+        )
+        .unwrap();
+        assert!(matches!(
+            SearchNetwork::build(&model, &dict),
+            Err(DecodeError::InconsistentModels(_))
+        ));
+    }
+
+    #[test]
+    fn decodes_single_word_software() {
+        let (outcome, expected, _) = decode_with(&ScoringBackendKind::Software, &["alpha"]);
+        assert_eq!(outcome.best_token_words, expected);
+        assert!(!outcome.lattice.is_empty());
+        assert_eq!(outcome.stats.num_frames(), 18);
+    }
+
+    #[test]
+    fn decodes_two_words_software() {
+        let (outcome, expected, _) =
+            decode_with(&ScoringBackendKind::Software, &["alpha", "bravo"]);
+        assert_eq!(outcome.best_token_words, expected);
+        // The lattice's best path under the LM agrees.
+        let lm = NGramModel::uniform(3).unwrap();
+        let path = outcome.lattice.best_path(&lm, 1.0, -1.0, 3);
+        assert_eq!(path, expected);
+    }
+
+    #[test]
+    fn decodes_with_hardware_backend() {
+        let kind = ScoringBackendKind::Hardware(asr_hw::SocConfig::default());
+        let (outcome, expected, _) = decode_with(&kind, &["bravo", "alpha"]);
+        assert_eq!(outcome.best_token_words, expected);
+    }
+
+    #[test]
+    fn feedback_keeps_active_senones_sparse() {
+        let (outcome, _, _) =
+            decode_with(&ScoringBackendKind::Software, &["alpha", "bravo", "mix"]);
+        // Only a fraction of the 18-senone inventory is scored per frame.
+        let frac = outcome.stats.mean_active_senone_fraction();
+        assert!(frac < 0.75, "{frac}");
+        assert!(frac > 0.0);
+        assert!(outcome.stats.peak_active_senone_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn rejects_wrong_feature_dimension() {
+        let model = tiny_model();
+        let dict = tiny_dictionary();
+        let network = SearchNetwork::build(&model, &dict).unwrap();
+        let lm = NGramModel::uniform(dict.len()).unwrap();
+        let config = DecoderConfig::software();
+        let search = TokenPassingSearch::new(&model, &network, &lm, &config);
+        let mut pd = PhoneDecoder::new(
+            ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
+            GmmSelectionConfig::default(),
+        );
+        let bad = vec![vec![0.0f32; 2]];
+        assert!(matches!(
+            search.decode(&bad, &mut pd),
+            Err(DecodeError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_utterance_gives_empty_result() {
+        let model = tiny_model();
+        let dict = tiny_dictionary();
+        let network = SearchNetwork::build(&model, &dict).unwrap();
+        let lm = NGramModel::uniform(dict.len()).unwrap();
+        let config = DecoderConfig::software();
+        let search = TokenPassingSearch::new(&model, &network, &lm, &config);
+        let mut pd = PhoneDecoder::new(
+            ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
+            GmmSelectionConfig::default(),
+        );
+        let outcome = search.decode(&[], &mut pd).unwrap();
+        assert!(outcome.best_token_words.is_empty());
+        assert!(outcome.lattice.is_empty());
+        assert_eq!(outcome.stats.num_frames(), 0);
+    }
+}

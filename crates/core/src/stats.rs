@@ -1,0 +1,163 @@
+//! Per-frame and per-utterance decoding statistics.
+//!
+//! These counters back experiments E4 (active-senone fraction with and
+//! without word-decode feedback), E5 (real-time capacity) and E7 (fast-GMM
+//! ablations).
+
+/// Statistics of one decoded frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FrameStats {
+    /// Frame index within the utterance.
+    pub frame: usize,
+    /// Senones whose scores were actually computed this frame.
+    pub senones_scored: usize,
+    /// Senones in the full inventory (for the active fraction).
+    pub senone_inventory: usize,
+    /// Active HMM (triphone) instances advanced this frame.
+    pub active_hmms: usize,
+    /// HMM instances pruned by the beam this frame.
+    pub pruned_hmms: usize,
+    /// Word-end candidates recorded this frame.
+    pub word_ends: usize,
+    /// Whether the full senone evaluation was skipped by Conditional Down
+    /// Sampling (scores reused from the previous frame).
+    pub cds_skipped: bool,
+}
+
+impl FrameStats {
+    /// Fraction of the senone inventory evaluated this frame, in `[0, 1]`.
+    pub fn active_senone_fraction(&self) -> f64 {
+        if self.senone_inventory == 0 {
+            0.0
+        } else {
+            self.senones_scored as f64 / self.senone_inventory as f64
+        }
+    }
+}
+
+/// Aggregated statistics of one decoded utterance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecodeStats {
+    /// Per-frame statistics.
+    pub frames: Vec<FrameStats>,
+}
+
+impl DecodeStats {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one frame.
+    pub fn push(&mut self, frame: FrameStats) {
+        self.frames.push(frame);
+    }
+
+    /// Number of frames decoded.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Mean fraction of the senone inventory evaluated per frame —
+    /// the paper claims this stays well below 50 % thanks to the word-decode
+    /// feedback.
+    pub fn mean_active_senone_fraction(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames
+            .iter()
+            .map(|f| f.active_senone_fraction())
+            .sum::<f64>()
+            / self.frames.len() as f64
+    }
+
+    /// Worst-case (largest) per-frame active senone fraction.
+    pub fn peak_active_senone_fraction(&self) -> f64 {
+        self.frames
+            .iter()
+            .map(|f| f.active_senone_fraction())
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean number of senones scored per frame.
+    pub fn mean_senones_scored(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().map(|f| f.senones_scored as f64).sum::<f64>()
+            / self.frames.len() as f64
+    }
+
+    /// Mean number of active HMM instances per frame.
+    pub fn mean_active_hmms(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().map(|f| f.active_hmms as f64).sum::<f64>() / self.frames.len() as f64
+    }
+
+    /// Total senone scores computed over the utterance.
+    pub fn total_senones_scored(&self) -> u64 {
+        self.frames.iter().map(|f| f.senones_scored as u64).sum()
+    }
+
+    /// Fraction of frames on which CDS skipped the full evaluation.
+    pub fn cds_skip_fraction(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().filter(|f| f.cds_skipped).count() as f64 / self.frames.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(i: usize, scored: usize, inventory: usize, cds: bool) -> FrameStats {
+        FrameStats {
+            frame: i,
+            senones_scored: scored,
+            senone_inventory: inventory,
+            active_hmms: scored / 3,
+            pruned_hmms: 1,
+            word_ends: if i % 5 == 0 { 1 } else { 0 },
+            cds_skipped: cds,
+        }
+    }
+
+    #[test]
+    fn frame_fraction() {
+        let f = frame(0, 1500, 6000, false);
+        assert!((f.active_senone_fraction() - 0.25).abs() < 1e-12);
+        let empty = FrameStats::default();
+        assert_eq!(empty.active_senone_fraction(), 0.0);
+    }
+
+    #[test]
+    fn aggregation() {
+        let mut s = DecodeStats::new();
+        s.push(frame(0, 1200, 6000, false));
+        s.push(frame(1, 0, 6000, true));
+        s.push(frame(2, 2400, 6000, false));
+        assert_eq!(s.num_frames(), 3);
+        assert!((s.mean_active_senone_fraction() - (0.2 + 0.0 + 0.4) / 3.0).abs() < 1e-12);
+        assert!((s.peak_active_senone_fraction() - 0.4).abs() < 1e-12);
+        assert!((s.mean_senones_scored() - 1200.0).abs() < 1e-9);
+        assert_eq!(s.total_senones_scored(), 3600);
+        assert!((s.cds_skip_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(s.mean_active_hmms() > 0.0);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = DecodeStats::new();
+        assert_eq!(s.num_frames(), 0);
+        assert_eq!(s.mean_active_senone_fraction(), 0.0);
+        assert_eq!(s.peak_active_senone_fraction(), 0.0);
+        assert_eq!(s.mean_senones_scored(), 0.0);
+        assert_eq!(s.mean_active_hmms(), 0.0);
+        assert_eq!(s.cds_skip_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Synthetic task generation: acoustic model + dictionary + language model.
+
+use crate::synth::UtteranceSynthesizer;
+use crate::CorpusError;
+use asr_acoustic::{
+    AcousticModel, AcousticModelConfig, DiagGaussian, GaussianMixture, HmmTopology, PhoneId,
+    SenoneId, SenonePool, TransitionMatrix, Triphone, TriphoneInventory,
+};
+use asr_lexicon::{Dictionary, NGramModel, NGramOrder, PhoneSet, Pronunciation, WordId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dimensions of a synthetic task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskConfig {
+    /// Number of words in the dictionary.
+    pub vocabulary_size: usize,
+    /// Number of base phones used (≤ 51).
+    pub num_phones: usize,
+    /// Feature dimension.
+    pub feature_dim: usize,
+    /// Gaussian components per senone.
+    pub components_per_senone: usize,
+    /// HMM topology.
+    pub topology: HmmTopology,
+    /// Minimum / maximum phones per word.
+    pub word_length_range: (usize, usize),
+    /// Separation between different senones' means, in standard deviations —
+    /// larger means an acoustically easier task.
+    pub mean_separation: f32,
+    /// Self-loop probability of the HMMs.
+    pub self_loop_prob: f64,
+    /// Language-model order.
+    pub lm_order: NGramOrder,
+    /// Number of training sentences sampled for the language model.
+    pub lm_training_sentences: usize,
+}
+
+impl TaskConfig {
+    /// A tiny task for unit tests and quick examples (runs in milliseconds).
+    pub fn tiny() -> Self {
+        TaskConfig {
+            vocabulary_size: 12,
+            num_phones: 10,
+            feature_dim: 8,
+            components_per_senone: 1,
+            topology: HmmTopology::Three,
+            word_length_range: (2, 4),
+            mean_separation: 6.0,
+            self_loop_prob: 0.55,
+            lm_order: NGramOrder::Bigram,
+            lm_training_sentences: 200,
+        }
+    }
+
+    /// A small-but-real task used by the WER experiments
+    /// (tens of words, a few hundred senones' worth of structure).
+    pub fn small() -> Self {
+        TaskConfig {
+            vocabulary_size: 60,
+            num_phones: 20,
+            feature_dim: 13,
+            components_per_senone: 2,
+            topology: HmmTopology::Three,
+            word_length_range: (2, 6),
+            mean_separation: 4.0,
+            self_loop_prob: 0.6,
+            lm_order: NGramOrder::Bigram,
+            lm_training_sentences: 500,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::InvalidConfig`] for zero-sized dimensions or an
+    /// empty word-length range.
+    pub fn validate(&self) -> Result<(), CorpusError> {
+        if self.vocabulary_size == 0
+            || self.num_phones < 2
+            || self.feature_dim == 0
+            || self.components_per_senone == 0
+        {
+            return Err(CorpusError::InvalidConfig(
+                "vocabulary, phones, feature dim and components must be positive".into(),
+            ));
+        }
+        if self.num_phones > 51 {
+            return Err(CorpusError::InvalidConfig(
+                "at most 51 phones (the English inventory) are supported".into(),
+            ));
+        }
+        if self.word_length_range.0 == 0 || self.word_length_range.0 > self.word_length_range.1 {
+            return Err(CorpusError::InvalidConfig(
+                "word_length_range must be a non-empty range starting at 1 or more".into(),
+            ));
+        }
+        if !(self.self_loop_prob > 0.0 && self.self_loop_prob < 1.0) {
+            return Err(CorpusError::InvalidConfig(
+                "self_loop_prob must be in (0, 1)".into(),
+            ));
+        }
+        if self.mean_separation <= 0.0 {
+            return Err(CorpusError::InvalidConfig(
+                "mean_separation must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of senones this task's acoustic model will have
+    /// (context-independent tying: one senone per phone state).
+    pub fn num_senones(&self) -> usize {
+        self.num_phones * self.topology.num_states()
+    }
+}
+
+impl Default for TaskConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// A generated task: every knowledge source the recogniser needs, plus the
+/// synthesiser that produces test utterances from it.
+#[derive(Debug, Clone)]
+pub struct SyntheticTask {
+    /// The acoustic model.
+    pub acoustic_model: AcousticModel,
+    /// The pronunciation dictionary.
+    pub dictionary: Dictionary,
+    /// The language model.
+    pub language_model: NGramModel,
+    /// The phone set used.
+    pub phone_set: PhoneSet,
+    /// The configuration the task was generated from.
+    pub config: TaskConfig,
+    /// Seed used, so utterance synthesis is reproducible.
+    pub seed: u64,
+}
+
+impl SyntheticTask {
+    /// Synthesises one utterance of `num_words` words with the given feature
+    /// noise level (standard deviations of perturbation); returns the feature
+    /// frames and the reference word sequence.
+    pub fn synthesize_utterance(
+        &self,
+        num_words: usize,
+        noise_std: f32,
+        utterance_seed: u64,
+    ) -> (Vec<Vec<f32>>, Vec<WordId>) {
+        let synth = UtteranceSynthesizer::new(self, noise_std);
+        synth.synthesize(num_words, self.seed ^ utterance_seed.wrapping_mul(0x9E37_79B9))
+    }
+
+    /// Synthesises a whole test set of utterances.
+    pub fn synthesize_test_set(
+        &self,
+        num_utterances: usize,
+        words_per_utterance: usize,
+        noise_std: f32,
+    ) -> Vec<(Vec<Vec<f32>>, Vec<WordId>)> {
+        (0..num_utterances)
+            .map(|i| self.synthesize_utterance(words_per_utterance, noise_std, i as u64 + 1))
+            .collect()
+    }
+}
+
+/// Deterministic generator of synthetic tasks.
+#[derive(Debug, Clone)]
+pub struct TaskGenerator {
+    seed: u64,
+}
+
+impl TaskGenerator {
+    /// Creates a generator with a seed (same seed → identical task).
+    pub fn new(seed: u64) -> Self {
+        TaskGenerator { seed }
+    }
+
+    /// Generates a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::InvalidConfig`] for invalid configurations and
+    /// [`CorpusError::Generation`] if an internal artefact fails validation.
+    pub fn generate(&self, config: &TaskConfig) -> Result<SyntheticTask, CorpusError> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let phone_set = PhoneSet::english_51();
+        let states = config.topology.num_states();
+
+        // --- acoustic model: one senone per (phone, state) with separated means ---
+        let num_senones = config.num_senones();
+        let mixtures: Vec<GaussianMixture> = (0..num_senones)
+            .map(|_senone| {
+                // Anchor each senone at a distinct random direction scaled by
+                // the separation, then scatter components around it.
+                let anchor: Vec<f32> = (0..config.feature_dim)
+                    .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * config.mean_separation)
+                    .collect();
+                let comps: Vec<(f32, DiagGaussian)> = (0..config.components_per_senone)
+                    .map(|_| {
+                        let mean: Vec<f32> = anchor
+                            .iter()
+                            .map(|&a| a + (rng.gen::<f32>() - 0.5) * 0.5)
+                            .collect();
+                        let var: Vec<f32> = (0..config.feature_dim)
+                            .map(|_| 0.5 + rng.gen::<f32>())
+                            .collect();
+                        (
+                            0.5 + rng.gen::<f32>(),
+                            DiagGaussian::new(mean, var).expect("generated gaussian is valid"),
+                        )
+                    })
+                    .collect();
+                GaussianMixture::new(comps).expect("generated mixture is valid")
+            })
+            .collect();
+        let pool = SenonePool::new(mixtures)?;
+
+        let mut inventory = TriphoneInventory::new(config.topology);
+        for p in 0..config.num_phones {
+            let senones: Vec<SenoneId> = (0..states)
+                .map(|k| SenoneId((p * states + k) as u32))
+                .collect();
+            inventory.add(
+                Triphone::context_independent(PhoneId(p as u16)),
+                senones,
+            )?;
+        }
+        let transitions = TransitionMatrix::bakis(config.topology, config.self_loop_prob)?;
+        let am_config = AcousticModelConfig {
+            num_senones,
+            num_components: config.components_per_senone,
+            feature_dim: config.feature_dim,
+            topology: config.topology,
+            num_phones: config.num_phones,
+            self_loop_prob: config.self_loop_prob,
+        };
+        let acoustic_model = AcousticModel::new(am_config, pool, inventory, transitions)?;
+
+        // --- dictionary: unique pronunciations over non-silence phones ---
+        let mut dictionary = Dictionary::new();
+        let mut used: std::collections::HashSet<Vec<u16>> = std::collections::HashSet::new();
+        let mut word_index = 0usize;
+        while dictionary.len() < config.vocabulary_size {
+            let len = rng.gen_range(config.word_length_range.0..=config.word_length_range.1);
+            let phones: Vec<u16> = (0..len)
+                .map(|_| rng.gen_range(1..config.num_phones) as u16)
+                .collect();
+            if !used.insert(phones.clone()) {
+                continue;
+            }
+            let spelling = format!("w{word_index:04}");
+            word_index += 1;
+            dictionary.add_word(
+                &spelling,
+                Pronunciation::new(phones.into_iter().map(PhoneId).collect()),
+            )?;
+        }
+
+        // --- language model: train on sentences from a hidden Markov word chain ---
+        let vocab = dictionary.len();
+        let mut sentences = Vec::with_capacity(config.lm_training_sentences);
+        for _ in 0..config.lm_training_sentences {
+            let len = rng.gen_range(3..=8);
+            let mut sentence = Vec::with_capacity(len);
+            let mut current = rng.gen_range(0..vocab);
+            for _ in 0..len {
+                sentence.push(WordId(current as u32));
+                // A sticky chain: with high probability move to a "neighbour"
+                // word, giving the LM something better than uniform to learn.
+                current = if rng.gen::<f32>() < 0.7 {
+                    (current + rng.gen_range(1..4)) % vocab
+                } else {
+                    rng.gen_range(0..vocab)
+                };
+            }
+            sentences.push(sentence);
+        }
+        let language_model = NGramModel::train(config.lm_order, vocab, &sentences)?;
+
+        Ok(SyntheticTask {
+            acoustic_model,
+            dictionary,
+            language_model,
+            phone_set,
+            config: config.clone(),
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(TaskConfig::tiny().validate().is_ok());
+        assert!(TaskConfig::small().validate().is_ok());
+        assert!(TaskConfig::default().validate().is_ok());
+        let mut c = TaskConfig::tiny();
+        c.vocabulary_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = TaskConfig::tiny();
+        c.num_phones = 1;
+        assert!(c.validate().is_err());
+        let mut c = TaskConfig::tiny();
+        c.num_phones = 60;
+        assert!(c.validate().is_err());
+        let mut c = TaskConfig::tiny();
+        c.word_length_range = (3, 2);
+        assert!(c.validate().is_err());
+        let mut c = TaskConfig::tiny();
+        c.self_loop_prob = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = TaskConfig::tiny();
+        c.mean_separation = 0.0;
+        assert!(c.validate().is_err());
+        assert_eq!(TaskConfig::tiny().num_senones(), 30);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TaskConfig::tiny();
+        let a = TaskGenerator::new(7).generate(&cfg).unwrap();
+        let b = TaskGenerator::new(7).generate(&cfg).unwrap();
+        assert_eq!(a.dictionary.len(), b.dictionary.len());
+        for (wa, wb) in a.dictionary.iter().zip(b.dictionary.iter()) {
+            assert_eq!(wa.1, wb.1);
+            assert_eq!(wa.2.phones(), wb.2.phones());
+        }
+        // Different seeds give different dictionaries.
+        let c = TaskGenerator::new(8).generate(&cfg).unwrap();
+        let same = a
+            .dictionary
+            .iter()
+            .zip(c.dictionary.iter())
+            .all(|(x, y)| x.2.phones() == y.2.phones());
+        assert!(!same);
+    }
+
+    #[test]
+    fn generated_task_is_consistent() {
+        let cfg = TaskConfig::tiny();
+        let task = TaskGenerator::new(1).generate(&cfg).unwrap();
+        assert_eq!(task.dictionary.len(), cfg.vocabulary_size);
+        assert_eq!(task.acoustic_model.senones().len(), cfg.num_senones());
+        assert_eq!(task.acoustic_model.feature_dim(), cfg.feature_dim);
+        assert_eq!(task.language_model.vocab_size(), cfg.vocabulary_size);
+        assert_eq!(task.phone_set.len(), 51);
+        // Every dictionary phone has an acoustic model.
+        for (_, _, pron) in task.dictionary.iter() {
+            for &p in pron.phones() {
+                assert!(p.index() < cfg.num_phones);
+                assert!(task
+                    .acoustic_model
+                    .triphones()
+                    .resolve(&Triphone::context_independent(p))
+                    .is_some());
+            }
+            assert!(pron.len() >= cfg.word_length_range.0);
+            assert!(pron.len() <= cfg.word_length_range.1);
+        }
+    }
+
+    #[test]
+    fn senones_are_well_separated() {
+        let task = TaskGenerator::new(3).generate(&TaskConfig::tiny()).unwrap();
+        let model = &task.acoustic_model;
+        // A vector drawn at senone k's first-component mean scores senone k
+        // best for most senones (allowing a few collisions from randomness).
+        let mut correct = 0;
+        let n = model.senones().len();
+        for k in 0..n {
+            let mean = model
+                .senones()
+                .get(SenoneId(k as u32))
+                .unwrap()
+                .mixture()
+                .components()[0]
+                .mean()
+                .to_vec();
+            let scores = model.score_all_senones(&mean);
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            if best == k {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / n as f64 > 0.8, "{correct}/{n}");
+    }
+
+    #[test]
+    fn utterance_synthesis_has_reasonable_length() {
+        let task = TaskGenerator::new(5).generate(&TaskConfig::tiny()).unwrap();
+        let (features, words) = task.synthesize_utterance(4, 0.1, 99);
+        assert_eq!(words.len(), 4);
+        assert!(!features.is_empty());
+        assert!(features.iter().all(|f| f.len() == task.config.feature_dim));
+        // Same seed → same utterance.
+        let (f2, w2) = task.synthesize_utterance(4, 0.1, 99);
+        assert_eq!(words, w2);
+        assert_eq!(features, f2);
+        // Different utterance seed → different word sequence (almost surely).
+        let (_, w3) = task.synthesize_utterance(4, 0.1, 100);
+        assert_ne!(words, w3);
+        let set = task.synthesize_test_set(3, 2, 0.0);
+        assert_eq!(set.len(), 3);
+        assert!(set.iter().all(|(_, w)| w.len() == 2));
+    }
+}

@@ -1,0 +1,94 @@
+//! # asr-corpus — synthetic speech tasks for the LVCSR reproduction
+//!
+//! The paper evaluates on the Wall Street Journal task (WSJ5K / 20 000-word
+//! dictionaries) decoded with CMU Sphinx acoustic models.  Neither the
+//! recordings nor the trained models are available here, so this crate builds
+//! the closest synthetic equivalent that exercises the same code paths:
+//!
+//! * [`TaskGenerator`] creates an acoustic model with well-separated senone
+//!   distributions, a pronunciation dictionary with simple phonotactics, and
+//!   an n-gram language model trained on sentences sampled from a hidden word
+//!   chain;
+//! * [`UtteranceSynthesizer`] samples utterances *from the acoustic model
+//!   itself* (state durations from the transition matrix, feature vectors
+//!   from the senone Gaussians) with controllable noise, so recognition
+//!   difficulty is tunable and ground truth is exact;
+//! * [`AudioSynthesizer`] renders a phone sequence to an actual waveform so
+//!   the MFCC frontend (`asr-frontend`) is exercised from raw samples;
+//! * [`wer`] scores hypotheses against references with the standard
+//!   edit-distance word error rate;
+//! * [`Wsj5kTask`] packages the paper's evaluation geometry (5 000-word
+//!   vocabulary, 51 phones, trigram LM) at full or reduced scale.
+//!
+//! # Example
+//!
+//! ```
+//! use asr_corpus::{TaskConfig, TaskGenerator};
+//! let task = TaskGenerator::new(42).generate(&TaskConfig::tiny()).unwrap();
+//! assert!(task.dictionary.len() >= 10);
+//! let (features, words) = task.synthesize_utterance(3, 0.2, 7);
+//! assert_eq!(words.len(), 3);
+//! assert!(!features.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod audio;
+pub mod generator;
+pub mod synth;
+pub mod wer;
+pub mod wsj;
+
+pub use audio::AudioSynthesizer;
+pub use generator::{SyntheticTask, TaskConfig, TaskGenerator};
+pub use synth::UtteranceSynthesizer;
+pub use wer::{align_wer, WerScore};
+pub use wsj::Wsj5kTask;
+
+/// Errors produced while generating synthetic tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusError {
+    /// The task configuration was invalid.
+    InvalidConfig(String),
+    /// Generation produced an inconsistent artefact (propagated from the
+    /// acoustic / lexicon crates).
+    Generation(String),
+}
+
+impl core::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CorpusError::InvalidConfig(msg) => write!(f, "invalid task config: {msg}"),
+            CorpusError::Generation(msg) => write!(f, "task generation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<asr_acoustic::AcousticError> for CorpusError {
+    fn from(e: asr_acoustic::AcousticError) -> Self {
+        CorpusError::Generation(e.to_string())
+    }
+}
+
+impl From<asr_lexicon::LexiconError> for CorpusError {
+    fn from(e: asr_lexicon::LexiconError) -> Self {
+        CorpusError::Generation(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_from() {
+        assert!(CorpusError::InvalidConfig("x".into()).to_string().contains("x"));
+        let e: CorpusError = asr_acoustic::AcousticError::InvalidParameter("p".into()).into();
+        assert!(matches!(e, CorpusError::Generation(_)));
+        let e: CorpusError = asr_lexicon::LexiconError::UnknownWord("w".into()).into();
+        assert!(matches!(e, CorpusError::Generation(_)));
+    }
+}

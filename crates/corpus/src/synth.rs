@@ -1,0 +1,247 @@
+//! Utterance synthesis: sampling feature-vector sequences from a task's own
+//! acoustic model, so ground truth is exact and difficulty is controlled by a
+//! single noise parameter.
+
+use crate::generator::SyntheticTask;
+use asr_lexicon::WordId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples utterances (word sequence + feature frames) from a task.
+#[derive(Debug, Clone)]
+pub struct UtteranceSynthesizer<'a> {
+    task: &'a SyntheticTask,
+    noise_std: f32,
+}
+
+impl<'a> UtteranceSynthesizer<'a> {
+    /// Creates a synthesiser with a feature-noise level (standard deviation of
+    /// Gaussian perturbation added on top of the sampled emission).
+    pub fn new(task: &'a SyntheticTask, noise_std: f32) -> Self {
+        UtteranceSynthesizer {
+            task,
+            noise_std: noise_std.max(0.0),
+        }
+    }
+
+    /// The configured noise level.
+    pub fn noise_std(&self) -> f32 {
+        self.noise_std
+    }
+
+    /// Samples a word sequence from the language model's unigram/bigram
+    /// structure (falls back to uniform if the LM has nothing to say).
+    pub fn sample_words(&self, num_words: usize, rng: &mut StdRng) -> Vec<WordId> {
+        let vocab = self.task.dictionary.len();
+        let mut words = Vec::with_capacity(num_words);
+        let mut history: Vec<WordId> = Vec::new();
+        for _ in 0..num_words {
+            // Sample proportionally to the LM probability over a random subset
+            // (full normalisation over 20k words would be wasteful; the subset
+            // keeps the LM's preferences while staying cheap).
+            let candidates: Vec<WordId> = (0..vocab.min(16))
+                .map(|_| WordId(rng.gen_range(0..vocab) as u32))
+                .collect();
+            let scored: Vec<(WordId, f64)> = candidates
+                .iter()
+                .map(|&w| (w, self.task.language_model.log_prob(&history, w).to_linear()))
+                .collect();
+            let total: f64 = scored.iter().map(|(_, p)| p).sum();
+            let mut pick = rng.gen::<f64>() * total.max(f64::MIN_POSITIVE);
+            let mut chosen = scored[0].0;
+            for (w, p) in &scored {
+                pick -= p;
+                chosen = *w;
+                if pick <= 0.0 {
+                    break;
+                }
+            }
+            history.push(chosen);
+            words.push(chosen);
+        }
+        words
+    }
+
+    /// Synthesises the feature frames of a given word sequence: for each
+    /// phone, state durations are sampled from the HMM's self-loop
+    /// probability and each frame is drawn from the state's senone mixture
+    /// (one component picked by weight, then mean + scaled unit noise).
+    pub fn synthesize_words(&self, words: &[WordId], rng: &mut StdRng) -> Vec<Vec<f32>> {
+        let model = &self.task.acoustic_model;
+        let states = model.config().topology.num_states();
+        let self_loop = model.config().self_loop_prob;
+        let mut frames = Vec::new();
+        for &word in words {
+            let pron = match self.task.dictionary.pronunciation(word) {
+                Some(p) => p.clone(),
+                None => continue,
+            };
+            for &phone in pron.phones() {
+                let triphone = asr_acoustic::Triphone::context_independent(phone);
+                let Some(tri_id) = model.triphones().resolve(&triphone) else {
+                    continue;
+                };
+                let senones = model.triphones().senones(tri_id).expect("resolved id").to_vec();
+                for state in 0..states {
+                    // Geometric duration with mean 1/(1 − self_loop), at least 1 frame.
+                    let mut duration = 1usize;
+                    while rng.gen::<f64>() < self_loop && duration < 30 {
+                        duration += 1;
+                    }
+                    let mixture = model
+                        .senones()
+                        .get(senones[state])
+                        .expect("senone exists")
+                        .mixture();
+                    for _ in 0..duration {
+                        // Pick a component by weight.
+                        let mut pick = rng.gen::<f32>();
+                        let mut comp_idx = 0;
+                        for (k, &w) in mixture.weights().iter().enumerate() {
+                            pick -= w;
+                            comp_idx = k;
+                            if pick <= 0.0 {
+                                break;
+                            }
+                        }
+                        let comp = &mixture.components()[comp_idx];
+                        let frame: Vec<f32> = comp
+                            .mean()
+                            .iter()
+                            .zip(comp.variance())
+                            .map(|(&m, &v)| {
+                                let emission = gaussian_sample(rng) * v.sqrt();
+                                let noise = gaussian_sample(rng) * self.noise_std;
+                                m + emission * 0.3 + noise
+                            })
+                            .collect();
+                        frames.push(frame);
+                    }
+                }
+            }
+        }
+        frames
+    }
+
+    /// Samples a full utterance: word sequence + its feature frames.
+    pub fn synthesize(&self, num_words: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<WordId>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let words = self.sample_words(num_words, &mut rng);
+        let frames = self.synthesize_words(&words, &mut rng);
+        (frames, words)
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian_sample(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen::<f32>().max(1.0e-7);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TaskConfig, TaskGenerator};
+
+    fn task() -> SyntheticTask {
+        TaskGenerator::new(11).generate(&TaskConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn word_sampling_respects_vocab() {
+        let t = task();
+        let synth = UtteranceSynthesizer::new(&t, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let words = synth.sample_words(50, &mut rng);
+        assert_eq!(words.len(), 50);
+        assert!(words.iter().all(|w| (w.0 as usize) < t.dictionary.len()));
+        assert_eq!(synth.noise_std(), 0.0);
+        // Negative noise is clamped.
+        assert_eq!(UtteranceSynthesizer::new(&t, -1.0).noise_std(), 0.0);
+    }
+
+    #[test]
+    fn frames_track_the_senone_means_at_zero_noise() {
+        let t = task();
+        let synth = UtteranceSynthesizer::new(&t, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let words = vec![asr_lexicon::WordId(0)];
+        let frames = synth.synthesize_words(&words, &mut rng);
+        assert!(!frames.is_empty());
+        // Every frame should be closest (in the senone-scoring sense) to one of
+        // the senones of the word's phones more often than not.
+        let model = &t.acoustic_model;
+        let pron = t.dictionary.pronunciation(asr_lexicon::WordId(0)).unwrap();
+        let word_senones: std::collections::HashSet<u32> = pron
+            .phones()
+            .iter()
+            .flat_map(|&p| {
+                let id = model
+                    .triphones()
+                    .resolve(&asr_acoustic::Triphone::context_independent(p))
+                    .unwrap();
+                model.triphones().senones(id).unwrap().to_vec()
+            })
+            .map(|s| s.0)
+            .collect();
+        let mut hits = 0;
+        for f in &frames {
+            let scores = model.score_all_senones(f);
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0 as u32;
+            if word_senones.contains(&best) {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits as f64 / frames.len() as f64 > 0.7,
+            "{hits}/{}",
+            frames.len()
+        );
+    }
+
+    #[test]
+    fn duration_grows_with_word_count() {
+        let t = task();
+        let synth = UtteranceSynthesizer::new(&t, 0.1);
+        let (short, _) = synth.synthesize(1, 5);
+        let (long, _) = synth.synthesize(6, 5);
+        assert!(long.len() > short.len());
+    }
+
+    #[test]
+    fn noise_increases_frame_variance() {
+        let t = task();
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let clean = UtteranceSynthesizer::new(&t, 0.0);
+        let noisy = UtteranceSynthesizer::new(&t, 5.0);
+        let words = vec![asr_lexicon::WordId(1), asr_lexicon::WordId(2)];
+        let a = clean.synthesize_words(&words, &mut rng_a);
+        let b = noisy.synthesize_words(&words, &mut rng_b);
+        // Same RNG stream and words → same frame count, different values.
+        assert_eq!(a.len(), b.len());
+        let diff: f32 = a
+            .iter()
+            .zip(&b)
+            .flat_map(|(x, y)| x.iter().zip(y).map(|(u, v)| (u - v).abs()))
+            .sum();
+        assert!(diff > 1.0);
+    }
+
+    #[test]
+    fn gaussian_sampler_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian_sample(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "{mean}");
+        assert!((var - 1.0).abs() < 0.1, "{var}");
+    }
+}

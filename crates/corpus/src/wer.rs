@@ -1,0 +1,216 @@
+//! Word-error-rate scoring (Levenshtein alignment over words).
+
+use asr_lexicon::WordId;
+
+/// The outcome of aligning a hypothesis against a reference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WerScore {
+    /// Substitutions.
+    pub substitutions: usize,
+    /// Deletions (reference words missing from the hypothesis).
+    pub deletions: usize,
+    /// Insertions (hypothesis words not in the reference).
+    pub insertions: usize,
+    /// Number of reference words.
+    pub reference_words: usize,
+}
+
+impl WerScore {
+    /// Total errors.
+    pub fn errors(&self) -> usize {
+        self.substitutions + self.deletions + self.insertions
+    }
+
+    /// Word error rate: errors / reference words (can exceed 1.0).
+    pub fn wer(&self) -> f64 {
+        if self.reference_words == 0 {
+            return if self.errors() == 0 { 0.0 } else { 1.0 };
+        }
+        self.errors() as f64 / self.reference_words as f64
+    }
+
+    /// Word accuracy `1 − WER` (clamped at 0).
+    pub fn accuracy(&self) -> f64 {
+        (1.0 - self.wer()).max(0.0)
+    }
+
+    /// Merges two scores (e.g. accumulating over a test set).
+    pub fn merge(&self, other: &WerScore) -> WerScore {
+        WerScore {
+            substitutions: self.substitutions + other.substitutions,
+            deletions: self.deletions + other.deletions,
+            insertions: self.insertions + other.insertions,
+            reference_words: self.reference_words + other.reference_words,
+        }
+    }
+}
+
+/// Aligns a hypothesis word sequence against a reference and returns the
+/// error counts (minimum-edit-distance alignment with unit costs).
+pub fn align_wer(reference: &[WordId], hypothesis: &[WordId]) -> WerScore {
+    let r = reference.len();
+    let h = hypothesis.len();
+    // dp[i][j] = (cost, subs, dels, ins) for ref[..i] vs hyp[..j]
+    #[derive(Clone, Copy)]
+    struct Cell {
+        cost: usize,
+        subs: usize,
+        dels: usize,
+        ins: usize,
+    }
+    let mut dp = vec![vec![Cell { cost: 0, subs: 0, dels: 0, ins: 0 }; h + 1]; r + 1];
+    for i in 1..=r {
+        dp[i][0] = Cell {
+            cost: i,
+            subs: 0,
+            dels: i,
+            ins: 0,
+        };
+    }
+    for j in 1..=h {
+        dp[0][j] = Cell {
+            cost: j,
+            subs: 0,
+            dels: 0,
+            ins: j,
+        };
+    }
+    for i in 1..=r {
+        for j in 1..=h {
+            if reference[i - 1] == hypothesis[j - 1] {
+                dp[i][j] = dp[i - 1][j - 1];
+                continue;
+            }
+            let sub = dp[i - 1][j - 1];
+            let del = dp[i - 1][j];
+            let ins = dp[i][j - 1];
+            let best = if sub.cost <= del.cost && sub.cost <= ins.cost {
+                Cell {
+                    cost: sub.cost + 1,
+                    subs: sub.subs + 1,
+                    ..sub
+                }
+            } else if del.cost <= ins.cost {
+                Cell {
+                    cost: del.cost + 1,
+                    dels: del.dels + 1,
+                    ..del
+                }
+            } else {
+                Cell {
+                    cost: ins.cost + 1,
+                    ins: ins.ins + 1,
+                    ..ins
+                }
+            };
+            dp[i][j] = best;
+        }
+    }
+    let cell = dp[r][h];
+    WerScore {
+        substitutions: cell.subs,
+        deletions: cell.dels,
+        insertions: cell.ins,
+        reference_words: r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn w(ids: &[u32]) -> Vec<WordId> {
+        ids.iter().map(|&i| WordId(i)).collect()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let s = align_wer(&w(&[1, 2, 3]), &w(&[1, 2, 3]));
+        assert_eq!(s.errors(), 0);
+        assert_eq!(s.wer(), 0.0);
+        assert_eq!(s.accuracy(), 1.0);
+        assert_eq!(s.reference_words, 3);
+    }
+
+    #[test]
+    fn pure_substitution() {
+        let s = align_wer(&w(&[1, 2, 3]), &w(&[1, 9, 3]));
+        assert_eq!(s.substitutions, 1);
+        assert_eq!(s.deletions, 0);
+        assert_eq!(s.insertions, 0);
+        assert!((s.wer() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_deletion_and_insertion() {
+        let s = align_wer(&w(&[1, 2, 3]), &w(&[1, 3]));
+        assert_eq!(s.deletions, 1);
+        assert_eq!(s.errors(), 1);
+        let s = align_wer(&w(&[1, 3]), &w(&[1, 2, 3]));
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.errors(), 1);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        assert_eq!(align_wer(&[], &[]).wer(), 0.0);
+        let s = align_wer(&[], &w(&[1, 2]));
+        assert_eq!(s.insertions, 2);
+        assert_eq!(s.wer(), 1.0); // empty reference with errors caps at 1.0
+        let s = align_wer(&w(&[1, 2]), &[]);
+        assert_eq!(s.deletions, 2);
+        assert_eq!(s.wer(), 1.0);
+        assert_eq!(s.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn completely_different() {
+        let s = align_wer(&w(&[1, 2, 3, 4]), &w(&[5, 6, 7, 8]));
+        assert_eq!(s.substitutions, 4);
+        assert_eq!(s.wer(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = align_wer(&w(&[1, 2]), &w(&[1, 3]));
+        let b = align_wer(&w(&[4, 5, 6]), &w(&[4, 5, 6]));
+        let m = a.merge(&b);
+        assert_eq!(m.reference_words, 5);
+        assert_eq!(m.errors(), 1);
+        assert!((m.wer() - 0.2).abs() < 1e-12);
+        assert_eq!(WerScore::default().wer(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wer_zero_iff_equal(seq in proptest::collection::vec(0u32..10, 0..12)) {
+            let words = w(&seq);
+            prop_assert_eq!(align_wer(&words, &words).errors(), 0);
+        }
+
+        #[test]
+        fn prop_errors_bounded_by_max_len(
+            a in proptest::collection::vec(0u32..10, 0..10),
+            b in proptest::collection::vec(0u32..10, 0..10),
+        ) {
+            let s = align_wer(&w(&a), &w(&b));
+            prop_assert!(s.errors() <= a.len().max(b.len()));
+            prop_assert!(s.errors() >= a.len().abs_diff(b.len()));
+        }
+
+        #[test]
+        fn prop_symmetric_cost(
+            a in proptest::collection::vec(0u32..6, 0..8),
+            b in proptest::collection::vec(0u32..6, 0..8),
+        ) {
+            // Total edit cost is symmetric. (The decomposition into
+            // substitutions vs insertions+deletions can differ between the two
+            // directions when several alignments tie, so only the total is
+            // compared.)
+            let ab = align_wer(&w(&a), &w(&b));
+            let ba = align_wer(&w(&b), &w(&a));
+            prop_assert_eq!(ab.errors(), ba.errors());
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Q16.16 fixed-point arithmetic.
+//!
+//! The paper notes that software speech recognisers ported to embedded devices
+//! use fixed-point arithmetic, and warns that log-domain observation
+//! probabilities "can vary from zero to very large negative value, which may
+//! cause a problem for the systems using fixed point computation".  The
+//! software baseline in `asr-baseline` uses this type to demonstrate exactly
+//! that failure mode (saturation of very negative log scores), contrasted with
+//! the ASIC's 32-bit floating-point datapath.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A signed 32-bit fixed-point number with 16 integer and 16 fractional bits.
+///
+/// Arithmetic saturates instead of wrapping, mimicking DSP-style saturating
+/// ALUs.
+///
+/// # Example
+///
+/// ```
+/// use asr_float::Q16_16;
+/// let a = Q16_16::from_f32(1.5);
+/// let b = Q16_16::from_f32(2.25);
+/// assert!((a * b).to_f32() - 3.375 < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Q16_16(i32);
+
+impl Q16_16 {
+    /// Number of fractional bits.
+    pub const FRAC_BITS: u32 = 16;
+    /// The value 0.
+    pub const ZERO: Q16_16 = Q16_16(0);
+    /// The value 1.
+    pub const ONE: Q16_16 = Q16_16(1 << 16);
+    /// The most positive representable value (≈ 32767.99998).
+    pub const MAX: Q16_16 = Q16_16(i32::MAX);
+    /// The most negative representable value (= −32768.0).
+    pub const MIN: Q16_16 = Q16_16(i32::MIN);
+
+    /// Smallest representable increment (2⁻¹⁶).
+    pub const EPSILON: Q16_16 = Q16_16(1);
+
+    /// Creates a fixed-point value from its raw bit representation.
+    #[inline]
+    pub const fn from_bits(bits: i32) -> Self {
+        Q16_16(bits)
+    }
+
+    /// Returns the raw bit representation.
+    #[inline]
+    pub const fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Converts from `f32`, saturating at the representable range.
+    #[inline]
+    pub fn from_f32(v: f32) -> Self {
+        if v.is_nan() {
+            return Q16_16::ZERO;
+        }
+        let scaled = (v as f64) * (1u32 << Self::FRAC_BITS) as f64;
+        if scaled >= i32::MAX as f64 {
+            Q16_16::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Q16_16::MIN
+        } else {
+            Q16_16(scaled.round() as i32)
+        }
+    }
+
+    /// Converts from `f64`, saturating at the representable range.
+    #[inline]
+    pub fn from_f64(v: f64) -> Self {
+        Self::from_f32(v as f32)
+    }
+
+    /// Converts to `f32`.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / (1u32 << Self::FRAC_BITS) as f32
+    }
+
+    /// Converts to `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1u32 << Self::FRAC_BITS) as f64
+    }
+
+    /// Returns `true` if this value equals the saturation limits, i.e. a
+    /// previous operation overflowed.  The fixed-point baseline decoder uses
+    /// this to count how many scores were clipped.
+    #[inline]
+    pub fn is_saturated(self) -> bool {
+        self.0 == i32::MAX || self.0 == i32::MIN
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Q16_16(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Q16_16(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication.
+    #[inline]
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        let wide = (self.0 as i64) * (rhs.0 as i64);
+        let shifted = wide >> Self::FRAC_BITS;
+        if shifted > i32::MAX as i64 {
+            Q16_16::MAX
+        } else if shifted < i32::MIN as i64 {
+            Q16_16::MIN
+        } else {
+            Q16_16(shifted as i32)
+        }
+    }
+
+    /// Saturating division. Division by zero saturates toward the sign of the
+    /// dividend (and zero / zero is zero).
+    #[inline]
+    pub fn saturating_div(self, rhs: Self) -> Self {
+        if rhs.0 == 0 {
+            return if self.0 > 0 {
+                Q16_16::MAX
+            } else if self.0 < 0 {
+                Q16_16::MIN
+            } else {
+                Q16_16::ZERO
+            };
+        }
+        let wide = ((self.0 as i64) << Self::FRAC_BITS) / rhs.0 as i64;
+        if wide > i32::MAX as i64 {
+            Q16_16::MAX
+        } else if wide < i32::MIN as i64 {
+            Q16_16::MIN
+        } else {
+            Q16_16(wide as i32)
+        }
+    }
+
+    /// Absolute value (saturating for `MIN`).
+    #[inline]
+    pub fn abs(self) -> Self {
+        if self.0 == i32::MIN {
+            Q16_16::MAX
+        } else {
+            Q16_16(self.0.abs())
+        }
+    }
+
+    /// The larger of two values.
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two values.
+    #[inline]
+    pub fn min(self, rhs: Self) -> Self {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Q16_16 {
+    type Output = Q16_16;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Q16_16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Q16_16 {
+    type Output = Q16_16;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Q16_16 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Q16_16 {
+    type Output = Q16_16;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div for Q16_16 {
+    type Output = Q16_16;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self.saturating_div(rhs)
+    }
+}
+
+impl Neg for Q16_16 {
+    type Output = Q16_16;
+    #[inline]
+    fn neg(self) -> Self {
+        Q16_16(self.0.saturating_neg())
+    }
+}
+
+impl From<i16> for Q16_16 {
+    fn from(v: i16) -> Self {
+        Q16_16((v as i32) << Self::FRAC_BITS)
+    }
+}
+
+impl fmt::Display for Q16_16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.5}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Q16_16::ZERO.to_f32(), 0.0);
+        assert_eq!(Q16_16::ONE.to_f32(), 1.0);
+        assert_eq!(Q16_16::default(), Q16_16::ZERO);
+        assert!(Q16_16::MAX.to_f32() > 32767.0);
+        assert_eq!(Q16_16::MIN.to_f32(), -32768.0);
+        assert!(Q16_16::EPSILON.to_f64() > 0.0);
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, -1234.5678, 32000.25, -32000.25] {
+            let q = Q16_16::from_f32(v);
+            assert!((q.to_f32() - v).abs() < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    fn from_i16_and_f64() {
+        assert_eq!(Q16_16::from(5i16).to_f32(), 5.0);
+        assert_eq!(Q16_16::from(-7i16).to_f32(), -7.0);
+        assert!((Q16_16::from_f64(2.5).to_f64() - 2.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nan_becomes_zero() {
+        assert_eq!(Q16_16::from_f32(f32::NAN), Q16_16::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Q16_16::from_f32(1.5);
+        let b = Q16_16::from_f32(2.25);
+        assert!(((a + b).to_f32() - 3.75).abs() < 1e-4);
+        assert!(((a - b).to_f32() + 0.75).abs() < 1e-4);
+        assert!(((a * b).to_f32() - 3.375).abs() < 1e-4);
+        assert!(((b / a).to_f32() - 1.5).abs() < 1e-4);
+        assert!(((-a).to_f32() + 1.5).abs() < 1e-4);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = Q16_16::from_f32(1.0);
+        a += Q16_16::from_f32(2.0);
+        assert!((a.to_f32() - 3.0).abs() < 1e-4);
+        a -= Q16_16::from_f32(0.5);
+        assert!((a.to_f32() - 2.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn saturation_behaviour() {
+        // This is the failure mode the paper warns about: very negative log
+        // scores overflow the fixed-point range and saturate.
+        let very_negative = Q16_16::from_f32(-1.0e9);
+        assert_eq!(very_negative, Q16_16::MIN);
+        assert!(very_negative.is_saturated());
+        assert!((Q16_16::MIN + Q16_16::from_f32(-10.0)).is_saturated());
+        assert!((Q16_16::MAX + Q16_16::ONE).is_saturated());
+        assert!((Q16_16::from_f32(30000.0) * Q16_16::from_f32(10.0)).is_saturated());
+        assert_eq!(Q16_16::MIN.abs(), Q16_16::MAX);
+        assert_eq!((-Q16_16::MIN), Q16_16::MAX);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        assert_eq!(Q16_16::ONE / Q16_16::ZERO, Q16_16::MAX);
+        assert_eq!((-Q16_16::ONE) / Q16_16::ZERO, Q16_16::MIN);
+        assert_eq!(Q16_16::ZERO / Q16_16::ZERO, Q16_16::ZERO);
+    }
+
+    #[test]
+    fn display_and_bits() {
+        assert_eq!(Q16_16::from_bits(1 << 16), Q16_16::ONE);
+        assert_eq!(Q16_16::ONE.to_bits(), 1 << 16);
+        assert!(!format!("{}", Q16_16::ONE).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in -30000.0f32..30000.0, b in -30000.0f32..30000.0) {
+            let (qa, qb) = (Q16_16::from_f32(a), Q16_16::from_f32(b));
+            prop_assert_eq!(qa + qb, qb + qa);
+        }
+
+        #[test]
+        fn prop_add_matches_float(a in -10000.0f32..10000.0, b in -10000.0f32..10000.0) {
+            let sum = (Q16_16::from_f32(a) + Q16_16::from_f32(b)).to_f32();
+            prop_assert!((sum - (a + b)).abs() < 1e-3);
+        }
+
+        #[test]
+        fn prop_mul_matches_float(a in -150.0f32..150.0, b in -150.0f32..150.0) {
+            let prod = (Q16_16::from_f32(a) * Q16_16::from_f32(b)).to_f32();
+            prop_assert!((prod - a * b).abs() < 0.01);
+        }
+
+        #[test]
+        fn prop_roundtrip(v in -32000.0f32..32000.0) {
+            prop_assert!((Q16_16::from_f32(v).to_f32() - v).abs() <= 1.0 / 65536.0 + 1e-6);
+        }
+    }
+}

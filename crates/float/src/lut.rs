@@ -1,0 +1,377 @@
+//! The OP unit's log-add SRAM lookup table.
+//!
+//! Section III-B of the paper: the `logadd` stage of the Observation
+//! Probability unit evaluates `log(A + B)` using the identity
+//!
+//! ```text
+//! log(A + B) = log(A (1 + B/A)) = log(A) + log(1 + B/A)
+//! ```
+//!
+//! With `B <= A`, the correction term `log(1 + B/A)` lies in `[0, 0.693]`.
+//! The paper stores that correction in a **512-byte SRAM** as 16-bit binary
+//! fractions, indexed by "a few least significant bits of `log(B) - log(A)`".
+//! 512 bytes / 2 bytes-per-entry = **256 entries**.
+//!
+//! [`LogAddTable`] reproduces that hardware table bit-exactly: entries are
+//! quantised to 16 fractional bits, the index is a clamped fixed-point
+//! quantisation of `d = log(A) - log(B) >= 0`, and the table reports its own
+//! size and worst-case error so the experiment harness can show the
+//! approximation is harmless for recognition.
+
+use crate::logmath::LogProb;
+use crate::FloatError;
+
+/// Configuration of the hardware log-add table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogAddTableConfig {
+    /// Number of table entries (the paper's SRAM holds 256 × 16-bit values).
+    pub entries: usize,
+    /// Largest difference `d = log(A) - log(B)` covered by the table.  Beyond
+    /// this the correction is below the 16-bit quantisation step and the
+    /// hardware simply returns `log(A)`.
+    pub max_difference: f32,
+    /// Number of fractional bits stored per entry (16 in the paper).
+    pub fraction_bits: u8,
+}
+
+impl LogAddTableConfig {
+    /// The configuration described in the paper: 512-byte SRAM, 16-bit
+    /// fractions, 256 entries.
+    pub const PAPER: LogAddTableConfig = LogAddTableConfig {
+        entries: 256,
+        max_difference: 11.1,
+        fraction_bits: 16,
+    };
+
+    /// Total SRAM footprint in bytes.
+    pub fn sram_bytes(&self) -> usize {
+        self.entries * 2
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), FloatError> {
+        if self.entries == 0 {
+            return Err(FloatError::InvalidTableConfig("entries == 0"));
+        }
+        if !(self.max_difference > 0.0) {
+            return Err(FloatError::InvalidTableConfig("max_difference <= 0"));
+        }
+        if self.fraction_bits == 0 || self.fraction_bits > 16 {
+            return Err(FloatError::InvalidTableConfig(
+                "fraction_bits must be in 1..=16",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LogAddTableConfig {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// The 512-byte SRAM log-add lookup table of the OP unit.
+///
+/// # Example
+///
+/// ```
+/// use asr_float::{LogAddTable, LogProb};
+/// let t = LogAddTable::new();
+/// assert_eq!(t.config().sram_bytes(), 512);
+/// let approx = t.log_add(LogProb::new(-3.0), LogProb::new(-4.0));
+/// let exact = LogProb::new(-3.0).log_add(LogProb::new(-4.0));
+/// assert!((approx.raw() - exact.raw()).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogAddTable {
+    config: LogAddTableConfig,
+    /// 16-bit fraction entries: `round(log(1 + exp(-d)) * 2^fraction_bits)`.
+    entries: Vec<u16>,
+    /// Quantisation step of the index dimension.
+    step: f32,
+}
+
+impl LogAddTable {
+    /// Builds the table with the paper's configuration
+    /// (256 × 16-bit entries, 512 bytes of SRAM).
+    pub fn new() -> Self {
+        Self::with_config(LogAddTableConfig::PAPER).expect("paper config is valid")
+    }
+
+    /// Builds a table with a custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloatError::InvalidTableConfig`] if the configuration has no
+    /// entries, a non-positive range, or an unsupported fraction width.
+    pub fn with_config(config: LogAddTableConfig) -> Result<Self, FloatError> {
+        config.validate()?;
+        let step = config.max_difference / config.entries as f32;
+        let scale = (1u32 << config.fraction_bits) as f64;
+        let entries = (0..config.entries)
+            .map(|i| {
+                // Index i covers differences in [i*step, (i+1)*step); the
+                // hardware stores the value at the bin centre.
+                let d = (i as f64 + 0.5) * step as f64;
+                let value = (1.0 + (-d).exp()).ln();
+                (value * scale).round().min(scale - 1.0) as u16
+            })
+            .collect();
+        Ok(LogAddTable {
+            config,
+            entries,
+            step,
+        })
+    }
+
+    /// The configuration the table was built with.
+    pub fn config(&self) -> &LogAddTableConfig {
+        &self.config
+    }
+
+    /// Raw table contents, as they would be loaded into the SRAM at start-up.
+    pub fn sram_contents(&self) -> &[u16] {
+        &self.entries
+    }
+
+    /// Looks up the correction `log(1 + exp(-d))` for a non-negative
+    /// difference `d = log(A) - log(B)`.
+    ///
+    /// Differences beyond the table range return `0.0`, exactly as the
+    /// hardware saturates the index.
+    #[inline]
+    pub fn correction(&self, difference: f32) -> f32 {
+        debug_assert!(difference >= 0.0, "difference must be non-negative");
+        if difference >= self.config.max_difference {
+            return 0.0;
+        }
+        let idx = (difference / self.step) as usize;
+        let idx = idx.min(self.config.entries - 1);
+        let scale = (1u32 << self.config.fraction_bits) as f32;
+        self.entries[idx] as f32 / scale
+    }
+
+    /// Hardware log-add: `log(exp(a) + exp(b))` via the SRAM table.
+    #[inline]
+    pub fn log_add(&self, a: LogProb, b: LogProb) -> LogProb {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let (hi, lo) = if a.raw() >= b.raw() {
+            (a.raw(), b.raw())
+        } else {
+            (b.raw(), a.raw())
+        };
+        let d = hi - lo;
+        LogProb::new(hi + self.correction(d))
+    }
+
+    /// Folds the table-based log-add over an iterator, the way the OP unit
+    /// accumulates mixture components.
+    pub fn log_sum<I: IntoIterator<Item = LogProb>>(&self, iter: I) -> LogProb {
+        iter.into_iter()
+            .fold(LogProb::zero(), |acc, p| self.log_add(acc, p))
+    }
+
+    /// Maximum absolute error of [`LogAddTable::correction`] versus the exact
+    /// correction, measured over a dense sweep.  Used by the experiment
+    /// harness to report the quality of the 512-byte table.
+    pub fn max_abs_error(&self) -> f32 {
+        let samples = self.config.entries * 16;
+        let mut worst = 0.0f32;
+        for i in 0..samples {
+            let d = self.config.max_difference * (i as f32 + 0.5) / samples as f32;
+            let exact = (1.0 + (-(d as f64)).exp()).ln() as f32;
+            let err = (exact - self.correction(d)).abs();
+            if err > worst {
+                worst = err;
+            }
+        }
+        // Also check the saturated region boundary.
+        let exact_at_max = (1.0 + (-(self.config.max_difference as f64)).exp()).ln() as f32;
+        worst.max(exact_at_max)
+    }
+
+    /// Mean absolute error over a dense sweep of the covered range.
+    pub fn mean_abs_error(&self) -> f32 {
+        let samples = self.config.entries * 16;
+        let mut total = 0.0f64;
+        for i in 0..samples {
+            let d = self.config.max_difference * (i as f32 + 0.5) / samples as f32;
+            let exact = (1.0 + (-(d as f64)).exp()).ln() as f32;
+            total += (exact - self.correction(d)).abs() as f64;
+        }
+        (total / samples as f64) as f32
+    }
+}
+
+impl Default for LogAddTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_config_is_512_bytes() {
+        let t = LogAddTable::new();
+        assert_eq!(t.config().entries, 256);
+        assert_eq!(t.config().sram_bytes(), 512);
+        assert_eq!(t.sram_contents().len(), 256);
+        assert_eq!(t.config().fraction_bits, 16);
+    }
+
+    #[test]
+    fn entries_are_monotone_decreasing() {
+        let t = LogAddTable::new();
+        let e = t.sram_contents();
+        for w in e.windows(2) {
+            assert!(w[0] >= w[1], "table must decrease with the difference");
+        }
+    }
+
+    #[test]
+    fn correction_bounds() {
+        let t = LogAddTable::new();
+        // At d = 0 the correction is ln(2) = 0.693…; the table stores bin-centre
+        // values so the lookup at the exact edge is off by about half a bin.
+        assert!((t.correction(0.0) - core::f32::consts::LN_2).abs() < 0.015);
+        // Far beyond the range the correction saturates to 0.
+        assert_eq!(t.correction(100.0), 0.0);
+        // It never exceeds ln 2.
+        for i in 0..1000 {
+            let d = i as f32 * 0.02;
+            let c = t.correction(d);
+            assert!((0.0..=core::f32::consts::LN_2 + 1e-6).contains(&c));
+        }
+    }
+
+    #[test]
+    fn table_log_add_matches_exact_closely() {
+        let t = LogAddTable::new();
+        let cases = [(-1.0, -1.5), (-10.0, -10.0), (-3.0, -20.0), (-0.1, -5.0)];
+        for &(a, b) in &cases {
+            let (a, b) = (LogProb::new(a), LogProb::new(b));
+            let exact = a.log_add(b);
+            let approx = t.log_add(a, b);
+            assert!(
+                (exact.raw() - approx.raw()).abs() < 0.05,
+                "a={a:?} b={b:?} exact={exact:?} approx={approx:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_log_add_identity_with_zero() {
+        let t = LogAddTable::new();
+        let a = LogProb::new(-2.0);
+        assert_eq!(t.log_add(a, LogProb::zero()).raw(), a.raw());
+        assert_eq!(t.log_add(LogProb::zero(), a).raw(), a.raw());
+    }
+
+    #[test]
+    fn log_sum_over_mixture() {
+        let t = LogAddTable::new();
+        let comps: Vec<LogProb> = [-2.0f32, -2.5, -3.0, -8.0]
+            .iter()
+            .map(|&x| LogProb::new(x))
+            .collect();
+        let exact = LogProb::log_sum(comps.iter().copied());
+        let approx = t.log_sum(comps);
+        assert!((exact.raw() - approx.raw()).abs() < 0.05);
+    }
+
+    #[test]
+    fn max_error_is_small() {
+        let t = LogAddTable::new();
+        // 256 entries over ~11.1 range: worst-case error comes from the bin
+        // width near d=0 where the slope is ~0.5 → ~0.011; also the truncation
+        // at max_difference contributes ~1.5e-5.
+        assert!(t.max_abs_error() < 0.02, "max err {}", t.max_abs_error());
+        assert!(t.mean_abs_error() < 0.01);
+        assert!(t.mean_abs_error() <= t.max_abs_error());
+    }
+
+    #[test]
+    fn finer_tables_are_more_accurate() {
+        let coarse = LogAddTable::with_config(LogAddTableConfig {
+            entries: 64,
+            ..LogAddTableConfig::PAPER
+        })
+        .unwrap();
+        let fine = LogAddTable::with_config(LogAddTableConfig {
+            entries: 1024,
+            ..LogAddTableConfig::PAPER
+        })
+        .unwrap();
+        assert!(fine.max_abs_error() < coarse.max_abs_error());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(LogAddTable::with_config(LogAddTableConfig {
+            entries: 0,
+            ..LogAddTableConfig::PAPER
+        })
+        .is_err());
+        assert!(LogAddTable::with_config(LogAddTableConfig {
+            max_difference: 0.0,
+            ..LogAddTableConfig::PAPER
+        })
+        .is_err());
+        assert!(LogAddTable::with_config(LogAddTableConfig {
+            fraction_bits: 0,
+            ..LogAddTableConfig::PAPER
+        })
+        .is_err());
+        assert!(LogAddTable::with_config(LogAddTableConfig {
+            fraction_bits: 17,
+            ..LogAddTableConfig::PAPER
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn default_matches_new() {
+        let a = LogAddTable::default();
+        let b = LogAddTable::new();
+        assert_eq!(a.sram_contents(), b.sram_contents());
+        assert_eq!(
+            LogAddTableConfig::default(),
+            LogAddTableConfig::PAPER
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_table_close_to_exact(a in -60.0f32..0.0, b in -60.0f32..0.0) {
+            let t = LogAddTable::new();
+            let (a, b) = (LogProb::new(a), LogProb::new(b));
+            let exact = a.log_add(b);
+            let approx = t.log_add(a, b);
+            prop_assert!((exact.raw() - approx.raw()).abs() < 0.05);
+        }
+
+        #[test]
+        fn prop_table_commutative(a in -60.0f32..0.0, b in -60.0f32..0.0) {
+            let t = LogAddTable::new();
+            let (a, b) = (LogProb::new(a), LogProb::new(b));
+            prop_assert_eq!(t.log_add(a, b).raw(), t.log_add(b, a).raw());
+        }
+
+        #[test]
+        fn prop_correction_monotone(d1 in 0.0f32..11.0, d2 in 0.0f32..11.0) {
+            let t = LogAddTable::new();
+            let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(t.correction(lo) >= t.correction(hi));
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Bit-level software model of the 32-bit floating-point datapath.
+//!
+//! The OP unit and the Viterbi unit are "designed for 32-bit floating-point
+//! (IEEE-754 standards) operations" (paper Section III).  The cycle-accurate
+//! hardware simulator in `asr-hw` wants to compute *exactly* what the silicon
+//! datapath would compute, including when the mantissa datapath is narrowed
+//! for the memory/bandwidth study.  [`SoftFloat`] therefore implements the
+//! floating-point primitives the datapath needs — add, multiply and fused
+//! multiply-add — directly on sign/exponent/mantissa fields with
+//! round-to-nearest-even, with an optional reduced mantissa width applied to
+//! every result, so narrowed datapaths quantise after each operation the way
+//! truncated hardware would.
+
+use crate::reduced::MantissaWidth;
+
+/// Unpacked IEEE-754 single-precision value used internally by the datapath
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Unpacked {
+    sign: u32,
+    /// Biased exponent, 0..=255.
+    exp: i32,
+    /// 24-bit significand including the hidden bit (0 for zero).
+    frac: u64,
+}
+
+fn unpack(x: f32) -> Unpacked {
+    let bits = x.to_bits();
+    let sign = bits >> 31;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mantissa = (bits & 0x7f_ffff) as u64;
+    if exp == 0 {
+        // subnormal or zero: treat as value with exponent 1 and no hidden bit
+        Unpacked {
+            sign,
+            exp: 1,
+            frac: mantissa,
+        }
+    } else {
+        Unpacked {
+            sign,
+            exp,
+            frac: mantissa | 0x80_0000,
+        }
+    }
+}
+
+/// Packs sign, unbiased-ish exponent and a 24-bit-aligned significand back
+/// into an `f32` with round-to-nearest-even, handling overflow/underflow.
+fn pack(sign: u32, mut exp: i32, mut frac: u64) -> f32 {
+    if frac == 0 {
+        return f32::from_bits(sign << 31);
+    }
+    // Normalise so the hidden bit sits at bit 23.
+    while frac >= 0x100_0000 {
+        let lost = frac & 1;
+        frac >>= 1;
+        // sticky for correct rounding later: keep the lost bit around by OR-ing
+        // into the lowest bit once we round (approximation is fine since we
+        // always carry guard bits before calling pack).
+        frac |= lost & 0;
+        exp += 1;
+    }
+    while frac < 0x80_0000 && exp > 1 {
+        frac <<= 1;
+        exp -= 1;
+    }
+    if exp >= 0xff {
+        // overflow -> infinity
+        return f32::from_bits((sign << 31) | 0x7f80_0000);
+    }
+    if frac < 0x80_0000 {
+        // subnormal
+        return f32::from_bits((sign << 31) | (frac as u32 & 0x7f_ffff));
+    }
+    f32::from_bits((sign << 31) | ((exp as u32) << 23) | (frac as u32 & 0x7f_ffff))
+}
+
+/// Rounds a significand carrying `extra` guard bits down to 24 bits with
+/// round-to-nearest-even, returning the rounded significand and an exponent
+/// increment.
+fn round_significand(frac: u64, extra: u32) -> (u64, i32) {
+    if extra == 0 {
+        return (frac, 0);
+    }
+    let keep = frac >> extra;
+    let rem = frac & ((1u64 << extra) - 1);
+    let half = 1u64 << (extra - 1);
+    let mut rounded = keep;
+    if rem > half || (rem == half && keep & 1 == 1) {
+        rounded += 1;
+    }
+    let mut exp_inc = 0;
+    let mut out = rounded;
+    if out >= 0x100_0000 {
+        out >>= 1;
+        exp_inc = 1;
+    }
+    (out, exp_inc)
+}
+
+/// A software model of the accelerator's floating-point datapath.
+///
+/// All operations are IEEE-754 single precision with round-to-nearest-even;
+/// when constructed with a reduced [`MantissaWidth`], every *result* is
+/// additionally quantised to that width, modelling a narrowed datapath.
+///
+/// # Example
+///
+/// ```
+/// use asr_float::SoftFloat;
+/// let fp = SoftFloat::ieee754();
+/// assert_eq!(fp.add(1.5, 2.25), 3.75);
+/// assert_eq!(fp.mul(3.0, -2.0), -6.0);
+/// // (x - y)^2 * z, the first stage of the OP unit pipeline
+/// assert_eq!(fp.sq_diff_mul(5.0, 3.0, 0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftFloat {
+    width: MantissaWidth,
+}
+
+impl SoftFloat {
+    /// Datapath with the full 23-bit mantissa (standard IEEE-754 single).
+    pub fn ieee754() -> Self {
+        SoftFloat {
+            width: MantissaWidth::FULL,
+        }
+    }
+
+    /// Datapath whose results are quantised to `width`.
+    pub fn with_width(width: MantissaWidth) -> Self {
+        SoftFloat { width }
+    }
+
+    /// The mantissa width of this datapath.
+    pub fn width(&self) -> MantissaWidth {
+        self.width
+    }
+
+    #[inline]
+    fn finish(&self, value: f32) -> f32 {
+        self.width.quantize(value)
+    }
+
+    /// Floating-point addition as the hardware adder computes it.
+    pub fn add(&self, a: f32, b: f32) -> f32 {
+        if a.is_nan() || b.is_nan() {
+            return self.finish(f32::NAN);
+        }
+        if a.is_infinite() || b.is_infinite() {
+            return self.finish(a + b);
+        }
+        if a == 0.0 {
+            return self.finish(b);
+        }
+        if b == 0.0 {
+            return self.finish(a);
+        }
+        let ua = unpack(a);
+        let ub = unpack(b);
+        // Align on the larger exponent with 3 guard bits + sticky.
+        const GUARD: u32 = 6;
+        let (hi, lo) = if (ua.exp, ua.frac) >= (ub.exp, ub.frac) {
+            (ua, ub)
+        } else {
+            (ub, ua)
+        };
+        let shift = (hi.exp - lo.exp) as u32;
+        let hi_frac = hi.frac << GUARD;
+        let lo_frac = if shift >= 48 {
+            if lo.frac != 0 {
+                1
+            } else {
+                0
+            }
+        } else {
+            let shifted = (lo.frac << GUARD) >> shift;
+            let sticky = if (lo.frac << GUARD) & ((1u64 << shift) - 1) != 0 {
+                1
+            } else {
+                0
+            };
+            shifted | sticky
+        };
+        let (sign, mag) = if hi.sign == lo.sign {
+            (hi.sign, hi_frac + lo_frac)
+        } else if hi_frac >= lo_frac {
+            (hi.sign, hi_frac - lo_frac)
+        } else {
+            (lo.sign, lo_frac - hi_frac)
+        };
+        if mag == 0 {
+            return self.finish(0.0);
+        }
+        // Re-normalise: mag currently has the binary point at bit 23+GUARD.
+        let mut exp = hi.exp;
+        let mut frac = mag;
+        while frac >= (0x100_0000u64 << GUARD) {
+            frac >>= 1;
+            exp += 1;
+        }
+        while frac < (0x80_0000u64 << GUARD) && exp > 1 {
+            frac <<= 1;
+            exp -= 1;
+        }
+        let (rounded, inc) = round_significand(frac, GUARD);
+        let result = pack(sign, exp + inc, rounded);
+        self.finish(result)
+    }
+
+    /// Floating-point subtraction.
+    pub fn sub(&self, a: f32, b: f32) -> f32 {
+        self.add(a, -b)
+    }
+
+    /// Floating-point multiplication as the hardware multiplier computes it.
+    pub fn mul(&self, a: f32, b: f32) -> f32 {
+        if a.is_nan() || b.is_nan() {
+            return self.finish(f32::NAN);
+        }
+        if a.is_infinite() || b.is_infinite() || a == 0.0 || b == 0.0 {
+            return self.finish(a * b);
+        }
+        let ua = unpack(a);
+        let ub = unpack(b);
+        let sign = ua.sign ^ ub.sign;
+        // 24 x 24 -> 48-bit product; binary point after bit 46 or 47.
+        let product = ua.frac * ub.frac;
+        let mut exp = ua.exp + ub.exp - 127;
+        let mut frac = product;
+        // Normalise so the hidden bit is at bit 23 + 24 = 47 → shift down to 23
+        // keeping 24 guard bits, then round.
+        if frac >= (1u64 << 47) {
+            exp += 1;
+        } else {
+            frac <<= 1;
+        }
+        // Now the hidden bit is at bit 47. Keep 24 guard bits below bit 23.
+        let (rounded, inc) = round_significand(frac, 24);
+        if exp + inc <= 0 {
+            // Underflow to zero/subnormal: fall back to the native result,
+            // which is what a denormal-supporting datapath produces.
+            return self.finish(a * b);
+        }
+        let result = pack(sign, exp + inc, rounded);
+        self.finish(result)
+    }
+
+    /// Fused multiply-add `a * b + c`, rounded once — the OP unit's
+    /// scale-and-weight-adjust (SWA) stage is a fused multiply-add.
+    pub fn fma(&self, a: f32, b: f32, c: f32) -> f32 {
+        // A faithful single-rounding FMA via double precision: the product of
+        // two f32 values is exact in f64, and the final rounding to f32
+        // happens once, which matches fused hardware.
+        let exact = (a as f64) * (b as f64) + (c as f64);
+        self.finish(exact as f32)
+    }
+
+    /// The first pipeline stage of the OP unit: `(x − y)² · z`.
+    ///
+    /// In the paper `x` is a feature-vector component `O_ji`, `y` the Gaussian
+    /// mean `µ_ji`, and `z` the precision term `δ_ji` (a function of the
+    /// variance), giving one term of the exponent sum in equation (6).
+    pub fn sq_diff_mul(&self, x: f32, y: f32, z: f32) -> f32 {
+        let d = self.sub(x, y);
+        let sq = self.mul(d, d);
+        self.mul(sq, z)
+    }
+
+    /// The full inner-loop accumulation of equation (6):
+    /// `C + Σ_i (o_i − µ_i)² · δ_i`, evaluated the way the pipelined hardware
+    /// does — one `sq_diff_mul` plus one accumulate per dimension.
+    pub fn gaussian_exponent(&self, obs: &[f32], mean: &[f32], prec: &[f32], constant: f32) -> f32 {
+        debug_assert_eq!(obs.len(), mean.len());
+        debug_assert_eq!(obs.len(), prec.len());
+        let mut acc = constant;
+        for i in 0..obs.len() {
+            let term = self.sq_diff_mul(obs[i], mean[i], prec[i]);
+            acc = self.add(acc, term);
+        }
+        acc
+    }
+}
+
+impl Default for SoftFloat {
+    fn default() -> Self {
+        Self::ieee754()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ulp_diff(a: f32, b: f32) -> u32 {
+        if a == b {
+            return 0;
+        }
+        let (ia, ib) = (a.to_bits() as i64, b.to_bits() as i64);
+        (ia - ib).unsigned_abs() as u32
+    }
+
+    #[test]
+    fn add_matches_native_on_simple_cases() {
+        let fp = SoftFloat::ieee754();
+        let cases = [
+            (1.5f32, 2.25f32),
+            (0.1, 0.2),
+            (-1.0, 1.0),
+            (1.0e-10, 1.0),
+            (-3.5, -4.25),
+            (12345.678, -0.0001),
+            (1.0, -1.0000001),
+        ];
+        for &(a, b) in &cases {
+            let got = fp.add(a, b);
+            let want = a + b;
+            assert!(
+                ulp_diff(got, want) <= 1,
+                "add({a}, {b}) = {got}, native {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_special_values() {
+        let fp = SoftFloat::ieee754();
+        assert_eq!(fp.add(0.0, 5.0), 5.0);
+        assert_eq!(fp.add(5.0, 0.0), 5.0);
+        assert_eq!(fp.add(f32::INFINITY, 1.0), f32::INFINITY);
+        assert!(fp.add(f32::NAN, 1.0).is_nan());
+        assert_eq!(fp.add(1.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn mul_matches_native_on_simple_cases() {
+        let fp = SoftFloat::ieee754();
+        let cases = [
+            (1.5f32, 2.0f32),
+            (0.1, 0.2),
+            (-3.0, 7.0),
+            (1.0e10, 1.0e-10),
+            (123.456, -654.321),
+            (1.0000001, 0.9999999),
+        ];
+        for &(a, b) in &cases {
+            let got = fp.mul(a, b);
+            let want = a * b;
+            assert!(
+                ulp_diff(got, want) <= 1,
+                "mul({a}, {b}) = {got}, native {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_special_values() {
+        let fp = SoftFloat::ieee754();
+        assert_eq!(fp.mul(0.0, 5.0), 0.0);
+        assert_eq!(fp.mul(5.0, -0.0), -0.0);
+        assert_eq!(fp.mul(f32::INFINITY, 2.0), f32::INFINITY);
+        assert!(fp.mul(f32::NAN, 1.0).is_nan());
+        assert_eq!(fp.mul(1.0e30, 1.0e30), f32::INFINITY);
+    }
+
+    #[test]
+    fn fma_is_single_rounded() {
+        let fp = SoftFloat::ieee754();
+        let (a, b, c) = (1.0000001f32, 1.0000001f32, -1.0000002f32);
+        let fused = fp.fma(a, b, c);
+        let reference = f32::mul_add(a, b, c);
+        assert!(ulp_diff(fused, reference) <= 1);
+    }
+
+    #[test]
+    fn sq_diff_mul_basic() {
+        let fp = SoftFloat::ieee754();
+        assert_eq!(fp.sq_diff_mul(5.0, 3.0, 0.5), 2.0);
+        assert_eq!(fp.sq_diff_mul(3.0, 5.0, 0.5), 2.0);
+        assert_eq!(fp.sq_diff_mul(1.0, 1.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn gaussian_exponent_matches_reference() {
+        let fp = SoftFloat::ieee754();
+        let obs = [1.0f32, 2.0, 3.0, 4.0];
+        let mean = [0.5f32, 2.5, 2.0, 4.5];
+        let prec = [2.0f32, 1.0, 0.5, 4.0];
+        let c = -3.25f32;
+        let got = fp.gaussian_exponent(&obs, &mean, &prec, c);
+        let want: f32 = c + obs
+            .iter()
+            .zip(&mean)
+            .zip(&prec)
+            .map(|((&o, &m), &p)| (o - m) * (o - m) * p)
+            .sum::<f32>();
+        assert!((got - want).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reduced_width_quantises_results() {
+        let fp12 = SoftFloat::with_width(MantissaWidth::BITS_12);
+        let r = fp12.add(1.0, 1.0e-6);
+        // With only 12 mantissa bits, 1 + 1e-6 is indistinguishable from 1.
+        assert_eq!(r, 1.0);
+        let full = SoftFloat::ieee754();
+        assert!(full.add(1.0, 1.0e-6) > 1.0);
+        assert_eq!(fp12.width(), MantissaWidth::BITS_12);
+        assert_eq!(SoftFloat::default().width(), MantissaWidth::FULL);
+    }
+
+    #[test]
+    fn reduced_width_error_is_bounded() {
+        let fp = SoftFloat::with_width(MantissaWidth::BITS_12);
+        let bound = MantissaWidth::BITS_12.max_relative_error() * 4.0;
+        for i in 1..200 {
+            let a = i as f32 * 0.77;
+            let b = (200 - i) as f32 * 1.3;
+            let got = fp.add(a, b) as f64;
+            let want = (a + b) as f64;
+            assert!(((got - want).abs() / want) <= bound);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_close_to_native(a in -1.0e20f32..1.0e20, b in -1.0e20f32..1.0e20) {
+            let fp = SoftFloat::ieee754();
+            let got = fp.add(a, b);
+            let want = a + b;
+            if want.is_finite() && want != 0.0 {
+                prop_assert!(((got - want).abs() / want.abs()) < 1e-6,
+                    "add({a},{b}) got {got} want {want}");
+            }
+        }
+
+        #[test]
+        fn prop_mul_close_to_native(a in -1.0e15f32..1.0e15, b in -1.0e15f32..1.0e15) {
+            let fp = SoftFloat::ieee754();
+            let got = fp.mul(a, b);
+            let want = a * b;
+            if want.is_finite() && want != 0.0 && want.abs() > f32::MIN_POSITIVE {
+                prop_assert!(((got - want).abs() / want.abs()) < 1e-6,
+                    "mul({a},{b}) got {got} want {want}");
+            }
+        }
+
+        #[test]
+        fn prop_add_commutative(a in -1.0e20f32..1.0e20, b in -1.0e20f32..1.0e20) {
+            let fp = SoftFloat::ieee754();
+            prop_assert_eq!(fp.add(a, b).to_bits(), fp.add(b, a).to_bits());
+        }
+
+        #[test]
+        fn prop_sq_diff_mul_nonnegative_for_positive_z(
+            x in -1.0e3f32..1.0e3, y in -1.0e3f32..1.0e3, z in 0.0f32..1.0e3
+        ) {
+            let fp = SoftFloat::ieee754();
+            prop_assert!(fp.sq_diff_mul(x, y, z) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Cepstral mean normalisation (CMN).
+//!
+//! Subtracting the per-utterance mean of each cepstral coefficient removes
+//! stationary channel effects (microphone colouration).  Two modes are
+//! provided: batch (whole utterance available, used by the offline decoder)
+//! and live (running mean, used when streaming frames into the accelerator in
+//! real time as the paper's system does).
+
+/// Batch and streaming cepstral mean normalisation.
+#[derive(Debug, Clone)]
+pub struct CepstralMeanNorm {
+    dim: usize,
+    running_sum: Vec<f64>,
+    count: u64,
+    /// Prior weight (in frames) given to the initial mean estimate when
+    /// streaming, so early frames are not over-corrected.
+    prior_frames: f64,
+    prior_mean: Vec<f64>,
+}
+
+impl CepstralMeanNorm {
+    /// Creates a normaliser for `dim`-dimensional cepstra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        CepstralMeanNorm {
+            dim,
+            running_sum: vec![0.0; dim],
+            count: 0,
+            prior_frames: 100.0,
+            prior_mean: vec![0.0; dim],
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of frames accumulated so far in streaming mode.
+    pub fn frames_seen(&self) -> u64 {
+        self.count
+    }
+
+    /// Normalises a whole utterance in place: subtracts the utterance mean of
+    /// each coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame has the wrong dimension.
+    pub fn normalize_batch(frames: &mut [Vec<f32>]) {
+        if frames.is_empty() {
+            return;
+        }
+        let dim = frames[0].len();
+        let mut mean = vec![0.0f64; dim];
+        for f in frames.iter() {
+            assert_eq!(f.len(), dim, "inconsistent feature dimension");
+            for (m, &v) in mean.iter_mut().zip(f) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= frames.len() as f64;
+        }
+        for f in frames.iter_mut() {
+            for (v, &m) in f.iter_mut().zip(&mean) {
+                *v -= m as f32;
+            }
+        }
+    }
+
+    /// Streaming normalisation: subtracts the current running-mean estimate
+    /// and then updates it with the new frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame has the wrong dimension.
+    pub fn normalize_live(&mut self, frame: &mut [f32]) {
+        assert_eq!(frame.len(), self.dim, "inconsistent feature dimension");
+        // Current estimate = (prior + observed) / (prior_frames + count)
+        let total = self.prior_frames + self.count as f64;
+        for (i, v) in frame.iter_mut().enumerate() {
+            let mean =
+                (self.prior_mean[i] * self.prior_frames + self.running_sum[i]) / total.max(1.0);
+            let original = *v as f64;
+            *v = (original - mean) as f32;
+            self.running_sum[i] += original;
+        }
+        self.count += 1;
+    }
+
+    /// Resets the streaming state (e.g. between utterances), keeping the last
+    /// utterance's mean as the prior for the next one, which is how Sphinx's
+    /// `cmn prior` mode behaves.
+    pub fn reset_between_utterances(&mut self) {
+        if self.count > 0 {
+            for i in 0..self.dim {
+                self.prior_mean[i] = self.running_sum[i] / self.count as f64;
+            }
+        }
+        self.running_sum = vec![0.0; self.dim];
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn batch_mean_is_zero_after_normalisation() {
+        let mut frames: Vec<Vec<f32>> = (0..50)
+            .map(|t| vec![t as f32, 5.0, -3.0 + 0.1 * t as f32])
+            .collect();
+        CepstralMeanNorm::normalize_batch(&mut frames);
+        for d in 0..3 {
+            let mean: f32 = frames.iter().map(|f| f[d]).sum::<f32>() / frames.len() as f32;
+            assert!(mean.abs() < 1e-4, "dim {d} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn batch_empty_is_noop() {
+        let mut frames: Vec<Vec<f32>> = Vec::new();
+        CepstralMeanNorm::normalize_batch(&mut frames);
+        assert!(frames.is_empty());
+    }
+
+    #[test]
+    fn live_converges_to_batch() {
+        let mut cmn = CepstralMeanNorm::new(2);
+        // Long stationary signal with mean (3, -1): late frames should come out
+        // close to zero-mean.
+        let mut last = [0.0f32; 2];
+        for _ in 0..5000 {
+            let mut frame = vec![3.0f32, -1.0];
+            cmn.normalize_live(&mut frame);
+            last = [frame[0], frame[1]];
+        }
+        // The fixed prior weight (100 frames at zero) leaves a small residual
+        // bias of mean * prior/(prior + n) ≈ 0.06 after 5000 frames.
+        assert!(last[0].abs() < 0.1, "{}", last[0]);
+        assert!(last[1].abs() < 0.1, "{}", last[1]);
+        assert_eq!(cmn.frames_seen(), 5000);
+        assert_eq!(cmn.dim(), 2);
+    }
+
+    #[test]
+    fn reset_carries_prior() {
+        let mut cmn = CepstralMeanNorm::new(1);
+        for _ in 0..1000 {
+            let mut f = vec![10.0f32];
+            cmn.normalize_live(&mut f);
+        }
+        cmn.reset_between_utterances();
+        assert_eq!(cmn.frames_seen(), 0);
+        // First frame of the next utterance benefits from the learned prior.
+        let mut f = vec![10.0f32];
+        cmn.normalize_live(&mut f);
+        assert!(f[0].abs() < 1.0, "prior should nearly cancel the mean, got {}", f[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn wrong_dim_panics() {
+        let mut cmn = CepstralMeanNorm::new(3);
+        cmn.normalize_live(&mut [0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        CepstralMeanNorm::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_batch_zero_mean(rows in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 4), 1..40)) {
+            let mut frames = rows;
+            CepstralMeanNorm::normalize_batch(&mut frames);
+            for d in 0..4 {
+                let mean: f32 = frames.iter().map(|f| f[d]).sum::<f32>() / frames.len() as f32;
+                prop_assert!(mean.abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn prop_batch_preserves_variance(rows in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 3), 2..40)) {
+            let original = rows.clone();
+            let mut frames = rows;
+            CepstralMeanNorm::normalize_batch(&mut frames);
+            // CMN is a shift: pairwise differences are untouched.
+            for t in 1..frames.len() {
+                for d in 0..3 {
+                    let before = original[t][d] - original[t - 1][d];
+                    let after = frames[t][d] - frames[t - 1][d];
+                    prop_assert!((before - after).abs() < 1e-3);
+                }
+            }
+        }
+    }
+}

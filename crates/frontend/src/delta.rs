@@ -1,0 +1,183 @@
+//! Delta (velocity) and delta-delta (acceleration) features.
+//!
+//! The Sphinx-style 39-dimensional feature vector appends first- and
+//! second-order time derivatives of the 13 cepstra.  Derivatives are estimated
+//! with the standard regression formula over a ±`window` frame context.
+
+/// Computes delta and delta-delta features over whole utterances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaComputer {
+    window: usize,
+}
+
+impl DeltaComputer {
+    /// Creates a delta computer with the given half-window (in frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "delta window must be at least 1 frame");
+        DeltaComputer { window }
+    }
+
+    /// The half-window size in frames.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Computes the regression delta of a sequence of feature vectors.
+    ///
+    /// `Δc_t = Σ_{n=1..N} n·(c_{t+n} − c_{t−n}) / (2·Σ n²)`, with edge frames
+    /// clamped (repeating the first/last frame), so the output has the same
+    /// length as the input.
+    pub fn delta(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        if frames.is_empty() {
+            return Vec::new();
+        }
+        let dim = frames[0].len();
+        let n = frames.len();
+        let denom: f32 = 2.0 * (1..=self.window).map(|i| (i * i) as f32).sum::<f32>();
+        let clamp = |idx: isize| -> &Vec<f32> {
+            let i = idx.clamp(0, n as isize - 1) as usize;
+            &frames[i]
+        };
+        (0..n)
+            .map(|t| {
+                let mut out = vec![0.0f32; dim];
+                for w in 1..=self.window {
+                    let plus = clamp(t as isize + w as isize);
+                    let minus = clamp(t as isize - w as isize);
+                    for d in 0..dim {
+                        out[d] += w as f32 * (plus[d] - minus[d]);
+                    }
+                }
+                for v in &mut out {
+                    *v /= denom;
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Appends delta and (optionally) delta-delta coefficients to each frame,
+    /// producing `dim`, `2·dim` or `3·dim` wide vectors.
+    pub fn append(&self, frames: &[Vec<f32>], use_delta: bool, use_delta_delta: bool) -> Vec<Vec<f32>> {
+        if frames.is_empty() || !use_delta {
+            return frames.to_vec();
+        }
+        let deltas = self.delta(frames);
+        let ddeltas = if use_delta_delta {
+            Some(self.delta(&deltas))
+        } else {
+            None
+        };
+        frames
+            .iter()
+            .enumerate()
+            .map(|(t, f)| {
+                let mut v = f.clone();
+                v.extend_from_slice(&deltas[t]);
+                if let Some(dd) = &ddeltas {
+                    v.extend_from_slice(&dd[t]);
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+impl Default for DeltaComputer {
+    fn default() -> Self {
+        DeltaComputer::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_sequence_has_zero_delta() {
+        let dc = DeltaComputer::new(2);
+        let frames = vec![vec![1.0, -2.0, 3.0]; 10];
+        let deltas = dc.delta(&frames);
+        assert_eq!(deltas.len(), 10);
+        assert!(deltas.iter().flatten().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn linear_ramp_has_constant_delta() {
+        let dc = DeltaComputer::new(2);
+        // c_t = 2t → delta should be 2 in the interior.
+        let frames: Vec<Vec<f32>> = (0..20).map(|t| vec![2.0 * t as f32]).collect();
+        let deltas = dc.delta(&frames);
+        for d in &deltas[2..18] {
+            assert!((d[0] - 2.0).abs() < 1e-5, "{}", d[0]);
+        }
+    }
+
+    #[test]
+    fn append_widths() {
+        let dc = DeltaComputer::new(2);
+        let frames = vec![vec![1.0; 13]; 5];
+        assert_eq!(dc.append(&frames, false, false)[0].len(), 13);
+        assert_eq!(dc.append(&frames, true, false)[0].len(), 26);
+        assert_eq!(dc.append(&frames, true, true)[0].len(), 39);
+        assert!(dc.append(&[], true, true).is_empty());
+    }
+
+    #[test]
+    fn append_preserves_statics() {
+        let dc = DeltaComputer::new(2);
+        let frames: Vec<Vec<f32>> = (0..8).map(|t| vec![t as f32, -(t as f32)]).collect();
+        let out = dc.append(&frames, true, true);
+        for (o, f) in out.iter().zip(&frames) {
+            assert_eq!(&o[..2], f.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_frame() {
+        let dc = DeltaComputer::default();
+        assert!(dc.delta(&[]).is_empty());
+        let single = dc.delta(&[vec![1.0, 2.0]]);
+        assert_eq!(single.len(), 1);
+        assert!(single[0].iter().all(|&v| v == 0.0));
+        assert_eq!(dc.window(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta window")]
+    fn zero_window_panics() {
+        DeltaComputer::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_delta_shape(n in 1usize..30, dim in 1usize..10, window in 1usize..4) {
+            let dc = DeltaComputer::new(window);
+            let frames = vec![vec![0.5f32; dim]; n];
+            let d = dc.delta(&frames);
+            prop_assert_eq!(d.len(), n);
+            prop_assert!(d.iter().all(|f| f.len() == dim));
+        }
+
+        #[test]
+        fn prop_delta_antisymmetric(vals in proptest::collection::vec(-5.0f32..5.0, 12)) {
+            // Reversing the sequence in time negates the deltas (up to edge effects,
+            // checked in the interior only).
+            let dc = DeltaComputer::new(2);
+            let frames: Vec<Vec<f32>> = vals.iter().map(|&v| vec![v]).collect();
+            let mut rev = frames.clone();
+            rev.reverse();
+            let d = dc.delta(&frames);
+            let dr = dc.delta(&rev);
+            let n = frames.len();
+            for t in 2..n - 2 {
+                prop_assert!((d[t][0] + dr[n - 1 - t][0]).abs() < 1e-4);
+            }
+        }
+    }
+}

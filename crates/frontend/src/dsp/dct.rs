@@ -1,0 +1,161 @@
+//! Type-II discrete cosine transform used to decorrelate log mel energies
+//! into cepstral coefficients.
+
+/// A DCT-II plan from `input_len` log-mel energies to `output_len` cepstra.
+///
+/// Uses the orthonormal normalisation so energy is preserved when
+/// `output_len == input_len`.
+///
+/// # Example
+///
+/// ```
+/// use asr_frontend::dsp::DctII;
+/// let dct = DctII::new(40, 13);
+/// let cepstra = dct.apply(&vec![1.0; 40]);
+/// assert_eq!(cepstra.len(), 13);
+/// // A constant input has all of its energy in C0.
+/// assert!(cepstra[1..].iter().all(|c| c.abs() < 1e-4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DctII {
+    input_len: usize,
+    output_len: usize,
+    /// Row-major `output_len × input_len` cosine basis.
+    basis: Vec<f32>,
+}
+
+impl DctII {
+    /// Builds a DCT-II plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either length is zero or `output_len > input_len`.
+    pub fn new(input_len: usize, output_len: usize) -> Self {
+        assert!(input_len > 0 && output_len > 0, "lengths must be positive");
+        assert!(
+            output_len <= input_len,
+            "cannot produce more cepstra than filterbank channels"
+        );
+        let n = input_len as f32;
+        let mut basis = Vec::with_capacity(input_len * output_len);
+        for k in 0..output_len {
+            let scale = if k == 0 {
+                (1.0 / n).sqrt()
+            } else {
+                (2.0 / n).sqrt()
+            };
+            for i in 0..input_len {
+                basis.push(
+                    scale
+                        * (std::f32::consts::PI * k as f32 * (2.0 * i as f32 + 1.0) / (2.0 * n))
+                            .cos(),
+                );
+            }
+        }
+        DctII {
+            input_len,
+            output_len,
+            basis,
+        }
+    }
+
+    /// Input (filterbank) dimension.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Output (cepstral) dimension.
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// Applies the transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_len`.
+    pub fn apply(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_len, "DCT input length mismatch");
+        (0..self.output_len)
+            .map(|k| {
+                let row = &self.basis[k * self.input_len..(k + 1) * self.input_len];
+                row.iter().zip(input).map(|(&b, &x)| b * x).sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_input_concentrates_in_c0() {
+        let dct = DctII::new(40, 13);
+        let out = dct.apply(&vec![2.5; 40]);
+        assert!((out[0] - 2.5 * (40.0f32).sqrt()).abs() < 1e-3);
+        assert!(out[1..].iter().all(|c| c.abs() < 1e-4));
+        assert_eq!(dct.input_len(), 40);
+        assert_eq!(dct.output_len(), 13);
+    }
+
+    #[test]
+    fn full_dct_preserves_energy() {
+        let n = 16;
+        let dct = DctII::new(n, n);
+        let input: Vec<f32> = (0..n).map(|i| ((i * 7 % 5) as f32) - 2.0).collect();
+        let out = dct.apply(&input);
+        let ein: f32 = input.iter().map(|x| x * x).sum();
+        let eout: f32 = out.iter().map(|x| x * x).sum();
+        assert!((ein - eout).abs() / ein < 1e-4);
+    }
+
+    #[test]
+    fn alternating_input_concentrates_in_high_coefficient() {
+        let n = 32;
+        let dct = DctII::new(n, n);
+        let input: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let out = dct.apply(&input);
+        let max_idx = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert!(max_idx > n / 2, "alternating signal is high-frequency");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_input_length_panics() {
+        DctII::new(10, 5).apply(&[1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more cepstra")]
+    fn too_many_outputs_panics() {
+        DctII::new(5, 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_linearity(a in proptest::collection::vec(-5.0f32..5.0, 20),
+                          b in proptest::collection::vec(-5.0f32..5.0, 20)) {
+            let dct = DctII::new(20, 13);
+            let oa = dct.apply(&a);
+            let ob = dct.apply(&b);
+            let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            let osum = dct.apply(&sum);
+            for i in 0..13 {
+                prop_assert!((oa[i] + ob[i] - osum[i]).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn prop_output_finite(a in proptest::collection::vec(-100.0f32..100.0, 40)) {
+            let dct = DctII::new(40, 13);
+            prop_assert!(dct.apply(&a).iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Radix-2 decimation-in-time FFT, implemented from scratch.
+//!
+//! The frontend only needs power spectra of real 512-point frames, but the
+//! transform is exposed as a general complex FFT so it can be property-tested
+//! against its own inverse and reused by the corpus waveform synthesiser.
+
+use core::fmt;
+use core::ops::{Add, Mul, Sub};
+
+/// A complex number (single precision), minimal but sufficient for the FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Complex { re, im }
+    }
+
+    /// Zero.
+    pub const ZERO: Complex = Complex::new(0.0, 0.0);
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn from_polar(theta: f32) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f32) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+/// A radix-2 FFT plan for a fixed power-of-two size.
+///
+/// Twiddle factors and the bit-reversal permutation are precomputed once so
+/// per-frame transforms allocate nothing.
+///
+/// # Example
+///
+/// ```
+/// use asr_frontend::dsp::{Complex, Fft};
+/// let fft = Fft::new(8).unwrap();
+/// let mut data: Vec<Complex> = (0..8).map(|i| Complex::new(i as f32, 0.0)).collect();
+/// fft.forward(&mut data);
+/// // DC bin is the sum of the inputs.
+/// assert!((data[0].re - 28.0).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    size: usize,
+    twiddles: Vec<Complex>,
+    bit_rev: Vec<u32>,
+}
+
+impl Fft {
+    /// Creates a plan for `size` points.
+    ///
+    /// Returns `None` if `size` is not a power of two or is smaller than 2.
+    pub fn new(size: usize) -> Option<Self> {
+        if size < 2 || !size.is_power_of_two() {
+            return None;
+        }
+        let twiddles = (0..size / 2)
+            .map(|k| Complex::from_polar(-2.0 * std::f32::consts::PI * k as f32 / size as f32))
+            .collect();
+        let bits = size.trailing_zeros();
+        let bit_rev = (0..size as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        Some(Fft {
+            size,
+            twiddles,
+            bit_rev,
+        })
+    }
+
+    /// The transform size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// In-place forward FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the plan size.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.size, "buffer length must match plan size");
+        // Bit-reversal permutation.
+        for i in 0..self.size {
+            let j = self.bit_rev[i] as usize;
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        // Iterative Cooley–Tukey butterflies.
+        let mut len = 2;
+        while len <= self.size {
+            let half = len / 2;
+            let step = self.size / len;
+            for start in (0..self.size).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * step];
+                    let even = data[start + k];
+                    let odd = data[start + k + half] * w;
+                    data[start + k] = even + odd;
+                    data[start + k + half] = even - odd;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// In-place inverse FFT (including the `1/N` normalisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the plan size.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.size, "buffer length must match plan size");
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward(data);
+        let scale = 1.0 / self.size as f32;
+        for v in data.iter_mut() {
+            *v = v.conj().scale(scale);
+        }
+    }
+
+    /// Power spectrum of a real signal: returns `size/2 + 1` bins of
+    /// `|X[k]|²`.  The input is zero-padded (or truncated) to the plan size.
+    pub fn power_spectrum(&self, signal: &[f32]) -> Vec<f32> {
+        let mut buf = vec![Complex::ZERO; self.size];
+        for (i, &s) in signal.iter().take(self.size).enumerate() {
+            buf[i] = Complex::new(s, 0.0);
+        }
+        self.forward(&mut buf);
+        buf[..=self.size / 2].iter().map(|c| c.norm_sqr()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_dft(data: &[Complex]) -> Vec<Complex> {
+        let n = data.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &x) in data.iter().enumerate() {
+                    let w = Complex::from_polar(
+                        -2.0 * std::f32::consts::PI * (k * j) as f32 / n as f32,
+                    );
+                    acc = acc + x * w;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(Fft::new(0).is_none());
+        assert!(Fft::new(1).is_none());
+        assert!(Fft::new(3).is_none());
+        assert!(Fft::new(100).is_none());
+        assert!(Fft::new(2).is_some());
+        assert!(Fft::new(512).is_some());
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let fft = Fft::new(16).unwrap();
+        let data: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f32 * 0.7).sin(), (i as f32 * 0.3).cos()))
+            .collect();
+        let want = naive_dft(&data);
+        let mut got = data.clone();
+        fft.forward(&mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.re - w.re).abs() < 1e-3 && (g.im - w.im).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let fft = Fft::new(64).unwrap();
+        let mut data = vec![Complex::ZERO; 64];
+        data[0] = Complex::new(1.0, 0.0);
+        fft.forward(&mut data);
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-5 && c.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sine_peaks_at_its_bin() {
+        let n = 256;
+        let fft = Fft::new(n).unwrap();
+        let bin = 17;
+        let signal: Vec<f32> = (0..n)
+            .map(|i| (2.0 * std::f32::consts::PI * bin as f32 * i as f32 / n as f32).sin())
+            .collect();
+        let ps = fft.power_spectrum(&signal);
+        let peak = ps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, bin);
+    }
+
+    #[test]
+    fn power_spectrum_length_and_padding() {
+        let fft = Fft::new(512).unwrap();
+        let ps = fft.power_spectrum(&[1.0; 400]);
+        assert_eq!(ps.len(), 257);
+        // A constant signal concentrates energy near DC.
+        assert!(ps[0] > ps[100]);
+    }
+
+    #[test]
+    fn parseval_theorem_holds() {
+        let n = 128;
+        let fft = Fft::new(n).unwrap();
+        let signal: Vec<f32> = (0..n).map(|i| ((i * 37 % 13) as f32 - 6.0) / 6.0).collect();
+        let time_energy: f32 = signal.iter().map(|x| x * x).sum();
+        let mut buf: Vec<Complex> = signal.iter().map(|&s| Complex::new(s, 0.0)).collect();
+        fft.forward(&mut buf);
+        let freq_energy: f32 = buf.iter().map(|c| c.norm_sqr()).sum::<f32>() / n as f32;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan size")]
+    fn wrong_buffer_length_panics() {
+        let fft = Fft::new(8).unwrap();
+        let mut data = vec![Complex::ZERO; 4];
+        fft.forward(&mut data);
+    }
+
+    #[test]
+    fn complex_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((a.norm() - 5.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(a.scale(2.0), Complex::new(2.0, 4.0));
+        assert!(!format!("{a}").is_empty());
+        assert_eq!(Complex::default(), Complex::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(values in proptest::collection::vec(-1.0f32..1.0, 64)) {
+            let fft = Fft::new(64).unwrap();
+            let mut data: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let original = data.clone();
+            fft.forward(&mut data);
+            fft.inverse(&mut data);
+            for (a, b) in data.iter().zip(&original) {
+                prop_assert!((a.re - b.re).abs() < 1e-4);
+                prop_assert!(a.im.abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_linearity(
+            a in proptest::collection::vec(-1.0f32..1.0, 32),
+            b in proptest::collection::vec(-1.0f32..1.0, 32),
+        ) {
+            let fft = Fft::new(32).unwrap();
+            let mut fa: Vec<Complex> = a.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let mut fb: Vec<Complex> = b.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let mut fab: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| Complex::new(x + y, 0.0)).collect();
+            fft.forward(&mut fa);
+            fft.forward(&mut fb);
+            fft.forward(&mut fab);
+            for i in 0..32 {
+                let sum = fa[i] + fb[i];
+                prop_assert!((sum.re - fab[i].re).abs() < 1e-3);
+                prop_assert!((sum.im - fab[i].im).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The MFCC extraction pipeline and the top-level [`Frontend`].
+
+use crate::cmn::CepstralMeanNorm;
+use crate::config::{FrontendConfig, FrontendError};
+use crate::delta::DeltaComputer;
+use crate::dsp::{frame_signal, hamming_window, pre_emphasis, DctII, Fft, MelFilterBank};
+use crate::FeatureVector;
+
+/// Extracts static MFCC vectors (no deltas, no CMN) frame by frame.
+///
+/// This is the per-frame compute kernel; [`Frontend`] wraps it with
+/// pre-emphasis, framing, CMN and delta appending to provide the
+/// utterance-level API used by the recogniser.
+#[derive(Debug, Clone)]
+pub struct MfccExtractor {
+    config: FrontendConfig,
+    window: Vec<f32>,
+    fft: Fft,
+    filterbank: MelFilterBank,
+    dct: DctII,
+}
+
+impl MfccExtractor {
+    /// Builds the extractor for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(config: FrontendConfig) -> Result<Self, FrontendError> {
+        config.validate()?;
+        let frame_len = config.frame_length_samples();
+        let fft_size = config.fft_size();
+        let fft = Fft::new(fft_size)
+            .ok_or_else(|| FrontendError::InvalidConfig("FFT size must be a power of two >= 2".into()))?;
+        let filterbank = MelFilterBank::new(
+            config.num_mel_filters,
+            fft_size,
+            config.sample_rate_hz,
+            config.low_freq_hz,
+            config.effective_high_freq(),
+        );
+        let dct = DctII::new(config.num_mel_filters, config.num_cepstra);
+        Ok(MfccExtractor {
+            window: hamming_window(frame_len),
+            config,
+            fft,
+            filterbank,
+            dct,
+        })
+    }
+
+    /// The configuration this extractor was built with.
+    pub fn config(&self) -> &FrontendConfig {
+        &self.config
+    }
+
+    /// Computes the static cepstra of one frame of (pre-emphasised) samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not exactly one analysis window long.
+    pub fn frame_cepstra(&self, frame: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            frame.len(),
+            self.window.len(),
+            "frame must be exactly one analysis window"
+        );
+        let windowed: Vec<f32> = frame
+            .iter()
+            .zip(&self.window)
+            .map(|(&s, &w)| s * w)
+            .collect();
+        let spectrum = self.fft.power_spectrum(&windowed);
+        let log_energies = self.filterbank.apply_log(&spectrum, 1.0e-10);
+        self.dct.apply(&log_energies)
+    }
+}
+
+/// The complete software frontend of the paper's system: waveform in,
+/// 39-dimensional feature vectors out, one per 10 ms.
+#[derive(Debug, Clone)]
+pub struct Frontend {
+    extractor: MfccExtractor,
+    delta: DeltaComputer,
+}
+
+impl Frontend {
+    /// Builds a frontend for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(config: FrontendConfig) -> Result<Self, FrontendError> {
+        let delta = DeltaComputer::new(config.delta_window.max(1));
+        Ok(Frontend {
+            extractor: MfccExtractor::new(config)?,
+            delta,
+        })
+    }
+
+    /// The configuration this frontend was built with.
+    pub fn config(&self) -> &FrontendConfig {
+        self.extractor.config()
+    }
+
+    /// Processes a whole utterance of PCM samples (any amplitude scale) into
+    /// feature vectors.  Returns one vector of [`FrontendConfig::feature_dim`]
+    /// values per 10 ms frame; utterances shorter than one analysis window
+    /// yield an empty result.
+    pub fn process(&self, samples: &[f32]) -> Vec<FeatureVector> {
+        let cfg = self.extractor.config();
+        let mut emphasized = pre_emphasis(samples, cfg.pre_emphasis);
+        if cfg.dither > 0.0 {
+            // Deterministic tiny dither keeps log() away from -inf on exact
+            // digital silence without requiring a random source here.
+            for (i, v) in emphasized.iter_mut().enumerate() {
+                *v += cfg.dither * if i % 2 == 0 { 1.0 } else { -1.0 };
+            }
+        }
+        let frames = frame_signal(
+            &emphasized,
+            cfg.frame_length_samples(),
+            cfg.frame_shift_samples(),
+        );
+        let mut cepstra: Vec<Vec<f32>> = frames
+            .iter()
+            .map(|f| self.extractor.frame_cepstra(f))
+            .collect();
+        if cfg.cepstral_mean_norm {
+            CepstralMeanNorm::normalize_batch(&mut cepstra);
+        }
+        self.delta
+            .append(&cepstra, cfg.use_delta, cfg.use_delta_delta)
+    }
+
+    /// Number of feature frames `process` would produce for `num_samples`
+    /// input samples.
+    pub fn expected_frames(&self, num_samples: usize) -> usize {
+        let cfg = self.extractor.config();
+        let len = cfg.frame_length_samples();
+        let shift = cfg.frame_shift_samples();
+        if num_samples < len {
+            0
+        } else {
+            (num_samples - len) / shift + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f32, seconds: f32, rate: u32) -> Vec<f32> {
+        (0..(seconds * rate as f32) as usize)
+            .map(|n| (2.0 * std::f32::consts::PI * freq * n as f32 / rate as f32).sin())
+            .collect()
+    }
+
+    #[test]
+    fn produces_expected_frame_count_and_dim() {
+        let cfg = FrontendConfig::default();
+        let fe = Frontend::new(cfg.clone()).unwrap();
+        let samples = tone(440.0, 1.0, 16_000);
+        let feats = fe.process(&samples);
+        assert_eq!(feats.len(), fe.expected_frames(samples.len()));
+        assert_eq!(feats.len(), 98);
+        assert!(feats.iter().all(|f| f.len() == cfg.feature_dim()));
+        assert!(feats.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn short_input_yields_nothing() {
+        let fe = Frontend::new(FrontendConfig::default()).unwrap();
+        assert!(fe.process(&[0.0; 100]).is_empty());
+        assert_eq!(fe.expected_frames(100), 0);
+    }
+
+    #[test]
+    fn silence_produces_finite_features() {
+        let fe = Frontend::new(FrontendConfig::default()).unwrap();
+        let feats = fe.process(&vec![0.0; 8000]);
+        assert!(!feats.is_empty());
+        assert!(feats.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn different_tones_produce_different_features() {
+        let mut cfg = FrontendConfig::default();
+        cfg.cepstral_mean_norm = false;
+        let fe = Frontend::new(cfg).unwrap();
+        let a = fe.process(&tone(300.0, 0.3, 16_000));
+        let b = fe.process(&tone(2500.0, 0.3, 16_000));
+        // Compare the mean static cepstra of the two tones.
+        let mean = |fs: &Vec<Vec<f32>>| -> Vec<f32> {
+            let mut m = vec![0.0f32; 13];
+            for f in fs {
+                for d in 0..13 {
+                    m[d] += f[d];
+                }
+            }
+            m.iter().map(|v| v / fs.len() as f32).collect()
+        };
+        let (ma, mb) = (mean(&a), mean(&b));
+        let dist: f32 = ma.iter().zip(&mb).map(|(x, y)| (x - y).powi(2)).sum();
+        assert!(dist > 1.0, "distinct spectra must give distinct cepstra, dist={dist}");
+    }
+
+    #[test]
+    fn cmn_removes_gain_differences() {
+        let cfg = FrontendConfig::default();
+        let fe = Frontend::new(cfg).unwrap();
+        let quiet = tone(440.0, 0.3, 16_000);
+        let loud: Vec<f32> = quiet.iter().map(|s| s * 20.0).collect();
+        let fq = fe.process(&quiet);
+        let fl = fe.process(&loud);
+        // With CMN, a constant gain (constant offset in log domain / C0) largely
+        // cancels: static cepstra should be close.
+        let diff: f32 = fq
+            .iter()
+            .zip(&fl)
+            .map(|(a, b)| {
+                a[..13]
+                    .iter()
+                    .zip(&b[..13])
+                    .map(|(x, y)| (x - y).powi(2))
+                    .sum::<f32>()
+            })
+            .sum::<f32>()
+            / fq.len() as f32;
+        assert!(diff < 0.5, "CMN should suppress gain differences, diff={diff}");
+    }
+
+    #[test]
+    fn frame_cepstra_requires_full_window() {
+        let ex = MfccExtractor::new(FrontendConfig::default()).unwrap();
+        assert_eq!(ex.frame_cepstra(&[0.0; 400]).len(), 13);
+        assert_eq!(ex.config().num_cepstra, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "analysis window")]
+    fn wrong_frame_size_panics() {
+        let ex = MfccExtractor::new(FrontendConfig::default()).unwrap();
+        ex.frame_cepstra(&[0.0; 100]);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = FrontendConfig::default();
+        cfg.num_cepstra = 0;
+        assert!(Frontend::new(cfg.clone()).is_err());
+        assert!(MfccExtractor::new(cfg).is_err());
+    }
+
+    #[test]
+    fn no_delta_configuration() {
+        let mut cfg = FrontendConfig::default();
+        cfg.use_delta = false;
+        cfg.use_delta_delta = false;
+        let fe = Frontend::new(cfg).unwrap();
+        let feats = fe.process(&tone(500.0, 0.2, 16_000));
+        assert!(feats.iter().all(|f| f.len() == 13));
+    }
+}

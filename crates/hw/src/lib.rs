@@ -1,0 +1,104 @@
+//! # asr-hw — cycle-accurate models of the dedicated hardware units
+//!
+//! The paper's architecture pairs a low-power embedded host processor with
+//! dedicated 50 MHz ASIC datapaths for the two expensive kernels of HMM
+//! decoding:
+//!
+//! * the **Observation Probability (OP) unit** (Figure 2) — a pipelined
+//!   `(X−Y)²·Z` datapath, an accumulator closing the inner loop of
+//!   equation (6), a fused multiply-add for scale-and-weight adjustment and a
+//!   `logadd` stage backed by a 512-byte SRAM lookup table, producing one
+//!   senone score per mixture evaluation;
+//! * the **Viterbi decoder unit** (Figure 3) — pipelined 32-bit adders and a
+//!   2-cycle comparator that solve the log-domain Viterbi recursion for 3, 5
+//!   or 7-state HMMs.
+//!
+//! Since the original units exist only as Verilog synthesised with a 0.18 µm
+//! library, this crate reproduces them as *cycle-accurate simulators*:
+//! identical arithmetic (via [`asr_float::SoftFloat`] and
+//! [`asr_float::LogAddTable`]), explicit cycle counting per pipeline stage,
+//! activity tracking for clock gating, a flash/DMA memory system with
+//! bandwidth counters, and a power/area model calibrated to the paper's
+//! synthesis results (200 mW and 2.2 mm² per structure at 50 MHz;
+//! two structures → 400 mW, 4.4 mm²).
+//!
+//! # Example
+//!
+//! ```
+//! use asr_hw::{ObservationProbabilityUnit, OpuConfig};
+//! use asr_acoustic::{AcousticModel, AcousticModelConfig, SenoneId};
+//!
+//! let model = AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap();
+//! let mut opu = ObservationProbabilityUnit::new(OpuConfig::default());
+//! let x = vec![0.1_f32; model.feature_dim()];
+//! opu.load_feature_vector(&x);
+//! let score = opu.score_senone(&model, SenoneId(0)).unwrap();
+//! assert!(score.raw().is_finite());
+//! assert!(opu.stats().cycles > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod clock;
+pub mod memory;
+pub mod opu;
+pub mod power;
+pub mod soc;
+pub mod viterbi_unit;
+
+pub use clock::{ClockDomain, CycleCount};
+pub use memory::{DmaEngine, FlashMemory, MemoryStats, WorkingRam};
+pub use opu::{ObservationProbabilityUnit, OpuConfig, OpuStats};
+pub use power::{AreaBudget, EnergyReport, HostCpuModel, PowerModel};
+pub use soc::{FrameReport, SocConfig, SpeechSoc, UtteranceReport};
+pub use viterbi_unit::{ViterbiUnit, ViterbiUnitConfig, ViterbiUnitStats};
+
+/// Errors produced by the hardware simulators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwError {
+    /// The OP unit was asked to score before a feature vector was loaded.
+    NoFeatureLoaded,
+    /// A senone or triphone id was out of range for the supplied model.
+    UnknownId(String),
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// The Viterbi unit was driven with inconsistent state counts.
+    ShapeMismatch(String),
+}
+
+impl core::fmt::Display for HwError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HwError::NoFeatureLoaded => write!(f, "no feature vector loaded into the OP unit"),
+            HwError::UnknownId(msg) => write!(f, "unknown identifier: {msg}"),
+            HwError::InvalidConfig(msg) => write!(f, "invalid hardware config: {msg}"),
+            HwError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(!HwError::NoFeatureLoaded.to_string().is_empty());
+        assert!(HwError::UnknownId("senone#7".into()).to_string().contains("senone#7"));
+        assert!(HwError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(HwError::ShapeMismatch("y".into()).to_string().contains("y"));
+    }
+
+    #[test]
+    fn types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ObservationProbabilityUnit>();
+        assert_send_sync::<ViterbiUnit>();
+        assert_send_sync::<SpeechSoc>();
+        assert_send_sync::<PowerModel>();
+        assert_send_sync::<FlashMemory>();
+    }
+}

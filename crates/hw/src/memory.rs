@@ -1,0 +1,341 @@
+//! Flash, working RAM and DMA models with bandwidth accounting.
+//!
+//! "The system uses RAM for the intermediate values and flash memory to store
+//! acoustic and language models for speech recognition.  [...] The word decode
+//! is implemented in software and it accesses the dictionary (stored in flash
+//! memory) through a DMA interface."
+//!
+//! The models here do not store actual data (the parameter values already
+//! live in the `asr-acoustic` structures); they account for every byte the
+//! decoder *would* move so the bandwidth claims of the paper can be measured
+//! rather than assumed.
+
+use asr_float::MantissaWidth;
+
+/// Counters describing traffic through one memory device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Number of read transactions.
+    pub read_transactions: u64,
+    /// Number of write transactions.
+    pub write_transactions: u64,
+}
+
+impl MemoryStats {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Average bandwidth in GB/s given the elapsed time.
+    pub fn bandwidth_gb_per_s(&self, elapsed_s: f64) -> f64 {
+        if elapsed_s <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / elapsed_s / 1.0e9
+    }
+}
+
+/// The flash device storing acoustic model, dictionary and language model.
+#[derive(Debug, Clone)]
+pub struct FlashMemory {
+    /// Width at which Gaussian parameters are stored (the paper's mantissa
+    /// sweep changes this and nothing else).
+    parameter_width: MantissaWidth,
+    stats: MemoryStats,
+    /// Per-frame byte counter, reset by [`FlashMemory::begin_frame`].
+    frame_bytes: u64,
+    /// History of per-frame byte counts (one entry per completed frame).
+    frame_history: Vec<u64>,
+}
+
+impl FlashMemory {
+    /// Creates a flash model storing parameters at the given width.
+    pub fn new(parameter_width: MantissaWidth) -> Self {
+        FlashMemory {
+            parameter_width,
+            stats: MemoryStats::default(),
+            frame_bytes: 0,
+            frame_history: Vec::new(),
+        }
+    }
+
+    /// The parameter storage width.
+    pub fn parameter_width(&self) -> MantissaWidth {
+        self.parameter_width
+    }
+
+    /// Bytes occupied by one stored parameter at the configured width.
+    pub fn bytes_per_parameter(&self) -> f64 {
+        self.parameter_width.storage_bytes()
+    }
+
+    /// Records a read of `count` Gaussian parameters (mean/variance/weight
+    /// values streamed into the OP unit).
+    pub fn read_parameters(&mut self, count: usize) {
+        let bytes = (count as f64 * self.bytes_per_parameter()).ceil() as u64;
+        self.stats.bytes_read += bytes;
+        self.stats.read_transactions += 1;
+        self.frame_bytes += bytes;
+    }
+
+    /// Records a raw byte read (dictionary / language-model access over DMA).
+    pub fn read_bytes(&mut self, bytes: u64) {
+        self.stats.bytes_read += bytes;
+        self.stats.read_transactions += 1;
+        self.frame_bytes += bytes;
+    }
+
+    /// Starts a new 10 ms frame window for bandwidth accounting.
+    pub fn begin_frame(&mut self) {
+        if self.frame_bytes > 0 || !self.frame_history.is_empty() {
+            self.frame_history.push(self.frame_bytes);
+        }
+        self.frame_bytes = 0;
+    }
+
+    /// Finishes the utterance, flushing the current frame counter.
+    pub fn end_utterance(&mut self) {
+        self.frame_history.push(self.frame_bytes);
+        self.frame_bytes = 0;
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// Bytes read during the worst single frame so far.
+    pub fn peak_frame_bytes(&self) -> u64 {
+        self.frame_history
+            .iter()
+            .copied()
+            .chain([self.frame_bytes])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean bytes per completed frame.
+    pub fn mean_frame_bytes(&self) -> f64 {
+        if self.frame_history.is_empty() {
+            return self.frame_bytes as f64;
+        }
+        self.frame_history.iter().sum::<u64>() as f64 / self.frame_history.len() as f64
+    }
+
+    /// Peak per-frame bandwidth in GB/s for a given frame period.
+    pub fn peak_bandwidth_gb_per_s(&self, frame_period_s: f64) -> f64 {
+        if frame_period_s <= 0.0 {
+            return 0.0;
+        }
+        self.peak_frame_bytes() as f64 / frame_period_s / 1.0e9
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        self.stats = MemoryStats::default();
+        self.frame_bytes = 0;
+        self.frame_history.clear();
+    }
+}
+
+impl Default for FlashMemory {
+    fn default() -> Self {
+        Self::new(MantissaWidth::FULL)
+    }
+}
+
+/// The on-chip working RAM holding intermediate values (senone scores, Viterbi
+/// path scores, the phone/word lattices under construction).
+#[derive(Debug, Clone, Default)]
+pub struct WorkingRam {
+    stats: MemoryStats,
+    /// High-water mark of bytes resident at once.
+    peak_resident_bytes: u64,
+    resident_bytes: u64,
+}
+
+impl WorkingRam {
+    /// Creates an empty RAM model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a write of `bytes` (e.g. storing senone scores for the frame).
+    pub fn write(&mut self, bytes: u64) {
+        self.stats.bytes_written += bytes;
+        self.stats.write_transactions += 1;
+        self.resident_bytes += bytes;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+    }
+
+    /// Records a read of `bytes`.
+    pub fn read(&mut self, bytes: u64) {
+        self.stats.bytes_read += bytes;
+        self.stats.read_transactions += 1;
+    }
+
+    /// Frees `bytes` of residency (end of frame reuse).
+    pub fn free(&mut self, bytes: u64) {
+        self.resident_bytes = self.resident_bytes.saturating_sub(bytes);
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// The largest number of bytes ever resident at once.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident_bytes
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// The DMA engine the software word-decode stage uses to fetch dictionary and
+/// language-model data from flash without occupying the host CPU.
+///
+/// The paper criticises a related design where "the acoustic models are not
+/// accessed through a DMA, therefore, performance may be poor because of
+/// resource contention" — the DMA model tracks how many host cycles were *not*
+/// spent copying because the DMA did the work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmaEngine {
+    transfers: u64,
+    bytes_transferred: u64,
+    /// Host CPU cycles that a programmed-I/O copy would have cost (4 bytes per
+    /// cycle assumed), i.e. the contention the DMA removed.
+    host_cycles_saved: u64,
+}
+
+impl DmaEngine {
+    /// Creates an idle DMA engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a DMA transfer of `bytes` from flash to RAM.
+    pub fn transfer(&mut self, bytes: u64) {
+        self.transfers += 1;
+        self.bytes_transferred += bytes;
+        self.host_cycles_saved += bytes / 4;
+    }
+
+    /// Number of transfers performed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total bytes moved.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
+    /// Host cycles that would have been spent on programmed I/O.
+    pub fn host_cycles_saved(&self) -> u64 {
+        self.host_cycles_saved
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_parameter_width_scaling() {
+        let full = FlashMemory::new(MantissaWidth::FULL);
+        let narrow = FlashMemory::new(MantissaWidth::BITS_12);
+        assert_eq!(full.bytes_per_parameter(), 4.0);
+        assert!((narrow.bytes_per_parameter() - 21.0 / 8.0).abs() < 1e-12);
+        assert_eq!(full.parameter_width(), MantissaWidth::FULL);
+        assert_eq!(FlashMemory::default().parameter_width(), MantissaWidth::FULL);
+    }
+
+    #[test]
+    fn flash_frame_accounting() {
+        let mut flash = FlashMemory::new(MantissaWidth::FULL);
+        flash.begin_frame();
+        flash.read_parameters(1000); // 4000 bytes
+        flash.begin_frame();
+        flash.read_parameters(500); // 2000 bytes
+        flash.read_bytes(100);
+        flash.end_utterance();
+        assert_eq!(flash.stats().bytes_read, 4000 + 2000 + 100);
+        assert_eq!(flash.stats().read_transactions, 3);
+        assert_eq!(flash.peak_frame_bytes(), 4000);
+        assert!((flash.mean_frame_bytes() - 3050.0).abs() < 1e-9);
+        // Peak bandwidth for a 10 ms frame: 4000 B / 0.01 s = 400 kB/s.
+        assert!((flash.peak_bandwidth_gb_per_s(0.010) - 4.0e-4).abs() < 1e-12);
+        assert_eq!(flash.peak_bandwidth_gb_per_s(0.0), 0.0);
+        flash.reset();
+        assert_eq!(flash.stats().total_bytes(), 0);
+        assert_eq!(flash.peak_frame_bytes(), 0);
+    }
+
+    #[test]
+    fn paper_worst_case_bandwidth_from_flash_model() {
+        // Stream the full 6000-senone model (3.792M parameters) in one frame.
+        let mut flash = FlashMemory::new(MantissaWidth::FULL);
+        flash.begin_frame();
+        flash.read_parameters(3_792_000);
+        flash.end_utterance();
+        let gbps = flash.peak_bandwidth_gb_per_s(0.010);
+        assert!((gbps - 1.5168).abs() < 0.01, "{gbps}");
+    }
+
+    #[test]
+    fn memory_stats_helpers() {
+        let stats = MemoryStats {
+            bytes_read: 600,
+            bytes_written: 400,
+            read_transactions: 2,
+            write_transactions: 1,
+        };
+        assert_eq!(stats.total_bytes(), 1000);
+        // 1000 bytes in 1 µs = 1 GB/s.
+        assert!((stats.bandwidth_gb_per_s(1.0e-6) - 1.0).abs() < 1e-9);
+        assert_eq!(stats.bandwidth_gb_per_s(0.0), 0.0);
+    }
+
+    #[test]
+    fn working_ram_residency() {
+        let mut ram = WorkingRam::new();
+        ram.write(1000);
+        ram.write(500);
+        assert_eq!(ram.peak_resident_bytes(), 1500);
+        ram.free(1200);
+        ram.write(100);
+        assert_eq!(ram.peak_resident_bytes(), 1500);
+        ram.read(50);
+        assert_eq!(ram.stats().bytes_read, 50);
+        assert_eq!(ram.stats().bytes_written, 1600);
+        ram.free(10_000); // saturates, does not underflow
+        ram.reset();
+        assert_eq!(ram.peak_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn dma_engine_tracks_savings() {
+        let mut dma = DmaEngine::new();
+        dma.transfer(4096);
+        dma.transfer(1024);
+        assert_eq!(dma.transfers(), 2);
+        assert_eq!(dma.bytes_transferred(), 5120);
+        assert_eq!(dma.host_cycles_saved(), 5120 / 4);
+        dma.reset();
+        assert_eq!(dma.transfers(), 0);
+    }
+}

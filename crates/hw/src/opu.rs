@@ -1,0 +1,400 @@
+//! Cycle-accurate model of the Observation Probability (OP) unit (Figure 2).
+//!
+//! Datapath, as described in Section III-B of the paper:
+//!
+//! 1. the input feature vector is stored in an internal buffer;
+//! 2. Gaussian parameters (mean `µ_ji`, precision `δ_ji`, constant `C_jk`)
+//!    are streamed into the Gaussian-parameter buffer from flash;
+//! 3. an `(X−Y)²·Z` floating-point unit followed by an adder closes the inner
+//!    loop of equation (6), one feature dimension per pipeline beat;
+//! 4. a fused multiply-add performs the scale-and-weight adjustment (SWA);
+//! 5. the `logadd` unit folds mixture components together using the identity
+//!    `log(A+B) = log(A) + log(1 + B/A)` and a 512-byte SRAM lookup table.
+//!
+//! The model computes exactly what that datapath computes (section by section
+//! through [`asr_float::SoftFloat`] and [`asr_float::LogAddTable`]) and counts
+//! cycles per pipeline stage so the SoC model can answer the paper's
+//! real-time and power questions.
+
+use crate::clock::{ClockGate, CycleCount};
+use crate::HwError;
+use asr_acoustic::{AcousticModel, SenoneId};
+use asr_float::{LogAddTable, LogAddTableConfig, LogProb, MantissaWidth, SoftFloat};
+
+/// Configuration of the OP unit datapath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpuConfig {
+    /// Mantissa width of the floating-point datapath (the paper's sweep:
+    /// 23, 15 or 12 bits).
+    pub datapath_width: MantissaWidth,
+    /// Log-add SRAM table configuration (512 bytes in the paper).
+    pub logadd_table: LogAddTableConfig,
+    /// Pipeline fill latency in cycles before the first result of a senone
+    /// emerges (depth of the (X−Y)²·Z + adder pipeline).
+    pub pipeline_fill_cycles: CycleCount,
+    /// Cycles per feature dimension once the pipeline is full (1 = fully
+    /// pipelined).
+    pub cycles_per_dimension: CycleCount,
+    /// Cycles for the scale-and-weight fused multiply-add at the end of each
+    /// Gaussian.
+    pub swa_cycles: CycleCount,
+    /// Cycles for one log-add (SRAM lookup + add).
+    pub logadd_cycles: CycleCount,
+    /// Cycles to latch one feature-vector element into the input buffer.
+    pub feature_load_cycles_per_dim: CycleCount,
+}
+
+impl Default for OpuConfig {
+    fn default() -> Self {
+        OpuConfig {
+            datapath_width: MantissaWidth::FULL,
+            logadd_table: LogAddTableConfig::PAPER,
+            pipeline_fill_cycles: 6,
+            cycles_per_dimension: 1,
+            swa_cycles: 2,
+            logadd_cycles: 2,
+            feature_load_cycles_per_dim: 1,
+        }
+    }
+}
+
+impl OpuConfig {
+    /// A config with a reduced-mantissa datapath, everything else default.
+    pub fn with_width(width: MantissaWidth) -> Self {
+        OpuConfig {
+            datapath_width: width,
+            ..OpuConfig::default()
+        }
+    }
+
+    /// Cycles needed to score one senone with `components` mixture components
+    /// over `dim` feature dimensions (analytic form of the cycle model, used
+    /// by capacity planning; the simulator counts the same quantity
+    /// operationally).
+    pub fn cycles_per_senone(&self, dim: usize, components: usize) -> CycleCount {
+        let per_gaussian = self.pipeline_fill_cycles
+            + self.cycles_per_dimension * dim as u64
+            + self.swa_cycles;
+        components as u64 * per_gaussian + components as u64 * self.logadd_cycles
+    }
+
+    /// Maximum senones one OP unit can score within a cycle budget
+    /// (e.g. the 500 000 cycles of a 10 ms frame at 50 MHz).
+    pub fn senone_capacity(&self, dim: usize, components: usize, budget: CycleCount) -> usize {
+        let per_senone = self.cycles_per_senone(dim, components).max(1);
+        (budget / per_senone) as usize
+    }
+}
+
+/// Activity statistics of the OP unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpuStats {
+    /// Total busy cycles.
+    pub cycles: CycleCount,
+    /// Senones scored.
+    pub senones_evaluated: u64,
+    /// Individual Gaussians evaluated.
+    pub gaussians_evaluated: u64,
+    /// Log-add operations performed.
+    pub logadds: u64,
+    /// Gaussian parameters streamed from flash (values, not bytes).
+    pub parameters_streamed: u64,
+    /// Feature values loaded into the input buffer.
+    pub feature_loads: u64,
+}
+
+/// The Observation Probability unit simulator.
+#[derive(Debug, Clone)]
+pub struct ObservationProbabilityUnit {
+    config: OpuConfig,
+    datapath: SoftFloat,
+    logadd: LogAddTable,
+    feature: Option<Vec<f32>>,
+    stats: OpuStats,
+    gate: ClockGate,
+}
+
+impl ObservationProbabilityUnit {
+    /// Builds an OP unit from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log-add table configuration is invalid (the default and
+    /// paper configurations are always valid).
+    pub fn new(config: OpuConfig) -> Self {
+        let logadd = LogAddTable::with_config(config.logadd_table)
+            .expect("log-add table configuration must be valid");
+        ObservationProbabilityUnit {
+            datapath: SoftFloat::with_width(config.datapath_width),
+            logadd,
+            config,
+            feature: None,
+            stats: OpuStats::default(),
+            gate: ClockGate::new(),
+        }
+    }
+
+    /// The unit configuration.
+    pub fn config(&self) -> &OpuConfig {
+        &self.config
+    }
+
+    /// Activity statistics since the last reset.
+    pub fn stats(&self) -> &OpuStats {
+        &self.stats
+    }
+
+    /// Clock-gating record (active vs gated cycles).
+    pub fn clock_gate(&self) -> &ClockGate {
+        &self.gate
+    }
+
+    /// Loads the frame's feature vector into the internal buffer
+    /// ("the input feature vector is first stored in the internal buffer").
+    pub fn load_feature_vector(&mut self, x: &[f32]) {
+        let cycles = self.config.feature_load_cycles_per_dim * x.len() as u64;
+        self.stats.cycles += cycles;
+        self.stats.feature_loads += x.len() as u64;
+        self.gate.record_active(cycles);
+        self.feature = Some(x.to_vec());
+    }
+
+    /// Records idle time (no senones to score) during which the unit's clock
+    /// is gated.
+    pub fn idle(&mut self, cycles: CycleCount) {
+        self.gate.record_gated(cycles);
+    }
+
+    /// Scores one senone of `model` against the loaded feature vector,
+    /// returning the log observation probability (the "senone score").
+    ///
+    /// # Errors
+    ///
+    /// * [`HwError::NoFeatureLoaded`] if no feature vector has been loaded;
+    /// * [`HwError::UnknownId`] if the senone id is out of range;
+    /// * [`HwError::ShapeMismatch`] if the loaded vector's dimension differs
+    ///   from the model's.
+    pub fn score_senone(
+        &mut self,
+        model: &AcousticModel,
+        id: SenoneId,
+    ) -> Result<LogProb, HwError> {
+        let x = self
+            .feature
+            .clone()
+            .ok_or(HwError::NoFeatureLoaded)?;
+        if x.len() != model.feature_dim() {
+            return Err(HwError::ShapeMismatch(format!(
+                "feature dim {} vs model dim {}",
+                x.len(),
+                model.feature_dim()
+            )));
+        }
+        let senone = model
+            .senones()
+            .get(id)
+            .ok_or_else(|| HwError::UnknownId(format!("{id}")))?;
+        let mix = senone.mixture();
+
+        let mut cycles: CycleCount = 0;
+        let mut score = LogProb::zero();
+        for (k, gaussian) in mix.components().iter().enumerate() {
+            // Stream µ, δ and C for this component from flash.
+            self.stats.parameters_streamed += (2 * gaussian.dim() + 1) as u64;
+            // Inner loop of equation (6): C_jk + Σ_i (o_i − µ_i)²·δ_i,
+            // computed on the reduced-width datapath exactly as the pipeline
+            // would.
+            let constant = mix.log_weight_consts()[k];
+            let exponent = self.datapath.gaussian_exponent(
+                &x,
+                gaussian.mean(),
+                gaussian.precision(),
+                constant,
+            );
+            cycles += self.config.pipeline_fill_cycles
+                + self.config.cycles_per_dimension * gaussian.dim() as u64
+                + self.config.swa_cycles;
+            self.stats.gaussians_evaluated += 1;
+            // logadd stage folds this component into the running mixture sum.
+            score = self.logadd.log_add(score, LogProb::new(exponent));
+            cycles += self.config.logadd_cycles;
+            self.stats.logadds += 1;
+        }
+        self.stats.cycles += cycles;
+        self.stats.senones_evaluated += 1;
+        self.gate.record_active(cycles);
+        Ok(score)
+    }
+
+    /// Scores a whole active set of senones for the current frame, returning
+    /// `(id, score)` pairs.  Unknown ids produce an error, matching the
+    /// contract of the phone-decode stage which only requests valid senones.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ObservationProbabilityUnit::score_senone`].
+    pub fn score_active_set(
+        &mut self,
+        model: &AcousticModel,
+        ids: &[SenoneId],
+    ) -> Result<Vec<(SenoneId, LogProb)>, HwError> {
+        ids.iter()
+            .map(|&id| self.score_senone(model, id).map(|s| (id, s)))
+            .collect()
+    }
+
+    /// Resets statistics and clock-gating counters (keeps the loaded feature).
+    pub fn reset_stats(&mut self) {
+        self.stats = OpuStats::default();
+        self.gate.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_acoustic::AcousticModelConfig;
+
+    fn model() -> AcousticModel {
+        AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn requires_feature_vector() {
+        let m = model();
+        let mut opu = ObservationProbabilityUnit::new(OpuConfig::default());
+        assert_eq!(
+            opu.score_senone(&m, SenoneId(0)).unwrap_err(),
+            HwError::NoFeatureLoaded
+        );
+    }
+
+    #[test]
+    fn rejects_bad_ids_and_shapes() {
+        let m = model();
+        let mut opu = ObservationProbabilityUnit::new(OpuConfig::default());
+        opu.load_feature_vector(&vec![0.0; m.feature_dim()]);
+        assert!(matches!(
+            opu.score_senone(&m, SenoneId(9_999)),
+            Err(HwError::UnknownId(_))
+        ));
+        opu.load_feature_vector(&[0.0; 3]);
+        assert!(matches!(
+            opu.score_senone(&m, SenoneId(0)),
+            Err(HwError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn matches_reference_scoring_closely() {
+        // The hardware's answer (table log-add, full-width datapath) must track
+        // the exact software reference within the table's error bound.
+        let m = model();
+        let mut opu = ObservationProbabilityUnit::new(OpuConfig::default());
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.3 * d as f32 - 0.7).collect();
+        opu.load_feature_vector(&x);
+        for i in 0..m.senones().len() {
+            let id = SenoneId(i as u32);
+            let hw = opu.score_senone(&m, id).unwrap();
+            let sw = m.score_senone(id, &x).unwrap();
+            assert!(
+                (hw.raw() - sw.raw()).abs() < 0.1,
+                "senone {i}: hw {} vs sw {}",
+                hw.raw(),
+                sw.raw()
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_width_still_tracks_reference() {
+        let m = model();
+        let mut opu =
+            ObservationProbabilityUnit::new(OpuConfig::with_width(MantissaWidth::BITS_12));
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.1 * d as f32).collect();
+        opu.load_feature_vector(&x);
+        let hw = opu.score_senone(&m, SenoneId(3)).unwrap();
+        let sw = m.score_senone(SenoneId(3), &x).unwrap();
+        assert!((hw.raw() - sw.raw()).abs() < 0.5);
+        assert_eq!(opu.config().datapath_width, MantissaWidth::BITS_12);
+    }
+
+    #[test]
+    fn cycle_counts_match_analytic_model() {
+        let m = model();
+        let cfg = OpuConfig::default();
+        let mut opu = ObservationProbabilityUnit::new(cfg.clone());
+        let x = vec![0.0f32; m.feature_dim()];
+        opu.load_feature_vector(&x);
+        let before = opu.stats().cycles;
+        opu.score_senone(&m, SenoneId(0)).unwrap();
+        let per_senone = opu.stats().cycles - before;
+        let dim = m.feature_dim();
+        let comps = m.config().num_components;
+        assert_eq!(per_senone, cfg.cycles_per_senone(dim, comps));
+    }
+
+    #[test]
+    fn paper_capacity_is_under_half_the_senones_per_structure() {
+        // With the paper's geometry (39 dims, 8 components) one OP unit at
+        // 50 MHz can score ~1400 senones in a 10 ms frame, so two structures
+        // cover just under half of the 6000-senone inventory — exactly the
+        // claim that active senones must stay below 50 % for real time.
+        let cfg = OpuConfig::default();
+        let per_senone = cfg.cycles_per_senone(39, 8);
+        assert!(per_senone > 300 && per_senone < 450, "{per_senone}");
+        let capacity = cfg.senone_capacity(39, 8, 500_000);
+        assert!(capacity > 1000 && capacity < 2000, "{capacity}");
+        let two_units = 2 * capacity;
+        assert!(two_units < 3000, "two structures stay under 50% of 6000");
+        assert!(two_units > 2000);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let m = model();
+        let mut opu = ObservationProbabilityUnit::new(OpuConfig::default());
+        let x = vec![0.0f32; m.feature_dim()];
+        opu.load_feature_vector(&x);
+        let ids: Vec<SenoneId> = (0..4).map(SenoneId).collect();
+        let scores = opu.score_active_set(&m, &ids).unwrap();
+        assert_eq!(scores.len(), 4);
+        let s = opu.stats();
+        assert_eq!(s.senones_evaluated, 4);
+        assert_eq!(s.gaussians_evaluated, 4 * m.config().num_components as u64);
+        assert_eq!(s.logadds, s.gaussians_evaluated);
+        assert_eq!(
+            s.parameters_streamed,
+            4 * (m.config().num_components * (2 * m.feature_dim() + 1)) as u64
+        );
+        assert_eq!(s.feature_loads, m.feature_dim() as u64);
+        assert!(s.cycles > 0);
+        // Idle time counts as gated.
+        opu.idle(10_000);
+        assert!(opu.clock_gate().gated_cycles() >= 10_000);
+        assert!(opu.clock_gate().activity_factor() < 1.0);
+        opu.reset_stats();
+        assert_eq!(opu.stats().cycles, 0);
+        assert_eq!(opu.clock_gate().total_cycles(), 0);
+    }
+
+    #[test]
+    fn scoring_discriminates_between_senones() {
+        // A feature vector equal to senone 5's mean must score senone 5 best —
+        // through the hardware path, not just the software reference.
+        let m = model();
+        let mut opu = ObservationProbabilityUnit::new(OpuConfig::default());
+        let target_mean = m.senones().get(SenoneId(5)).unwrap().mixture().components()[0]
+            .mean()
+            .to_vec();
+        opu.load_feature_vector(&target_mean);
+        let ids: Vec<SenoneId> = (0..m.senones().len() as u32).map(SenoneId).collect();
+        let scores = opu.score_active_set(&m, &ids).unwrap();
+        let best = scores
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best, SenoneId(5));
+    }
+}

@@ -1,0 +1,603 @@
+//! The assembled SoC: host processor + dedicated accelerator structures +
+//! memory system.
+//!
+//! "Two such dedicated structures (observation probability unit and the
+//! Viterbi decoder combined) can support real time speech recognition."
+//! [`SpeechSoc`] instantiates `n` structures (default 2), distributes the
+//! active-senone scoring and HMM updates across them, charges every streamed
+//! parameter to the flash/DMA model, and produces per-frame and per-utterance
+//! reports of cycles, real-time factor, bandwidth, power and energy — the raw
+//! material for experiments E2, E5, E6 and E7.
+
+use crate::clock::{ClockDomain, CycleCount};
+use crate::memory::{DmaEngine, FlashMemory, WorkingRam};
+use crate::opu::{ObservationProbabilityUnit, OpuConfig};
+use crate::power::{EnergyReport, HostCpuModel, PowerModel};
+use crate::viterbi_unit::{HmmStep, ViterbiUnit, ViterbiUnitConfig};
+use crate::HwError;
+use asr_acoustic::{AcousticModel, SenoneId, TransitionMatrix};
+use asr_float::LogProb;
+
+/// Configuration of the SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocConfig {
+    /// Number of accelerator structures (OP unit + Viterbi decoder pairs).
+    pub num_structures: usize,
+    /// OP-unit configuration shared by all structures.
+    pub opu: OpuConfig,
+    /// Viterbi-unit configuration shared by all structures.
+    pub viterbi: ViterbiUnitConfig,
+    /// Power/area model of one structure.
+    pub power: PowerModel,
+    /// Host CPU model for the software stages.
+    pub host: HostCpuModel,
+    /// Speech frame period in seconds (10 ms).
+    pub frame_period_s: f64,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig {
+            num_structures: 2,
+            opu: OpuConfig::default(),
+            viterbi: ViterbiUnitConfig::default(),
+            power: PowerModel::paper_calibrated(),
+            host: HostCpuModel::arm9_embedded(),
+            frame_period_s: 0.010,
+        }
+    }
+}
+
+impl SocConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] when there are no structures or the
+    /// frame period is not positive.
+    pub fn validate(&self) -> Result<(), HwError> {
+        if self.num_structures == 0 {
+            return Err(HwError::InvalidConfig("num_structures == 0".into()));
+        }
+        if !(self.frame_period_s > 0.0) {
+            return Err(HwError::InvalidConfig("frame_period_s must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// The accelerator clock (taken from the power model).
+    pub fn clock(&self) -> ClockDomain {
+        self.power.clock
+    }
+
+    /// Cycle budget available per frame per structure.
+    pub fn cycle_budget_per_frame(&self) -> CycleCount {
+        self.clock().cycles_per_frame(self.frame_period_s)
+    }
+
+    /// Maximum senones the whole SoC can score per frame
+    /// (capacity × number of structures).
+    pub fn senone_capacity_per_frame(&self, dim: usize, components: usize) -> usize {
+        self.num_structures
+            * self
+                .opu
+                .senone_capacity(dim, components, self.cycle_budget_per_frame())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Structure {
+    opu: ObservationProbabilityUnit,
+    viterbi: ViterbiUnit,
+    frame_start_opu_cycles: CycleCount,
+    frame_start_viterbi_cycles: CycleCount,
+}
+
+/// Per-frame report of the accelerator's work.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FrameReport {
+    /// Senones scored this frame.
+    pub senones_scored: usize,
+    /// HMM (triphone) updates this frame.
+    pub hmm_updates: usize,
+    /// Busiest structure's OP-unit cycles this frame.
+    pub opu_cycles: CycleCount,
+    /// Busiest structure's Viterbi-unit cycles this frame.
+    pub viterbi_cycles: CycleCount,
+    /// Host-CPU cycles spent on the software stages this frame.
+    pub host_cycles: CycleCount,
+    /// Bytes streamed from flash this frame.
+    pub flash_bytes: u64,
+    /// Real-time factor of the accelerator for this frame
+    /// (busiest structure's cycles / cycle budget).
+    pub accelerator_rtf: f64,
+    /// Real-time factor of the host for this frame.
+    pub host_rtf: f64,
+    /// Whether the whole frame finished within its 10 ms budget.
+    pub real_time: bool,
+}
+
+/// Whole-utterance aggregation of frame reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UtteranceReport {
+    /// Number of frames processed.
+    pub frames: usize,
+    /// Total senones scored.
+    pub senones_scored: u64,
+    /// Total HMM updates.
+    pub hmm_updates: u64,
+    /// Mean senones scored per frame.
+    pub mean_senones_per_frame: f64,
+    /// Worst per-frame accelerator real-time factor.
+    pub worst_frame_rtf: f64,
+    /// Mean accelerator real-time factor.
+    pub mean_rtf: f64,
+    /// Fraction of frames that met the real-time budget.
+    pub real_time_fraction: f64,
+    /// Peak per-frame flash bandwidth (GB/s).
+    pub peak_bandwidth_gb_per_s: f64,
+    /// Mean per-frame flash bandwidth (GB/s).
+    pub mean_bandwidth_gb_per_s: f64,
+    /// Energy/power summary.
+    pub energy: EnergyReport,
+}
+
+/// The assembled low-power speech-recognition SoC.
+#[derive(Debug, Clone)]
+pub struct SpeechSoc {
+    config: SocConfig,
+    structures: Vec<Structure>,
+    flash: FlashMemory,
+    ram: WorkingRam,
+    dma: DmaEngine,
+    frames: Vec<FrameReport>,
+    next_structure: usize,
+    host_cycles_total: CycleCount,
+}
+
+impl SpeechSoc {
+    /// Builds the SoC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: SocConfig) -> Result<Self, HwError> {
+        config.validate()?;
+        let structures = (0..config.num_structures)
+            .map(|_| Structure {
+                opu: ObservationProbabilityUnit::new(config.opu.clone()),
+                viterbi: ViterbiUnit::new(config.viterbi),
+                frame_start_opu_cycles: 0,
+                frame_start_viterbi_cycles: 0,
+            })
+            .collect();
+        let flash = FlashMemory::new(config.opu.datapath_width);
+        Ok(SpeechSoc {
+            config,
+            structures,
+            flash,
+            ram: WorkingRam::new(),
+            dma: DmaEngine::new(),
+            frames: Vec::new(),
+            next_structure: 0,
+            host_cycles_total: 0,
+        })
+    }
+
+    /// The SoC configuration.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// The flash memory model (for inspecting bandwidth counters).
+    pub fn flash(&self) -> &FlashMemory {
+        &self.flash
+    }
+
+    /// The working RAM model.
+    pub fn ram(&self) -> &WorkingRam {
+        &self.ram
+    }
+
+    /// The DMA engine model.
+    pub fn dma(&self) -> &DmaEngine {
+        &self.dma
+    }
+
+    /// Completed per-frame reports.
+    pub fn frame_reports(&self) -> &[FrameReport] {
+        &self.frames
+    }
+
+    /// Starts a new 10 ms frame: loads the feature vector into every
+    /// structure's OP unit and opens a new flash bandwidth window.
+    pub fn begin_frame(&mut self, feature: &[f32]) {
+        self.flash.begin_frame();
+        for s in &mut self.structures {
+            s.frame_start_opu_cycles = s.opu.stats().cycles;
+            s.frame_start_viterbi_cycles = s.viterbi.stats().cycles;
+            s.opu.load_feature_vector(feature);
+        }
+        // The frame's feature vector is staged in RAM for the software stages.
+        self.ram.write((feature.len() * 4) as u64);
+    }
+
+    /// Scores the frame's active senones, distributing them round-robin over
+    /// the available structures, and charges the streamed parameters to flash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OP-unit errors ([`HwError::NoFeatureLoaded`],
+    /// [`HwError::UnknownId`], [`HwError::ShapeMismatch`]).
+    pub fn score_senones(
+        &mut self,
+        model: &AcousticModel,
+        ids: &[SenoneId],
+    ) -> Result<Vec<(SenoneId, LogProb)>, HwError> {
+        let n = self.structures.len();
+        let mut results = Vec::with_capacity(ids.len());
+        for (chunk_idx, chunk) in ids.chunks(ids.len().div_ceil(n).max(1)).enumerate() {
+            let structure = &mut self.structures[chunk_idx % n];
+            let before = structure.opu.stats().parameters_streamed;
+            let scores = structure.opu.score_active_set(model, chunk)?;
+            let streamed = structure.opu.stats().parameters_streamed - before;
+            self.flash.read_parameters(streamed as usize);
+            // Senone scores are written to RAM for the Viterbi stage.
+            self.ram.write(chunk.len() as u64 * 4);
+            results.extend(scores);
+        }
+        Ok(results)
+    }
+
+    /// Advances one triphone HMM by one frame on the next structure's Viterbi
+    /// unit (round-robin load balancing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HwError::ShapeMismatch`] from the Viterbi unit.
+    pub fn step_hmm(
+        &mut self,
+        prev_scores: &[LogProb],
+        entry_score: LogProb,
+        transitions: &TransitionMatrix,
+        senone_scores: &[LogProb],
+    ) -> Result<HmmStep, HwError> {
+        let idx = self.next_structure;
+        self.next_structure = (self.next_structure + 1) % self.structures.len();
+        // Path scores are read from and written back to RAM each frame.
+        self.ram.read(prev_scores.len() as u64 * 4);
+        self.ram.write(senone_scores.len() as u64 * 4);
+        self.structures[idx]
+            .viterbi
+            .step_hmm(prev_scores, entry_score, transitions, senone_scores)
+    }
+
+    /// Records a dictionary / language-model DMA transfer (word-decode stage).
+    pub fn dma_fetch(&mut self, bytes: u64) {
+        self.dma.transfer(bytes);
+        self.flash.read_bytes(bytes);
+    }
+
+    /// Ends the frame, charging the host-CPU cost of the software stages and
+    /// producing a [`FrameReport`].
+    pub fn end_frame(&mut self, active_triphones: usize, lattice_edges: usize) -> FrameReport {
+        let budget = self.config.cycle_budget_per_frame();
+        let mut senones = 0u64;
+        let mut hmms = 0u64;
+        let mut worst_opu = 0u64;
+        let mut worst_vit = 0u64;
+        for s in &mut self.structures {
+            let opu_cycles = s.opu.stats().cycles - s.frame_start_opu_cycles;
+            let vit_cycles = s.viterbi.stats().cycles - s.frame_start_viterbi_cycles;
+            worst_opu = worst_opu.max(opu_cycles);
+            worst_vit = worst_vit.max(vit_cycles);
+            // Idle for the rest of the frame: clock gated.
+            let busy = opu_cycles + vit_cycles;
+            if busy < budget {
+                s.opu.idle(budget - busy);
+                s.viterbi.idle(budget - busy);
+            }
+            senones += s.opu.stats().senones_evaluated;
+            hmms += s.viterbi.stats().hmm_updates;
+        }
+        // Convert cumulative unit stats into per-frame counts using history.
+        let prev_senones: u64 = self.frames.iter().map(|f| f.senones_scored as u64).sum();
+        let prev_hmms: u64 = self.frames.iter().map(|f| f.hmm_updates as u64).sum();
+        let frame_senones = senones - prev_senones;
+        let frame_hmms = hmms - prev_hmms;
+
+        let host_cycles = self
+            .config
+            .host
+            .software_cycles_per_frame(active_triphones, lattice_edges);
+        self.host_cycles_total += host_cycles;
+
+        let accel_busy = worst_opu + worst_vit;
+        let accelerator_rtf = accel_busy as f64 / budget as f64;
+        let host_budget = self.config.host.clock.cycles_in(self.config.frame_period_s);
+        let host_rtf = host_cycles as f64 / host_budget.max(1) as f64;
+
+        let report = FrameReport {
+            senones_scored: frame_senones as usize,
+            hmm_updates: frame_hmms as usize,
+            opu_cycles: worst_opu,
+            viterbi_cycles: worst_vit,
+            host_cycles,
+            flash_bytes: self.flash.peak_frame_bytes().min(u64::MAX),
+            accelerator_rtf,
+            host_rtf,
+            real_time: accelerator_rtf <= 1.0 && host_rtf <= 1.0,
+        };
+        self.frames.push(report);
+        report
+    }
+
+    /// Finishes the utterance and produces the aggregated report.
+    pub fn finish_utterance(&mut self) -> UtteranceReport {
+        self.flash.end_utterance();
+        let frames = self.frames.len();
+        if frames == 0 {
+            return UtteranceReport::default();
+        }
+        let audio_seconds = frames as f64 * self.config.frame_period_s;
+        let mut opu_activity_sum = 0.0;
+        let mut vit_activity_sum = 0.0;
+        let mut accel_energy = 0.0;
+        for s in &self.structures {
+            let opu_act = s.opu.clock_gate().activity_factor();
+            let vit_act = s.viterbi.clock_gate().activity_factor();
+            opu_activity_sum += opu_act;
+            vit_activity_sum += vit_act;
+            let elapsed = self.config.clock().cycles_in(audio_seconds);
+            accel_energy += self.config.power.structure_energy_j(elapsed, opu_act, vit_act);
+        }
+        let n = self.structures.len() as f64;
+        let host_energy: f64 = self
+            .frames
+            .iter()
+            .map(|f| {
+                self.config
+                    .host
+                    .energy_per_frame_j(f.host_cycles, self.config.frame_period_s)
+            })
+            .sum();
+
+        let worst_rtf = self
+            .frames
+            .iter()
+            .map(|f| f.accelerator_rtf.max(f.host_rtf))
+            .fold(0.0f64, f64::max);
+        let mean_rtf = self
+            .frames
+            .iter()
+            .map(|f| f.accelerator_rtf.max(f.host_rtf))
+            .sum::<f64>()
+            / frames as f64;
+        let rt_frames = self.frames.iter().filter(|f| f.real_time).count();
+
+        UtteranceReport {
+            frames,
+            senones_scored: self.frames.iter().map(|f| f.senones_scored as u64).sum(),
+            hmm_updates: self.frames.iter().map(|f| f.hmm_updates as u64).sum(),
+            mean_senones_per_frame: self
+                .frames
+                .iter()
+                .map(|f| f.senones_scored as f64)
+                .sum::<f64>()
+                / frames as f64,
+            worst_frame_rtf: worst_rtf,
+            mean_rtf,
+            real_time_fraction: rt_frames as f64 / frames as f64,
+            peak_bandwidth_gb_per_s: self
+                .flash
+                .peak_bandwidth_gb_per_s(self.config.frame_period_s),
+            mean_bandwidth_gb_per_s: self.flash.mean_frame_bytes()
+                / self.config.frame_period_s
+                / 1.0e9,
+            energy: EnergyReport {
+                accelerator_energy_j: accel_energy,
+                host_energy_j: host_energy,
+                audio_seconds,
+                opu_activity: opu_activity_sum / n,
+                viterbi_activity: vit_activity_sum / n,
+            },
+        }
+    }
+
+    /// Resets all counters for a fresh utterance (keeps the configuration).
+    pub fn reset(&mut self) {
+        for s in &mut self.structures {
+            s.opu.reset_stats();
+            s.viterbi.reset_stats();
+            s.frame_start_opu_cycles = 0;
+            s.frame_start_viterbi_cycles = 0;
+        }
+        self.flash.reset();
+        self.ram.reset();
+        self.dma.reset();
+        self.frames.clear();
+        self.next_structure = 0;
+        self.host_cycles_total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_acoustic::{AcousticModelConfig, HmmTopology};
+
+    fn model() -> AcousticModel {
+        AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap()
+    }
+
+    fn soc(n: usize) -> SpeechSoc {
+        SpeechSoc::new(SocConfig {
+            num_structures: n,
+            ..SocConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation_and_budget() {
+        assert!(SocConfig {
+            num_structures: 0,
+            ..SocConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SocConfig {
+            frame_period_s: 0.0,
+            ..SocConfig::default()
+        }
+        .validate()
+        .is_err());
+        let cfg = SocConfig::default();
+        assert_eq!(cfg.cycle_budget_per_frame(), 500_000);
+        // Paper geometry: two structures score 2000–3000 senones per frame.
+        let cap = cfg.senone_capacity_per_frame(39, 8);
+        assert!(cap > 2000 && cap < 3000, "{cap}");
+        assert!(SpeechSoc::new(SocConfig {
+            num_structures: 0,
+            ..SocConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn frame_flow_produces_consistent_report() {
+        let m = model();
+        let mut soc = soc(2);
+        let x = vec![0.1f32; m.feature_dim()];
+        soc.begin_frame(&x);
+        let ids: Vec<SenoneId> = (0..10).map(SenoneId).collect();
+        let scores = soc.score_senones(&m, &ids).unwrap();
+        assert_eq!(scores.len(), 10);
+        // Drive a few HMM updates.
+        let t = m.transitions();
+        let prev = vec![LogProb::new(-3.0); t.num_states()];
+        let obs = vec![LogProb::new(-2.0); t.num_states()];
+        for _ in 0..4 {
+            soc.step_hmm(&prev, LogProb::zero(), t, &obs).unwrap();
+        }
+        soc.dma_fetch(256);
+        let report = soc.end_frame(4, 2);
+        assert_eq!(report.senones_scored, 10);
+        assert_eq!(report.hmm_updates, 4);
+        assert!(report.opu_cycles > 0);
+        assert!(report.viterbi_cycles > 0);
+        assert!(report.flash_bytes > 0);
+        assert!(report.real_time, "tiny frame must be real-time: {report:?}");
+        assert!(report.accelerator_rtf < 0.1);
+        assert_eq!(soc.frame_reports().len(), 1);
+        assert_eq!(soc.dma().transfers(), 1);
+        assert!(soc.ram().stats().bytes_written > 0);
+    }
+
+    #[test]
+    fn scores_match_single_unit_reference() {
+        // Splitting work across 2 structures must not change the scores.
+        let m = model();
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.2 * d as f32).collect();
+        let ids: Vec<SenoneId> = (0..m.senones().len() as u32).map(SenoneId).collect();
+
+        let mut soc1 = soc(1);
+        soc1.begin_frame(&x);
+        let a = soc1.score_senones(&m, &ids).unwrap();
+
+        let mut soc2 = soc(2);
+        soc2.begin_frame(&x);
+        let b = soc2.score_senones(&m, &ids).unwrap();
+
+        let mut a_sorted = a.clone();
+        a_sorted.sort_by_key(|(id, _)| *id);
+        let mut b_sorted = b.clone();
+        b_sorted.sort_by_key(|(id, _)| *id);
+        for ((ia, sa), (ib, sb)) in a_sorted.iter().zip(&b_sorted) {
+            assert_eq!(ia, ib);
+            assert_eq!(sa.raw(), sb.raw());
+        }
+    }
+
+    #[test]
+    fn two_structures_halve_per_structure_load() {
+        let m = model();
+        let x = vec![0.0f32; m.feature_dim()];
+        let ids: Vec<SenoneId> = (0..20).map(SenoneId).collect();
+
+        let mut one = soc(1);
+        one.begin_frame(&x);
+        one.score_senones(&m, &ids).unwrap();
+        let r1 = one.end_frame(0, 0);
+
+        let mut two = soc(2);
+        two.begin_frame(&x);
+        two.score_senones(&m, &ids).unwrap();
+        let r2 = two.end_frame(0, 0);
+
+        // The busiest structure in the 2-structure SoC does about half the
+        // OPU cycles of the single structure (feature-load overhead aside).
+        assert!(r2.opu_cycles < r1.opu_cycles);
+        assert!((r2.opu_cycles as f64) > 0.4 * r1.opu_cycles as f64);
+        assert!(r2.accelerator_rtf < r1.accelerator_rtf);
+    }
+
+    #[test]
+    fn utterance_report_aggregates_energy_and_bandwidth() {
+        let m = model();
+        let mut soc = soc(2);
+        let frames = 20;
+        let ids: Vec<SenoneId> = (0..m.senones().len() as u32).map(SenoneId).collect();
+        for f in 0..frames {
+            let x: Vec<f32> = (0..m.feature_dim())
+                .map(|d| 0.01 * (f * d) as f32)
+                .collect();
+            soc.begin_frame(&x);
+            soc.score_senones(&m, &ids).unwrap();
+            let t = m.transitions();
+            let prev = vec![LogProb::new(-2.0); t.num_states()];
+            let obs = vec![LogProb::new(-1.0); t.num_states()];
+            soc.step_hmm(&prev, LogProb::zero(), t, &obs).unwrap();
+            soc.end_frame(2, 1);
+        }
+        let report = soc.finish_utterance();
+        assert_eq!(report.frames, frames);
+        assert_eq!(report.senones_scored, (frames * ids.len()) as u64);
+        assert_eq!(report.hmm_updates, frames as u64);
+        assert!(report.mean_senones_per_frame > 0.0);
+        assert!(report.real_time_fraction > 0.99);
+        assert!(report.worst_frame_rtf < 1.0);
+        assert!(report.mean_rtf <= report.worst_frame_rtf);
+        assert!(report.peak_bandwidth_gb_per_s > 0.0);
+        assert!(report.mean_bandwidth_gb_per_s <= report.peak_bandwidth_gb_per_s + 1e-12);
+        // Power: a lightly loaded SoC must be far below the 2×200 mW ceiling,
+        // but above leakage.
+        let avg_power = report.energy.average_power_w();
+        assert!(avg_power < 0.4, "{avg_power}");
+        assert!(avg_power > 2.0 * soc.config().power.leakage_w * 0.9);
+        // Energy is positive and dominated by the accelerator or host, not NaN.
+        assert!(report.energy.total_energy_j() > 0.0);
+
+        soc.reset();
+        assert!(soc.frame_reports().is_empty());
+        assert_eq!(soc.finish_utterance(), UtteranceReport::default());
+    }
+
+    #[test]
+    fn hmm_updates_work_for_all_topologies() {
+        let mut soc = soc(2);
+        for topo in HmmTopology::ALL {
+            let t = TransitionMatrix::bakis(topo, 0.5).unwrap();
+            let n = topo.num_states();
+            let step = soc
+                .step_hmm(
+                    &vec![LogProb::new(-1.0); n],
+                    LogProb::zero(),
+                    &t,
+                    &vec![LogProb::new(-1.0); n],
+                )
+                .unwrap();
+            assert_eq!(step.scores.len(), n);
+        }
+    }
+}

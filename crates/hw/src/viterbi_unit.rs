@@ -1,0 +1,388 @@
+//! Cycle-accurate model of the Viterbi decoder unit (Figure 3).
+//!
+//! The unit solves the log-domain recursion of equation (7):
+//!
+//! ```text
+//! log δ_t(j) = max_i [ log δ_{t−1}(i) + log a_ij ] + log b_j(O_t)
+//! ```
+//!
+//! It is "a set of 32-bit adder(s) and comparator(s)"; the adder and the
+//! comparator are pipelined and the comparator takes two cycles.  Transition
+//! probabilities stream in as matrix columns (one column per destination
+//! state), the previous frame's path scores (`Delta(t−1)`) come from RAM, and
+//! the senone score `b_j(O_t)` arrives from the OP unit.  The unit handles 3,
+//! 5 and 7-state HMMs.
+
+use crate::clock::{ClockGate, CycleCount};
+use crate::HwError;
+use asr_acoustic::TransitionMatrix;
+use asr_float::{LogProb, MantissaWidth, SoftFloat};
+
+/// Configuration of the Viterbi datapath.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViterbiUnitConfig {
+    /// Mantissa width of the 32-bit adder datapath.
+    pub datapath_width: MantissaWidth,
+    /// Cycles per add (path score + transition, and + senone score).
+    pub add_cycles: CycleCount,
+    /// Cycles per compare ("Add & Compare (2 cycles)" in Figure 3).
+    pub compare_cycles: CycleCount,
+    /// Pipeline fill cycles per destination-state column.
+    pub column_fill_cycles: CycleCount,
+}
+
+impl Default for ViterbiUnitConfig {
+    fn default() -> Self {
+        ViterbiUnitConfig {
+            datapath_width: MantissaWidth::FULL,
+            add_cycles: 1,
+            compare_cycles: 2,
+            column_fill_cycles: 1,
+        }
+    }
+}
+
+impl ViterbiUnitConfig {
+    /// Cycles to advance one HMM by one frame: for each of `states`
+    /// destination columns, one add per incoming transition, a pipelined
+    /// 2-cycle compare reduction, and a final add of the senone score.
+    pub fn cycles_per_hmm(&self, states: usize, transitions_per_column: usize) -> CycleCount {
+        let per_column = self.column_fill_cycles
+            + self.add_cycles * transitions_per_column as u64
+            + self.compare_cycles
+            + self.add_cycles;
+        states as u64 * per_column
+    }
+}
+
+/// Activity statistics of the Viterbi unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViterbiUnitStats {
+    /// Total busy cycles.
+    pub cycles: CycleCount,
+    /// HMM-frame updates performed (one per active triphone per frame).
+    pub hmm_updates: u64,
+    /// Individual add operations.
+    pub adds: u64,
+    /// Individual compare operations.
+    pub compares: u64,
+}
+
+/// Result of advancing one HMM by one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HmmStep {
+    /// New path score per emitting state (`log δ_t(j)`).
+    pub scores: Vec<LogProb>,
+    /// Back-pointer: for each destination state, the source state that won the
+    /// max (needed by the software search for traceback).
+    pub backpointers: Vec<usize>,
+    /// Score of leaving the HMM this frame (best exit-state score + exit
+    /// transition), used by the word-decode stage to start successor phones.
+    pub exit_score: LogProb,
+}
+
+/// The Viterbi decoder unit simulator.
+#[derive(Debug, Clone)]
+pub struct ViterbiUnit {
+    config: ViterbiUnitConfig,
+    datapath: SoftFloat,
+    stats: ViterbiUnitStats,
+    gate: ClockGate,
+}
+
+impl ViterbiUnit {
+    /// Builds a Viterbi unit.
+    pub fn new(config: ViterbiUnitConfig) -> Self {
+        ViterbiUnit {
+            datapath: SoftFloat::with_width(config.datapath_width),
+            config,
+            stats: ViterbiUnitStats::default(),
+            gate: ClockGate::new(),
+        }
+    }
+
+    /// The unit configuration.
+    pub fn config(&self) -> &ViterbiUnitConfig {
+        &self.config
+    }
+
+    /// Activity statistics since the last reset.
+    pub fn stats(&self) -> &ViterbiUnitStats {
+        &self.stats
+    }
+
+    /// Clock-gating record.
+    pub fn clock_gate(&self) -> &ClockGate {
+        &self.gate
+    }
+
+    /// Records idle (clock-gated) cycles.
+    pub fn idle(&mut self, cycles: CycleCount) {
+        self.gate.record_gated(cycles);
+    }
+
+    /// Advances one HMM by one frame.
+    ///
+    /// * `prev_scores` — `log δ_{t−1}(i)` for each emitting state (use
+    ///   [`LogProb::zero`] for states not yet reachable);
+    /// * `entry_score` — score of entering state 0 from outside the HMM this
+    ///   frame (the merged exit of the predecessor triphone), or
+    ///   [`LogProb::zero`] if none;
+    /// * `transitions` — the HMM's transition matrix;
+    /// * `senone_scores` — `log b_j(O_t)` for each emitting state, as produced
+    ///   by the OP unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::ShapeMismatch`] if the score vectors do not match
+    /// the transition matrix's state count.
+    pub fn step_hmm(
+        &mut self,
+        prev_scores: &[LogProb],
+        entry_score: LogProb,
+        transitions: &TransitionMatrix,
+        senone_scores: &[LogProb],
+    ) -> Result<HmmStep, HwError> {
+        let n = transitions.num_states();
+        if prev_scores.len() != n || senone_scores.len() != n {
+            return Err(HwError::ShapeMismatch(format!(
+                "expected {n} states, got {} prev scores and {} senone scores",
+                prev_scores.len(),
+                senone_scores.len()
+            )));
+        }
+        let mut cycles: CycleCount = 0;
+        let mut scores = Vec::with_capacity(n);
+        let mut backpointers = Vec::with_capacity(n);
+        for j in 0..n {
+            cycles += self.config.column_fill_cycles;
+            // Max over incoming transitions (the streamed matrix column).
+            let mut best = LogProb::zero();
+            let mut best_src = j;
+            for (i, a_ij) in transitions.column(j) {
+                let candidate = self.add(prev_scores[i], a_ij);
+                cycles += self.config.add_cycles;
+                self.stats.adds += 1;
+                if candidate.raw() > best.raw() {
+                    best = candidate;
+                    best_src = i;
+                }
+            }
+            self.stats.compares += 1;
+            cycles += self.config.compare_cycles;
+            // A token entering the HMM this frame competes for state 0.
+            if j == 0 && !entry_score.is_zero() && entry_score.raw() > best.raw() {
+                best = entry_score;
+                best_src = usize::MAX; // sentinel: came from outside
+            }
+            // Final add of the senone score b_j(O_t).
+            let with_obs = self.add(best, senone_scores[j]);
+            cycles += self.config.add_cycles;
+            self.stats.adds += 1;
+            scores.push(with_obs);
+            backpointers.push(best_src);
+        }
+        // Exit score: best over states of score + exit transition.
+        let mut exit = LogProb::zero();
+        for i in 0..n {
+            let e = self.add(scores[i], transitions.log_exit_prob(i));
+            cycles += self.config.add_cycles;
+            self.stats.adds += 1;
+            if e.raw() > exit.raw() {
+                exit = e;
+            }
+        }
+        self.stats.compares += 1;
+        cycles += self.config.compare_cycles;
+
+        self.stats.cycles += cycles;
+        self.stats.hmm_updates += 1;
+        self.gate.record_active(cycles);
+        Ok(HmmStep {
+            scores,
+            backpointers,
+            exit_score: exit,
+        })
+    }
+
+    #[inline]
+    fn add(&self, a: LogProb, b: LogProb) -> LogProb {
+        if a.is_zero() || b.is_zero() {
+            LogProb::zero()
+        } else {
+            LogProb::new(self.datapath.add(a.raw(), b.raw()))
+        }
+    }
+
+    /// Resets statistics and clock-gating counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = ViterbiUnitStats::default();
+        self.gate.reset();
+    }
+}
+
+impl Default for ViterbiUnit {
+    fn default() -> Self {
+        Self::new(ViterbiUnitConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_acoustic::HmmTopology;
+
+    fn bakis3() -> TransitionMatrix {
+        TransitionMatrix::bakis(HmmTopology::Three, 0.6).unwrap()
+    }
+
+    /// Reference software Viterbi step for comparison.
+    fn reference_step(
+        prev: &[LogProb],
+        entry: LogProb,
+        t: &TransitionMatrix,
+        obs: &[LogProb],
+    ) -> Vec<LogProb> {
+        let n = t.num_states();
+        (0..n)
+            .map(|j| {
+                let mut best = LogProb::zero();
+                for i in 0..n {
+                    let c = prev[i] + t.log_prob(i, j);
+                    if c.raw() > best.raw() {
+                        best = c;
+                    }
+                }
+                if j == 0 && entry.raw() > best.raw() {
+                    best = entry;
+                }
+                best + obs[j]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_recursion() {
+        let t = bakis3();
+        let mut unit = ViterbiUnit::default();
+        let prev = vec![LogProb::new(-5.0), LogProb::new(-7.0), LogProb::new(-9.0)];
+        let obs = vec![LogProb::new(-2.0), LogProb::new(-1.5), LogProb::new(-3.0)];
+        let step = unit
+            .step_hmm(&prev, LogProb::zero(), &t, &obs)
+            .unwrap();
+        let reference = reference_step(&prev, LogProb::zero(), &t, &obs);
+        for (hw, sw) in step.scores.iter().zip(&reference) {
+            assert!((hw.raw() - sw.raw()).abs() < 1e-4, "{} vs {}", hw.raw(), sw.raw());
+        }
+        assert_eq!(step.scores.len(), 3);
+        assert_eq!(step.backpointers.len(), 3);
+    }
+
+    #[test]
+    fn backpointers_identify_the_max_source() {
+        let t = bakis3();
+        let mut unit = ViterbiUnit::default();
+        // State 1 of the previous frame is far better than state 0, so the
+        // winner into state 1 must be the self-loop (source 1), and into
+        // state 2 the forward transition from 1.
+        let prev = vec![LogProb::new(-50.0), LogProb::new(-1.0), LogProb::new(-40.0)];
+        let obs = vec![LogProb::new(-1.0); 3];
+        let step = unit.step_hmm(&prev, LogProb::zero(), &t, &obs).unwrap();
+        assert_eq!(step.backpointers[1], 1);
+        assert_eq!(step.backpointers[2], 1);
+    }
+
+    #[test]
+    fn entry_token_wins_empty_hmm() {
+        let t = bakis3();
+        let mut unit = ViterbiUnit::default();
+        let prev = vec![LogProb::zero(); 3];
+        let obs = vec![LogProb::new(-1.0); 3];
+        let entry = LogProb::new(-4.0);
+        let step = unit.step_hmm(&prev, entry, &t, &obs).unwrap();
+        // State 0 becomes entry + obs; other states stay unreachable.
+        assert!((step.scores[0].raw() - (-5.0)).abs() < 1e-4);
+        assert!(step.scores[1].is_zero());
+        assert!(step.scores[2].is_zero());
+        assert_eq!(step.backpointers[0], usize::MAX);
+        assert!(step.exit_score.is_zero() || step.exit_score.raw() < step.scores[0].raw());
+    }
+
+    #[test]
+    fn exit_score_comes_from_last_state() {
+        let t = bakis3();
+        let mut unit = ViterbiUnit::default();
+        let prev = vec![LogProb::new(-2.0), LogProb::new(-2.0), LogProb::new(-2.0)];
+        let obs = vec![LogProb::new(-1.0); 3];
+        let step = unit.step_hmm(&prev, LogProb::zero(), &t, &obs).unwrap();
+        // Only the last state has a non-zero exit transition in a Bakis model.
+        let expected = step.scores[2] + t.log_exit_prob(2);
+        assert!((step.exit_score.raw() - expected.raw()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn handles_all_supported_topologies() {
+        let mut unit = ViterbiUnit::default();
+        for topo in HmmTopology::ALL {
+            let t = TransitionMatrix::bakis(topo, 0.5).unwrap();
+            let n = topo.num_states();
+            let prev = vec![LogProb::new(-3.0); n];
+            let obs = vec![LogProb::new(-2.0); n];
+            let step = unit.step_hmm(&prev, LogProb::zero(), &t, &obs).unwrap();
+            assert_eq!(step.scores.len(), n);
+            assert!(step.scores.iter().all(|s| s.raw().is_finite()));
+        }
+        assert_eq!(unit.stats().hmm_updates, 3);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let t = bakis3();
+        let mut unit = ViterbiUnit::default();
+        assert!(matches!(
+            unit.step_hmm(&[LogProb::ONE; 2], LogProb::zero(), &t, &[LogProb::ONE; 3]),
+            Err(HwError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            unit.step_hmm(&[LogProb::ONE; 3], LogProb::zero(), &t, &[LogProb::ONE; 5]),
+            Err(HwError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn cycle_count_matches_analytic_model() {
+        let t = bakis3();
+        let cfg = ViterbiUnitConfig::default();
+        let mut unit = ViterbiUnit::new(cfg);
+        let prev = vec![LogProb::new(-1.0); 3];
+        let obs = vec![LogProb::new(-1.0); 3];
+        unit.step_hmm(&prev, LogProb::zero(), &t, &obs).unwrap();
+        // Analytic model: 3 columns with ≤2 incoming transitions each + the
+        // exit reduction (3 adds + compare). The operational count must be in
+        // the same ballpark (within the variation from 1- vs 2-entry columns).
+        let analytic = cfg.cycles_per_hmm(3, 2) + 3 * cfg.add_cycles + cfg.compare_cycles;
+        let measured = unit.stats().cycles;
+        assert!(
+            measured <= analytic && measured >= analytic - 2 * cfg.add_cycles,
+            "measured {measured}, analytic {analytic}"
+        );
+        assert!(unit.stats().adds > 0);
+        assert!(unit.stats().compares > 0);
+    }
+
+    #[test]
+    fn stats_and_gating() {
+        let t = bakis3();
+        let mut unit = ViterbiUnit::default();
+        let prev = vec![LogProb::new(-1.0); 3];
+        let obs = vec![LogProb::new(-1.0); 3];
+        unit.step_hmm(&prev, LogProb::zero(), &t, &obs).unwrap();
+        unit.idle(1_000);
+        assert!(unit.clock_gate().activity_factor() < 0.2);
+        assert!(unit.clock_gate().active_cycles() > 0);
+        unit.reset_stats();
+        assert_eq!(unit.stats(), &ViterbiUnitStats::default());
+        assert_eq!(unit.clock_gate().total_cycles(), 0);
+        assert_eq!(unit.config().compare_cycles, 2);
+    }
+}

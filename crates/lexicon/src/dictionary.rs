@@ -1,0 +1,297 @@
+//! Pronunciation dictionary and its flash storage accounting.
+//!
+//! The paper: "The memory requirement for the dictionary of 20,000 words
+//! (Wall Street Journal, with average of 9 triphones per word) with 3 state
+//! HMM is around 11 Mb (9 Mb for dictionary and 2 Mb of word ID to ASCII
+//! mapping)."  [`DictionaryStorage`] reproduces that accounting.
+
+use crate::LexiconError;
+use asr_acoustic::{PhoneId, Triphone};
+use std::collections::HashMap;
+
+/// Identifier of a word in a [`Dictionary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WordId(pub u32);
+
+impl WordId {
+    /// The numeric index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for WordId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "word#{}", self.0)
+    }
+}
+
+/// A pronunciation: a non-empty sequence of phones.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pronunciation {
+    phones: Vec<PhoneId>,
+}
+
+impl Pronunciation {
+    /// Creates a pronunciation from a phone sequence.
+    pub fn new(phones: Vec<PhoneId>) -> Self {
+        Pronunciation { phones }
+    }
+
+    /// The phone sequence.
+    pub fn phones(&self) -> &[PhoneId] {
+        &self.phones
+    }
+
+    /// Number of phones.
+    pub fn len(&self) -> usize {
+        self.phones.len()
+    }
+
+    /// Returns `true` if the pronunciation has no phones.
+    pub fn is_empty(&self) -> bool {
+        self.phones.is_empty()
+    }
+
+    /// Expands the pronunciation into word-internal triphones, using the
+    /// given left/right word-boundary contexts (typically silence or the
+    /// adjacent word's edge phones).
+    pub fn triphones(&self, left_context: PhoneId, right_context: PhoneId) -> Vec<Triphone> {
+        let n = self.phones.len();
+        (0..n)
+            .map(|i| {
+                let left = if i == 0 { left_context } else { self.phones[i - 1] };
+                let right = if i + 1 == n {
+                    right_context
+                } else {
+                    self.phones[i + 1]
+                };
+                Triphone::new(self.phones[i], left, right)
+            })
+            .collect()
+    }
+}
+
+/// A word → pronunciation dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    words: Vec<(String, Pronunciation)>,
+    index: HashMap<String, WordId>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if the dictionary has no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Adds a word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LexiconError::InvalidPronunciation`] for an empty
+    /// pronunciation and [`LexiconError::UnknownWord`] (reused as "duplicate")
+    /// if the spelling is already present.
+    pub fn add_word(
+        &mut self,
+        spelling: &str,
+        pronunciation: Pronunciation,
+    ) -> Result<WordId, LexiconError> {
+        if pronunciation.is_empty() {
+            return Err(LexiconError::InvalidPronunciation(format!(
+                "word '{spelling}' has an empty pronunciation"
+            )));
+        }
+        if self.index.contains_key(spelling) {
+            return Err(LexiconError::UnknownWord(format!(
+                "word '{spelling}' already in dictionary"
+            )));
+        }
+        let id = WordId(self.words.len() as u32);
+        self.index.insert(spelling.to_string(), id);
+        self.words.push((spelling.to_string(), pronunciation));
+        Ok(id)
+    }
+
+    /// Looks up a word id by spelling.
+    pub fn id_of(&self, spelling: &str) -> Option<WordId> {
+        self.index.get(spelling).copied()
+    }
+
+    /// The spelling of a word (the "word ID to ASCII mapping" of the paper).
+    pub fn spelling(&self, id: WordId) -> Option<&str> {
+        self.words.get(id.index()).map(|(s, _)| s.as_str())
+    }
+
+    /// The pronunciation of a word.
+    pub fn pronunciation(&self, id: WordId) -> Option<&Pronunciation> {
+        self.words.get(id.index()).map(|(_, p)| p)
+    }
+
+    /// Iterates over `(id, spelling, pronunciation)`.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str, &Pronunciation)> {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, (s, p))| (WordId(i as u32), s.as_str(), p))
+    }
+
+    /// Average number of phones per word (≈ triphones per word, since every
+    /// phone becomes one triphone).
+    pub fn mean_phones_per_word(&self) -> f64 {
+        if self.words.is_empty() {
+            return 0.0;
+        }
+        self.words.iter().map(|(_, p)| p.len() as f64).sum::<f64>() / self.words.len() as f64
+    }
+
+    /// Flash storage accounting for this dictionary.
+    pub fn storage(&self, states_per_triphone: usize) -> DictionaryStorage {
+        let total_triphones: usize = self.words.iter().map(|(_, p)| p.len()).sum();
+        let ascii_bytes: usize = self.words.iter().map(|(s, _)| s.len() + 1).sum();
+        DictionaryStorage {
+            num_words: self.words.len(),
+            total_triphone_entries: total_triphones,
+            states_per_triphone,
+            ascii_bytes,
+        }
+    }
+}
+
+/// Flash-storage accounting for a dictionary, following the paper's sizing.
+///
+/// Each triphone entry in a word's pronunciation stores one senone-sequence
+/// pointer per HMM state plus the triphone identity; at the paper's 20 000
+/// words × ~9 triphones × 3 states this comes to ≈ 9 Mb, with ≈ 2 Mb more for
+/// the word-ID → ASCII table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DictionaryStorage {
+    /// Number of words.
+    pub num_words: usize,
+    /// Total triphone entries across all pronunciations.
+    pub total_triphone_entries: usize,
+    /// HMM states per triphone (3 in the paper's sizing).
+    pub states_per_triphone: usize,
+    /// Bytes of ASCII spellings (including terminators).
+    pub ascii_bytes: usize,
+}
+
+impl DictionaryStorage {
+    /// Bits stored per triphone entry: a 16-bit senone index per state plus a
+    /// 2-bit triphone-position tag — ≈ 50 bits at 3 states, which reproduces
+    /// the paper's 9 Mb for 180 000 entries.
+    pub fn bits_per_triphone_entry(&self) -> usize {
+        16 * self.states_per_triphone + 2
+    }
+
+    /// Dictionary (pronunciation network) size in megabits.
+    pub fn dictionary_megabits(&self) -> f64 {
+        (self.total_triphone_entries * self.bits_per_triphone_entry()) as f64 / 1.0e6
+    }
+
+    /// Word-ID → ASCII mapping size in megabits.
+    pub fn word_map_megabits(&self) -> f64 {
+        (self.ascii_bytes * 8) as f64 / 1.0e6
+    }
+
+    /// Total size in megabits (the paper's ≈ 11 Mb figure).
+    pub fn total_megabits(&self) -> f64 {
+        self.dictionary_megabits() + self.word_map_megabits()
+    }
+
+    /// The paper's sizing exercise: 20 000 words, 9 triphones/word average,
+    /// 3-state HMMs, ~12.5 ASCII characters per word entry.
+    pub fn paper_estimate() -> DictionaryStorage {
+        DictionaryStorage {
+            num_words: 20_000,
+            total_triphone_entries: 20_000 * 9,
+            states_per_triphone: 3,
+            ascii_bytes: 20_000 * 12 + 20_000 / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ids: &[u16]) -> Pronunciation {
+        Pronunciation::new(ids.iter().map(|&i| PhoneId(i)).collect())
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut d = Dictionary::new();
+        assert!(d.is_empty());
+        let cat = d.add_word("cat", p(&[1, 2, 3])).unwrap();
+        let dog = d.add_word("dog", p(&[4, 5, 6])).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.id_of("cat"), Some(cat));
+        assert_eq!(d.id_of("dog"), Some(dog));
+        assert_eq!(d.id_of("bird"), None);
+        assert_eq!(d.spelling(cat), Some("cat"));
+        assert_eq!(d.pronunciation(dog).unwrap().len(), 3);
+        assert_eq!(d.iter().count(), 2);
+        assert_eq!(d.spelling(WordId(99)), None);
+        assert_eq!(format!("{cat}"), "word#0");
+        assert_eq!(cat.index(), 0);
+        assert!((d.mean_phones_per_word() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_words() {
+        let mut d = Dictionary::new();
+        assert!(d.add_word("empty", Pronunciation::new(vec![])).is_err());
+        d.add_word("cat", p(&[1])).unwrap();
+        assert!(d.add_word("cat", p(&[2])).is_err());
+        assert_eq!(Dictionary::default().mean_phones_per_word(), 0.0);
+    }
+
+    #[test]
+    fn pronunciation_triphone_expansion() {
+        let pron = p(&[10, 11, 12]);
+        let tris = pron.triphones(PhoneId(0), PhoneId(0));
+        assert_eq!(tris.len(), 3);
+        assert_eq!(tris[0], Triphone::new(PhoneId(10), PhoneId(0), PhoneId(11)));
+        assert_eq!(tris[1], Triphone::new(PhoneId(11), PhoneId(10), PhoneId(12)));
+        assert_eq!(tris[2], Triphone::new(PhoneId(12), PhoneId(11), PhoneId(0)));
+        // Single-phone word takes both contexts from the boundaries.
+        let single = p(&[7]).triphones(PhoneId(1), PhoneId(2));
+        assert_eq!(single, vec![Triphone::new(PhoneId(7), PhoneId(1), PhoneId(2))]);
+        assert!(!pron.is_empty());
+        assert_eq!(pron.phones().len(), 3);
+    }
+
+    #[test]
+    fn paper_dictionary_sizing() {
+        // E1-adjacent check: the 20 000-word WSJ dictionary is ≈ 9 Mb + 2 Mb.
+        let s = DictionaryStorage::paper_estimate();
+        assert_eq!(s.bits_per_triphone_entry(), 50);
+        assert!((s.dictionary_megabits() - 9.0).abs() < 0.1, "{}", s.dictionary_megabits());
+        assert!((s.word_map_megabits() - 2.0).abs() < 0.1, "{}", s.word_map_megabits());
+        assert!((s.total_megabits() - 11.0).abs() < 0.2, "{}", s.total_megabits());
+    }
+
+    #[test]
+    fn storage_from_real_dictionary() {
+        let mut d = Dictionary::new();
+        d.add_word("alpha", p(&[1, 2, 3, 4])).unwrap();
+        d.add_word("be", p(&[5, 6])).unwrap();
+        let s = d.storage(3);
+        assert_eq!(s.num_words, 2);
+        assert_eq!(s.total_triphone_entries, 6);
+        assert_eq!(s.ascii_bytes, 6 + 3);
+        assert!(s.total_megabits() > 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Lexical prefix tree.
+//!
+//! The word-decode stage "decides which senones are to be evaluated by the
+//! phone decode based on the phone combinations of the active words in the
+//! dictionary".  A prefix tree over pronunciations shares common word
+//! beginnings so the decoder can expand only the phones that can actually
+//! continue some dictionary word — the data structure behind the
+//! "Phones for evaluation" feedback arrow in Figure 1.
+
+use crate::dictionary::{Dictionary, WordId};
+use asr_acoustic::PhoneId;
+use std::collections::HashMap;
+
+/// Identifier of a node in the [`LexTree`]. The root has id 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LexNodeId(pub u32);
+
+impl LexNodeId {
+    /// The root node.
+    pub const ROOT: LexNodeId = LexNodeId(0);
+
+    /// The numeric index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct LexNode {
+    /// Phone labelling the edge from the parent to this node
+    /// (`None` only for the root).
+    phone: Option<PhoneId>,
+    children: HashMap<PhoneId, LexNodeId>,
+    /// Words whose pronunciation ends exactly at this node.
+    words: Vec<WordId>,
+    depth: usize,
+}
+
+/// A prefix tree over the pronunciations of a [`Dictionary`].
+#[derive(Debug, Clone)]
+pub struct LexTree {
+    nodes: Vec<LexNode>,
+    num_words: usize,
+}
+
+impl LexTree {
+    /// Builds the prefix tree of a dictionary.
+    pub fn build(dictionary: &Dictionary) -> Self {
+        let mut tree = LexTree {
+            nodes: vec![LexNode::default()],
+            num_words: 0,
+        };
+        for (word, _, pron) in dictionary.iter() {
+            let mut node = LexNodeId::ROOT;
+            for &phone in pron.phones() {
+                node = tree.child_or_insert(node, phone);
+            }
+            tree.nodes[node.index()].words.push(word);
+            tree.num_words += 1;
+        }
+        tree
+    }
+
+    fn child_or_insert(&mut self, parent: LexNodeId, phone: PhoneId) -> LexNodeId {
+        if let Some(&existing) = self.nodes[parent.index()].children.get(&phone) {
+            return existing;
+        }
+        let id = LexNodeId(self.nodes.len() as u32);
+        let depth = self.nodes[parent.index()].depth + 1;
+        self.nodes.push(LexNode {
+            phone: Some(phone),
+            children: HashMap::new(),
+            words: Vec::new(),
+            depth,
+        });
+        self.nodes[parent.index()].children.insert(phone, id);
+        id
+    }
+
+    /// Total number of nodes (including the root).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of word end-points in the tree.
+    pub fn num_words(&self) -> usize {
+        self.num_words
+    }
+
+    /// The phone on the edge into `node` (`None` for the root).
+    pub fn phone(&self, node: LexNodeId) -> Option<PhoneId> {
+        self.nodes.get(node.index()).and_then(|n| n.phone)
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, node: LexNodeId) -> Option<usize> {
+        self.nodes.get(node.index()).map(|n| n.depth)
+    }
+
+    /// The child of `node` reached by `phone`, if any.
+    pub fn child(&self, node: LexNodeId, phone: PhoneId) -> Option<LexNodeId> {
+        self.nodes
+            .get(node.index())
+            .and_then(|n| n.children.get(&phone).copied())
+    }
+
+    /// All `(phone, child)` successors of a node — the phones that can
+    /// continue some dictionary word from this prefix.
+    pub fn successors(&self, node: LexNodeId) -> Vec<(PhoneId, LexNodeId)> {
+        self.nodes
+            .get(node.index())
+            .map(|n| {
+                let mut v: Vec<(PhoneId, LexNodeId)> =
+                    n.children.iter().map(|(&p, &c)| (p, c)).collect();
+                v.sort_by_key(|&(p, _)| p);
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Words ending exactly at `node`.
+    pub fn words_at(&self, node: LexNodeId) -> &[WordId] {
+        self.nodes
+            .get(node.index())
+            .map(|n| n.words.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Follows a phone sequence from the root, returning the reached node if
+    /// the whole sequence is a prefix of some word.
+    pub fn lookup_prefix(&self, phones: &[PhoneId]) -> Option<LexNodeId> {
+        let mut node = LexNodeId::ROOT;
+        for &p in phones {
+            node = self.child(node, p)?;
+        }
+        Some(node)
+    }
+
+    /// Words whose pronunciation is exactly `phones`.
+    pub fn lookup_words(&self, phones: &[PhoneId]) -> Vec<WordId> {
+        self.lookup_prefix(phones)
+            .map(|n| self.words_at(n).to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The set of *first* phones of all dictionary words — the phones the
+    /// word-decode stage activates whenever a new word can start.
+    pub fn initial_phones(&self) -> Vec<PhoneId> {
+        self.successors(LexNodeId::ROOT)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Compression ratio of the tree versus a flat pronunciation list:
+    /// `total phones in dictionary / (nodes − 1)`.  Greater than 1 whenever
+    /// words share prefixes.
+    pub fn sharing_ratio(&self, dictionary: &Dictionary) -> f64 {
+        let total_phones: usize = dictionary.iter().map(|(_, _, p)| p.len()).sum();
+        if self.nodes.len() <= 1 {
+            return 1.0;
+        }
+        total_phones as f64 / (self.nodes.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::Pronunciation;
+
+    fn dict() -> Dictionary {
+        let mut d = Dictionary::new();
+        let p = |ids: &[u16]| Pronunciation::new(ids.iter().map(|&i| PhoneId(i)).collect());
+        d.add_word("cat", p(&[10, 1, 20])).unwrap(); // K AE T
+        d.add_word("cab", p(&[10, 1, 9])).unwrap(); // K AE B
+        d.add_word("dog", p(&[11, 4, 18])).unwrap(); // D AO G
+        d.add_word("do", p(&[11, 39])).unwrap(); // D UW
+        d.add_word("a", p(&[3])).unwrap(); // AH
+        d
+    }
+
+    #[test]
+    fn build_and_count() {
+        let d = dict();
+        let t = LexTree::build(&d);
+        assert_eq!(t.num_words(), 5);
+        // Nodes: root + cat/cab share "K AE" → K, AE, T, B (4) + dog/do share D → D, AO, G, UW (4) + A (1) = 10 + root
+        assert_eq!(t.num_nodes(), 10);
+        assert!(t.sharing_ratio(&d) > 1.0);
+        assert_eq!(t.depth(LexNodeId::ROOT), Some(0));
+        assert_eq!(t.phone(LexNodeId::ROOT), None);
+    }
+
+    #[test]
+    fn prefix_and_word_lookup() {
+        let d = dict();
+        let t = LexTree::build(&d);
+        let cat = [PhoneId(10), PhoneId(1), PhoneId(20)];
+        let words = t.lookup_words(&cat);
+        assert_eq!(words.len(), 1);
+        assert_eq!(d.spelling(words[0]), Some("cat"));
+        // Prefix that is not a full word has no words but exists.
+        let ka = t.lookup_prefix(&[PhoneId(10), PhoneId(1)]).unwrap();
+        assert!(t.words_at(ka).is_empty());
+        assert_eq!(t.depth(ka), Some(2));
+        // Non-existent prefix.
+        assert!(t.lookup_prefix(&[PhoneId(30)]).is_none());
+        assert!(t.lookup_words(&[PhoneId(30)]).is_empty());
+        // "do" ends at an interior node on the way to nothing else — both words under D.
+        let do_words = t.lookup_words(&[PhoneId(11), PhoneId(39)]);
+        assert_eq!(do_words.len(), 1);
+    }
+
+    #[test]
+    fn successors_and_initial_phones() {
+        let d = dict();
+        let t = LexTree::build(&d);
+        let initials = t.initial_phones();
+        assert_eq!(initials, vec![PhoneId(3), PhoneId(10), PhoneId(11)]);
+        let k_node = t.child(LexNodeId::ROOT, PhoneId(10)).unwrap();
+        let succ = t.successors(k_node);
+        assert_eq!(succ.len(), 1); // only AE continues K
+        assert_eq!(succ[0].0, PhoneId(1));
+        let ae_node = succ[0].1;
+        assert_eq!(t.successors(ae_node).len(), 2); // T and B
+        assert_eq!(t.phone(ae_node), Some(PhoneId(1)));
+        // Unknown node id behaves gracefully.
+        assert!(t.successors(LexNodeId(999)).is_empty());
+        assert!(t.words_at(LexNodeId(999)).is_empty());
+        assert_eq!(t.child(LexNodeId(999), PhoneId(0)), None);
+        assert_eq!(t.depth(LexNodeId(999)), None);
+    }
+
+    #[test]
+    fn empty_dictionary_tree() {
+        let d = Dictionary::new();
+        let t = LexTree::build(&d);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_words(), 0);
+        assert!(t.initial_phones().is_empty());
+        assert_eq!(t.sharing_ratio(&d), 1.0);
+    }
+
+    #[test]
+    fn deep_sharing_reduces_nodes() {
+        // 50 words all sharing a long common prefix.
+        let mut d = Dictionary::new();
+        for i in 0..50u16 {
+            let mut phones: Vec<PhoneId> = (1..=8).map(PhoneId).collect();
+            phones.push(PhoneId(10 + i));
+            d.add_word(&format!("w{i}"), Pronunciation::new(phones)).unwrap();
+        }
+        let t = LexTree::build(&d);
+        // Flat storage: 50 * 9 = 450 phones; tree: 8 shared + 50 leaves = 58 nodes.
+        assert_eq!(t.num_nodes(), 1 + 8 + 50);
+        assert!(t.sharing_ratio(&d) > 7.0);
+    }
+}

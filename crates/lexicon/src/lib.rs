@@ -1,0 +1,86 @@
+//! # asr-lexicon — dictionary, lexical tree and language model
+//!
+//! The software side of the paper's word-decode and global-best-path stages
+//! needs three knowledge sources, all stored in flash and accessed through a
+//! DMA interface:
+//!
+//! * a **phone set** (the paper cites 51 phones for English),
+//! * a **pronunciation dictionary** mapping words to phone sequences —
+//!   the paper sizes a 20 000-word Wall Street Journal dictionary at ≈ 9 Mb
+//!   plus ≈ 2 Mb of word-ID → ASCII mapping,
+//! * an **n-gram language model** used by the global best path search.
+//!
+//! This crate provides all three, plus the lexical prefix tree the word-decode
+//! stage walks to know which triphones (and therefore which senones) can
+//! possibly start or continue a word — the source of the "Phones for
+//! evaluation" feedback in Figure 1 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use asr_lexicon::{Dictionary, PhoneSet, Pronunciation};
+//!
+//! let phones = PhoneSet::english_51();
+//! let mut dict = Dictionary::new();
+//! let p = phones.id_of("AH").unwrap();
+//! let t = phones.id_of("T").unwrap();
+//! dict.add_word("at", Pronunciation::new(vec![p, t])).unwrap();
+//! assert_eq!(dict.len(), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod dictionary;
+pub mod lextree;
+pub mod ngram;
+pub mod phone;
+
+pub use dictionary::{Dictionary, DictionaryStorage, Pronunciation, WordId};
+pub use lextree::{LexNodeId, LexTree};
+pub use ngram::{NGramModel, NGramOrder};
+pub use phone::PhoneSet;
+
+/// Errors produced by lexicon construction and lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LexiconError {
+    /// A word was added twice or referenced before being added.
+    UnknownWord(String),
+    /// A pronunciation was empty or referenced an unknown phone.
+    InvalidPronunciation(String),
+    /// An n-gram model parameter was invalid.
+    InvalidModel(String),
+}
+
+impl core::fmt::Display for LexiconError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LexiconError::UnknownWord(w) => write!(f, "unknown word: {w}"),
+            LexiconError::InvalidPronunciation(msg) => write!(f, "invalid pronunciation: {msg}"),
+            LexiconError::InvalidModel(msg) => write!(f, "invalid language model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LexiconError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(LexiconError::UnknownWord("hello".into()).to_string().contains("hello"));
+        assert!(LexiconError::InvalidPronunciation("empty".into()).to_string().contains("empty"));
+        assert!(LexiconError::InvalidModel("order".into()).to_string().contains("order"));
+    }
+
+    #[test]
+    fn types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Dictionary>();
+        assert_send_sync::<LexTree>();
+        assert_send_sync::<NGramModel>();
+        assert_send_sync::<PhoneSet>();
+    }
+}

@@ -1,0 +1,423 @@
+//! Back-off n-gram language model.
+//!
+//! The global best path search "iterates over the word lattice and combines
+//! the language model to produce the utterance".  This module provides a
+//! unigram/bigram/trigram model with Katz-style back-off, built either from
+//! explicit probabilities or estimated from a text corpus with add-one
+//! discounting (used by the synthetic task generator).
+
+use crate::dictionary::WordId;
+use crate::LexiconError;
+use asr_float::LogProb;
+use std::collections::HashMap;
+
+/// Maximum n-gram order supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NGramOrder {
+    /// Unigram (context-free word priors).
+    Unigram,
+    /// Bigram (one word of history).
+    Bigram,
+    /// Trigram (two words of history).
+    Trigram,
+}
+
+impl NGramOrder {
+    /// The numeric order (1, 2 or 3).
+    pub fn order(self) -> usize {
+        match self {
+            NGramOrder::Unigram => 1,
+            NGramOrder::Bigram => 2,
+            NGramOrder::Trigram => 3,
+        }
+    }
+}
+
+/// A back-off n-gram language model over [`WordId`]s.
+///
+/// Sentence boundaries are modelled with the special [`NGramModel::BOS`] /
+/// [`NGramModel::EOS`] pseudo-words.
+#[derive(Debug, Clone)]
+pub struct NGramModel {
+    order: NGramOrder,
+    vocab_size: usize,
+    unigrams: HashMap<WordId, LogProb>,
+    bigrams: HashMap<(WordId, WordId), LogProb>,
+    trigrams: HashMap<(WordId, WordId, WordId), LogProb>,
+    /// Back-off weights per history.
+    bigram_backoff: HashMap<WordId, LogProb>,
+    trigram_backoff: HashMap<(WordId, WordId), LogProb>,
+    /// Probability assigned to a word never seen in training.
+    unseen: LogProb,
+}
+
+impl NGramModel {
+    /// Beginning-of-sentence pseudo-word.
+    pub const BOS: WordId = WordId(u32::MAX - 1);
+    /// End-of-sentence pseudo-word.
+    pub const EOS: WordId = WordId(u32::MAX);
+
+    /// Creates a uniform unigram model over a vocabulary of `vocab_size`
+    /// words (every word equally likely) — the fallback when no LM training
+    /// text is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LexiconError::InvalidModel`] if `vocab_size == 0`.
+    pub fn uniform(vocab_size: usize) -> Result<Self, LexiconError> {
+        if vocab_size == 0 {
+            return Err(LexiconError::InvalidModel("vocabulary is empty".into()));
+        }
+        let p = LogProb::from_linear(1.0 / vocab_size as f64);
+        let unigrams = (0..vocab_size as u32)
+            .map(|w| (WordId(w), p))
+            .chain([(Self::EOS, p)])
+            .collect();
+        Ok(NGramModel {
+            order: NGramOrder::Unigram,
+            vocab_size,
+            unigrams,
+            bigrams: HashMap::new(),
+            trigrams: HashMap::new(),
+            bigram_backoff: HashMap::new(),
+            trigram_backoff: HashMap::new(),
+            unseen: p,
+        })
+    }
+
+    /// Estimates a model of the given order from training sentences
+    /// (sequences of word ids, without BOS/EOS which are added internally),
+    /// using add-one smoothing for the n-gram probabilities and unit back-off
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LexiconError::InvalidModel`] if `vocab_size == 0` or the
+    /// training data is empty.
+    pub fn train(
+        order: NGramOrder,
+        vocab_size: usize,
+        sentences: &[Vec<WordId>],
+    ) -> Result<Self, LexiconError> {
+        if vocab_size == 0 {
+            return Err(LexiconError::InvalidModel("vocabulary is empty".into()));
+        }
+        if sentences.is_empty() || sentences.iter().all(|s| s.is_empty()) {
+            return Err(LexiconError::InvalidModel("no training sentences".into()));
+        }
+        let v = vocab_size as f64 + 1.0; // + EOS
+        let mut uni_counts: HashMap<WordId, u64> = HashMap::new();
+        let mut bi_counts: HashMap<(WordId, WordId), u64> = HashMap::new();
+        let mut tri_counts: HashMap<(WordId, WordId, WordId), u64> = HashMap::new();
+        let mut hist1_counts: HashMap<WordId, u64> = HashMap::new();
+        let mut hist2_counts: HashMap<(WordId, WordId), u64> = HashMap::new();
+        let mut total_words = 0u64;
+
+        for s in sentences {
+            if s.is_empty() {
+                continue;
+            }
+            let padded: Vec<WordId> = [Self::BOS, Self::BOS]
+                .into_iter()
+                .chain(s.iter().copied())
+                .chain([Self::EOS])
+                .collect();
+            for i in 2..padded.len() {
+                let w = padded[i];
+                let h1 = padded[i - 1];
+                let h2 = padded[i - 2];
+                *uni_counts.entry(w).or_default() += 1;
+                total_words += 1;
+                *hist1_counts.entry(h1).or_default() += 1;
+                *bi_counts.entry((h1, w)).or_default() += 1;
+                if order == NGramOrder::Trigram {
+                    *hist2_counts.entry((h2, h1)).or_default() += 1;
+                    *tri_counts.entry((h2, h1, w)).or_default() += 1;
+                }
+            }
+        }
+
+        let unigrams: HashMap<WordId, LogProb> = uni_counts
+            .iter()
+            .map(|(&w, &c)| {
+                (
+                    w,
+                    LogProb::from_linear((c as f64 + 1.0) / (total_words as f64 + v)),
+                )
+            })
+            .collect();
+        let unseen = LogProb::from_linear(1.0 / (total_words as f64 + v));
+
+        // Helper shared by the back-off weight computations below.
+        let uni_prob = |w: WordId| -> f64 {
+            uni_counts
+                .get(&w)
+                .map(|&c| (c as f64 + 1.0) / (total_words as f64 + v))
+                .unwrap_or(1.0 / (total_words as f64 + v))
+        };
+
+        let mut bigrams = HashMap::new();
+        let mut bigram_backoff = HashMap::new();
+        if order >= NGramOrder::Bigram {
+            for (&(h, w), &c) in &bi_counts {
+                let hist = *hist1_counts.get(&h).unwrap_or(&0);
+                bigrams.insert(
+                    (h, w),
+                    LogProb::from_linear((c as f64 + 1.0) / (hist as f64 + v)),
+                );
+            }
+            // Katz-style back-off weight: the probability mass not claimed by
+            // seen bigrams, redistributed over the unigram mass of the words
+            // not seen after this history, so Σ_w p(w | h) ≤ 1.
+            for &h in hist1_counts.keys() {
+                let mut seen_sum = 0.0f64;
+                let mut seen_uni_sum = 0.0f64;
+                for (&(hh, w), p) in &bigrams {
+                    if hh == h {
+                        seen_sum += p.to_linear();
+                        seen_uni_sum += uni_prob(w);
+                    }
+                }
+                let weight = if seen_uni_sum < 1.0 {
+                    ((1.0 - seen_sum).max(0.0)) / (1.0 - seen_uni_sum)
+                } else {
+                    0.0
+                };
+                bigram_backoff.insert(h, LogProb::from_linear(weight.min(1.0)));
+            }
+        }
+
+        let mut trigrams = HashMap::new();
+        let mut trigram_backoff = HashMap::new();
+        if order == NGramOrder::Trigram {
+            for (&(h2, h1, w), &c) in &tri_counts {
+                let hist = *hist2_counts.get(&(h2, h1)).unwrap_or(&0);
+                trigrams.insert(
+                    (h2, h1, w),
+                    LogProb::from_linear((c as f64 + 1.0) / (hist as f64 + v)),
+                );
+            }
+            // Bigram-level conditional used when a trigram is unseen.
+            let bigram_cond = |h1: WordId, w: WordId| -> f64 {
+                if let Some(p) = bigrams.get(&(h1, w)) {
+                    p.to_linear()
+                } else {
+                    let backoff = bigram_backoff
+                        .get(&h1)
+                        .map(|b| b.to_linear())
+                        .unwrap_or(1.0);
+                    backoff * uni_prob(w)
+                }
+            };
+            for &(h2, h1) in hist2_counts.keys() {
+                let mut seen_sum = 0.0f64;
+                let mut seen_lower_sum = 0.0f64;
+                for (&(t2, t1, w), p) in &trigrams {
+                    if t2 == h2 && t1 == h1 {
+                        seen_sum += p.to_linear();
+                        seen_lower_sum += bigram_cond(h1, w);
+                    }
+                }
+                let weight = if seen_lower_sum < 1.0 {
+                    ((1.0 - seen_sum).max(0.0)) / (1.0 - seen_lower_sum)
+                } else {
+                    0.0
+                };
+                trigram_backoff.insert((h2, h1), LogProb::from_linear(weight.min(1.0)));
+            }
+        }
+
+        Ok(NGramModel {
+            order,
+            vocab_size,
+            unigrams,
+            bigrams,
+            trigrams,
+            bigram_backoff,
+            trigram_backoff,
+            unseen,
+        })
+    }
+
+    /// The model order.
+    pub fn order(&self) -> NGramOrder {
+        self.order
+    }
+
+    /// Vocabulary size the model was built for.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Unigram log probability of a word.
+    pub fn unigram(&self, w: WordId) -> LogProb {
+        *self.unigrams.get(&w).unwrap_or(&self.unseen)
+    }
+
+    /// Log probability of `w` given up to two words of history
+    /// (`history` ordered oldest → newest), backing off to lower orders when
+    /// the exact n-gram was never seen.
+    pub fn log_prob(&self, history: &[WordId], w: WordId) -> LogProb {
+        match self.order {
+            NGramOrder::Unigram => self.unigram(w),
+            NGramOrder::Bigram => {
+                let h1 = history.last().copied().unwrap_or(Self::BOS);
+                if let Some(&p) = self.bigrams.get(&(h1, w)) {
+                    p
+                } else {
+                    let backoff = self.bigram_backoff.get(&h1).copied().unwrap_or(LogProb::ONE);
+                    backoff + self.unigram(w)
+                }
+            }
+            NGramOrder::Trigram => {
+                let h1 = history.last().copied().unwrap_or(Self::BOS);
+                let h2 = if history.len() >= 2 {
+                    history[history.len() - 2]
+                } else {
+                    Self::BOS
+                };
+                if let Some(&p) = self.trigrams.get(&(h2, h1, w)) {
+                    return p;
+                }
+                let backoff3 = self
+                    .trigram_backoff
+                    .get(&(h2, h1))
+                    .copied()
+                    .unwrap_or(LogProb::ONE);
+                if let Some(&p) = self.bigrams.get(&(h1, w)) {
+                    backoff3 + p
+                } else {
+                    let backoff2 = self.bigram_backoff.get(&h1).copied().unwrap_or(LogProb::ONE);
+                    backoff3 + backoff2 + self.unigram(w)
+                }
+            }
+        }
+    }
+
+    /// Log probability of a whole sentence (BOS/EOS handled internally).
+    pub fn sentence_log_prob(&self, sentence: &[WordId]) -> LogProb {
+        let mut history: Vec<WordId> = vec![Self::BOS, Self::BOS];
+        let mut total = LogProb::ONE;
+        for &w in sentence.iter().chain([&Self::EOS]) {
+            total += self.log_prob(&history, w);
+            history.push(w);
+        }
+        total
+    }
+
+    /// Perplexity of the model on held-out sentences (lower is better).
+    pub fn perplexity(&self, sentences: &[Vec<WordId>]) -> f64 {
+        let mut total_logprob = 0.0f64;
+        let mut total_words = 0usize;
+        for s in sentences {
+            total_logprob += self.sentence_log_prob(s).raw() as f64;
+            total_words += s.len() + 1; // + EOS
+        }
+        if total_words == 0 {
+            return f64::INFINITY;
+        }
+        (-total_logprob / total_words as f64).exp()
+    }
+
+    /// Number of explicitly stored n-gram parameters (used for the flash
+    /// storage accounting of the language model).
+    pub fn param_count(&self) -> usize {
+        self.unigrams.len() + self.bigrams.len() + self.trigrams.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u32) -> WordId {
+        WordId(i)
+    }
+
+    fn training_data() -> Vec<Vec<WordId>> {
+        // A tiny corpus over words 0..5 with a strong 0 → 1 → 2 pattern.
+        vec![
+            vec![w(0), w(1), w(2)],
+            vec![w(0), w(1), w(2), w(3)],
+            vec![w(0), w(1), w(4)],
+            vec![w(3), w(4)],
+            vec![w(0), w(1), w(2)],
+        ]
+    }
+
+    #[test]
+    fn uniform_model() {
+        let lm = NGramModel::uniform(100).unwrap();
+        assert_eq!(lm.order(), NGramOrder::Unigram);
+        assert_eq!(lm.vocab_size(), 100);
+        let p = lm.unigram(w(3));
+        assert!((p.to_linear() - 0.01).abs() < 1e-9);
+        // Unknown words get the same probability in a uniform model.
+        assert_eq!(lm.log_prob(&[], w(7)).raw(), p.raw());
+        assert!(NGramModel::uniform(0).is_err());
+    }
+
+    #[test]
+    fn training_rejects_empty() {
+        assert!(NGramModel::train(NGramOrder::Bigram, 5, &[]).is_err());
+        assert!(NGramModel::train(NGramOrder::Bigram, 5, &[vec![]]).is_err());
+        assert!(NGramModel::train(NGramOrder::Bigram, 0, &training_data()).is_err());
+    }
+
+    #[test]
+    fn bigram_prefers_seen_transitions() {
+        let lm = NGramModel::train(NGramOrder::Bigram, 5, &training_data()).unwrap();
+        assert_eq!(lm.order().order(), 2);
+        // 0 → 1 was always observed; 0 → 3 never.
+        let seen = lm.log_prob(&[w(0)], w(1));
+        let unseen = lm.log_prob(&[w(0)], w(3));
+        assert!(seen.raw() > unseen.raw());
+        assert!(lm.param_count() > 0);
+    }
+
+    #[test]
+    fn trigram_uses_two_words_of_history() {
+        let lm = NGramModel::train(NGramOrder::Trigram, 5, &training_data()).unwrap();
+        // (0, 1) → 2 was observed 3 times; (0, 1) → 3 never.
+        let seen = lm.log_prob(&[w(0), w(1)], w(2));
+        let unseen = lm.log_prob(&[w(0), w(1)], w(3));
+        assert!(seen.raw() > unseen.raw());
+        // With no history at all the model still returns something finite.
+        assert!(!lm.log_prob(&[], w(2)).is_zero());
+    }
+
+    #[test]
+    fn probabilities_sum_to_at_most_one_over_vocab() {
+        let lm = NGramModel::train(NGramOrder::Bigram, 5, &training_data()).unwrap();
+        // Σ_w p(w | history=0) over the vocabulary + EOS should be ≤ 1 + ε
+        // (add-one smoothing leaks a little mass to BOS which never follows
+        // anything, so strictly < 1).
+        let total: f64 = (0..5)
+            .map(|i| lm.log_prob(&[w(0)], w(i)).to_linear())
+            .chain([lm.log_prob(&[w(0)], NGramModel::EOS).to_linear()])
+            .sum();
+        assert!(total <= 1.0 + 1e-6, "{total}");
+        assert!(total > 0.5, "{total}");
+    }
+
+    #[test]
+    fn sentence_probability_and_perplexity() {
+        let lm = NGramModel::train(NGramOrder::Bigram, 5, &training_data()).unwrap();
+        let common = vec![w(0), w(1), w(2)];
+        let rare = vec![w(4), w(3), w(0)];
+        assert!(lm.sentence_log_prob(&common).raw() > lm.sentence_log_prob(&rare).raw());
+        let ppl_common = lm.perplexity(&[common]);
+        let ppl_rare = lm.perplexity(&[rare]);
+        assert!(ppl_common < ppl_rare);
+        assert!(ppl_common > 1.0);
+        assert_eq!(lm.perplexity(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn trained_model_beats_uniform_on_training_like_data() {
+        let data = training_data();
+        let uniform = NGramModel::uniform(5).unwrap();
+        let trained = NGramModel::train(NGramOrder::Bigram, 5, &data).unwrap();
+        assert!(trained.perplexity(&data) < uniform.perplexity(&data));
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: generate a small synthetic task, decode a few utterances on the
+//! cycle-accurate hardware model and print what the accelerator did.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use lvcsr::corpus::{align_wer, TaskConfig, TaskGenerator, WerScore};
+use lvcsr::decoder::{DecoderConfig, Recognizer};
+
+fn main() {
+    // 1. A synthetic task: acoustic model + dictionary + language model.
+    let task = TaskGenerator::new(2024)
+        .generate(&TaskConfig::small())
+        .expect("task generation succeeds");
+    println!(
+        "task: {} words, {} phones, {} senones, {}-dim features",
+        task.dictionary.len(),
+        task.config.num_phones,
+        task.acoustic_model.senones().len(),
+        task.acoustic_model.feature_dim()
+    );
+
+    // 2. The paper's system: two OP-unit + Viterbi-unit structures at 50 MHz.
+    let recognizer = Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        DecoderConfig::hardware(2),
+    )
+    .expect("recogniser construction succeeds");
+
+    // 3. Decode a small test set and score it.
+    let test_set = task.synthesize_test_set(5, 4, 0.3);
+    let mut wer = WerScore::default();
+    let mut rt_fraction = 0.0;
+    let mut power = 0.0;
+    let mut active_fraction = 0.0;
+    for (i, (features, reference)) in test_set.iter().enumerate() {
+        let result = recognizer
+            .decode_features(features)
+            .expect("decoding succeeds");
+        let ref_text: Vec<&str> = reference
+            .iter()
+            .map(|&w| task.dictionary.spelling(w).unwrap_or("<unk>"))
+            .collect();
+        println!(
+            "utterance {i}: ref = [{}]  hyp = [{}]",
+            ref_text.join(" "),
+            result.hypothesis.to_sentence()
+        );
+        wer = wer.merge(&align_wer(reference, &result.hypothesis.words));
+        active_fraction += result.stats.mean_active_senone_fraction();
+        if let Some(hw) = &result.hardware {
+            rt_fraction += hw.real_time_fraction;
+            power += hw.energy.average_power_w();
+        }
+    }
+    let n = test_set.len() as f64;
+    println!();
+    println!("word error rate           : {:.1}%", 100.0 * wer.wer());
+    println!("active senones per frame  : {:.1}% of the inventory", 100.0 * active_fraction / n);
+    println!("frames meeting 10 ms      : {:.1}%", 100.0 * rt_fraction / n);
+    println!("average SoC power         : {:.3} W (paper budget: 0.400 W fully active)", power / n);
+}

@@ -1,0 +1,49 @@
+//! # lvcsr — a reproduction of *Architecture for Low Power Large Vocabulary
+//! Speech Recognition* (Chandra, Pazhayaveetil, Franzon — SOCC 2006)
+//!
+//! This facade crate re-exports the workspace's crates under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`float`] | `asr-float` | log-domain math, the 512-byte log-add SRAM table, reduced-mantissa storage, the softfloat datapath |
+//! | [`frontend`] | `asr-frontend` | the MFCC frontend (25 ms windows / 10 ms shift, 39-dim features) |
+//! | [`acoustic`] | `asr-acoustic` | senones, Gaussian mixtures, triphone HMMs, flash storage layout |
+//! | [`lexicon`] | `asr-lexicon` | phone set, pronunciation dictionary, lexical tree, n-gram LM |
+//! | [`hw`] | `asr-hw` | cycle-accurate OP unit and Viterbi unit, flash/DMA, power & area model, the 2-structure SoC |
+//! | [`decoder`] | `asr-core` | phone decode, word decode (token passing over the lexical tree), word lattice, global best path |
+//! | [`corpus`] | `asr-corpus` | synthetic WSJ5K-like tasks, utterance/audio synthesis, WER scoring |
+//! | [`baseline`] | `asr-baseline` | software-decoder and related-work accelerator baselines |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lvcsr::corpus::{TaskConfig, TaskGenerator};
+//! use lvcsr::decoder::{DecoderConfig, Recognizer};
+//!
+//! // Generate a small synthetic task and decode one utterance on the
+//! // cycle-accurate hardware model with two accelerator structures.
+//! let task = TaskGenerator::new(1).generate(&TaskConfig::tiny()).unwrap();
+//! let recognizer = Recognizer::new(
+//!     task.acoustic_model.clone(),
+//!     task.dictionary.clone(),
+//!     task.language_model.clone(),
+//!     DecoderConfig::hardware(2),
+//! )
+//! .unwrap();
+//! let (features, reference) = task.synthesize_utterance(2, 0.2, 7);
+//! let result = recognizer.decode_features(&features).unwrap();
+//! assert_eq!(result.hypothesis.words, reference);
+//! let hw = result.hardware.unwrap();
+//! assert!(hw.real_time_fraction > 0.99);
+//! ```
+
+#![deny(missing_docs)]
+
+pub use asr_acoustic as acoustic;
+pub use asr_baseline as baseline;
+pub use asr_core as decoder;
+pub use asr_corpus as corpus;
+pub use asr_float as float;
+pub use asr_frontend as frontend;
+pub use asr_hw as hw;
+pub use asr_lexicon as lexicon;

@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: synthetic task → recogniser → hardware
+//! model, checking the paper's headline behaviours end to end.
+
+use lvcsr::corpus::{align_wer, TaskConfig, TaskGenerator, WerScore};
+use lvcsr::decoder::{DecoderConfig, GmmSelectionConfig, Recognizer};
+
+fn build_recognizer(config: DecoderConfig) -> (lvcsr::corpus::SyntheticTask, Recognizer) {
+    let task = TaskGenerator::new(97)
+        .generate(&TaskConfig::tiny())
+        .expect("task");
+    let rec = Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        config,
+    )
+    .expect("recogniser");
+    (task, rec)
+}
+
+#[test]
+fn hardware_decode_is_accurate_and_real_time() {
+    let (task, rec) = build_recognizer(DecoderConfig::hardware(2));
+    let set = task.synthesize_test_set(6, 3, 0.2);
+    let mut wer = WerScore::default();
+    for (features, reference) in &set {
+        let result = rec.decode_features(features).expect("decode");
+        wer = wer.merge(&align_wer(reference, &result.hypothesis.words));
+        let hw = result.hardware.expect("hardware report");
+        assert!(hw.real_time_fraction > 0.99, "{hw:?}");
+        assert!(hw.worst_frame_rtf < 1.0);
+        assert!(hw.energy.average_power_w() < 0.45, "under the 2x200 mW budget");
+        assert!(hw.peak_bandwidth_gb_per_s < 1.6, "under the paper's worst case");
+    }
+    assert!(wer.wer() < 0.15, "WER {} too high on an easy task", wer.wer());
+}
+
+#[test]
+fn hardware_and_software_backends_agree() {
+    let (task, hw_rec) = build_recognizer(DecoderConfig::hardware(2));
+    let sw_rec = Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        DecoderConfig::software(),
+    )
+    .expect("recogniser");
+    let set = task.synthesize_test_set(4, 3, 0.2);
+    let mut agree = 0;
+    for (features, _) in &set {
+        let a = hw_rec.decode_features(features).expect("decode").hypothesis;
+        let b = sw_rec.decode_features(features).expect("decode").hypothesis;
+        if a.words == b.words {
+            agree += 1;
+        }
+    }
+    // The hardware's table-based log-add may flip a rare borderline decision,
+    // but the two backends must agree on the vast majority of utterances.
+    assert!(agree >= set.len() - 1, "only {agree}/{} agree", set.len());
+}
+
+#[test]
+fn word_decode_feedback_limits_active_senones() {
+    let (task, rec) = build_recognizer(DecoderConfig::hardware(2));
+    let (features, _) = task.synthesize_utterance(4, 0.2, 11);
+    let result = rec.decode_features(&features).expect("decode");
+    let fraction = result.stats.mean_active_senone_fraction();
+    assert!(fraction < 0.95, "feedback must not evaluate everything: {fraction}");
+    assert!(result.stats.peak_active_senone_fraction() <= 1.0);
+
+    // Disabling the feedback evaluates the full inventory every frame.
+    let mut config = DecoderConfig::hardware(2);
+    config.gmm_selection = GmmSelectionConfig {
+        senone_feedback: false,
+        ..GmmSelectionConfig::default()
+    };
+    let rec_nofb = Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        config,
+    )
+    .expect("recogniser");
+    let result_nofb = rec_nofb.decode_features(&features).expect("decode");
+    assert!((result_nofb.stats.mean_active_senone_fraction() - 1.0).abs() < 1e-9);
+    assert!(fraction < result_nofb.stats.mean_active_senone_fraction());
+}
+
+#[test]
+fn cds_reduces_scoring_work_on_a_real_decode() {
+    let (task, rec) = build_recognizer(DecoderConfig::hardware(2));
+    let (features, reference) = task.synthesize_utterance(3, 0.2, 13);
+    let base = rec.decode_features(&features).expect("decode");
+
+    let mut config = DecoderConfig::hardware(2);
+    config.gmm_selection = GmmSelectionConfig::with_cds(2);
+    let rec_cds = Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        config,
+    )
+    .expect("recogniser");
+    let cds = rec_cds.decode_features(&features).expect("decode");
+
+    assert!(cds.stats.total_senones_scored() < base.stats.total_senones_scored());
+    assert!(cds.stats.cds_skip_fraction() > 0.3);
+    // Accuracy degrades at most mildly on this easy task.
+    let base_wer = align_wer(&reference, &base.hypothesis.words).wer();
+    let cds_wer = align_wer(&reference, &cds.hypothesis.words).wer();
+    assert!(cds_wer <= base_wer + 0.5, "CDS WER {cds_wer} vs {base_wer}");
+}
+
+#[test]
+fn single_structure_does_more_work_per_frame_than_two() {
+    let (task, one) = build_recognizer(DecoderConfig::hardware(1));
+    let two = Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        DecoderConfig::hardware(2),
+    )
+    .expect("recogniser");
+    let (features, _) = task.synthesize_utterance(3, 0.2, 17);
+    let r1 = one.decode_features(&features).expect("decode").hardware.unwrap();
+    let r2 = two.decode_features(&features).expect("decode").hardware.unwrap();
+    // Same total scoring work, but the busiest structure is less loaded with 2.
+    assert_eq!(r1.senones_scored, r2.senones_scored);
+    assert!(r2.worst_frame_rtf <= r1.worst_frame_rtf + 1e-9);
+    assert!(r2.energy.opu_activity <= r1.energy.opu_activity + 1e-9);
+}

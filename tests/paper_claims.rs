@@ -1,0 +1,69 @@
+//! Integration tests that pin the paper's quantitative claims to the
+//! experiment harness (the same functions the `experiments` binary prints).
+
+use asr_bench::{
+    e1_memory_bandwidth, e4_active_senones, e5_realtime_capacity, e6_comparison, f2_opu_figures,
+    f3_viterbi_figures,
+};
+use lvcsr::hw::{AreaBudget, PowerModel};
+
+#[test]
+fn e1_table_matches_paper_numbers() {
+    let rows = e1_memory_bandwidth();
+    let expected = [(15.16, 1.516), (11.37, 1.137), (9.95, 0.995)];
+    for (row, (mb, gbps)) in rows.iter().zip(expected) {
+        assert!((row.measured_memory_mb - mb).abs() < 0.02, "{row:?}");
+        assert!((row.measured_bandwidth_gbps - gbps).abs() < 0.002, "{row:?}");
+        assert!((row.paper_memory_mb - mb).abs() < 1e-9);
+    }
+    // Shape: memory and bandwidth fall monotonically as the mantissa narrows.
+    assert!(rows[0].measured_memory_mb > rows[1].measured_memory_mb);
+    assert!(rows[1].measured_memory_mb > rows[2].measured_memory_mb);
+}
+
+#[test]
+fn e2_power_and_area_match_synthesis() {
+    let p = PowerModel::paper_calibrated();
+    assert!((p.structure_full_power_w() - 0.2).abs() < 1e-9);
+    assert!((AreaBudget::PAPER.structure_mm2() - 2.2).abs() < 1e-9);
+    assert!((AreaBudget::PAPER.total_mm2(2) - 4.4).abs() < 1e-9);
+}
+
+#[test]
+fn e4_feedback_keeps_active_senones_under_half() {
+    let report = e4_active_senones(400, 2);
+    assert!(report.with_feedback_mean < 0.5);
+    assert!(report.with_feedback_mean < report.without_feedback_mean / 2.0);
+}
+
+#[test]
+fn e5_two_structures_cover_just_under_half_the_inventory() {
+    let report = e5_realtime_capacity(400);
+    assert!(report.senones_per_frame_two_structures > 2_000);
+    assert!(report.capacity_fraction_of_inventory < 0.5);
+    assert!(report.capacity_fraction_of_inventory > 0.3);
+    assert!(report.measured_worst_rtf < 1.0);
+}
+
+#[test]
+fn e6_ours_is_the_lowest_power_realtime_large_vocabulary_system() {
+    let table = e6_comparison(2_500);
+    let ours = table.ours();
+    assert!(ours.is_real_time());
+    for row in table.rows().iter().skip(1) {
+        if row.vocabulary >= 5_000 && row.is_real_time() {
+            assert!(ours.power_w < row.power_w, "{row:?}");
+        }
+    }
+}
+
+#[test]
+fn figure_level_characterisation() {
+    let f2 = f2_opu_figures();
+    assert_eq!(f2.logadd_sram_bytes, 512);
+    assert!(f2.max_score_deviation < 0.1);
+    let f3 = f3_viterbi_figures();
+    assert_eq!(f3.len(), 3);
+    // The unit sustains far more HMM updates per frame than the decoder needs.
+    assert!(f3[0].hmms_per_frame > 10_000);
+}
