@@ -59,8 +59,7 @@ impl DiagGaussian {
         let precision: Vec<f32> = variance.iter().map(|&v| -0.5 / v).collect();
         let dim = mean.len() as f64;
         let log_det: f64 = variance.iter().map(|&v| (v as f64).ln()).sum();
-        let log_norm =
-            (-0.5 * (dim * (2.0 * std::f64::consts::PI).ln() + log_det)) as f32;
+        let log_norm = (-0.5 * (dim * (2.0 * std::f64::consts::PI).ln() + log_det)) as f32;
         Ok(DiagGaussian {
             mean,
             variance,
@@ -104,9 +103,9 @@ impl DiagGaussian {
     pub fn log_density(&self, x: &[f32]) -> LogProb {
         debug_assert_eq!(x.len(), self.dim(), "feature dimension mismatch");
         let mut acc = self.log_norm as f64;
-        for i in 0..self.mean.len() {
-            let d = (x[i] - self.mean[i]) as f64;
-            acc += d * d * self.precision[i] as f64;
+        for ((&xi, &mi), &pi) in x.iter().zip(&self.mean).zip(&self.precision) {
+            let d = (xi - mi) as f64;
+            acc += d * d * pi as f64;
         }
         LogProb::new(acc as f32)
     }
@@ -219,8 +218,7 @@ impl GaussianMixture {
     pub fn log_likelihood(&self, x: &[f32]) -> LogProb {
         let mut acc = LogProb::zero();
         for (k, g) in self.components.iter().enumerate() {
-            let comp = LogProb::new(self.log_weight_consts[k] - g.log_norm())
-                + g.log_density(x);
+            let comp = LogProb::new(self.log_weight_consts[k] - g.log_norm()) + g.log_density(x);
             acc = acc.log_add(comp);
         }
         acc
@@ -232,21 +230,20 @@ impl GaussianMixture {
         self.components
             .iter()
             .enumerate()
-            .map(|(k, g)| {
-                LogProb::new(self.log_weight_consts[k] - g.log_norm()) + g.log_density(x)
-            })
+            .map(|(k, g)| LogProb::new(self.log_weight_consts[k] - g.log_norm()) + g.log_density(x))
             .fold(LogProb::zero(), |acc, p| acc.max(p))
     }
 
     /// Returns a copy with all parameters quantised.
     pub fn quantized(&self, quantizer: &Quantizer) -> GaussianMixture {
-        let comps: Vec<DiagGaussian> =
-            self.components.iter().map(|g| g.quantized(quantizer)).collect();
+        let comps: Vec<DiagGaussian> = self
+            .components
+            .iter()
+            .map(|g| g.quantized(quantizer))
+            .collect();
         let weights = quantizer.quantized(&self.weights);
-        let mut mix = GaussianMixture::new(
-            weights.iter().copied().zip(comps).collect(),
-        )
-        .expect("quantised mixture stays valid");
+        let mut mix = GaussianMixture::new(weights.iter().copied().zip(comps).collect())
+            .expect("quantised mixture stays valid");
         mix.log_weight_consts = quantizer.quantized(&mix.log_weight_consts);
         mix
     }
@@ -326,20 +323,15 @@ mod tests {
         assert!(GaussianMixture::new(vec![(0.0, unit_gaussian(2))]).is_err());
         assert!(GaussianMixture::new(vec![(-1.0, unit_gaussian(2))]).is_err());
         assert!(GaussianMixture::new(vec![(f32::NAN, unit_gaussian(2))]).is_err());
-        assert!(GaussianMixture::new(vec![
-            (0.5, unit_gaussian(2)),
-            (0.5, unit_gaussian(3)),
-        ])
-        .is_err());
+        assert!(
+            GaussianMixture::new(vec![(0.5, unit_gaussian(2)), (0.5, unit_gaussian(3)),]).is_err()
+        );
     }
 
     #[test]
     fn mixture_weights_are_normalised() {
-        let mix = GaussianMixture::new(vec![
-            (2.0, unit_gaussian(2)),
-            (6.0, unit_gaussian(2)),
-        ])
-        .unwrap();
+        let mix =
+            GaussianMixture::new(vec![(2.0, unit_gaussian(2)), (6.0, unit_gaussian(2))]).unwrap();
         assert!((mix.weights()[0] - 0.25).abs() < 1e-6);
         assert!((mix.weights()[1] - 0.75).abs() < 1e-6);
         assert_eq!(mix.num_components(), 2);
@@ -372,9 +364,7 @@ mod tests {
     #[test]
     fn param_count_matches_paper_geometry() {
         // 8 components × 39 dims → 8·78 + 8 = 632 parameters per senone.
-        let comps: Vec<(f32, DiagGaussian)> = (0..8)
-            .map(|_| (1.0f32, unit_gaussian(39)))
-            .collect();
+        let comps: Vec<(f32, DiagGaussian)> = (0..8).map(|_| (1.0f32, unit_gaussian(39))).collect();
         let mix = GaussianMixture::new(comps).unwrap();
         assert_eq!(mix.param_count(), 632);
     }
@@ -388,7 +378,10 @@ mod tests {
         let x = [0.5f32, -3.0];
         let a = mix.log_likelihood(&x).raw();
         let b = qmix.log_likelihood(&x).raw();
-        assert!((a - b).abs() < 0.05, "quantised mixture differs too much: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 0.05,
+            "quantised mixture differs too much: {a} vs {b}"
+        );
         assert_eq!(qmix.param_count(), mix.param_count());
     }
 

@@ -10,9 +10,10 @@ use crate::AcousticError;
 use asr_float::LogProb;
 
 /// Supported numbers of *emitting* states per triphone HMM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum HmmTopology {
     /// 3-state left-to-right HMM (the standard Sphinx topology).
+    #[default]
     Three,
     /// 5-state left-to-right HMM.
     Five,
@@ -49,12 +50,6 @@ impl HmmTopology {
                 "unsupported HMM state count {other}; hardware handles 3, 5 or 7"
             ))),
         }
-    }
-}
-
-impl Default for HmmTopology {
-    fn default() -> Self {
-        HmmTopology::Three
     }
 }
 

@@ -92,9 +92,12 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(AcousticError::DimensionMismatch { expected: 39, got: 13 }
-            .to_string()
-            .contains("39"));
+        assert!(AcousticError::DimensionMismatch {
+            expected: 39,
+            got: 13
+        }
+        .to_string()
+        .contains("39"));
         assert!(AcousticError::InvalidParameter("bad".into())
             .to_string()
             .contains("bad"));

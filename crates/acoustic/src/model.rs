@@ -285,10 +285,7 @@ mod tests {
         assert_eq!(m.feature_dim(), cfg.feature_dim);
         assert_eq!(m.triphones().len(), cfg.num_phones);
         assert_eq!(m.config(), &cfg);
-        assert_eq!(
-            m.gaussian_param_count(),
-            cfg.total_gaussian_params()
-        );
+        assert_eq!(m.gaussian_param_count(), cfg.total_gaussian_params());
         assert_eq!(m.transitions().topology(), cfg.topology);
         // Every registered triphone's senones are valid.
         for (id, _, senones) in m.triphones().iter() {
@@ -305,7 +302,7 @@ mod tests {
         let x = vec![0.5f32; m.feature_dim()];
         let all = m.score_all_senones(&x);
         assert_eq!(all.len(), m.senones().len());
-        let some: Vec<SenoneId> = (0..5).map(|i| SenoneId(i)).collect();
+        let some: Vec<SenoneId> = (0..5).map(SenoneId).collect();
         for (id, score) in m.score_active_senones(&some, &x) {
             assert_eq!(score.raw(), all[id.index()].raw());
             assert_eq!(m.score_senone(id, &x).unwrap().raw(), score.raw());

@@ -54,7 +54,9 @@ mod tests {
     #[test]
     fn reduced_widths_score_close_but_not_identical() {
         let m = AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap();
-        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.37 * d as f32 + 0.11).collect();
+        let x: Vec<f32> = (0..m.feature_dim())
+            .map(|d| 0.37 * d as f32 + 0.11)
+            .collect();
         for width in [MantissaWidth::BITS_15, MantissaWidth::BITS_12] {
             let q = quantize_model(&m, width).unwrap();
             let a = m.score_senone(SenoneId(0), &x).unwrap();

@@ -120,7 +120,7 @@ impl FlashImage {
         let bits_per_value = width.storage_bits();
         let quantizer = Quantizer::new(width);
         let total_bits = values.len() as u64 * bits_per_value as u64;
-        let mut bytes = vec![0u8; ((total_bits + 7) / 8) as usize + 8];
+        let mut bytes = vec![0u8; total_bits.div_ceil(8) as usize + 8];
         // 8-byte header: magic + value count.
         bytes[..4].copy_from_slice(&FLASH_MAGIC.to_le_bytes());
         bytes[4..8].copy_from_slice(&(values.len() as u32).to_le_bytes());
@@ -154,7 +154,9 @@ impl FlashImage {
     /// the image is truncated.
     pub fn unpack_values(&self) -> Result<Vec<f32>, AcousticError> {
         if self.bytes.len() < 8 {
-            return Err(AcousticError::CorruptImage("image shorter than header".into()));
+            return Err(AcousticError::CorruptImage(
+                "image shorter than header".into(),
+            ));
         }
         let magic = u32::from_le_bytes(self.bytes[..4].try_into().expect("4 bytes"));
         if magic != FLASH_MAGIC {
@@ -264,7 +266,12 @@ mod tests {
 
     #[test]
     fn flash_image_roundtrip_reduced_precision() {
-        let values = vec![3.14159265f32, -2.7182818, 123.456, -0.001234];
+        let values = vec![
+            std::f32::consts::PI,
+            -std::f32::consts::E,
+            123.456,
+            -0.001234,
+        ];
         for width in [MantissaWidth::BITS_15, MantissaWidth::BITS_12] {
             let img = FlashImage::pack_values(&values, width);
             let back = img.unpack_values().unwrap();
@@ -316,7 +323,14 @@ mod tests {
         let img = FlashImage::pack(&model, MantissaWidth::FULL);
         let values = img.unpack_values().unwrap();
         // First packed values are the first senone's first component mean.
-        let first_mean = model.senones().iter().next().unwrap().mixture().components()[0].mean();
+        let first_mean = model
+            .senones()
+            .iter()
+            .next()
+            .unwrap()
+            .mixture()
+            .components()[0]
+            .mean();
         assert_eq!(&values[..first_mean.len()], first_mean);
     }
 }

@@ -92,11 +92,7 @@ impl GmmTrainer {
                 let mut best = 0usize;
                 let mut best_d = f32::INFINITY;
                 for (c, centroid) in centroids.iter().enumerate() {
-                    let d: f32 = x
-                        .iter()
-                        .zip(centroid)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
+                    let d: f32 = x.iter().zip(centroid).map(|(a, b)| (a - b) * (a - b)).sum();
                     if d < best_d {
                         best_d = d;
                         best = c;
@@ -116,8 +112,7 @@ impl GmmTrainer {
                     continue;
                 }
                 for d in 0..dim {
-                    centroid[d] =
-                        members.iter().map(|x| x[d]).sum::<f32>() / members.len() as f32;
+                    centroid[d] = members.iter().map(|x| x[d]).sum::<f32>() / members.len() as f32;
                 }
             }
         }
@@ -155,8 +150,8 @@ impl GmmTrainer {
                 let mut comp_ll = vec![0.0f64; k];
                 let mut max_ll = f64::NEG_INFINITY;
                 for c in 0..k {
-                    let ll = (weights[c]).ln()
-                        + mixture.components()[c].log_density(x).raw() as f64;
+                    let ll =
+                        (weights[c]).ln() + mixture.components()[c].log_density(x).raw() as f64;
                     comp_ll[c] = ll;
                     if ll > max_ll {
                         max_ll = ll;
@@ -238,7 +233,9 @@ mod tests {
     /// Deterministic pseudo-random generator for test data (LCG) so the
     /// trainer tests need no external crates.
     fn lcg(seed: &mut u64) -> f32 {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*seed >> 33) as f32 / (1u64 << 30) as f32) - 1.0
     }
 
@@ -314,7 +311,10 @@ mod tests {
         .unwrap();
         let ll_no = GmmTrainer::mean_log_likelihood(&no_em, &data);
         let ll_em = GmmTrainer::mean_log_likelihood(&with_em, &data);
-        assert!(ll_em >= ll_no - 1e-6, "EM decreased likelihood: {ll_no} -> {ll_em}");
+        assert!(
+            ll_em >= ll_no - 1e-6,
+            "EM decreased likelihood: {ll_no} -> {ll_em}"
+        );
     }
 
     #[test]

@@ -301,10 +301,16 @@ mod tests {
     fn active_senones_dedups() {
         let mut inv = TriphoneInventory::new(HmmTopology::Three);
         let a = inv
-            .add(Triphone::context_independent(PhoneId(0)), senones(&[0, 1, 2]))
+            .add(
+                Triphone::context_independent(PhoneId(0)),
+                senones(&[0, 1, 2]),
+            )
             .unwrap();
         let b = inv
-            .add(Triphone::context_independent(PhoneId(1)), senones(&[2, 3, 4]))
+            .add(
+                Triphone::context_independent(PhoneId(1)),
+                senones(&[2, 3, 4]),
+            )
             .unwrap();
         let active = inv.active_senones(&[a, b, a]);
         assert_eq!(active, senones(&[0, 1, 2, 3, 4]));

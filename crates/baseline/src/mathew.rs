@@ -106,7 +106,10 @@ mod tests {
         let m = MathewAccelerator::published();
         let g = AcousticModelConfig::paper_default();
         let rtf = m.real_time_factor(&g);
-        assert!(rtf <= 1.0, "CASES'03 accelerator meets real time, rtf {rtf}");
+        assert!(
+            rtf <= 1.0,
+            "CASES'03 accelerator meets real time, rtf {rtf}"
+        );
         assert_eq!(MathewAccelerator::default(), m);
     }
 
@@ -115,7 +118,12 @@ mod tests {
         // "our design has much less power consumption" — at least 5× less.
         let m = MathewAccelerator::published();
         let ours = 2.0 * PowerModel::paper_calibrated().structure_full_power_w();
-        assert!(m.system_power_w() > 5.0 * ours, "{} vs {}", m.system_power_w(), ours);
+        assert!(
+            m.system_power_w() > 5.0 * ours,
+            "{} vs {}",
+            m.system_power_w(),
+            ours
+        );
     }
 
     #[test]

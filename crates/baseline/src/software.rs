@@ -254,7 +254,11 @@ mod tests {
             &paper_geometry(),
         );
         let r = b.evaluate_full_evaluation();
-        assert!(r.real_time_factor > 3.0, "embedded RTF {}", r.real_time_factor);
+        assert!(
+            r.real_time_factor > 3.0,
+            "embedded RTF {}",
+            r.real_time_factor
+        );
         assert!(r.energy_per_audio_second_j > r.average_power_w);
     }
 

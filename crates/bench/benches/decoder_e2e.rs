@@ -24,7 +24,13 @@ fn bench_decode(c: &mut Criterion) {
     for (name, config) in configs {
         let rec = recognizer(&task, config).expect("recogniser");
         group.bench_with_input(BenchmarkId::from_parameter(name), &rec, |b, rec| {
-            b.iter(|| rec.decode_features(&features).expect("decode").hypothesis.words.len())
+            b.iter(|| {
+                rec.decode_features(&features)
+                    .expect("decode")
+                    .hypothesis
+                    .words
+                    .len()
+            })
         });
     }
     group.finish();

@@ -22,16 +22,20 @@ fn bench_viterbi(c: &mut Criterion) {
             topo,
             ViterbiUnitConfig::default().cycles_per_hmm(n, 2)
         );
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{topo}")), &n, |b, _| {
-            b.iter(|| {
-                let mut unit = ViterbiUnit::default();
-                for _ in 0..100 {
-                    unit.step_hmm(&prev, LogProb::zero(), &transitions, &obs)
-                        .expect("step");
-                }
-                unit.stats().cycles
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{topo}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut unit = ViterbiUnit::default();
+                    for _ in 0..100 {
+                        unit.step_hmm(&prev, LogProb::zero(), &transitions, &obs)
+                            .expect("step");
+                    }
+                    unit.stats().cycles
+                })
+            },
+        );
     }
     group.finish();
 }

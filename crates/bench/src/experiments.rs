@@ -267,7 +267,10 @@ pub fn e5_realtime_capacity(scale: usize) -> E5Report {
 
 /// E6 — the Section V related-work comparison.
 pub fn e6_comparison(active_senones_per_frame: usize) -> ComparisonTable {
-    ComparisonTable::section_v(&AcousticModelConfig::paper_default(), active_senones_per_frame)
+    ComparisonTable::section_v(
+        &AcousticModelConfig::paper_default(),
+        active_senones_per_frame,
+    )
 }
 
 /// One row of the Conditional Down Sampling ablation (E7).
@@ -353,12 +356,10 @@ pub fn f1_pipeline_breakdown(scale: usize) -> F1Report {
     F1Report {
         opu_cycles_per_frame: hw.energy.opu_activity * budget as f64,
         viterbi_cycles_per_frame: hw.energy.viterbi_activity * budget as f64,
-        host_cycles_per_frame: soc_cfg
-            .host
-            .software_cycles_per_frame(
-                result.stats.mean_active_hmms() as usize,
-                result.lattice.len() / result.stats.num_frames().max(1),
-            ) as f64,
+        host_cycles_per_frame: soc_cfg.host.software_cycles_per_frame(
+            result.stats.mean_active_hmms() as usize,
+            result.lattice.len() / result.stats.num_frames().max(1),
+        ) as f64,
         flash_bytes_per_frame: hw.mean_bandwidth_gb_per_s * 1.0e9 * 0.010,
         cycle_budget: budget,
     }
@@ -399,7 +400,9 @@ pub fn f2_opu_figures() -> F2Report {
     // Probe accuracy on a small model.
     let model = AcousticModel::untrained(AcousticModelConfig::tiny()).expect("tiny model");
     let mut opu = ObservationProbabilityUnit::new(opu_cfg.clone());
-    let x: Vec<f32> = (0..model.feature_dim()).map(|d| 0.21 * d as f32 - 0.4).collect();
+    let x: Vec<f32> = (0..model.feature_dim())
+        .map(|d| 0.21 * d as f32 - 0.4)
+        .collect();
     opu.load_feature_vector(&x);
     let mut max_dev = 0.0f32;
     for i in 0..model.senones().len() {
@@ -474,7 +477,10 @@ mod tests {
     #[test]
     fn e1_reproduces_paper_table() {
         for row in e1_memory_bandwidth() {
-            assert!((row.measured_memory_mb - row.paper_memory_mb).abs() < 0.02, "{row:?}");
+            assert!(
+                (row.measured_memory_mb - row.paper_memory_mb).abs() < 0.02,
+                "{row:?}"
+            );
             assert!(
                 (row.measured_bandwidth_gbps - row.paper_bandwidth_gbps).abs() < 0.002,
                 "{row:?}"

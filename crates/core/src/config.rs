@@ -4,6 +4,11 @@ use crate::DecodeError;
 use asr_hw::SocConfig;
 
 /// Which backend scores senones and advances HMMs.
+//
+// `SocConfig` is much larger than the unit `Software` variant, but a
+// `DecoderConfig` is built once per recogniser, never stored in bulk, so
+// boxing it would only complicate every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScoringBackendKind {
     /// The cycle-accurate hardware model (`asr-hw`): OP units + Viterbi units,
@@ -26,11 +31,20 @@ impl Default for ScoringBackendKind {
 /// granularity; Conditional Down Sampling (the frame layer) is the one the
 /// paper highlights as having "the potential to cut the power usage by a
 /// considerable margin".
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GmmSelectionConfig {
-    /// Frame layer — Conditional Down Sampling: fully score senones only every
-    /// `cds_period` frames and reuse the previous scores in between (1 = off).
+    /// Frame layer — Conditional Down Sampling: reuse the previous frame's
+    /// senone scores when the acoustics are stable, rescoring at least every
+    /// `cds_period` frames (1 = off). The *condition* is what keeps this
+    /// cheap trick accurate: frames are only skipped while the feature vector
+    /// stays within [`GmmSelectionConfig::cds_threshold`] of the last scored
+    /// one, so phone transitions are always rescored.
     pub cds_period: usize,
+    /// Mean squared per-dimension distance between the current feature vector
+    /// and the last fully scored one below which a CDS-eligible frame may be
+    /// skipped. Calibrated so that frames within one HMM state (emission
+    /// noise) skip while state/phone transitions rescore.
+    pub cds_threshold: f32,
     /// GMM layer: only senones requested by the word-decode feedback are
     /// scored at all (this is the paper's own feedback mechanism; always on in
     /// the real system but can be disabled to measure its effect).
@@ -47,6 +61,7 @@ impl Default for GmmSelectionConfig {
     fn default() -> Self {
         GmmSelectionConfig {
             cds_period: 1,
+            cds_threshold: 1.0,
             senone_feedback: true,
             best_component_only: false,
             max_dims: None,
@@ -138,10 +153,17 @@ impl DecoderConfig {
             return Err(DecodeError::InvalidConfig("max_active_hmms == 0".into()));
         }
         if self.lm_weight <= 0.0 {
-            return Err(DecodeError::InvalidConfig("lm_weight must be positive".into()));
+            return Err(DecodeError::InvalidConfig(
+                "lm_weight must be positive".into(),
+            ));
         }
         if self.gmm_selection.cds_period == 0 {
             return Err(DecodeError::InvalidConfig("cds_period must be >= 1".into()));
+        }
+        if !self.gmm_selection.cds_threshold.is_finite() || self.gmm_selection.cds_threshold < 0.0 {
+            return Err(DecodeError::InvalidConfig(
+                "cds_threshold must be finite and non-negative".into(),
+            ));
         }
         if let ScoringBackendKind::Hardware(soc) = &self.backend {
             soc.validate()
@@ -169,20 +191,34 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = DecoderConfig::default();
-        c.beam = 0.0;
+        let c = DecoderConfig {
+            beam: 0.0,
+            ..DecoderConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DecoderConfig::default();
-        c.word_beam = -1.0;
+        let c = DecoderConfig {
+            word_beam: -1.0,
+            ..DecoderConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DecoderConfig::default();
-        c.max_active_hmms = 0;
+        let c = DecoderConfig {
+            max_active_hmms: 0,
+            ..DecoderConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DecoderConfig::default();
-        c.lm_weight = 0.0;
+        let c = DecoderConfig {
+            lm_weight: 0.0,
+            ..DecoderConfig::default()
+        };
         assert!(c.validate().is_err());
         let mut c = DecoderConfig::default();
         c.gmm_selection.cds_period = 0;
+        assert!(c.validate().is_err());
+        let mut c = DecoderConfig::default();
+        c.gmm_selection.cds_threshold = -0.5;
+        assert!(c.validate().is_err());
+        let mut c = DecoderConfig::default();
+        c.gmm_selection.cds_threshold = f32::NAN;
         assert!(c.validate().is_err());
         let c = DecoderConfig::hardware(0);
         assert!(c.validate().is_err());

@@ -65,7 +65,10 @@ impl WordLattice {
 
     /// Candidates ending at a given frame.
     pub fn ending_at(&self, frame: usize) -> Vec<&WordLatticeEntry> {
-        self.entries.iter().filter(|e| e.end_frame == frame).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.end_frame == frame)
+            .collect()
     }
 
     /// Mean number of distinct word candidates per frame (lattice density),

@@ -58,8 +58,15 @@ pub enum DecodeError {
     /// The knowledge sources were inconsistent (e.g. dictionary references a
     /// phone with no acoustic model).
     InconsistentModels(String),
-    /// A hardware-model error surfaced during decoding.
-    Hardware(String),
+    /// An acoustic-model error surfaced during decoding (the typed source is
+    /// preserved and exposed through [`std::error::Error::source`]).
+    Acoustic(asr_acoustic::AcousticError),
+    /// A lexicon / language-model error surfaced during decoding (typed
+    /// source preserved).
+    Lexicon(asr_lexicon::LexiconError),
+    /// A hardware-model error surfaced during decoding (typed source
+    /// preserved).
+    Hardware(asr_hw::HwError),
 }
 
 impl core::fmt::Display for DecodeError {
@@ -67,19 +74,45 @@ impl core::fmt::Display for DecodeError {
         match self {
             DecodeError::InvalidConfig(msg) => write!(f, "invalid decoder config: {msg}"),
             DecodeError::DimensionMismatch { expected, got } => {
-                write!(f, "feature dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "feature dimension mismatch: expected {expected}, got {got}"
+                )
             }
             DecodeError::InconsistentModels(msg) => write!(f, "inconsistent models: {msg}"),
-            DecodeError::Hardware(msg) => write!(f, "hardware model error: {msg}"),
+            DecodeError::Acoustic(e) => write!(f, "acoustic model error: {e}"),
+            DecodeError::Lexicon(e) => write!(f, "lexicon error: {e}"),
+            DecodeError::Hardware(e) => write!(f, "hardware model error: {e}"),
         }
     }
 }
 
-impl std::error::Error for DecodeError {}
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Acoustic(e) => Some(e),
+            DecodeError::Lexicon(e) => Some(e),
+            DecodeError::Hardware(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<asr_hw::HwError> for DecodeError {
     fn from(e: asr_hw::HwError) -> Self {
-        DecodeError::Hardware(e.to_string())
+        DecodeError::Hardware(e)
+    }
+}
+
+impl From<asr_acoustic::AcousticError> for DecodeError {
+    fn from(e: asr_acoustic::AcousticError) -> Self {
+        DecodeError::Acoustic(e)
+    }
+}
+
+impl From<asr_lexicon::LexiconError> for DecodeError {
+    fn from(e: asr_lexicon::LexiconError) -> Self {
+        DecodeError::Lexicon(e)
     }
 }
 
@@ -89,12 +122,28 @@ mod tests {
 
     #[test]
     fn error_display_and_conversion() {
-        assert!(DecodeError::InvalidConfig("beam".into()).to_string().contains("beam"));
-        assert!(DecodeError::DimensionMismatch { expected: 39, got: 13 }
+        assert!(DecodeError::InvalidConfig("beam".into())
             .to_string()
-            .contains("39"));
-        assert!(DecodeError::InconsistentModels("x".into()).to_string().contains("x"));
+            .contains("beam"));
+        assert!(DecodeError::DimensionMismatch {
+            expected: 39,
+            got: 13
+        }
+        .to_string()
+        .contains("39"));
+        assert!(DecodeError::InconsistentModels("x".into())
+            .to_string()
+            .contains("x"));
         let hw: DecodeError = asr_hw::HwError::NoFeatureLoaded.into();
         assert!(matches!(hw, DecodeError::Hardware(_)));
+        // The typed source survives the conversion.
+        use std::error::Error;
+        assert!(hw.source().is_some());
+        let ac: DecodeError = asr_acoustic::AcousticError::UnknownId("senone#9".into()).into();
+        assert!(matches!(ac, DecodeError::Acoustic(_)));
+        assert!(ac.source().is_some());
+        let lx: DecodeError = asr_lexicon::LexiconError::UnknownWord("zz".into()).into();
+        assert!(matches!(lx, DecodeError::Lexicon(_)));
+        assert!(lx.to_string().contains("zz"));
     }
 }

@@ -38,7 +38,8 @@ impl ScoringBackend {
     pub fn from_kind(kind: &ScoringBackendKind) -> Result<Self, DecodeError> {
         match kind {
             ScoringBackendKind::Hardware(cfg) => Ok(ScoringBackend::Hardware(Box::new(
-                SpeechSoc::new(cfg.clone()).map_err(|e| DecodeError::InvalidConfig(e.to_string()))?,
+                SpeechSoc::new(cfg.clone())
+                    .map_err(|e| DecodeError::InvalidConfig(e.to_string()))?,
             ))),
             ScoringBackendKind::Software => Ok(ScoringBackend::Software),
         }
@@ -65,7 +66,12 @@ pub struct PhoneDecoder {
     selection: GmmSelectionConfig,
     /// Scores reused across frames by Conditional Down Sampling.
     cached_scores: HashMap<SenoneId, LogProb>,
-    frame_index: usize,
+    /// Feature vector of the last fully scored frame (the CDS condition
+    /// compares against this, not against the previous frame, so drift over a
+    /// run of skipped frames is bounded).
+    last_scored_feature: Vec<f32>,
+    /// Frames skipped since the last full scoring pass.
+    skips_since_scored: usize,
 }
 
 impl PhoneDecoder {
@@ -75,7 +81,8 @@ impl PhoneDecoder {
             backend,
             selection,
             cached_scores: HashMap::new(),
-            frame_index: 0,
+            last_scored_feature: Vec::new(),
+            skips_since_scored: 0,
         }
     }
 
@@ -105,8 +112,10 @@ impl PhoneDecoder {
         feature: &[f32],
     ) -> Result<(HashMap<SenoneId, LogProb>, bool), DecodeError> {
         let cds_skip = self.selection.cds_period > 1
-            && self.frame_index % self.selection.cds_period != 0
-            && !self.cached_scores.is_empty();
+            && !self.cached_scores.is_empty()
+            && self.skips_since_scored + 1 < self.selection.cds_period
+            && mean_squared_distance(feature, &self.last_scored_feature)
+                <= self.selection.cds_threshold;
         if cds_skip {
             // Reuse the previous frame's scores; senones that were not cached
             // get a neutral (poor but finite) score so new words can still
@@ -121,14 +130,12 @@ impl PhoneDecoder {
                 .iter()
                 .map(|id| (*id, *self.cached_scores.get(id).unwrap_or(&floor)))
                 .collect();
-            self.frame_index += 1;
+            self.skips_since_scored += 1;
             return Ok((map, true));
         }
 
         let scored: Vec<(SenoneId, LogProb)> = match &mut self.backend {
-            ScoringBackend::Hardware(soc) => soc
-                .score_senones(model, active)
-                .map_err(|e| DecodeError::Hardware(e.to_string()))?,
+            ScoringBackend::Hardware(soc) => soc.score_senones(model, active)?,
             ScoringBackend::Software => active
                 .iter()
                 .map(|&id| {
@@ -146,7 +153,13 @@ impl PhoneDecoder {
                 .collect(),
         };
         self.cached_scores = scored.iter().copied().collect();
-        self.frame_index += 1;
+        // CDS bookkeeping costs a per-frame feature copy; skip it entirely
+        // when down-sampling is off.
+        if self.selection.cds_period > 1 {
+            self.last_scored_feature.clear();
+            self.last_scored_feature.extend_from_slice(feature);
+        }
+        self.skips_since_scored = 0;
         Ok((self.cached_scores.clone(), false))
     }
 
@@ -180,9 +193,7 @@ impl PhoneDecoder {
     ) -> Result<HmmStepResult, DecodeError> {
         match &mut self.backend {
             ScoringBackend::Hardware(soc) => {
-                let step = soc
-                    .step_hmm(prev_scores, entry_score, transitions, senone_scores)
-                    .map_err(|e| DecodeError::Hardware(e.to_string()))?;
+                let step = soc.step_hmm(prev_scores, entry_score, transitions, senone_scores)?;
                 Ok(HmmStepResult {
                     scores: step.scores,
                     exit_score: step.exit_score,
@@ -197,7 +208,7 @@ impl PhoneDecoder {
                     });
                 }
                 let mut scores = Vec::with_capacity(n);
-                for j in 0..n {
+                for (j, &obs_j) in senone_scores.iter().enumerate() {
                     let mut best = LogProb::zero();
                     for (i, a_ij) in transitions.column(j) {
                         let c = prev_scores[i] + a_ij;
@@ -208,11 +219,11 @@ impl PhoneDecoder {
                     if j == 0 && entry_score.raw() > best.raw() {
                         best = entry_score;
                     }
-                    scores.push(best + senone_scores[j]);
+                    scores.push(best + obs_j);
                 }
                 let mut exit = LogProb::zero();
-                for i in 0..n {
-                    let e = scores[i] + transitions.log_exit_prob(i);
+                for (i, &score_i) in scores.iter().enumerate() {
+                    let e = score_i + transitions.log_exit_prob(i);
                     if e.raw() > exit.raw() {
                         exit = e;
                     }
@@ -242,13 +253,25 @@ impl PhoneDecoder {
 
     /// Finishes the utterance, returning the hardware report if available.
     pub fn finish_utterance(&mut self) -> Option<UtteranceReport> {
-        self.frame_index = 0;
+        self.skips_since_scored = 0;
         self.cached_scores.clear();
+        self.last_scored_feature.clear();
         match &mut self.backend {
             ScoringBackend::Hardware(soc) => Some(soc.finish_utterance()),
             ScoringBackend::Software => None,
         }
     }
+}
+
+/// Mean squared per-dimension distance between two feature vectors; the CDS
+/// stability condition. Mismatched lengths count as infinitely far apart (the
+/// frame is rescored).
+fn mean_squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    if a.len() != b.len() || a.is_empty() {
+        return f32::INFINITY;
+    }
+    let sum: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    sum / a.len() as f32
 }
 
 #[cfg(test)]
@@ -263,16 +286,15 @@ mod tests {
 
     fn hardware_decoder(selection: GmmSelectionConfig) -> PhoneDecoder {
         let backend =
-            ScoringBackend::from_kind(&ScoringBackendKind::Hardware(SocConfig::default()))
-                .unwrap();
+            ScoringBackend::from_kind(&ScoringBackendKind::Hardware(SocConfig::default())).unwrap();
         PhoneDecoder::new(backend, selection)
     }
 
     #[test]
     fn backend_construction() {
         assert!(ScoringBackend::from_kind(&ScoringBackendKind::Software).is_ok());
-        let hw = ScoringBackend::from_kind(&ScoringBackendKind::Hardware(SocConfig::default()))
-            .unwrap();
+        let hw =
+            ScoringBackend::from_kind(&ScoringBackendKind::Hardware(SocConfig::default())).unwrap();
         assert!(hw.is_hardware());
         assert!(hw.soc().is_some());
         let sw = ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap();
@@ -333,6 +355,28 @@ mod tests {
         let (fourth, skip3) = dec.score_frame(&m, &[SenoneId(20)], &x).unwrap();
         assert!(skip3);
         assert!(fourth[&SenoneId(20)].raw() < first[&ids[0]].raw());
+    }
+
+    #[test]
+    fn cds_rescores_when_the_acoustics_move() {
+        let m = model();
+        let x = vec![0.2f32; m.feature_dim()];
+        // A feature jump far beyond cds_threshold (mean squared distance per
+        // dimension of 3.0² = 9.0 against the default threshold of 1.0).
+        let y = vec![3.2f32; m.feature_dim()];
+        let ids: Vec<SenoneId> = (0..5).map(SenoneId).collect();
+        let mut dec = hardware_decoder(GmmSelectionConfig::with_cds(2));
+        dec.begin_frame(&x);
+        let (_, skip0) = dec.score_frame(&m, &ids, &x).unwrap();
+        assert!(!skip0);
+        // Skip-eligible frame, but the condition fails → full rescore.
+        dec.begin_frame(&y);
+        let (_, skip1) = dec.score_frame(&m, &ids, &y).unwrap();
+        assert!(!skip1);
+        // Back to stable acoustics → the skip resumes.
+        dec.begin_frame(&y);
+        let (_, skip2) = dec.score_frame(&m, &ids, &y).unwrap();
+        assert!(skip2);
     }
 
     #[test]
@@ -404,7 +448,8 @@ mod tests {
         let x = vec![0.0f32; m.feature_dim()];
         let mut dec = hardware_decoder(GmmSelectionConfig::default());
         dec.begin_frame(&x);
-        dec.score_frame(&m, &[SenoneId(0), SenoneId(1)], &x).unwrap();
+        dec.score_frame(&m, &[SenoneId(0), SenoneId(1)], &x)
+            .unwrap();
         dec.dma_fetch(128);
         dec.end_frame(2, 1);
         let report = dec.finish_utterance().unwrap();

@@ -110,12 +110,7 @@ impl Recognizer {
             words: words.to_vec(),
             text: words
                 .iter()
-                .map(|&w| {
-                    self.dictionary
-                        .spelling(w)
-                        .unwrap_or("<unk>")
-                        .to_string()
-                })
+                .map(|&w| self.dictionary.spelling(w).unwrap_or("<unk>").to_string())
                 .collect(),
         }
     }
@@ -126,6 +121,16 @@ impl Recognizer {
     ///
     /// Propagates configuration, dimension and hardware errors.
     pub fn decode_features(&self, features: &[Vec<f32>]) -> Result<DecodeResult, DecodeError> {
+        // Validate up front for every backend: the software scorer would
+        // otherwise silently truncate short frames, and the hardware model
+        // only notices several layers down.
+        let expected = self.model.feature_dim();
+        if let Some(bad) = features.iter().find(|f| f.len() != expected) {
+            return Err(DecodeError::DimensionMismatch {
+                expected,
+                got: bad.len(),
+            });
+        }
         let mut phone_decoder = PhoneDecoder::new(
             ScoringBackend::from_kind(&self.config.backend)?,
             self.config.gmm_selection,
@@ -205,8 +210,9 @@ mod tests {
         let pool = SenonePool::new(mixtures).unwrap();
         let mut inventory = TriphoneInventory::new(HmmTopology::Three);
         for p in 0..NUM_PHONES {
-            let senones: Vec<SenoneId> =
-                (0..states).map(|s| SenoneId((p * states + s) as u32)).collect();
+            let senones: Vec<SenoneId> = (0..states)
+                .map(|s| SenoneId((p * states + s) as u32))
+                .collect();
             inventory
                 .add(Triphone::context_independent(PhoneId(p as u16)), senones)
                 .unwrap();

@@ -54,21 +54,14 @@ impl SearchNetwork {
             let parent_phone = lextree.phone(node).unwrap_or(silence);
             for (phone, child) in lextree.successors(node) {
                 let successors = lextree.successors(child);
-                let right = successors
-                    .first()
-                    .map(|&(p, _)| p)
-                    .unwrap_or(silence);
+                let right = successors.first().map(|&(p, _)| p).unwrap_or(silence);
                 let triphone = Triphone::new(phone, parent_phone, right);
                 let id = model.triphones().resolve(&triphone).ok_or_else(|| {
                     DecodeError::InconsistentModels(format!(
                         "no acoustic model for phone {phone} (triphone {triphone})"
                     ))
                 })?;
-                let senones = model
-                    .triphones()
-                    .senones(id)
-                    .map_err(|e| DecodeError::InconsistentModels(e.to_string()))?
-                    .to_vec();
+                let senones = model.triphones().senones(id)?.to_vec();
                 node_senones[child.index()] = senones;
                 queue.push(child);
             }
@@ -158,13 +151,7 @@ impl<'a> TokenPassingSearch<'a> {
     }
 
     fn lm_score(&self, history: &[WordId], word: WordId) -> LogProb {
-        let tail: Vec<WordId> = history
-            .iter()
-            .rev()
-            .take(2)
-            .rev()
-            .copied()
-            .collect();
+        let tail: Vec<WordId> = history.iter().rev().take(2).rev().copied().collect();
         self.lm.log_prob(&tail, word).powf(self.config.lm_weight)
             + LogProb::new(self.config.word_insertion_penalty)
     }
@@ -279,8 +266,7 @@ impl<'a> TokenPassingSearch<'a> {
                     .map(|e| e.entry_score)
                     .unwrap_or_else(LogProb::zero);
                 let token = active.get_mut(&node).expect("node is active");
-                let step =
-                    phone_decoder.step_hmm(&token.scores, entry_score, transitions, &obs)?;
+                let step = phone_decoder.step_hmm(&token.scores, entry_score, transitions, &obs)?;
                 token.scores = step.scores;
                 let best = token.best();
                 if best.raw() > frame_best.raw() {
@@ -314,9 +300,7 @@ impl<'a> TokenPassingSearch<'a> {
                     new_history.push(word);
                     let better_final = best_final
                         .as_ref()
-                        .map(|(s, _, e)| {
-                            t > *e || (t == *e && with_lm.raw() > s.raw())
-                        })
+                        .map(|(s, _, e)| t > *e || (t == *e && with_lm.raw() > s.raw()))
                         .unwrap_or(true);
                     if better_final {
                         best_final = Some((with_lm, new_history.clone(), t));
@@ -332,7 +316,8 @@ impl<'a> TokenPassingSearch<'a> {
                             };
                             match pending.get(&root_child) {
                                 Some(existing)
-                                    if existing.entry_score.raw() >= candidate.entry_score.raw() => {}
+                                    if existing.entry_score.raw()
+                                        >= candidate.entry_score.raw() => {}
                                 _ => {
                                     pending.insert(root_child, candidate);
                                 }
@@ -408,8 +393,8 @@ mod tests {
     use crate::config::{GmmSelectionConfig, ScoringBackendKind};
     use crate::phone_decode::ScoringBackend;
     use asr_acoustic::{
-        AcousticModel, AcousticModelConfig, DiagGaussian, GaussianMixture, HmmTopology,
-        SenonePool, TransitionMatrix, TriphoneInventory,
+        AcousticModel, AcousticModelConfig, DiagGaussian, GaussianMixture, HmmTopology, SenonePool,
+        TransitionMatrix, TriphoneInventory,
     };
     use asr_lexicon::{NGramModel, Pronunciation};
 
@@ -435,8 +420,9 @@ mod tests {
         let pool = SenonePool::new(mixtures).unwrap();
         let mut inventory = TriphoneInventory::new(HmmTopology::Three);
         for p in 0..NUM_PHONES {
-            let senones: Vec<SenoneId> =
-                (0..states).map(|s| SenoneId((p * states + s) as u32)).collect();
+            let senones: Vec<SenoneId> = (0..states)
+                .map(|s| SenoneId((p * states + s) as u32))
+                .collect();
             inventory
                 .add(Triphone::context_independent(PhoneId(p as u16)), senones)
                 .unwrap();

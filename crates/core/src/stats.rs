@@ -85,7 +85,10 @@ impl DecodeStats {
         if self.frames.is_empty() {
             return 0.0;
         }
-        self.frames.iter().map(|f| f.senones_scored as f64).sum::<f64>()
+        self.frames
+            .iter()
+            .map(|f| f.senones_scored as f64)
+            .sum::<f64>()
             / self.frames.len() as f64
     }
 
@@ -94,7 +97,11 @@ impl DecodeStats {
         if self.frames.is_empty() {
             return 0.0;
         }
-        self.frames.iter().map(|f| f.active_hmms as f64).sum::<f64>() / self.frames.len() as f64
+        self.frames
+            .iter()
+            .map(|f| f.active_hmms as f64)
+            .sum::<f64>()
+            / self.frames.len() as f64
     }
 
     /// Total senone scores computed over the utterance.

@@ -136,10 +136,12 @@ mod tests {
         let b = synth.formants(PhoneId(30));
         assert_ne!(a, b);
         // Their MFCCs differ substantially.
-        let mut cfg = FrontendConfig::default();
-        cfg.cepstral_mean_norm = false;
-        cfg.use_delta = false;
-        cfg.use_delta_delta = false;
+        let cfg = FrontendConfig {
+            cepstral_mean_norm: false,
+            use_delta: false,
+            use_delta_delta: false,
+            ..FrontendConfig::default()
+        };
         let fe = Frontend::new(cfg).unwrap();
         let fa = fe.process(&synth.render_phones(&[PhoneId(1)], 2));
         let fb = fe.process(&synth.render_phones(&[PhoneId(30)], 2));
@@ -163,11 +165,8 @@ mod tests {
     #[test]
     fn renders_words_with_gaps() {
         let mut dict = Dictionary::new();
-        dict.add_word(
-            "ab",
-            Pronunciation::new(vec![PhoneId(1), PhoneId(2)]),
-        )
-        .unwrap();
+        dict.add_word("ab", Pronunciation::new(vec![PhoneId(1), PhoneId(2)]))
+            .unwrap();
         let synth = AudioSynthesizer::default_16khz();
         let audio = synth.render_words(&dict, &[WordId(0), WordId(0)], 3);
         // 2 words × 2 phones × 0.12 s + 2 gaps × 0.03 s.

@@ -151,7 +151,10 @@ impl SyntheticTask {
         utterance_seed: u64,
     ) -> (Vec<Vec<f32>>, Vec<WordId>) {
         let synth = UtteranceSynthesizer::new(self, noise_std);
-        synth.synthesize(num_words, self.seed ^ utterance_seed.wrapping_mul(0x9E37_79B9))
+        synth.synthesize(
+            num_words,
+            self.seed ^ utterance_seed.wrapping_mul(0x9E37_79B9),
+        )
     }
 
     /// Synthesises a whole test set of utterances.
@@ -225,10 +228,7 @@ impl TaskGenerator {
             let senones: Vec<SenoneId> = (0..states)
                 .map(|k| SenoneId((p * states + k) as u32))
                 .collect();
-            inventory.add(
-                Triphone::context_independent(PhoneId(p as u16)),
-                senones,
-            )?;
+            inventory.add(Triphone::context_independent(PhoneId(p as u16)), senones)?;
         }
         let transitions = TransitionMatrix::bakis(config.topology, config.self_loop_prob)?;
         let am_config = AcousticModelConfig {
@@ -273,7 +273,7 @@ impl TaskGenerator {
                 // A sticky chain: with high probability move to a "neighbour"
                 // word, giving the LM something better than uniform to learn.
                 current = if rng.gen::<f32>() < 0.7 {
-                    (current + rng.gen_range(1..4)) % vocab
+                    (current + rng.gen_range(1..4usize)) % vocab
                 } else {
                     rng.gen_range(0..vocab)
                 };

@@ -85,7 +85,9 @@ mod tests {
 
     #[test]
     fn error_display_and_from() {
-        assert!(CorpusError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(CorpusError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
         let e: CorpusError = asr_acoustic::AcousticError::InvalidParameter("p".into()).into();
         assert!(matches!(e, CorpusError::Generation(_)));
         let e: CorpusError = asr_lexicon::LexiconError::UnknownWord("w".into()).into();

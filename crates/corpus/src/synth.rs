@@ -44,7 +44,12 @@ impl<'a> UtteranceSynthesizer<'a> {
                 .collect();
             let scored: Vec<(WordId, f64)> = candidates
                 .iter()
-                .map(|&w| (w, self.task.language_model.log_prob(&history, w).to_linear()))
+                .map(|&w| {
+                    (
+                        w,
+                        self.task.language_model.log_prob(&history, w).to_linear(),
+                    )
+                })
                 .collect();
             let total: f64 = scored.iter().map(|(_, p)| p).sum();
             let mut pick = rng.gen::<f64>() * total.max(f64::MIN_POSITIVE);
@@ -81,8 +86,12 @@ impl<'a> UtteranceSynthesizer<'a> {
                 let Some(tri_id) = model.triphones().resolve(&triphone) else {
                     continue;
                 };
-                let senones = model.triphones().senones(tri_id).expect("resolved id").to_vec();
-                for state in 0..states {
+                let senones = model
+                    .triphones()
+                    .senones(tri_id)
+                    .expect("resolved id")
+                    .to_vec();
+                for &state_senone in senones.iter().take(states) {
                     // Geometric duration with mean 1/(1 − self_loop), at least 1 frame.
                     let mut duration = 1usize;
                     while rng.gen::<f64>() < self_loop && duration < 30 {
@@ -90,7 +99,7 @@ impl<'a> UtteranceSynthesizer<'a> {
                     }
                     let mixture = model
                         .senones()
-                        .get(senones[state])
+                        .get(state_senone)
                         .expect("senone exists")
                         .mixture();
                     for _ in 0..duration {
@@ -145,7 +154,9 @@ mod tests {
     use crate::generator::{TaskConfig, TaskGenerator};
 
     fn task() -> SyntheticTask {
-        TaskGenerator::new(11).generate(&TaskConfig::tiny()).unwrap()
+        TaskGenerator::new(11)
+            .generate(&TaskConfig::tiny())
+            .unwrap()
     }
 
     #[test]

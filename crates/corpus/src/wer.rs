@@ -58,17 +58,28 @@ pub fn align_wer(reference: &[WordId], hypothesis: &[WordId]) -> WerScore {
         dels: usize,
         ins: usize,
     }
-    let mut dp = vec![vec![Cell { cost: 0, subs: 0, dels: 0, ins: 0 }; h + 1]; r + 1];
-    for i in 1..=r {
-        dp[i][0] = Cell {
+    let mut dp = vec![
+        vec![
+            Cell {
+                cost: 0,
+                subs: 0,
+                dels: 0,
+                ins: 0
+            };
+            h + 1
+        ];
+        r + 1
+    ];
+    for (i, row) in dp.iter_mut().enumerate().skip(1) {
+        row[0] = Cell {
             cost: i,
             subs: 0,
             dels: i,
             ins: 0,
         };
     }
-    for j in 1..=h {
-        dp[0][j] = Cell {
+    for (j, cell) in dp[0].iter_mut().enumerate().skip(1) {
+        *cell = Cell {
             cost: j,
             subs: 0,
             dels: 0,

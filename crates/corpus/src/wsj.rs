@@ -97,7 +97,7 @@ mod tests {
         assert_eq!(task.config.num_phones, 40);
         assert_eq!(task.language_model.order(), NGramOrder::Trigram);
         let mean_len = task.dictionary.mean_phones_per_word();
-        assert!(mean_len >= 4.0 && mean_len <= 10.0, "{mean_len}");
+        assert!((4.0..=10.0).contains(&mean_len), "{mean_len}");
         assert!(Wsj5kTask::evaluation(0, 1).is_err());
     }
 

@@ -188,9 +188,7 @@ impl LogProb {
         if items.is_empty() {
             return LogProb::zero();
         }
-        let max = items
-            .iter()
-            .fold(LogProb::zero(), |acc, &p| acc.max(p));
+        let max = items.iter().fold(LogProb::zero(), |acc, &p| acc.max(p));
         let mut acc = 0.0f64;
         for p in &items {
             acc += ((p.0 - max.0) as f64).exp();
@@ -282,9 +280,10 @@ impl From<f32> for LogProb {
 /// systems store scores as integers in a base very close to 1 (e.g. 1.0003) so
 /// that fixed-point hardware/software keeps enough resolution.  The conversion
 /// helpers make the two interoperable.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LogDomain {
     /// Natural logarithm (base *e*). The representation used by [`LogProb`].
+    #[default]
     Natural,
     /// Logarithm in an arbitrary base slightly above 1, stored as scaled
     /// integers by fixed-point decoders.
@@ -318,12 +317,6 @@ impl LogDomain {
             LogDomain::Natural => 1.0,
             LogDomain::Base(b) => b.ln(),
         }
-    }
-}
-
-impl Default for LogDomain {
-    fn default() -> Self {
-        LogDomain::Natural
     }
 }
 

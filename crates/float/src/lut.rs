@@ -53,7 +53,7 @@ impl LogAddTableConfig {
         if self.entries == 0 {
             return Err(FloatError::InvalidTableConfig("entries == 0"));
         }
-        if !(self.max_difference > 0.0) {
+        if self.max_difference <= 0.0 || self.max_difference.is_nan() {
             return Err(FloatError::InvalidTableConfig("max_difference <= 0"));
         }
         if self.fraction_bits == 0 || self.fraction_bits > 16 {
@@ -344,10 +344,7 @@ mod tests {
         let a = LogAddTable::default();
         let b = LogAddTable::new();
         assert_eq!(a.sram_contents(), b.sram_contents());
-        assert_eq!(
-            LogAddTableConfig::default(),
-            LogAddTableConfig::PAPER
-        );
+        assert_eq!(LogAddTableConfig::default(), LogAddTableConfig::PAPER);
     }
 
     proptest! {

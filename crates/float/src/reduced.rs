@@ -352,16 +352,13 @@ mod tests {
         let r = ReducedF32::new(1.2345678, MantissaWidth::BITS_12);
         assert_eq!(r.width(), MantissaWidth::BITS_12);
         assert_eq!(f32::from(r), r.value());
-        assert_eq!(
-            r.value(),
-            MantissaWidth::BITS_12.quantize(1.2345678)
-        );
+        assert_eq!(r.value(), MantissaWidth::BITS_12.quantize(1.2345678));
     }
 
     #[test]
     fn slice_and_vec_quantisation() {
         let q = Quantizer::new(MantissaWidth::BITS_15);
-        let src = vec![0.123456789f32, -9.87654321, 3.3333333, 100000.123];
+        let src = vec![0.123_456_79_f32, -9.876_543, 3.3333333, 100000.123];
         let copy = q.quantized(&src);
         let mut in_place = src.clone();
         q.quantize_slice(&mut in_place);

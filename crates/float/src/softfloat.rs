@@ -51,14 +51,11 @@ fn pack(sign: u32, mut exp: i32, mut frac: u64) -> f32 {
     if frac == 0 {
         return f32::from_bits(sign << 31);
     }
-    // Normalise so the hidden bit sits at bit 23.
+    // Normalise so the hidden bit sits at bit 23. Bits shifted out here are
+    // dropped (truncation): callers carry guard bits and round with
+    // `round_significand` before packing, so the loss is below the guard.
     while frac >= 0x100_0000 {
-        let lost = frac & 1;
         frac >>= 1;
-        // sticky for correct rounding later: keep the lost bit around by OR-ing
-        // into the lowest bit once we round (approximation is fine since we
-        // always carry guard bits before calling pack).
-        frac |= lost & 0;
         exp += 1;
     }
     while frac < 0x80_0000 && exp > 1 {

@@ -162,7 +162,11 @@ mod tests {
         // First frame of the next utterance benefits from the learned prior.
         let mut f = vec![10.0f32];
         cmn.normalize_live(&mut f);
-        assert!(f[0].abs() < 1.0, "prior should nearly cancel the mean, got {}", f[0]);
+        assert!(
+            f[0].abs() < 1.0,
+            "prior should nearly cancel the mean, got {}",
+            f[0]
+        );
     }
 
     #[test]

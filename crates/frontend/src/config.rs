@@ -198,9 +198,11 @@ mod tests {
 
     #[test]
     fn feature_dim_combinations() {
-        let mut cfg = FrontendConfig::default();
-        cfg.use_delta = false;
-        cfg.use_delta_delta = false;
+        let mut cfg = FrontendConfig {
+            use_delta: false,
+            use_delta_delta: false,
+            ..FrontendConfig::default()
+        };
         assert_eq!(cfg.feature_dim(), 13);
         cfg.use_delta = true;
         assert_eq!(cfg.feature_dim(), 26);
@@ -242,8 +244,10 @@ mod tests {
 
     #[test]
     fn high_freq_clamps_to_nyquist() {
-        let mut cfg = FrontendConfig::default();
-        cfg.high_freq_hz = Some(100_000.0);
+        let mut cfg = FrontendConfig {
+            high_freq_hz: Some(100_000.0),
+            ..FrontendConfig::default()
+        };
         assert_eq!(cfg.effective_high_freq(), 8_000.0);
         cfg.high_freq_hz = None;
         assert_eq!(cfg.effective_high_freq(), 8_000.0);

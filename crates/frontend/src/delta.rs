@@ -62,7 +62,12 @@ impl DeltaComputer {
 
     /// Appends delta and (optionally) delta-delta coefficients to each frame,
     /// producing `dim`, `2·dim` or `3·dim` wide vectors.
-    pub fn append(&self, frames: &[Vec<f32>], use_delta: bool, use_delta_delta: bool) -> Vec<Vec<f32>> {
+    pub fn append(
+        &self,
+        frames: &[Vec<f32>],
+        use_delta: bool,
+        use_delta_delta: bool,
+    ) -> Vec<Vec<f32>> {
         if frames.is_empty() || !use_delta {
             return frames.to_vec();
         }

@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn constant_input_concentrates_in_c0() {
         let dct = DctII::new(40, 13);
-        let out = dct.apply(&vec![2.5; 40]);
+        let out = dct.apply(&[2.5; 40]);
         assert!((out[0] - 2.5 * (40.0f32).sqrt()).abs() < 1e-3);
         assert!(out[1..].iter().all(|c| c.abs() < 1e-4));
         assert_eq!(dct.input_len(), 40);
@@ -115,7 +115,9 @@ mod tests {
     fn alternating_input_concentrates_in_high_coefficient() {
         let n = 32;
         let dct = DctII::new(n, n);
-        let input: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let input: Vec<f32> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let out = dct.apply(&input);
         let max_idx = out
             .iter()

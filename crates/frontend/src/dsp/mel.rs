@@ -192,7 +192,10 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert!(!responding.is_empty());
-        assert!(responding.len() <= 3, "at most two adjacent filters overlap a bin");
+        assert!(
+            responding.len() <= 3,
+            "at most two adjacent filters overlap a bin"
+        );
         // Low and high extremes see nothing.
         assert_eq!(energies[0], 0.0);
         assert_eq!(energies[19], 0.0);

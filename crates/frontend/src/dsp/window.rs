@@ -42,9 +42,7 @@ pub fn hamming_window(n: usize) -> Vec<f32> {
         return vec![1.0];
     }
     (0..n)
-        .map(|i| {
-            0.54 - 0.46 * (2.0 * std::f32::consts::PI * i as f32 / (n as f32 - 1.0)).cos()
-        })
+        .map(|i| 0.54 - 0.46 * (2.0 * std::f32::consts::PI * i as f32 / (n as f32 - 1.0)).cos())
         .collect()
 }
 

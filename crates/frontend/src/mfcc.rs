@@ -31,8 +31,9 @@ impl MfccExtractor {
         config.validate()?;
         let frame_len = config.frame_length_samples();
         let fft_size = config.fft_size();
-        let fft = Fft::new(fft_size)
-            .ok_or_else(|| FrontendError::InvalidConfig("FFT size must be a power of two >= 2".into()))?;
+        let fft = Fft::new(fft_size).ok_or_else(|| {
+            FrontendError::InvalidConfig("FFT size must be a power of two >= 2".into())
+        })?;
         let filterbank = MelFilterBank::new(
             config.num_mel_filters,
             fft_size,
@@ -188,14 +189,16 @@ mod tests {
 
     #[test]
     fn different_tones_produce_different_features() {
-        let mut cfg = FrontendConfig::default();
-        cfg.cepstral_mean_norm = false;
+        let cfg = FrontendConfig {
+            cepstral_mean_norm: false,
+            ..FrontendConfig::default()
+        };
         let fe = Frontend::new(cfg).unwrap();
         let a = fe.process(&tone(300.0, 0.3, 16_000));
         let b = fe.process(&tone(2500.0, 0.3, 16_000));
         // Compare the mean static cepstra of the two tones.
         let mean = |fs: &Vec<Vec<f32>>| -> Vec<f32> {
-            let mut m = vec![0.0f32; 13];
+            let mut m = [0.0f32; 13];
             for f in fs {
                 for d in 0..13 {
                     m[d] += f[d];
@@ -205,7 +208,10 @@ mod tests {
         };
         let (ma, mb) = (mean(&a), mean(&b));
         let dist: f32 = ma.iter().zip(&mb).map(|(x, y)| (x - y).powi(2)).sum();
-        assert!(dist > 1.0, "distinct spectra must give distinct cepstra, dist={dist}");
+        assert!(
+            dist > 1.0,
+            "distinct spectra must give distinct cepstra, dist={dist}"
+        );
     }
 
     #[test]
@@ -230,7 +236,10 @@ mod tests {
             })
             .sum::<f32>()
             / fq.len() as f32;
-        assert!(diff < 0.5, "CMN should suppress gain differences, diff={diff}");
+        assert!(
+            diff < 0.5,
+            "CMN should suppress gain differences, diff={diff}"
+        );
     }
 
     #[test]
@@ -249,17 +258,21 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        let mut cfg = FrontendConfig::default();
-        cfg.num_cepstra = 0;
+        let cfg = FrontendConfig {
+            num_cepstra: 0,
+            ..FrontendConfig::default()
+        };
         assert!(Frontend::new(cfg.clone()).is_err());
         assert!(MfccExtractor::new(cfg).is_err());
     }
 
     #[test]
     fn no_delta_configuration() {
-        let mut cfg = FrontendConfig::default();
-        cfg.use_delta = false;
-        cfg.use_delta_delta = false;
+        let cfg = FrontendConfig {
+            use_delta: false,
+            use_delta_delta: false,
+            ..FrontendConfig::default()
+        };
         let fe = Frontend::new(cfg).unwrap();
         let feats = fe.process(&tone(500.0, 0.2, 16_000));
         assert!(feats.iter().all(|f| f.len() == 13));

@@ -87,7 +87,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!HwError::NoFeatureLoaded.to_string().is_empty());
-        assert!(HwError::UnknownId("senone#7".into()).to_string().contains("senone#7"));
+        assert!(HwError::UnknownId("senone#7".into())
+            .to_string()
+            .contains("senone#7"));
         assert!(HwError::InvalidConfig("x".into()).to_string().contains("x"));
         assert!(HwError::ShapeMismatch("y".into()).to_string().contains("y"));
     }

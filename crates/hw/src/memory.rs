@@ -261,7 +261,10 @@ mod tests {
         assert_eq!(full.bytes_per_parameter(), 4.0);
         assert!((narrow.bytes_per_parameter() - 21.0 / 8.0).abs() < 1e-12);
         assert_eq!(full.parameter_width(), MantissaWidth::FULL);
-        assert_eq!(FlashMemory::default().parameter_width(), MantissaWidth::FULL);
+        assert_eq!(
+            FlashMemory::default().parameter_width(),
+            MantissaWidth::FULL
+        );
     }
 
     #[test]

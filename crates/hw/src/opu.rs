@@ -72,9 +72,8 @@ impl OpuConfig {
     /// by capacity planning; the simulator counts the same quantity
     /// operationally).
     pub fn cycles_per_senone(&self, dim: usize, components: usize) -> CycleCount {
-        let per_gaussian = self.pipeline_fill_cycles
-            + self.cycles_per_dimension * dim as u64
-            + self.swa_cycles;
+        let per_gaussian =
+            self.pipeline_fill_cycles + self.cycles_per_dimension * dim as u64 + self.swa_cycles;
         components as u64 * per_gaussian + components as u64 * self.logadd_cycles
     }
 
@@ -179,10 +178,7 @@ impl ObservationProbabilityUnit {
         model: &AcousticModel,
         id: SenoneId,
     ) -> Result<LogProb, HwError> {
-        let x = self
-            .feature
-            .clone()
-            .ok_or(HwError::NoFeatureLoaded)?;
+        let x = self.feature.clone().ok_or(HwError::NoFeatureLoaded)?;
         if x.len() != model.feature_dim() {
             return Err(HwError::ShapeMismatch(format!(
                 "feature dim {} vs model dim {}",
@@ -390,11 +386,7 @@ mod tests {
         opu.load_feature_vector(&target_mean);
         let ids: Vec<SenoneId> = (0..m.senones().len() as u32).map(SenoneId).collect();
         let scores = opu.score_active_set(&m, &ids).unwrap();
-        let best = scores
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap()
-            .0;
+        let best = scores.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
         assert_eq!(best, SenoneId(5));
     }
 }

@@ -272,7 +272,10 @@ mod tests {
         // because leakage is small.
         assert!(half < 0.6 * full);
         // Out-of-range activity is clamped.
-        assert_eq!(p.structure_power_w(2.0, -1.0), p.structure_power_w(1.0, 0.0));
+        assert_eq!(
+            p.structure_power_w(2.0, -1.0),
+            p.structure_power_w(1.0, 0.0)
+        );
     }
 
     #[test]

@@ -59,8 +59,10 @@ impl SocConfig {
         if self.num_structures == 0 {
             return Err(HwError::InvalidConfig("num_structures == 0".into()));
         }
-        if !(self.frame_period_s > 0.0) {
-            return Err(HwError::InvalidConfig("frame_period_s must be positive".into()));
+        if self.frame_period_s <= 0.0 || self.frame_period_s.is_nan() {
+            return Err(HwError::InvalidConfig(
+                "frame_period_s must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -323,7 +325,7 @@ impl SpeechSoc {
             opu_cycles: worst_opu,
             viterbi_cycles: worst_vit,
             host_cycles,
-            flash_bytes: self.flash.peak_frame_bytes().min(u64::MAX),
+            flash_bytes: self.flash.peak_frame_bytes(),
             accelerator_rtf,
             host_rtf,
             real_time: accelerator_rtf <= 1.0 && host_rtf <= 1.0,
@@ -349,7 +351,10 @@ impl SpeechSoc {
             opu_activity_sum += opu_act;
             vit_activity_sum += vit_act;
             let elapsed = self.config.clock().cycles_in(audio_seconds);
-            accel_energy += self.config.power.structure_energy_j(elapsed, opu_act, vit_act);
+            accel_energy += self
+                .config
+                .power
+                .structure_energy_j(elapsed, opu_act, vit_act);
         }
         let n = self.structures.len() as f64;
         let host_energy: f64 = self

@@ -154,7 +154,7 @@ impl ViterbiUnit {
         let mut cycles: CycleCount = 0;
         let mut scores = Vec::with_capacity(n);
         let mut backpointers = Vec::with_capacity(n);
-        for j in 0..n {
+        for (j, &obs_j) in senone_scores.iter().enumerate() {
             cycles += self.config.column_fill_cycles;
             // Max over incoming transitions (the streamed matrix column).
             let mut best = LogProb::zero();
@@ -176,7 +176,7 @@ impl ViterbiUnit {
                 best_src = usize::MAX; // sentinel: came from outside
             }
             // Final add of the senone score b_j(O_t).
-            let with_obs = self.add(best, senone_scores[j]);
+            let with_obs = self.add(best, obs_j);
             cycles += self.config.add_cycles;
             self.stats.adds += 1;
             scores.push(with_obs);
@@ -184,8 +184,8 @@ impl ViterbiUnit {
         }
         // Exit score: best over states of score + exit transition.
         let mut exit = LogProb::zero();
-        for i in 0..n {
-            let e = self.add(scores[i], transitions.log_exit_prob(i));
+        for (i, &score_i) in scores.iter().enumerate() {
+            let e = self.add(score_i, transitions.log_exit_prob(i));
             cycles += self.config.add_cycles;
             self.stats.adds += 1;
             if e.raw() > exit.raw() {
@@ -247,8 +247,8 @@ mod tests {
         (0..n)
             .map(|j| {
                 let mut best = LogProb::zero();
-                for i in 0..n {
-                    let c = prev[i] + t.log_prob(i, j);
+                for (i, &prev_i) in prev.iter().enumerate() {
+                    let c = prev_i + t.log_prob(i, j);
                     if c.raw() > best.raw() {
                         best = c;
                     }
@@ -267,12 +267,15 @@ mod tests {
         let mut unit = ViterbiUnit::default();
         let prev = vec![LogProb::new(-5.0), LogProb::new(-7.0), LogProb::new(-9.0)];
         let obs = vec![LogProb::new(-2.0), LogProb::new(-1.5), LogProb::new(-3.0)];
-        let step = unit
-            .step_hmm(&prev, LogProb::zero(), &t, &obs)
-            .unwrap();
+        let step = unit.step_hmm(&prev, LogProb::zero(), &t, &obs).unwrap();
         let reference = reference_step(&prev, LogProb::zero(), &t, &obs);
         for (hw, sw) in step.scores.iter().zip(&reference) {
-            assert!((hw.raw() - sw.raw()).abs() < 1e-4, "{} vs {}", hw.raw(), sw.raw());
+            assert!(
+                (hw.raw() - sw.raw()).abs() < 1e-4,
+                "{} vs {}",
+                hw.raw(),
+                sw.raw()
+            );
         }
         assert_eq!(step.scores.len(), 3);
         assert_eq!(step.backpointers.len(), 3);

@@ -61,7 +61,11 @@ impl Pronunciation {
         let n = self.phones.len();
         (0..n)
             .map(|i| {
-                let left = if i == 0 { left_context } else { self.phones[i - 1] };
+                let left = if i == 0 {
+                    left_context
+                } else {
+                    self.phones[i - 1]
+                };
                 let right = if i + 1 == n {
                     right_context
                 } else {
@@ -264,11 +268,17 @@ mod tests {
         let tris = pron.triphones(PhoneId(0), PhoneId(0));
         assert_eq!(tris.len(), 3);
         assert_eq!(tris[0], Triphone::new(PhoneId(10), PhoneId(0), PhoneId(11)));
-        assert_eq!(tris[1], Triphone::new(PhoneId(11), PhoneId(10), PhoneId(12)));
+        assert_eq!(
+            tris[1],
+            Triphone::new(PhoneId(11), PhoneId(10), PhoneId(12))
+        );
         assert_eq!(tris[2], Triphone::new(PhoneId(12), PhoneId(11), PhoneId(0)));
         // Single-phone word takes both contexts from the boundaries.
         let single = p(&[7]).triphones(PhoneId(1), PhoneId(2));
-        assert_eq!(single, vec![Triphone::new(PhoneId(7), PhoneId(1), PhoneId(2))]);
+        assert_eq!(
+            single,
+            vec![Triphone::new(PhoneId(7), PhoneId(1), PhoneId(2))]
+        );
         assert!(!pron.is_empty());
         assert_eq!(pron.phones().len(), 3);
     }
@@ -278,9 +288,21 @@ mod tests {
         // E1-adjacent check: the 20 000-word WSJ dictionary is ≈ 9 Mb + 2 Mb.
         let s = DictionaryStorage::paper_estimate();
         assert_eq!(s.bits_per_triphone_entry(), 50);
-        assert!((s.dictionary_megabits() - 9.0).abs() < 0.1, "{}", s.dictionary_megabits());
-        assert!((s.word_map_megabits() - 2.0).abs() < 0.1, "{}", s.word_map_megabits());
-        assert!((s.total_megabits() - 11.0).abs() < 0.2, "{}", s.total_megabits());
+        assert!(
+            (s.dictionary_megabits() - 9.0).abs() < 0.1,
+            "{}",
+            s.dictionary_megabits()
+        );
+        assert!(
+            (s.word_map_megabits() - 2.0).abs() < 0.1,
+            "{}",
+            s.word_map_megabits()
+        );
+        assert!(
+            (s.total_megabits() - 11.0).abs() < 0.2,
+            "{}",
+            s.total_megabits()
+        );
     }
 
     #[test]

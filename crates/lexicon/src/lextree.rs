@@ -250,7 +250,8 @@ mod tests {
         for i in 0..50u16 {
             let mut phones: Vec<PhoneId> = (1..=8).map(PhoneId).collect();
             phones.push(PhoneId(10 + i));
-            d.add_word(&format!("w{i}"), Pronunciation::new(phones)).unwrap();
+            d.add_word(&format!("w{i}"), Pronunciation::new(phones))
+                .unwrap();
         }
         let t = LexTree::build(&d);
         // Flat storage: 50 * 9 = 450 phones; tree: 8 shared + 50 leaves = 58 nodes.

@@ -70,9 +70,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(LexiconError::UnknownWord("hello".into()).to_string().contains("hello"));
-        assert!(LexiconError::InvalidPronunciation("empty".into()).to_string().contains("empty"));
-        assert!(LexiconError::InvalidModel("order".into()).to_string().contains("order"));
+        assert!(LexiconError::UnknownWord("hello".into())
+            .to_string()
+            .contains("hello"));
+        assert!(LexiconError::InvalidPronunciation("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(LexiconError::InvalidModel("order".into())
+            .to_string()
+            .contains("order"));
     }
 
     #[test]

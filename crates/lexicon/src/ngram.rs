@@ -265,7 +265,11 @@ impl NGramModel {
                 if let Some(&p) = self.bigrams.get(&(h1, w)) {
                     p
                 } else {
-                    let backoff = self.bigram_backoff.get(&h1).copied().unwrap_or(LogProb::ONE);
+                    let backoff = self
+                        .bigram_backoff
+                        .get(&h1)
+                        .copied()
+                        .unwrap_or(LogProb::ONE);
                     backoff + self.unigram(w)
                 }
             }
@@ -287,7 +291,11 @@ impl NGramModel {
                 if let Some(&p) = self.bigrams.get(&(h1, w)) {
                     backoff3 + p
                 } else {
-                    let backoff2 = self.bigram_backoff.get(&h1).copied().unwrap_or(LogProb::ONE);
+                    let backoff2 = self
+                        .bigram_backoff
+                        .get(&h1)
+                        .copied()
+                        .unwrap_or(LogProb::ONE);
                     backoff3 + backoff2 + self.unigram(w)
                 }
             }

@@ -10,10 +10,10 @@ use std::collections::HashMap;
 /// The ARPAbet-style phone names used by the built-in English set, in id
 /// order.  SIL (silence) is always phone 0.
 const ENGLISH_PHONES: [&str; 51] = [
-    "SIL", "AA", "AE", "AH", "AO", "AW", "AX", "AXR", "AY", "B", "CH", "D", "DH", "DX", "EH",
-    "ER", "EY", "F", "G", "HH", "IH", "IX", "IY", "JH", "K", "L", "M", "N", "NG", "OW", "OY",
-    "P", "R", "S", "SH", "T", "TH", "TS", "UH", "UW", "V", "W", "Y", "Z", "ZH", "EM", "EN",
-    "EL", "PAU", "BRE", "NOI",
+    "SIL", "AA", "AE", "AH", "AO", "AW", "AX", "AXR", "AY", "B", "CH", "D", "DH", "DX", "EH", "ER",
+    "EY", "F", "G", "HH", "IH", "IX", "IY", "JH", "K", "L", "M", "N", "NG", "OW", "OY", "P", "R",
+    "S", "SH", "T", "TH", "TS", "UH", "UW", "V", "W", "Y", "Z", "ZH", "EM", "EN", "EL", "PAU",
+    "BRE", "NOI",
 ];
 
 /// A named inventory of phones.

@@ -9,8 +9,9 @@ use lvcsr::baseline::{ComparisonTable, SoftwareBaseline, SoftwareCostModel, Soft
 use lvcsr::corpus::Wsj5kTask;
 use lvcsr::decoder::{DecoderConfig, GmmSelectionConfig, Recognizer};
 use lvcsr::hw::{OpuConfig, PowerModel};
+use lvcsr::LvcsrError;
 
-fn main() {
+fn main() -> Result<(), LvcsrError> {
     let geometry = AcousticModelConfig::paper_default();
     let power = PowerModel::paper_calibrated();
     let opu = OpuConfig::default();
@@ -30,7 +31,7 @@ fn main() {
 
     // --- measured decode: CDS ablation on a synthetic task ---
     println!("\n-- Conditional Down Sampling on a synthetic task (2 structures) --");
-    let task = Wsj5kTask::evaluation(200, 3).expect("task generation succeeds");
+    let task = Wsj5kTask::evaluation(200, 3)?;
     let test_set = task.synthesize_test_set(3, 4, 0.3);
     for period in [1usize, 2, 3] {
         let mut config = DecoderConfig::hardware(2);
@@ -40,15 +41,12 @@ fn main() {
             task.dictionary.clone(),
             task.language_model.clone(),
             config,
-        )
-        .expect("recogniser construction succeeds");
+        )?;
         let mut senones = 0.0f64;
         let mut watts = 0.0f64;
         let mut n = 0.0f64;
         for (features, _) in &test_set {
-            let result = recognizer
-                .decode_features(features)
-                .expect("decoding succeeds");
+            let result = recognizer.decode_features(features)?;
             senones += result.stats.mean_senones_scored();
             if let Some(hw) = result.hardware {
                 watts += hw.energy.average_power_w();
@@ -64,16 +62,27 @@ fn main() {
 
     // --- the Section V comparison ---
     println!("\n-- related work comparison (paper Section V) --");
-    print!("{}", ComparisonTable::section_v(&geometry, 2 * per_structure).to_text());
+    print!(
+        "{}",
+        ComparisonTable::section_v(&geometry, 2 * per_structure).to_text()
+    );
 
     // --- why software alone is not enough ---
     println!("\n-- software-only decoding of the full 6000-senone task --");
-    for platform in [SoftwarePlatform::EmbeddedArm, SoftwarePlatform::DesktopPentium] {
-        let report = SoftwareBaseline::new(platform, SoftwareCostModel::scalar_decoder(), &geometry)
-            .evaluate_full_evaluation();
+    for platform in [
+        SoftwarePlatform::EmbeddedArm,
+        SoftwarePlatform::DesktopPentium,
+    ] {
+        let report =
+            SoftwareBaseline::new(platform, SoftwareCostModel::scalar_decoder(), &geometry)
+                .evaluate_full_evaluation();
         println!(
             "{:?}: RTF {:.2}, {:.2} W, {:.2} J per second of audio",
-            platform, report.real_time_factor, report.average_power_w, report.energy_per_audio_second_j
+            platform,
+            report.real_time_factor,
+            report.average_power_w,
+            report.energy_per_audio_second_j
         );
     }
+    Ok(())
 }

@@ -5,12 +5,11 @@
 
 use lvcsr::corpus::{align_wer, TaskConfig, TaskGenerator, WerScore};
 use lvcsr::decoder::{DecoderConfig, Recognizer};
+use lvcsr::LvcsrError;
 
-fn main() {
+fn main() -> Result<(), LvcsrError> {
     // 1. A synthetic task: acoustic model + dictionary + language model.
-    let task = TaskGenerator::new(2024)
-        .generate(&TaskConfig::small())
-        .expect("task generation succeeds");
+    let task = TaskGenerator::new(2024).generate(&TaskConfig::small())?;
     println!(
         "task: {} words, {} phones, {} senones, {}-dim features",
         task.dictionary.len(),
@@ -25,8 +24,7 @@ fn main() {
         task.dictionary.clone(),
         task.language_model.clone(),
         DecoderConfig::hardware(2),
-    )
-    .expect("recogniser construction succeeds");
+    )?;
 
     // 3. Decode a small test set and score it.
     let test_set = task.synthesize_test_set(5, 4, 0.3);
@@ -35,9 +33,7 @@ fn main() {
     let mut power = 0.0;
     let mut active_fraction = 0.0;
     for (i, (features, reference)) in test_set.iter().enumerate() {
-        let result = recognizer
-            .decode_features(features)
-            .expect("decoding succeeds");
+        let result = recognizer.decode_features(features)?;
         let ref_text: Vec<&str> = reference
             .iter()
             .map(|&w| task.dictionary.spelling(w).unwrap_or("<unk>"))
@@ -57,7 +53,17 @@ fn main() {
     let n = test_set.len() as f64;
     println!();
     println!("word error rate           : {:.1}%", 100.0 * wer.wer());
-    println!("active senones per frame  : {:.1}% of the inventory", 100.0 * active_fraction / n);
-    println!("frames meeting 10 ms      : {:.1}%", 100.0 * rt_fraction / n);
-    println!("average SoC power         : {:.3} W (paper budget: 0.400 W fully active)", power / n);
+    println!(
+        "active senones per frame  : {:.1}% of the inventory",
+        100.0 * active_fraction / n
+    );
+    println!(
+        "frames meeting 10 ms      : {:.1}%",
+        100.0 * rt_fraction / n
+    );
+    println!(
+        "average SoC power         : {:.3} W (paper budget: 0.400 W fully active)",
+        power / n
+    );
+    Ok(())
 }

@@ -19,6 +19,7 @@ use lvcsr::corpus::AudioSynthesizer;
 use lvcsr::decoder::{DecoderConfig, Recognizer};
 use lvcsr::frontend::{Frontend, FrontendConfig};
 use lvcsr::lexicon::{Dictionary, NGramModel, Pronunciation};
+use lvcsr::LvcsrError;
 
 /// The command vocabulary: (spelling, phone sequence).
 const COMMANDS: &[(&str, &[u16])] = &[
@@ -31,23 +32,28 @@ const COMMANDS: &[(&str, &[u16])] = &[
 ];
 
 fn frontend() -> Frontend {
-    let mut cfg = FrontendConfig::default();
     // 13 static cepstra, no deltas: keeps the trained models small.  Per-
     // utterance cepstral mean normalisation is disabled because the phone
     // models are trained on isolated phone renderings whose utterance mean
     // differs from that of a full command — the features must match.
-    cfg.use_delta = false;
-    cfg.use_delta_delta = false;
-    cfg.cepstral_mean_norm = false;
+    let cfg = FrontendConfig {
+        use_delta: false,
+        use_delta_delta: false,
+        cepstral_mean_norm: false,
+        ..FrontendConfig::default()
+    };
     Frontend::new(cfg).expect("frontend configuration is valid")
 }
 
-fn main() {
+fn main() -> Result<(), LvcsrError> {
     let synth = AudioSynthesizer::default_16khz();
     let fe = frontend();
     let dim = fe.config().feature_dim();
     let phones: Vec<u16> = {
-        let mut p: Vec<u16> = COMMANDS.iter().flat_map(|(_, ph)| ph.iter().copied()).collect();
+        let mut p: Vec<u16> = COMMANDS
+            .iter()
+            .flat_map(|(_, ph)| ph.iter().copied())
+            .collect();
         p.sort_unstable();
         p.dedup();
         p
@@ -55,7 +61,10 @@ fn main() {
     let num_phones = 1 + *phones.iter().max().unwrap() as usize;
 
     // --- train one 3-state model per phone from rendered audio ---
-    println!("training {} phone models from synthesised audio...", phones.len());
+    println!(
+        "training {} phone models from synthesised audio...",
+        phones.len()
+    );
     let trainer = GmmTrainer::new(TrainerConfig {
         num_components: 2,
         kmeans_iterations: 6,
@@ -80,14 +89,14 @@ fn main() {
         }
         let senone_base = mixtures.len() as u32;
         for state_frames in per_state {
-            mixtures.push(trainer.fit(&state_frames).expect("enough frames to train"));
+            mixtures.push(trainer.fit(&state_frames)?);
         }
-        inventory
-            .add(
-                Triphone::context_independent(PhoneId(phone)),
-                (0..states as u32).map(|k| SenoneId(senone_base + k)).collect(),
-            )
-            .expect("unique phone models");
+        inventory.add(
+            Triphone::context_independent(PhoneId(phone)),
+            (0..states as u32)
+                .map(|k| SenoneId(senone_base + k))
+                .collect(),
+        )?;
     }
     let num_senones = mixtures.len();
     let model = AcousticModel::new(
@@ -99,25 +108,21 @@ fn main() {
             num_phones,
             self_loop_prob: 0.7,
         },
-        SenonePool::new(mixtures).expect("valid pool"),
+        SenonePool::new(mixtures)?,
         inventory,
-        TransitionMatrix::bakis(HmmTopology::Three, 0.7).expect("valid transitions"),
-    )
-    .expect("valid acoustic model");
+        TransitionMatrix::bakis(HmmTopology::Three, 0.7)?,
+    )?;
 
     // --- dictionary + uniform LM over the commands ---
     let mut dictionary = Dictionary::new();
     for (spelling, phones) in COMMANDS {
-        dictionary
-            .add_word(
-                spelling,
-                Pronunciation::new(phones.iter().map(|&p| PhoneId(p)).collect()),
-            )
-            .expect("unique command words");
+        dictionary.add_word(
+            spelling,
+            Pronunciation::new(phones.iter().map(|&p| PhoneId(p)).collect()),
+        )?;
     }
-    let lm = NGramModel::uniform(dictionary.len()).expect("non-empty vocabulary");
-    let recognizer = Recognizer::new(model, dictionary.clone(), lm, DecoderConfig::hardware(1))
-        .expect("recogniser construction succeeds");
+    let lm = NGramModel::uniform(dictionary.len())?;
+    let recognizer = Recognizer::new(model, dictionary.clone(), lm, DecoderConfig::hardware(1))?;
 
     // --- recognise freshly rendered commands ---
     println!("\nrecognising spoken commands (fresh renderings, decoded from audio):");
@@ -125,9 +130,7 @@ fn main() {
     for (i, (spelling, _)) in COMMANDS.iter().enumerate() {
         let word = dictionary.id_of(spelling).expect("command in dictionary");
         let audio = synth.render_words(&dictionary, &[word], 1000 + i as u64);
-        let result = recognizer
-            .decode_audio(&audio, &fe)
-            .expect("decoding succeeds");
+        let result = recognizer.decode_audio(&audio, &fe)?;
         let ok = result.hypothesis.text.first().map(String::as_str) == Some(*spelling);
         if ok {
             correct += 1;
@@ -143,4 +146,5 @@ fn main() {
         correct,
         COMMANDS.len()
     );
+    Ok(())
 }

@@ -10,11 +10,12 @@ use lvcsr::corpus::{align_wer, WerScore, Wsj5kTask};
 use lvcsr::decoder::{DecoderConfig, Recognizer, ScoringBackendKind};
 use lvcsr::float::MantissaWidth;
 use lvcsr::hw::OpuConfig;
+use lvcsr::LvcsrError;
 
-fn main() {
+fn main() -> Result<(), LvcsrError> {
     // A scaled synthetic stand-in for the WSJ5K test set (the structure of the
     // task matches the paper's geometry; see DESIGN.md for the substitution).
-    let task = Wsj5kTask::evaluation(100, 7).expect("task generation succeeds");
+    let task = Wsj5kTask::evaluation(100, 7)?;
     let test_set = task.synthesize_test_set(8, 4, 0.3);
     println!(
         "synthetic WSJ task: {} words, trigram LM, {} senones",
@@ -27,7 +28,7 @@ fn main() {
     );
 
     for width in MantissaWidth::PAPER_SWEEP {
-        let model = quantize_model(&task.acoustic_model, width).expect("quantisation succeeds");
+        let model = quantize_model(&task.acoustic_model, width)?;
         let mut config = DecoderConfig::hardware(2);
         if let ScoringBackendKind::Hardware(soc) = &mut config.backend {
             soc.opu = OpuConfig::with_width(width);
@@ -37,14 +38,11 @@ fn main() {
             task.dictionary.clone(),
             task.language_model.clone(),
             config,
-        )
-        .expect("recogniser construction succeeds");
+        )?;
 
         let mut wer = WerScore::default();
         for (features, reference) in &test_set {
-            let result = recognizer
-                .decode_features(features)
-                .expect("decoding succeeds");
+            let result = recognizer.decode_features(features)?;
             wer = wer.merge(&align_wer(reference, &result.hypothesis.words));
         }
         // Storage/bandwidth at the *paper's* full 6000-senone geometry.
@@ -62,4 +60,5 @@ fn main() {
             bound
         );
     }
+    Ok(())
 }

@@ -1,0 +1,270 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this workspace
+//! uses. Mirrors criterion's calling convention: a bench binary built with
+//! `harness = false` runs measured timing loops when invoked with `--bench`
+//! (which is what `cargo bench` passes) and degrades to a single smoke
+//! iteration per benchmark otherwise (e.g. under `cargo test`), exactly like
+//! the real crate's test mode.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id that is just the parameter, rendered with `Display`.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    measure: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Filled in by [`Bencher::iter`]: (iterations, total elapsed).
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Call `f` repeatedly for the configured measurement window and record
+    /// the mean iteration time. In smoke mode (no `--bench` flag) `f` runs
+    /// exactly once, just proving the benchmark executes.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.measure {
+            black_box(f());
+            self.result = Some((1, Duration::ZERO));
+            return;
+        }
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(f());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let deadline = start + self.measurement_time;
+        loop {
+            black_box(f());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// A named collection of related benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's timing loop is driven by
+    /// [`BenchmarkGroup::measurement_time`] alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set how long to warm up before measuring.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    /// Set how long the measurement window lasts.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnOnce(&mut Bencher)>(&self, id: &str, f: F) {
+        let mut bencher = Bencher {
+            measure: self.criterion.measure,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((iters, elapsed)) if self.criterion.measure && iters > 0 => {
+                let mean = elapsed.as_secs_f64() / iters as f64;
+                println!(
+                    "{}/{id}: {} over {iters} iterations",
+                    self.name,
+                    format_time(mean)
+                );
+            }
+            Some(_) => println!("{}/{id}: ok (smoke iteration)", self.name),
+            None => println!("{}/{id}: benchmark closure never called iter()", self.name),
+        }
+    }
+
+    /// Mark the group complete (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1.0e-3 {
+        format!("{:.3} ms", seconds * 1.0e3)
+    } else if seconds >= 1.0e-6 {
+        format!("{:.3} µs", seconds * 1.0e6)
+    } else {
+        format!("{:.1} ns", seconds * 1.0e9)
+    }
+}
+
+/// Top-level benchmark driver, normally constructed by [`criterion_main!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Criterion {
+    /// Enable measured mode when `--bench` is among the process arguments —
+    /// the convention cargo uses to distinguish `cargo bench` from
+    /// `cargo test` for `harness = false` targets.
+    pub fn configure_from_args(mut self) -> Self {
+        self.measure = std::env::args().any(|a| a == "--bench");
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, &mut f);
+        self
+    }
+}
+
+/// Define a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a bench binary, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_benchmark_once() {
+        let mut calls = 0;
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("one", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measured_mode_iterates() {
+        let mut calls = 0u64;
+        let mut c = Criterion { measure: true };
+        let mut group = c.benchmark_group("g");
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+            b.iter(|| calls += u64::from(x))
+        });
+        group.finish();
+        assert!(calls >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 12).id, "f/12");
+        assert_eq!(BenchmarkId::from_parameter("23bit").id, "23bit");
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace uses.
+//!
+//! Each `proptest!` test runs its body against `PROPTEST_CASES` (default 128)
+//! randomly sampled inputs. Sampling is fully deterministic — the RNG is
+//! seeded from a hash of the test's name — so failures reproduce across runs.
+//! Unlike the real crate there is **no shrinking**: a failing case panics with
+//! the sampled inputs left to the assertion message.
+
+#![deny(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases per property, read from `PROPTEST_CASES` (default 128).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// Deterministic per-test RNG, seeded from the test's name.
+pub fn test_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Outcome of one sampled case, used by the `proptest!` expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseResult {
+    /// The body ran to completion.
+    Ok,
+    /// A `prop_assume!` rejected the inputs; the case is not counted.
+    Discard,
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use core::ops::{Range, RangeInclusive};
+    use rand::Rng;
+
+    /// How many elements a [`vec`] strategy may produce.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Create a strategy for vectors whose length lies in `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` test module needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{CaseResult, Strategy};
+}
+
+/// Define property tests. Each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies [`cases`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            let total = $crate::cases();
+            let mut ran: u32 = 0;
+            // Allow a generous discard budget for prop_assume!-heavy bodies.
+            for _attempt in 0..total.saturating_mul(8) {
+                if ran == total {
+                    break;
+                }
+                #[allow(clippy::redundant_closure_call)]
+                let outcome = (|| {
+                    $(let $binding = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    $body
+                    $crate::CaseResult::Ok
+                })();
+                if outcome == $crate::CaseResult::Ok {
+                    ran += 1;
+                }
+            }
+            assert!(
+                ran == total,
+                "property {} discarded too many cases ({ran}/{total} ran)",
+                stringify!($name),
+            );
+        }
+    )+};
+}
+
+/// Assert within a property body (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skip the current case when its sampled inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return $crate::CaseResult::Discard;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_test_name() {
+        use crate::Strategy;
+        let mut a = crate::test_rng("x::y");
+        let mut b = crate::test_rng("x::y");
+        let s = collection::vec(0u32..100, 0..10);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(x in 3u32..10, y in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_are_respected(xs in collection::vec(0u8..=255, 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+        }
+
+        #[test]
+        fn fixed_size_vec(xs in collection::vec(0.0f64..1.0, 7)) {
+            prop_assert_eq!(xs.len(), 7);
+        }
+
+        #[test]
+        fn assume_discards(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}

@@ -47,3 +47,111 @@ pub use asr_float as float;
 pub use asr_frontend as frontend;
 pub use asr_hw as hw;
 pub use asr_lexicon as lexicon;
+
+/// One error type for the whole workspace: every crate's error converts into
+/// it via `From`, so application code (the `examples/`, integration tests,
+/// downstream users) can thread any layer's failure through `?` without
+/// flattening it to a string. The typed source is preserved and exposed
+/// through [`std::error::Error::source`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LvcsrError {
+    /// Numeric-substrate error (`asr-float`).
+    Float(float::FloatError),
+    /// Frontend configuration error (`asr-frontend`).
+    Frontend(frontend::FrontendError),
+    /// Acoustic-model error (`asr-acoustic`).
+    Acoustic(acoustic::AcousticError),
+    /// Lexicon / language-model error (`asr-lexicon`).
+    Lexicon(lexicon::LexiconError),
+    /// Hardware-model error (`asr-hw`).
+    Hardware(hw::HwError),
+    /// Decoder error (`asr-core`).
+    Decode(decoder::DecodeError),
+    /// Synthetic-corpus error (`asr-corpus`).
+    Corpus(corpus::CorpusError),
+}
+
+impl core::fmt::Display for LvcsrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LvcsrError::Float(e) => write!(f, "float: {e}"),
+            LvcsrError::Frontend(e) => write!(f, "frontend: {e}"),
+            LvcsrError::Acoustic(e) => write!(f, "acoustic model: {e}"),
+            LvcsrError::Lexicon(e) => write!(f, "lexicon: {e}"),
+            LvcsrError::Hardware(e) => write!(f, "hardware model: {e}"),
+            LvcsrError::Decode(e) => write!(f, "decoder: {e}"),
+            LvcsrError::Corpus(e) => write!(f, "corpus: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LvcsrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LvcsrError::Float(e) => Some(e),
+            LvcsrError::Frontend(e) => Some(e),
+            LvcsrError::Acoustic(e) => Some(e),
+            LvcsrError::Lexicon(e) => Some(e),
+            LvcsrError::Hardware(e) => Some(e),
+            LvcsrError::Decode(e) => Some(e),
+            LvcsrError::Corpus(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! lvcsr_error_from {
+    ($($variant:ident($ty:ty)),+ $(,)?) => {$(
+        impl From<$ty> for LvcsrError {
+            fn from(e: $ty) -> Self {
+                LvcsrError::$variant(e)
+            }
+        }
+    )+};
+}
+
+lvcsr_error_from!(
+    Float(float::FloatError),
+    Frontend(frontend::FrontendError),
+    Acoustic(acoustic::AcousticError),
+    Lexicon(lexicon::LexiconError),
+    Hardware(hw::HwError),
+    Decode(decoder::DecodeError),
+    Corpus(corpus::CorpusError),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn every_layer_converts_and_keeps_its_source() {
+        let errors: Vec<LvcsrError> = vec![
+            float::FloatError::InvalidMantissaWidth(31).into(),
+            frontend::FrontendError::InvalidConfig("x".into()).into(),
+            acoustic::AcousticError::UnknownId("senone#7".into()).into(),
+            lexicon::LexiconError::UnknownWord("zzz".into()).into(),
+            hw::HwError::NoFeatureLoaded.into(),
+            decoder::DecodeError::InvalidConfig("beam".into()).into(),
+            corpus::CorpusError::InvalidConfig("vocab".into()).into(),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_some(), "{e} must expose its source");
+        }
+    }
+
+    #[test]
+    fn question_mark_threads_through_layers() {
+        fn build() -> Result<(), LvcsrError> {
+            // A decoder-layer failure propagates with `?` from a deeper error.
+            let bad = decoder::DecoderConfig {
+                beam: -1.0,
+                ..decoder::DecoderConfig::default()
+            };
+            bad.validate()?;
+            Ok(())
+        }
+        assert!(matches!(build(), Err(LvcsrError::Decode(_))));
+    }
+}

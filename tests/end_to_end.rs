@@ -29,10 +29,20 @@ fn hardware_decode_is_accurate_and_real_time() {
         let hw = result.hardware.expect("hardware report");
         assert!(hw.real_time_fraction > 0.99, "{hw:?}");
         assert!(hw.worst_frame_rtf < 1.0);
-        assert!(hw.energy.average_power_w() < 0.45, "under the 2x200 mW budget");
-        assert!(hw.peak_bandwidth_gb_per_s < 1.6, "under the paper's worst case");
+        assert!(
+            hw.energy.average_power_w() < 0.45,
+            "under the 2x200 mW budget"
+        );
+        assert!(
+            hw.peak_bandwidth_gb_per_s < 1.6,
+            "under the paper's worst case"
+        );
     }
-    assert!(wer.wer() < 0.15, "WER {} too high on an easy task", wer.wer());
+    assert!(
+        wer.wer() < 0.15,
+        "WER {} too high on an easy task",
+        wer.wer()
+    );
 }
 
 #[test]
@@ -65,7 +75,10 @@ fn word_decode_feedback_limits_active_senones() {
     let (features, _) = task.synthesize_utterance(4, 0.2, 11);
     let result = rec.decode_features(&features).expect("decode");
     let fraction = result.stats.mean_active_senone_fraction();
-    assert!(fraction < 0.95, "feedback must not evaluate everything: {fraction}");
+    assert!(
+        fraction < 0.95,
+        "feedback must not evaluate everything: {fraction}"
+    );
     assert!(result.stats.peak_active_senone_fraction() <= 1.0);
 
     // Disabling the feedback evaluates the full inventory every frame.
@@ -122,8 +135,16 @@ fn single_structure_does_more_work_per_frame_than_two() {
     )
     .expect("recogniser");
     let (features, _) = task.synthesize_utterance(3, 0.2, 17);
-    let r1 = one.decode_features(&features).expect("decode").hardware.unwrap();
-    let r2 = two.decode_features(&features).expect("decode").hardware.unwrap();
+    let r1 = one
+        .decode_features(&features)
+        .expect("decode")
+        .hardware
+        .unwrap();
+    let r2 = two
+        .decode_features(&features)
+        .expect("decode")
+        .hardware
+        .unwrap();
     // Same total scoring work, but the busiest structure is less loaded with 2.
     assert_eq!(r1.senones_scored, r2.senones_scored);
     assert!(r2.worst_frame_rtf <= r1.worst_frame_rtf + 1e-9);

@@ -13,7 +13,10 @@ fn e1_table_matches_paper_numbers() {
     let expected = [(15.16, 1.516), (11.37, 1.137), (9.95, 0.995)];
     for (row, (mb, gbps)) in rows.iter().zip(expected) {
         assert!((row.measured_memory_mb - mb).abs() < 0.02, "{row:?}");
-        assert!((row.measured_bandwidth_gbps - gbps).abs() < 0.002, "{row:?}");
+        assert!(
+            (row.measured_bandwidth_gbps - gbps).abs() < 0.002,
+            "{row:?}"
+        );
         assert!((row.paper_memory_mb - mb).abs() < 1e-9);
     }
     // Shape: memory and bandwidth fall monotonically as the mantissa narrows.

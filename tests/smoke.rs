@@ -1,0 +1,93 @@
+//! Smoke test for the workspace bring-up: generate a tiny synthetic task,
+//! decode the same utterance on both backends, and check the whole pipeline is
+//! deterministic for a fixed seed — rebuilding every object from scratch must
+//! reproduce the identical hypothesis and statistics.
+
+use lvcsr::corpus::{TaskConfig, TaskGenerator};
+use lvcsr::decoder::{DecodeResult, DecoderConfig, Recognizer};
+use lvcsr::lexicon::WordId;
+
+const TASK_SEED: u64 = 2006;
+const UTTERANCE_SEED: u64 = 5;
+
+/// Builds everything from scratch and decodes one fixed utterance.
+fn decode_once(config: DecoderConfig) -> (DecodeResult, Vec<WordId>) {
+    let task = TaskGenerator::new(TASK_SEED)
+        .generate(&TaskConfig::tiny())
+        .expect("task generation");
+    let recognizer = Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        config,
+    )
+    .expect("recogniser construction");
+    let (features, reference) = task.synthesize_utterance(3, 0.2, UTTERANCE_SEED);
+    let result = recognizer.decode_features(&features).expect("decode");
+    (result, reference)
+}
+
+#[test]
+fn hardware_decode_is_deterministic() {
+    let (a, ref_a) = decode_once(DecoderConfig::hardware(2));
+    let (b, ref_b) = decode_once(DecoderConfig::hardware(2));
+    assert_eq!(ref_a, ref_b, "task synthesis must be deterministic");
+    assert_eq!(a.hypothesis.words, b.hypothesis.words);
+    assert_eq!(a.hypothesis.text, b.hypothesis.text);
+    assert_eq!(
+        a.stats.total_senones_scored(),
+        b.stats.total_senones_scored()
+    );
+    let (hw_a, hw_b) = (a.hardware.expect("report"), b.hardware.expect("report"));
+    assert_eq!(hw_a.senones_scored, hw_b.senones_scored);
+    assert_eq!(hw_a.frames, hw_b.frames);
+}
+
+#[test]
+fn software_decode_is_deterministic() {
+    let (a, ref_a) = decode_once(DecoderConfig::software());
+    let (b, ref_b) = decode_once(DecoderConfig::software());
+    assert_eq!(ref_a, ref_b);
+    assert_eq!(a.hypothesis.words, b.hypothesis.words);
+    assert_eq!(a.hypothesis.text, b.hypothesis.text);
+    assert!(
+        a.hardware.is_none(),
+        "software backend has no hardware report"
+    );
+}
+
+#[test]
+fn wrong_feature_dimension_is_rejected_on_both_backends() {
+    for config in [DecoderConfig::hardware(2), DecoderConfig::software()] {
+        let task = TaskGenerator::new(TASK_SEED)
+            .generate(&TaskConfig::tiny())
+            .expect("task generation");
+        let recognizer = Recognizer::new(
+            task.acoustic_model.clone(),
+            task.dictionary.clone(),
+            task.language_model.clone(),
+            config,
+        )
+        .expect("recogniser construction");
+        let model_dim = task.acoustic_model.feature_dim();
+        let short_frames = vec![vec![0.0f32; 3]];
+        let err = recognizer
+            .decode_features(&short_frames)
+            .expect_err("short frames must be rejected, not silently truncated");
+        match err {
+            lvcsr::decoder::DecodeError::DimensionMismatch { expected, got } => {
+                assert_eq!(expected, model_dim);
+                assert_eq!(got, 3);
+            }
+            other => panic!("expected DimensionMismatch, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn backends_decode_the_reference_on_an_easy_task() {
+    let (hw, reference) = decode_once(DecoderConfig::hardware(2));
+    let (sw, _) = decode_once(DecoderConfig::software());
+    assert_eq!(hw.hypothesis.words, reference);
+    assert_eq!(sw.hypothesis.words, reference);
+}
