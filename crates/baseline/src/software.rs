@@ -206,6 +206,30 @@ impl SoftwareBaseline {
     pub fn evaluate_decode(&self, stats: &DecodeStats) -> SoftwareReport {
         self.evaluate_workload(stats.mean_senones_scored(), stats.mean_active_hmms())
     }
+
+    /// Evaluates the baseline over a whole batch of decodes (e.g. the
+    /// per-utterance statistics out of `Recognizer::decode_batch`), weighting
+    /// each utterance's per-frame means by its frame count so the result is
+    /// the true per-frame average of the combined stream.  Empty batches (or
+    /// batches of empty utterances) evaluate the zero workload.
+    pub fn evaluate_decode_batch<'a, I>(&self, stats: I) -> SoftwareReport
+    where
+        I: IntoIterator<Item = &'a DecodeStats>,
+    {
+        let mut frames = 0.0f64;
+        let mut senones = 0.0f64;
+        let mut hmms = 0.0f64;
+        for s in stats {
+            let f = s.num_frames() as f64;
+            frames += f;
+            senones += s.mean_senones_scored() * f;
+            hmms += s.mean_active_hmms() * f;
+        }
+        if frames == 0.0 {
+            return self.evaluate_workload(0.0, 0.0);
+        }
+        self.evaluate_workload(senones / frames, hmms / frames)
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +328,42 @@ mod tests {
         let manual = b.evaluate_workload(100.0, 30.0);
         assert_eq!(r, manual);
         assert!(r.real_time_factor < 1.0);
+    }
+
+    #[test]
+    fn evaluate_decode_batch_weights_by_frames() {
+        use asr_core::FrameStats;
+        let make = |frames: usize, senones: usize, hmms: usize| {
+            let mut s = DecodeStats::new();
+            for t in 0..frames {
+                s.push(FrameStats {
+                    frame: t,
+                    senones_scored: senones,
+                    senone_inventory: 6000,
+                    active_hmms: hmms,
+                    pruned_hmms: 0,
+                    word_ends: 0,
+                    cds_skipped: false,
+                });
+            }
+            s
+        };
+        let b = SoftwareBaseline::new(
+            SoftwarePlatform::DesktopPentium,
+            SoftwareCostModel::scalar_decoder(),
+            &paper_geometry(),
+        );
+        // 10 frames at 100 senones + 30 frames at 300 senones → mean 250.
+        let parts = [make(10, 100, 20), make(30, 300, 40)];
+        let batch = b.evaluate_decode_batch(parts.iter());
+        let manual = b.evaluate_workload(250.0, 35.0);
+        assert_eq!(batch, manual);
+        // A batch is NOT the naive mean of per-utterance reports.
+        let naive = b.evaluate_workload(200.0, 30.0);
+        assert!(batch.cycles_per_frame > naive.cycles_per_frame);
+        // Degenerate batches evaluate the zero workload.
+        let empty = b.evaluate_decode_batch([]);
+        assert_eq!(empty, b.evaluate_workload(0.0, 0.0));
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Batch-decoding scaling bench: `Recognizer::decode_batch` at 1, 8 and 32
+//! utterances on the SIMD software backend and the hardware model, so the
+//! cache-amortisation claim is measured per batch size rather than asserted.
+
+use asr_bench::experiments::{batch_bench_task, recognizer};
+use asr_core::DecoderConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_decode_batch(c: &mut Criterion) {
+    let task = batch_bench_task(11);
+    let utterances: Vec<Vec<Vec<f32>>> = (0..32)
+        .map(|i| task.synthesize_utterance(1, 0.3, 64 + i as u64).0)
+        .collect();
+
+    let mut group = c.benchmark_group("decode_batch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let backends = [
+        ("simd", DecoderConfig::simd()),
+        ("soc", DecoderConfig::hardware(2)),
+    ];
+    for (name, config) in backends {
+        let rec = recognizer(&task, config).expect("recogniser");
+        for size in [1usize, 8, 32] {
+            let batch = &utterances[..size];
+            group.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
+                b.iter(|| rec.decode_batch(batch).expect("batch decode").len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode_batch);
+criterion_main!(benches);

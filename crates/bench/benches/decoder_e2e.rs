@@ -1,8 +1,11 @@
 //! E5 / E6 bench: end-to-end decoding of synthetic utterances on the hardware
-//! model with one and two accelerator structures, and on the software
-//! reference backend.
+//! model with one and two accelerator structures, on the software reference
+//! backend and on the SIMD-style software backend — plus the batch-decoding
+//! amortisation measurement (`decode_batch` of 32 utterances against 32
+//! independent `decode_features` calls over one warmed scorer vs 32 cold
+//! ones).
 
-use asr_bench::experiments::{build_eval_task, recognizer};
+use asr_bench::experiments::{batch_bench_task, build_eval_task, recognizer};
 use asr_core::DecoderConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -20,6 +23,7 @@ fn bench_decode(c: &mut Criterion) {
         ("hardware_1_structure", DecoderConfig::hardware(1)),
         ("hardware_2_structures", DecoderConfig::hardware(2)),
         ("software_reference", DecoderConfig::software()),
+        ("software_simd", DecoderConfig::simd()),
     ];
     for (name, config) in configs {
         let rec = recognizer(&task, config).expect("recogniser");
@@ -36,5 +40,39 @@ fn bench_decode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decode);
+/// The acceptance measurement for the batch API: one scorer (and its model
+/// cache) across 32 short utterances must beat 32 per-utterance scorers.
+fn bench_batch_amortisation(c: &mut Criterion) {
+    let task = batch_bench_task(7);
+    let rec = recognizer(&task, DecoderConfig::simd()).expect("recogniser");
+    let utterances: Vec<Vec<Vec<f32>>> = (0..32)
+        .map(|i| task.synthesize_utterance(1, 0.3, i as u64).0)
+        .collect();
+
+    let mut group = c.benchmark_group("decode_batch_amortisation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("batch_32", |b| {
+        b.iter(|| rec.decode_batch(&utterances).expect("batch decode").len())
+    });
+    group.bench_function("sequential_32", |b| {
+        b.iter(|| {
+            utterances
+                .iter()
+                .map(|u| {
+                    rec.decode_features(u)
+                        .expect("decode")
+                        .hypothesis
+                        .words
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode, bench_batch_amortisation);
 criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! CI bench-regression gate.
+//!
+//! Compares a freshly measured `BENCH_pr.json` (written by the criterion
+//! shim when `LVCSR_BENCH_JSON` is set) against the committed
+//! `BENCH_baseline.json` and fails if any benchmark shared by both files
+//! regressed by more than the allowed fraction (default 15 %).  It also
+//! enforces the batch-decoding amortisation claim: `decode_batch` of 32
+//! utterances must beat 32 sequential `decode_features` calls.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate <BENCH_baseline.json> <BENCH_pr.json> [--max-regression 0.15]
+//! ```
+//!
+//! Benchmarks present in only one file are reported but never fail the gate,
+//! so benches can be added or retired without ceremony.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// The two benchmarks backing the batch-amortisation acceptance check.
+///
+/// This pair is judged as a *ratio* (batch must beat sequential), not by the
+/// per-benchmark regression rule: the pair's absolute numbers swing with
+/// allocator/machine noise far more than the single-utterance benches, and
+/// the property that matters — batching wins — is scale-free.
+const BATCH_BENCH: &str = "decode_batch_amortisation/batch_32";
+const SEQUENTIAL_BENCH: &str = "decode_batch_amortisation/sequential_32";
+
+fn ratio_checked(name: &str) -> bool {
+    name == BATCH_BENCH || name == SEQUENTIAL_BENCH
+}
+
+/// Parses the flat `{"group/bench": mean_seconds, ...}` documents the
+/// criterion shim writes.
+///
+/// KEEP IN SYNC with `json_out` in `shims/criterion/src/lib.rs` — that module
+/// is the writer of this format (it carries the mirror of this note).  The
+/// shim stays API-compatible with crates.io criterion, so the parser cannot
+/// be imported from it; `format_snapshot_parses` below pins the format.
+fn parse_flat_map(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            map.insert(key.to_string(), v);
+        }
+    }
+    map
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let map = parse_flat_map(&text);
+    if map.is_empty() {
+        return Err(format!("{path} contains no benchmark results"));
+    }
+    Ok(map)
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1.0e-3 {
+        format!("{:.3} ms", seconds * 1.0e3)
+    } else if seconds >= 1.0e-6 {
+        format!("{:.3} µs", seconds * 1.0e6)
+    } else {
+        format!("{:.1} ns", seconds * 1.0e9)
+    }
+}
+
+fn run(baseline_path: &str, pr_path: &str, max_regression: f64) -> Result<(), String> {
+    let baseline = load(baseline_path)?;
+    let pr = load(pr_path)?;
+    let mut failures = Vec::new();
+
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}",
+        "benchmark", "baseline", "pr", "delta"
+    );
+    for (name, &pr_mean) in &pr {
+        match baseline.get(name) {
+            Some(&base_mean) if base_mean > 0.0 => {
+                let delta = pr_mean / base_mean - 1.0;
+                let gated = !ratio_checked(name);
+                let marker = if gated && delta > max_regression {
+                    "  <-- REGRESSION"
+                } else if !gated {
+                    "  (ratio-checked)"
+                } else {
+                    ""
+                };
+                println!(
+                    "{:<44} {:>12} {:>12} {:>+8.1}%{marker}",
+                    name,
+                    format_time(base_mean),
+                    format_time(pr_mean),
+                    delta * 100.0,
+                );
+                if gated && delta > max_regression {
+                    failures.push(format!(
+                        "{name} regressed {:.1}% (limit {:.0}%)",
+                        delta * 100.0,
+                        max_regression * 100.0
+                    ));
+                }
+            }
+            _ => println!(
+                "{:<44} {:>12} {:>12}   (new)",
+                name,
+                "-",
+                format_time(pr_mean)
+            ),
+        }
+    }
+    for name in baseline.keys().filter(|n| !pr.contains_key(*n)) {
+        println!("{name:<44} (not measured in this run)");
+    }
+
+    // The amortisation claim: one warmed scorer across the batch must beat
+    // per-utterance scorers.
+    match (pr.get(BATCH_BENCH), pr.get(SEQUENTIAL_BENCH)) {
+        (Some(&batch), Some(&sequential)) => {
+            println!(
+                "\nbatch amortisation: batch_32 {} vs sequential_32 {} ({:.2}x)",
+                format_time(batch),
+                format_time(sequential),
+                sequential / batch
+            );
+            if batch >= sequential {
+                failures.push(format!(
+                    "decode_batch(32) ({}) must beat 32x decode_features ({})",
+                    format_time(batch),
+                    format_time(sequential)
+                ));
+            }
+        }
+        _ => failures.push(format!(
+            "missing {BATCH_BENCH} / {SEQUENTIAL_BENCH} in {pr_path}"
+        )),
+    }
+
+    if failures.is_empty() {
+        println!("\nbench gate: OK ({} benchmarks compared)", pr.len());
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut max_regression = 0.15f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-regression" {
+            match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(v) => max_regression = v,
+                None => {
+                    eprintln!("--max-regression needs a numeric argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let [baseline, pr] = positional.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <pr.json> [--max-regression 0.15]");
+        return ExitCode::FAILURE;
+    };
+    match run(baseline, pr, max_regression) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("\nbench gate: FAIL\n{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A verbatim snapshot of the criterion shim's `render_flat_map` output.
+    /// If the shim's format changes, this test (and `parse_flat_map`) must be
+    /// updated with it — see the KEEP IN SYNC notes in both files.
+    const SHIM_OUTPUT: &str = "{\n  \"decode_batch_amortisation/batch_32\": 3.950898177514793e-3,\n  \"e5_decode_utterance/software_simd\": 1.3807006081734087e-4\n}\n";
+
+    #[test]
+    fn format_snapshot_parses() {
+        let map = parse_flat_map(SHIM_OUTPUT);
+        assert_eq!(map.len(), 2);
+        assert!((map["decode_batch_amortisation/batch_32"] - 3.950898177514793e-3).abs() < 1e-12);
+        assert!((map["e5_decode_utterance/software_simd"] - 1.3807006081734087e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parser_skips_garbage_lines() {
+        assert!(parse_flat_map("{\n not json \n}\n").is_empty());
+        assert!(parse_flat_map("").is_empty());
+    }
+}

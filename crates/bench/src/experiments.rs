@@ -457,6 +457,25 @@ pub fn build_eval_task(scale: usize, seed: u64) -> SyntheticTask {
     Wsj5kTask::evaluation(scale, seed).expect("valid task configuration")
 }
 
+/// Builds the task for the batch-decoding benches: a heavy acoustic model
+/// (paper-like 39-dim, 8-component mixtures over 40 phones → 120 senones)
+/// with deliberately *short* utterances, so the per-utterance model-cache
+/// build cost is a large fraction of each decode — the regime a streaming
+/// server lives in and the one `decode_batch` exists to amortise.
+pub fn batch_bench_task(seed: u64) -> SyntheticTask {
+    let config = asr_corpus::TaskConfig {
+        vocabulary_size: 30,
+        num_phones: 40,
+        feature_dim: 39,
+        components_per_senone: 8,
+        word_length_range: (2, 3),
+        ..asr_corpus::TaskConfig::small()
+    };
+    asr_corpus::TaskGenerator::new(seed)
+        .generate(&config)
+        .expect("valid batch bench task")
+}
+
 /// Builds a recogniser over a synthetic task.
 pub fn recognizer(
     task: &SyntheticTask,

@@ -1,13 +1,22 @@
 //! Decoder configuration.
 
+use crate::scorer::{SenoneScorer, SimdScorer, SocScorer, SoftwareScorer};
 use crate::DecodeError;
 use asr_hw::SocConfig;
 
-/// Which backend scores senones and advances HMMs.
+/// Which built-in backend scores senones and advances HMMs.
+///
+/// This is a *configuration descriptor*: it names one of the stock
+/// [`SenoneScorer`] implementations and is turned into a live trait object by
+/// [`ScoringBackendKind::build_scorer`].  Backends beyond these three plug in
+/// directly as `Box<dyn SenoneScorer>` through
+/// [`Recognizer::decode_features_with`] — no enum variant needed.
+///
+/// [`Recognizer::decode_features_with`]: crate::Recognizer::decode_features_with
 //
-// `SocConfig` is much larger than the unit `Software` variant, but a
-// `DecoderConfig` is built once per recogniser, never stored in bulk, so
-// boxing it would only complicate every construction site.
+// `SocConfig` is much larger than the unit variants, but a `DecoderConfig` is
+// built once per recogniser, never stored in bulk, so boxing it would only
+// complicate every construction site.
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScoringBackendKind {
@@ -18,11 +27,37 @@ pub enum ScoringBackendKind {
     /// the decode loop; the baseline crate wraps this with a host-CPU cost
     /// model for the related-work comparison).
     Software,
+    /// The batching-aware SIMD-style software scorer: flattens the acoustic
+    /// model into a contiguous parameter arena (built once, reused across a
+    /// whole [`decode_batch`] stream) and scores with vectorisable blocked
+    /// loops.
+    ///
+    /// [`decode_batch`]: crate::Recognizer::decode_batch
+    Simd,
 }
 
 impl Default for ScoringBackendKind {
     fn default() -> Self {
         ScoringBackendKind::Hardware(SocConfig::default())
+    }
+}
+
+impl ScoringBackendKind {
+    /// Builds a live scorer for this backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidConfig`] if the SoC configuration is
+    /// invalid.
+    pub fn build_scorer(
+        &self,
+        selection: &GmmSelectionConfig,
+    ) -> Result<Box<dyn SenoneScorer>, DecodeError> {
+        match self {
+            ScoringBackendKind::Hardware(cfg) => Ok(Box::new(SocScorer::new(cfg.clone())?)),
+            ScoringBackendKind::Software => Ok(Box::new(SoftwareScorer::new(*selection))),
+            ScoringBackendKind::Simd => Ok(Box::new(SimdScorer::new(*selection))),
+        }
     }
 }
 
@@ -127,6 +162,14 @@ impl DecoderConfig {
         }
     }
 
+    /// A configuration using the batching-aware SIMD-style software backend.
+    pub fn simd() -> Self {
+        DecoderConfig {
+            backend: ScoringBackendKind::Simd,
+            ..Self::default()
+        }
+    }
+
     /// A configuration using the hardware model with `n` accelerator
     /// structures.
     pub fn hardware(num_structures: usize) -> Self {
@@ -181,12 +224,25 @@ mod tests {
     fn defaults_are_valid() {
         DecoderConfig::default().validate().unwrap();
         DecoderConfig::software().validate().unwrap();
+        DecoderConfig::simd().validate().unwrap();
         DecoderConfig::hardware(1).validate().unwrap();
         DecoderConfig::hardware(2).validate().unwrap();
         assert!(matches!(
             DecoderConfig::default().backend,
             ScoringBackendKind::Hardware(_)
         ));
+    }
+
+    #[test]
+    fn every_kind_builds_a_scorer() {
+        let sel = GmmSelectionConfig::default();
+        for (kind, name) in [
+            (ScoringBackendKind::default(), "soc"),
+            (ScoringBackendKind::Software, "software"),
+            (ScoringBackendKind::Simd, "simd"),
+        ] {
+            assert_eq!(kind.build_scorer(&sel).unwrap().name(), name);
+        }
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //! ```
 //!
 //! * The **phone-decode stage** scores only the *active* senones each frame —
-//!   the set requested by the word-decode stage — on either the cycle-accurate
-//!   hardware model (`asr-hw`) or a pure-software reference backend.
+//!   the set requested by the word-decode stage — through the object-safe
+//!   [`SenoneScorer`] seam.  Three backends ship in-tree (the cycle-accurate
+//!   hardware model of `asr-hw`, a scalar software reference, and a
+//!   batching-aware SIMD-style software scorer) and custom accelerators plug
+//!   in as `Box<dyn SenoneScorer>` without touching this crate.
 //! * The **word-decode stage** is a token-passing search over the lexical
 //!   prefix tree: it advances triphone HMM instances with the Viterbi unit,
 //!   starts new words from the tree root, records word-end candidates into a
@@ -33,13 +36,18 @@ pub mod config;
 pub mod lattice;
 pub mod phone_decode;
 pub mod recognizer;
+pub mod scorer;
 pub mod search;
 pub mod stats;
 
 pub use config::{DecoderConfig, GmmSelectionConfig, ScoringBackendKind};
 pub use lattice::{WordLattice, WordLatticeEntry};
-pub use phone_decode::{PhoneDecoder, ScoringBackend};
+pub use phone_decode::PhoneDecoder;
 pub use recognizer::{DecodeResult, Hypothesis, Recognizer};
+pub use scorer::{
+    software_step_hmm, HmmStepResult, SenoneScoreArena, SenoneScorer, SimdScorer, SocScorer,
+    SoftwareScorer,
+};
 pub use search::{SearchNetwork, TokenPassingSearch};
 pub use stats::{DecodeStats, FrameStats};
 

@@ -1,71 +1,34 @@
-//! The phone-decode stage: senone scoring and HMM stepping on a selectable
-//! backend (cycle-accurate hardware model or software reference), plus the
-//! four-layer fast-GMM machinery.
+//! The phone-decode stage: senone scoring and HMM stepping through the
+//! object-safe [`SenoneScorer`] seam, plus the backend-independent fast-GMM
+//! frame layer (Conditional Down Sampling) and the senone-score arena.
 
-use crate::config::{GmmSelectionConfig, ScoringBackendKind};
+use crate::config::GmmSelectionConfig;
+pub use crate::scorer::HmmStepResult;
+use crate::scorer::{SenoneScoreArena, SenoneScorer};
 use crate::DecodeError;
 use asr_acoustic::{AcousticModel, SenoneId, TransitionMatrix};
 use asr_float::LogProb;
-use asr_hw::{SpeechSoc, UtteranceReport};
-use std::collections::HashMap;
+use asr_hw::UtteranceReport;
 
-/// Result of advancing one HMM by one frame, independent of backend.
-#[derive(Debug, Clone, PartialEq)]
-pub struct HmmStepResult {
-    /// New per-state path scores.
-    pub scores: Vec<LogProb>,
-    /// Best score of leaving the HMM this frame.
-    pub exit_score: LogProb,
-}
-
-/// The senone-scoring / HMM-stepping backend.
-#[derive(Debug)]
-pub enum ScoringBackend {
-    /// The paper's system: OP units + Viterbi units with cycle, bandwidth and
-    /// power accounting.
-    Hardware(Box<SpeechSoc>),
-    /// Pure-software reference (same arithmetic, no hardware accounting).
-    Software,
-}
-
-impl ScoringBackend {
-    /// Builds a backend from its configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`DecodeError::InvalidConfig`] if the SoC configuration is
-    /// invalid.
-    pub fn from_kind(kind: &ScoringBackendKind) -> Result<Self, DecodeError> {
-        match kind {
-            ScoringBackendKind::Hardware(cfg) => Ok(ScoringBackend::Hardware(Box::new(
-                SpeechSoc::new(cfg.clone())
-                    .map_err(|e| DecodeError::InvalidConfig(e.to_string()))?,
-            ))),
-            ScoringBackendKind::Software => Ok(ScoringBackend::Software),
-        }
-    }
-
-    /// Returns `true` for the hardware backend.
-    pub fn is_hardware(&self) -> bool {
-        matches!(self, ScoringBackend::Hardware(_))
-    }
-
-    /// Access to the underlying SoC model (hardware backend only).
-    pub fn soc(&self) -> Option<&SpeechSoc> {
-        match self {
-            ScoringBackend::Hardware(soc) => Some(soc),
-            ScoringBackend::Software => None,
-        }
-    }
-}
+/// Log-score handicap applied to senones that were never cached when a frame
+/// is skipped by Conditional Down Sampling: poor but finite, so new words can
+/// still start at reduced fidelity.
+const CDS_FLOOR_OFFSET: f32 = -20.0;
 
 /// The phone-decode stage.
+///
+/// Owns a boxed [`SenoneScorer`] (the accelerator seam), the
+/// [`SenoneScoreArena`] holding the current frame's scores, and the
+/// Conditional Down Sampling state.  CDS lives here rather than in the
+/// scorers because the frame layer is backend-independent: a skipped frame
+/// never reaches the backend at all — which is exactly the power saving.
 #[derive(Debug)]
 pub struct PhoneDecoder {
-    backend: ScoringBackend,
+    scorer: Box<dyn SenoneScorer>,
     selection: GmmSelectionConfig,
-    /// Scores reused across frames by Conditional Down Sampling.
-    cached_scores: HashMap<SenoneId, LogProb>,
+    /// Scores of the current frame (or, on CDS skip frames, the last fully
+    /// scored frame).
+    arena: SenoneScoreArena,
     /// Feature vector of the last fully scored frame (the CDS condition
     /// compares against this, not against the previous frame, so drift over a
     /// run of skipped frames is bounded).
@@ -75,84 +38,77 @@ pub struct PhoneDecoder {
 }
 
 impl PhoneDecoder {
-    /// Creates the stage.
-    pub fn new(backend: ScoringBackend, selection: GmmSelectionConfig) -> Self {
+    /// Creates the stage around any scoring backend.
+    pub fn new(scorer: Box<dyn SenoneScorer>, selection: GmmSelectionConfig) -> Self {
         PhoneDecoder {
-            backend,
+            scorer,
             selection,
-            cached_scores: HashMap::new(),
+            arena: SenoneScoreArena::new(),
             last_scored_feature: Vec::new(),
             skips_since_scored: 0,
         }
     }
 
-    /// The backend (for inspecting hardware reports).
-    pub fn backend(&self) -> &ScoringBackend {
-        &self.backend
+    /// The scoring backend.
+    pub fn scorer(&self) -> &dyn SenoneScorer {
+        self.scorer.as_ref()
     }
 
-    /// Starts a frame: loads the feature vector into the hardware.
+    /// The senone-score arena (current frame's scores).
+    pub fn arena(&self) -> &SenoneScoreArena {
+        &self.arena
+    }
+
+    /// Clears all per-utterance state — CDS cache, arena, and the backend's
+    /// own counters — so the decoder can start the next utterance of a batch
+    /// from a clean slate while keeping warmed model-level caches.
+    pub fn begin_utterance(&mut self) {
+        self.skips_since_scored = 0;
+        self.last_scored_feature.clear();
+        self.arena.clear();
+        self.scorer.reset();
+    }
+
+    /// Starts a frame: loads the feature vector into the backend.
     pub fn begin_frame(&mut self, feature: &[f32]) {
-        if let ScoringBackend::Hardware(soc) = &mut self.backend {
-            soc.begin_frame(feature);
-        }
+        self.scorer.begin_frame(feature);
     }
 
-    /// Scores the requested senones for the current frame, honouring the
-    /// fast-GMM layers.  Returns the score map and whether the evaluation was
-    /// skipped by Conditional Down Sampling.
+    /// Scores the requested senones for the current frame into the arena,
+    /// honouring the fast-GMM frame layer.  Returns whether the evaluation
+    /// was skipped by Conditional Down Sampling; individual scores are read
+    /// back with [`PhoneDecoder::score_of`].
     ///
     /// # Errors
     ///
-    /// Propagates hardware errors as [`DecodeError::Hardware`].
+    /// Propagates backend errors (e.g. [`DecodeError::Hardware`]).
     pub fn score_frame(
         &mut self,
         model: &AcousticModel,
         active: &[SenoneId],
         feature: &[f32],
-    ) -> Result<(HashMap<SenoneId, LogProb>, bool), DecodeError> {
+    ) -> Result<bool, DecodeError> {
         let cds_skip = self.selection.cds_period > 1
-            && !self.cached_scores.is_empty()
+            && self.arena.has_scores()
             && self.skips_since_scored + 1 < self.selection.cds_period
             && mean_squared_distance(feature, &self.last_scored_feature)
                 <= self.selection.cds_threshold;
         if cds_skip {
             // Reuse the previous frame's scores; senones that were not cached
-            // get a neutral (poor but finite) score so new words can still
+            // get a neutral (poor but finite) floor so new words can still
             // start, at reduced fidelity — this is the accuracy/power
             // trade-off CDS makes.
-            let floor = self
-                .cached_scores
-                .values()
-                .fold(LogProb::zero(), |acc, &p| acc.max(p))
-                + LogProb::new(-20.0);
-            let map = active
-                .iter()
-                .map(|id| (*id, *self.cached_scores.get(id).unwrap_or(&floor)))
-                .collect();
+            let floor = self.arena.best() + LogProb::new(CDS_FLOOR_OFFSET);
+            self.arena.reuse_with_floor(floor);
             self.skips_since_scored += 1;
-            return Ok((map, true));
+            return Ok(true);
         }
 
-        let scored: Vec<(SenoneId, LogProb)> = match &mut self.backend {
-            ScoringBackend::Hardware(soc) => soc.score_senones(model, active)?,
-            ScoringBackend::Software => active
-                .iter()
-                .map(|&id| {
-                    let senone = model.senones().get(id).expect("active ids are valid");
-                    let mix = senone.mixture();
-                    let score = if self.selection.best_component_only {
-                        mix.max_component_log_likelihood(&self.truncated(feature))
-                    } else if self.selection.max_dims.is_some() {
-                        mix.log_likelihood(&self.truncated(feature))
-                    } else {
-                        mix.log_likelihood(feature)
-                    };
-                    (id, score)
-                })
-                .collect(),
-        };
-        self.cached_scores = scored.iter().copied().collect();
+        let scored = self.scorer.score_senones(model, active, feature)?;
+        self.arena.begin_scored_frame(model.senones().len());
+        for (id, score) in scored {
+            self.arena.set(id, score);
+        }
         // CDS bookkeeping costs a per-frame feature copy; skip it entirely
         // when down-sampling is off.
         if self.selection.cds_period > 1 {
@@ -160,30 +116,21 @@ impl PhoneDecoder {
             self.last_scored_feature.extend_from_slice(feature);
         }
         self.skips_since_scored = 0;
-        Ok((self.cached_scores.clone(), false))
+        Ok(false)
     }
 
-    fn truncated(&self, feature: &[f32]) -> Vec<f32> {
-        match self.selection.max_dims {
-            Some(d) if d < feature.len() => {
-                // Dimension truncation keeps the vector length (the model
-                // expects the full dimension) but zeroes the tail so those
-                // dimensions contribute only their constant term.
-                let mut v = feature.to_vec();
-                for x in v.iter_mut().skip(d) {
-                    *x = 0.0;
-                }
-                v
-            }
-            _ => feature.to_vec(),
-        }
+    /// The score of one senone for the current frame (the arena's floor for
+    /// senones that were not scored).
+    pub fn score_of(&self, id: SenoneId) -> LogProb {
+        self.arena.get(id)
     }
 
-    /// Advances one HMM by one frame on the configured backend.
+    /// Advances one HMM by one frame on the backend.
     ///
     /// # Errors
     ///
-    /// Propagates hardware errors as [`DecodeError::Hardware`].
+    /// Propagates backend errors as [`DecodeError::Hardware`] or shape errors
+    /// as [`DecodeError::DimensionMismatch`].
     pub fn step_hmm(
         &mut self,
         prev_scores: &[LogProb],
@@ -191,75 +138,29 @@ impl PhoneDecoder {
         transitions: &TransitionMatrix,
         senone_scores: &[LogProb],
     ) -> Result<HmmStepResult, DecodeError> {
-        match &mut self.backend {
-            ScoringBackend::Hardware(soc) => {
-                let step = soc.step_hmm(prev_scores, entry_score, transitions, senone_scores)?;
-                Ok(HmmStepResult {
-                    scores: step.scores,
-                    exit_score: step.exit_score,
-                })
-            }
-            ScoringBackend::Software => {
-                let n = transitions.num_states();
-                if prev_scores.len() != n || senone_scores.len() != n {
-                    return Err(DecodeError::DimensionMismatch {
-                        expected: n,
-                        got: prev_scores.len(),
-                    });
-                }
-                let mut scores = Vec::with_capacity(n);
-                for (j, &obs_j) in senone_scores.iter().enumerate() {
-                    let mut best = LogProb::zero();
-                    for (i, a_ij) in transitions.column(j) {
-                        let c = prev_scores[i] + a_ij;
-                        if c.raw() > best.raw() {
-                            best = c;
-                        }
-                    }
-                    if j == 0 && entry_score.raw() > best.raw() {
-                        best = entry_score;
-                    }
-                    scores.push(best + obs_j);
-                }
-                let mut exit = LogProb::zero();
-                for (i, &score_i) in scores.iter().enumerate() {
-                    let e = score_i + transitions.log_exit_prob(i);
-                    if e.raw() > exit.raw() {
-                        exit = e;
-                    }
-                }
-                Ok(HmmStepResult {
-                    scores,
-                    exit_score: exit,
-                })
-            }
-        }
+        self.scorer
+            .step_hmm(prev_scores, entry_score, transitions, senone_scores)
     }
 
-    /// Records a dictionary / LM fetch over the DMA (hardware backend only).
+    /// Records a dictionary / LM fetch over the DMA (hardware backends).
     pub fn dma_fetch(&mut self, bytes: u64) {
-        if let ScoringBackend::Hardware(soc) = &mut self.backend {
-            soc.dma_fetch(bytes);
-        }
+        self.scorer.dma_fetch(bytes);
     }
 
-    /// Ends the frame on the hardware backend (charges the host-CPU software
-    /// stages and closes the bandwidth window).
+    /// Ends the frame on the backend (charges the host-CPU software stages
+    /// and closes the bandwidth window on hardware backends).
     pub fn end_frame(&mut self, active_triphones: usize, lattice_edges: usize) {
-        if let ScoringBackend::Hardware(soc) = &mut self.backend {
-            soc.end_frame(active_triphones, lattice_edges);
-        }
+        self.scorer.end_frame(active_triphones, lattice_edges);
     }
 
-    /// Finishes the utterance, returning the hardware report if available.
+    /// Finishes the utterance, returning the backend's report if it keeps
+    /// one, and clears per-utterance state so the decoder is ready for the
+    /// next utterance of a batch.
     pub fn finish_utterance(&mut self) -> Option<UtteranceReport> {
         self.skips_since_scored = 0;
-        self.cached_scores.clear();
         self.last_scored_feature.clear();
-        match &mut self.backend {
-            ScoringBackend::Hardware(soc) => Some(soc.finish_utterance()),
-            ScoringBackend::Software => None,
-        }
+        self.arena.clear();
+        self.scorer.finish_utterance()
     }
 }
 
@@ -277,34 +178,95 @@ fn mean_squared_distance(a: &[f32], b: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ScoringBackendKind;
+    use crate::scorer::software_step_hmm;
     use asr_acoustic::AcousticModelConfig;
     use asr_hw::SocConfig;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     fn model() -> AcousticModel {
         AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap()
     }
 
+    fn decoder(kind: &ScoringBackendKind, selection: GmmSelectionConfig) -> PhoneDecoder {
+        PhoneDecoder::new(kind.build_scorer(&selection).unwrap(), selection)
+    }
+
     fn hardware_decoder(selection: GmmSelectionConfig) -> PhoneDecoder {
-        let backend =
-            ScoringBackend::from_kind(&ScoringBackendKind::Hardware(SocConfig::default())).unwrap();
-        PhoneDecoder::new(backend, selection)
+        decoder(
+            &ScoringBackendKind::Hardware(SocConfig::default()),
+            selection,
+        )
+    }
+
+    fn software_decoder(selection: GmmSelectionConfig) -> PhoneDecoder {
+        decoder(&ScoringBackendKind::Software, selection)
+    }
+
+    /// A mock backend that counts how often the decode loop actually asks it
+    /// to score — the trait-object seam observed from the outside.
+    #[derive(Debug)]
+    struct CountingScorer {
+        score_calls: Arc<AtomicUsize>,
+    }
+
+    impl SenoneScorer for CountingScorer {
+        fn name(&self) -> &'static str {
+            "counting-mock"
+        }
+        fn begin_frame(&mut self, _feature: &[f32]) {}
+        fn score_senones(
+            &mut self,
+            _model: &AcousticModel,
+            active: &[SenoneId],
+            _feature: &[f32],
+        ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError> {
+            self.score_calls.fetch_add(1, Ordering::SeqCst);
+            Ok(active.iter().map(|&id| (id, LogProb::new(-2.0))).collect())
+        }
+        fn step_hmm(
+            &mut self,
+            prev_scores: &[LogProb],
+            entry_score: LogProb,
+            transitions: &TransitionMatrix,
+            senone_scores: &[LogProb],
+        ) -> Result<HmmStepResult, DecodeError> {
+            software_step_hmm(prev_scores, entry_score, transitions, senone_scores)
+        }
+        fn finish_utterance(&mut self) -> Option<UtteranceReport> {
+            None
+        }
+        fn reset(&mut self) {}
     }
 
     #[test]
-    fn backend_construction() {
-        assert!(ScoringBackend::from_kind(&ScoringBackendKind::Software).is_ok());
-        let hw =
-            ScoringBackend::from_kind(&ScoringBackendKind::Hardware(SocConfig::default())).unwrap();
-        assert!(hw.is_hardware());
-        assert!(hw.soc().is_some());
-        let sw = ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap();
-        assert!(!sw.is_hardware());
-        assert!(sw.soc().is_none());
-        let bad = ScoringBackendKind::Hardware(SocConfig {
-            num_structures: 0,
-            ..SocConfig::default()
-        });
-        assert!(ScoringBackend::from_kind(&bad).is_err());
+    fn mock_scorer_sees_only_unskipped_frames_under_cds() {
+        let m = model();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut dec = PhoneDecoder::new(
+            Box::new(CountingScorer {
+                score_calls: Arc::clone(&calls),
+            }),
+            GmmSelectionConfig::with_cds(2),
+        );
+        let x = vec![0.25f32; m.feature_dim()];
+        let ids: Vec<SenoneId> = (0..4).map(SenoneId).collect();
+        // Six identical frames at cds_period = 2: frames 1, 3 and 5 are
+        // skipped, so the backend is asked to score exactly three times.
+        let mut skips = Vec::new();
+        for _ in 0..6 {
+            dec.begin_frame(&x);
+            skips.push(dec.score_frame(&m, &ids, &x).unwrap());
+        }
+        assert_eq!(skips, [false, true, false, true, false, true]);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        // A new utterance starts from a fully scored frame again.
+        assert!(dec.finish_utterance().is_none());
+        dec.begin_frame(&x);
+        assert!(!dec.score_frame(&m, &ids, &x).unwrap());
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+        assert_eq!(dec.scorer().name(), "counting-mock");
     }
 
     #[test]
@@ -315,19 +277,16 @@ mod tests {
 
         let mut hw = hardware_decoder(GmmSelectionConfig::default());
         hw.begin_frame(&x);
-        let (hw_scores, skipped_hw) = hw.score_frame(&m, &ids, &x).unwrap();
+        let skipped_hw = hw.score_frame(&m, &ids, &x).unwrap();
 
-        let mut sw = PhoneDecoder::new(
-            ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
-            GmmSelectionConfig::default(),
-        );
+        let mut sw = software_decoder(GmmSelectionConfig::default());
         sw.begin_frame(&x);
-        let (sw_scores, skipped_sw) = sw.score_frame(&m, &ids, &x).unwrap();
+        let skipped_sw = sw.score_frame(&m, &ids, &x).unwrap();
 
         assert!(!skipped_hw && !skipped_sw);
         for id in &ids {
-            let a = hw_scores[id].raw();
-            let b = sw_scores[id].raw();
+            let a = hw.score_of(*id).raw();
+            let b = sw.score_of(*id).raw();
             assert!((a - b).abs() < 0.1, "{id:?}: hw {a} sw {b}");
         }
     }
@@ -339,22 +298,24 @@ mod tests {
         let ids: Vec<SenoneId> = (0..5).map(SenoneId).collect();
         let mut dec = hardware_decoder(GmmSelectionConfig::with_cds(2));
         dec.begin_frame(&x);
-        let (first, skip0) = dec.score_frame(&m, &ids, &x).unwrap();
+        let skip0 = dec.score_frame(&m, &ids, &x).unwrap();
+        let first: Vec<LogProb> = ids.iter().map(|&id| dec.score_of(id)).collect();
         dec.begin_frame(&x);
-        let (second, skip1) = dec.score_frame(&m, &ids, &x).unwrap();
+        let skip1 = dec.score_frame(&m, &ids, &x).unwrap();
+        let second: Vec<LogProb> = ids.iter().map(|&id| dec.score_of(id)).collect();
         dec.begin_frame(&x);
-        let (_third, skip2) = dec.score_frame(&m, &ids, &x).unwrap();
+        let skip2 = dec.score_frame(&m, &ids, &x).unwrap();
         assert!(!skip0);
         assert!(skip1);
         assert!(!skip2);
-        for id in &ids {
-            assert_eq!(first[id].raw(), second[id].raw(), "CDS must reuse scores");
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.raw(), b.raw(), "CDS must reuse scores");
         }
         // A senone never scored before gets the floor score on a skipped frame.
         dec.begin_frame(&x);
-        let (fourth, skip3) = dec.score_frame(&m, &[SenoneId(20)], &x).unwrap();
+        let skip3 = dec.score_frame(&m, &[SenoneId(20)], &x).unwrap();
         assert!(skip3);
-        assert!(fourth[&SenoneId(20)].raw() < first[&ids[0]].raw());
+        assert!(dec.score_of(SenoneId(20)).raw() < first[0].raw());
     }
 
     #[test]
@@ -367,16 +328,29 @@ mod tests {
         let ids: Vec<SenoneId> = (0..5).map(SenoneId).collect();
         let mut dec = hardware_decoder(GmmSelectionConfig::with_cds(2));
         dec.begin_frame(&x);
-        let (_, skip0) = dec.score_frame(&m, &ids, &x).unwrap();
-        assert!(!skip0);
+        assert!(!dec.score_frame(&m, &ids, &x).unwrap());
         // Skip-eligible frame, but the condition fails → full rescore.
         dec.begin_frame(&y);
-        let (_, skip1) = dec.score_frame(&m, &ids, &y).unwrap();
-        assert!(!skip1);
+        assert!(!dec.score_frame(&m, &ids, &y).unwrap());
         // Back to stable acoustics → the skip resumes.
         dec.begin_frame(&y);
-        let (_, skip2) = dec.score_frame(&m, &ids, &y).unwrap();
-        assert!(skip2);
+        assert!(dec.score_frame(&m, &ids, &y).unwrap());
+    }
+
+    #[test]
+    fn begin_utterance_resets_the_cds_cache() {
+        let m = model();
+        let x = vec![0.4f32; m.feature_dim()];
+        let ids: Vec<SenoneId> = (0..5).map(SenoneId).collect();
+        let mut dec = software_decoder(GmmSelectionConfig::with_cds(2));
+        dec.begin_frame(&x);
+        assert!(!dec.score_frame(&m, &ids, &x).unwrap());
+        // Without the reset this frame would be CDS-skipped against the
+        // previous utterance's cache — exactly the stale-state bug the batch
+        // API must not have.
+        dec.begin_utterance();
+        dec.begin_frame(&x);
+        assert!(!dec.score_frame(&m, &ids, &x).unwrap());
     }
 
     #[test]
@@ -384,38 +358,25 @@ mod tests {
         let m = model();
         let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.3 * d as f32).collect();
         let ids: Vec<SenoneId> = (0..m.senones().len() as u32).map(SenoneId).collect();
-        let full = {
-            let mut d = PhoneDecoder::new(
-                ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
-                GmmSelectionConfig::default(),
-            );
-            d.score_frame(&m, &ids, &x).unwrap().0
+        let score_with = |selection: GmmSelectionConfig| -> Vec<LogProb> {
+            let mut d = software_decoder(selection);
+            d.score_frame(&m, &ids, &x).unwrap();
+            ids.iter().map(|&id| d.score_of(id)).collect()
         };
-        let best_comp = {
-            let mut d = PhoneDecoder::new(
-                ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
-                GmmSelectionConfig {
-                    best_component_only: true,
-                    ..GmmSelectionConfig::default()
-                },
-            );
-            d.score_frame(&m, &ids, &x).unwrap().0
-        };
-        let truncated = {
-            let mut d = PhoneDecoder::new(
-                ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
-                GmmSelectionConfig {
-                    max_dims: Some(3),
-                    ..GmmSelectionConfig::default()
-                },
-            );
-            d.score_frame(&m, &ids, &x).unwrap().0
-        };
-        for id in &ids {
+        let full = score_with(GmmSelectionConfig::default());
+        let best_comp = score_with(GmmSelectionConfig {
+            best_component_only: true,
+            ..GmmSelectionConfig::default()
+        });
+        let truncated = score_with(GmmSelectionConfig {
+            max_dims: Some(3),
+            ..GmmSelectionConfig::default()
+        });
+        for (k, _) in ids.iter().enumerate() {
             // Best-component is a lower bound on the full mixture.
-            assert!(best_comp[id].raw() <= full[id].raw() + 1e-5);
+            assert!(best_comp[k].raw() <= full[k].raw() + 1e-5);
             // Truncation changes the score but keeps it finite.
-            assert!(truncated[id].raw().is_finite());
+            assert!(truncated[k].raw().is_finite());
         }
     }
 
@@ -427,10 +388,7 @@ mod tests {
         let prev = vec![LogProb::new(-4.0), LogProb::new(-6.0), LogProb::new(-9.0)];
         let obs = vec![LogProb::new(-1.0), LogProb::new(-2.0), LogProb::new(-1.5)];
         let mut hw = hardware_decoder(GmmSelectionConfig::default());
-        let mut sw = PhoneDecoder::new(
-            ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
-            GmmSelectionConfig::default(),
-        );
+        let mut sw = software_decoder(GmmSelectionConfig::default());
         let a = hw.step_hmm(&prev, LogProb::new(-3.0), t, &obs).unwrap();
         let b = sw.step_hmm(&prev, LogProb::new(-3.0), t, &obs).unwrap();
         assert_eq!(a.scores.len(), n);
@@ -455,11 +413,15 @@ mod tests {
         let report = dec.finish_utterance().unwrap();
         assert_eq!(report.frames, 1);
         assert_eq!(report.senones_scored, 2);
+        // The same decoder serves a second utterance from clean counters.
+        dec.begin_frame(&x);
+        dec.score_frame(&m, &[SenoneId(0)], &x).unwrap();
+        dec.end_frame(1, 0);
+        let second = dec.finish_utterance().unwrap();
+        assert_eq!(second.frames, 1);
+        assert_eq!(second.senones_scored, 1);
         // Software backend has no hardware report.
-        let mut sw = PhoneDecoder::new(
-            ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
-            GmmSelectionConfig::default(),
-        );
+        let mut sw = software_decoder(GmmSelectionConfig::default());
         sw.begin_frame(&x);
         sw.dma_fetch(128);
         sw.end_frame(0, 0);

@@ -2,7 +2,7 @@
 
 use crate::config::DecoderConfig;
 use crate::lattice::WordLattice;
-use crate::phone_decode::{PhoneDecoder, ScoringBackend};
+use crate::phone_decode::PhoneDecoder;
 use crate::search::{SearchNetwork, TokenPassingSearch};
 use crate::stats::DecodeStats;
 use crate::DecodeError;
@@ -43,6 +43,28 @@ pub struct DecodeResult {
     /// Hardware report (cycles, bandwidth, power, energy) when decoding on the
     /// hardware backend.
     pub hardware: Option<UtteranceReport>,
+}
+
+impl DecodeResult {
+    /// The typed result of decoding zero frames: empty hypotheses, an empty
+    /// lattice, zero-frame statistics, no hardware report.  Returned by the
+    /// decode entry points for empty utterances instead of running the search
+    /// machinery (and, historically, leaking stale CDS state into the next
+    /// utterance of a batch).
+    pub fn empty() -> Self {
+        DecodeResult {
+            hypothesis: Hypothesis::default(),
+            live_hypothesis: Hypothesis::default(),
+            lattice: WordLattice::new(0),
+            stats: DecodeStats::new(),
+            hardware: None,
+        }
+    }
+
+    /// Whether this is the result of decoding zero frames.
+    pub fn is_empty(&self) -> bool {
+        self.stats.num_frames() == 0
+    }
 }
 
 /// The complete recogniser of Figure 1.
@@ -115,12 +137,52 @@ impl Recognizer {
         }
     }
 
-    /// Decodes one utterance of feature vectors.
+    /// Builds a fresh phone decoder from the configured backend, ready to
+    /// serve one utterance at a time (reusable across a batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidConfig`] if the backend configuration is
+    /// invalid.
+    pub fn phone_decoder(&self) -> Result<PhoneDecoder, DecodeError> {
+        Ok(PhoneDecoder::new(
+            self.config
+                .backend
+                .build_scorer(&self.config.gmm_selection)?,
+            self.config.gmm_selection,
+        ))
+    }
+
+    /// Decodes one utterance of feature vectors on the configured backend.
+    ///
+    /// An empty utterance yields [`DecodeResult::empty`].
     ///
     /// # Errors
     ///
     /// Propagates configuration, dimension and hardware errors.
     pub fn decode_features(&self, features: &[Vec<f32>]) -> Result<DecodeResult, DecodeError> {
+        let mut phone_decoder = self.phone_decoder()?;
+        self.decode_features_with(features, &mut phone_decoder)
+    }
+
+    /// Decodes one utterance through a caller-supplied phone decoder — the
+    /// entry point for custom [`SenoneScorer`] backends and for reusing one
+    /// scorer (and its warmed model caches) across many utterances.
+    ///
+    /// Per-utterance state (the CDS cache, the score arena, the backend's
+    /// counters) is cleared on entry, so a decoder can be passed back in for
+    /// utterance after utterance; model-level caches survive.
+    ///
+    /// [`SenoneScorer`]: crate::SenoneScorer
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension and backend errors.
+    pub fn decode_features_with(
+        &self,
+        features: &[Vec<f32>],
+        phone_decoder: &mut PhoneDecoder,
+    ) -> Result<DecodeResult, DecodeError> {
         // Validate up front for every backend: the software scorer would
         // otherwise silently truncate short frames, and the hardware model
         // only notices several layers down.
@@ -131,12 +193,14 @@ impl Recognizer {
                 got: bad.len(),
             });
         }
-        let mut phone_decoder = PhoneDecoder::new(
-            ScoringBackend::from_kind(&self.config.backend)?,
-            self.config.gmm_selection,
-        );
+        // A clean per-utterance slate even when the decoder is reused (or a
+        // previous decode aborted half-way through an utterance).
+        phone_decoder.begin_utterance();
+        if features.is_empty() {
+            return Ok(DecodeResult::empty());
+        }
         let search = TokenPassingSearch::new(&self.model, &self.network, &self.lm, &self.config);
-        let outcome = search.decode(features, &mut phone_decoder)?;
+        let outcome = search.decode(features, phone_decoder)?;
         let hardware = phone_decoder.finish_utterance();
 
         // Global best path search over the word lattice with the LM.
@@ -158,6 +222,31 @@ impl Recognizer {
             stats: outcome.stats,
             hardware,
         })
+    }
+
+    /// Decodes a batch of utterances through **one** scorer, so the backend's
+    /// model-level caches (the SoC model, the SIMD scorer's flattened
+    /// parameter arena) and the senone-score arena amortise across the whole
+    /// stream instead of being rebuilt per utterance.
+    ///
+    /// Results are positionally aligned with the input; per-utterance state
+    /// (including the CDS last-scored-frame cache) is reset between
+    /// utterances, so the outputs are identical to decoding each utterance
+    /// alone with [`Recognizer::decode_features`].  Empty utterances yield
+    /// [`DecodeResult::empty`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first utterance that fails to decode.
+    pub fn decode_batch<U: AsRef<[Vec<f32>]>>(
+        &self,
+        utterances: &[U],
+    ) -> Result<Vec<DecodeResult>, DecodeError> {
+        let mut phone_decoder = self.phone_decoder()?;
+        utterances
+            .iter()
+            .map(|u| self.decode_features_with(u.as_ref(), &mut phone_decoder))
+            .collect()
     }
 
     /// Decodes raw audio samples by running the software frontend first.
@@ -331,11 +420,96 @@ mod tests {
     }
 
     #[test]
-    fn empty_feature_input() {
+    fn empty_feature_input_is_the_typed_empty_result() {
         let rec = recognizer(ScoringBackendKind::Software);
         let result = rec.decode_features(&[]).unwrap();
+        assert!(result.is_empty());
         assert!(result.hypothesis.words.is_empty());
         assert!(result.hypothesis.to_sentence().is_empty());
+        assert!(result.lattice.is_empty());
+        assert_eq!(result.stats.num_frames(), 0);
+        assert!(result.hardware.is_none());
         assert_eq!(Hypothesis::default().to_sentence(), "");
+        // DecodeResult::empty() is what the decode path returns.
+        assert!(DecodeResult::empty().is_empty());
+    }
+
+    #[test]
+    fn end_to_end_simd_decode() {
+        let rec = recognizer(ScoringBackendKind::Simd);
+        let dict = tiny_dictionary();
+        let features = synth(&dict, &["two", "one"]);
+        let result = rec.decode_features(&features).unwrap();
+        assert_eq!(result.hypothesis.text, vec!["two", "one"]);
+        assert!(result.hardware.is_none());
+    }
+
+    #[test]
+    fn decode_batch_matches_singles_on_every_backend() {
+        let dict = tiny_dictionary();
+        let utterances = [
+            synth(&dict, &["one", "two"]),
+            synth(&dict, &["two"]),
+            synth(&dict, &["two", "one"]),
+        ];
+        for backend in [
+            ScoringBackendKind::Software,
+            ScoringBackendKind::Simd,
+            ScoringBackendKind::Hardware(asr_hw::SocConfig::default()),
+        ] {
+            let rec = recognizer(backend);
+            let batch = rec.decode_batch(&utterances).unwrap();
+            assert_eq!(batch.len(), utterances.len());
+            for (features, batched) in utterances.iter().zip(&batch) {
+                let single = rec.decode_features(features).unwrap();
+                assert_eq!(batched.hypothesis, single.hypothesis);
+                assert_eq!(batched.live_hypothesis, single.live_hypothesis);
+                assert_eq!(batched.stats.num_frames(), single.stats.num_frames());
+                assert_eq!(
+                    batched.stats.total_senones_scored(),
+                    single.stats.total_senones_scored()
+                );
+                assert_eq!(
+                    batched
+                        .hardware
+                        .as_ref()
+                        .map(|h| (h.frames, h.senones_scored)),
+                    single
+                        .hardware
+                        .as_ref()
+                        .map(|h| (h.frames, h.senones_scored)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_batch_handles_empty_utterances_and_resets_cds() {
+        let dict = tiny_dictionary();
+        let utt = synth(&dict, &["one"]);
+        let mut config = DecoderConfig::software();
+        config.gmm_selection = crate::config::GmmSelectionConfig::with_cds(2);
+        let rec = Recognizer::new(
+            tiny_model(),
+            tiny_dictionary(),
+            NGramModel::uniform(2).unwrap(),
+            config,
+        )
+        .unwrap();
+        let batch = rec
+            .decode_batch(&[utt.clone(), Vec::new(), utt.clone()])
+            .unwrap();
+        assert!(batch[1].is_empty());
+        // With per-utterance CDS reset, the first and third results are
+        // bit-identical — no state leaks across the empty utterance.
+        assert_eq!(batch[0].hypothesis, batch[2].hypothesis);
+        assert_eq!(
+            batch[0].stats.total_senones_scored(),
+            batch[2].stats.total_senones_scored()
+        );
+        assert_eq!(
+            batch[0].stats.cds_skip_fraction(),
+            batch[2].stats.cds_skip_fraction()
+        );
     }
 }

@@ -1,0 +1,901 @@
+//! The object-safe senone-scoring seam.
+//!
+//! The paper's core observation is that senone scoring dominates LVCSR
+//! compute and belongs behind a swappable accelerator interface.  This module
+//! is that interface: [`SenoneScorer`] is an object-safe trait for anything
+//! that can score a frame's active senones and advance HMMs — the
+//! cycle-accurate SoC model ([`SocScorer`]), the scalar software reference
+//! ([`SoftwareScorer`]), a batching-aware SIMD-style software path
+//! ([`SimdScorer`]), or a user-supplied backend (sharded multi-SoC, remote
+//! accelerator, …) plugged in as a `Box<dyn SenoneScorer>` without touching
+//! `asr-core`.
+//!
+//! [`SenoneScoreArena`] is the companion hot-path structure: a
+//! generation-stamped dense score table that replaces the per-frame
+//! `HashMap<SenoneId, LogProb>` the decoder used to allocate and clone every
+//! frame.
+
+use crate::config::GmmSelectionConfig;
+use crate::DecodeError;
+use asr_acoustic::{AcousticError, AcousticModel, SenoneId, TransitionMatrix};
+use asr_float::LogProb;
+use asr_hw::{SocConfig, SpeechSoc, UtteranceReport};
+use std::borrow::Cow;
+
+/// Result of advancing one HMM by one frame, independent of backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HmmStepResult {
+    /// New per-state path scores.
+    pub scores: Vec<LogProb>,
+    /// Best score of leaving the HMM this frame.
+    pub exit_score: LogProb,
+}
+
+/// An object-safe senone-scoring / HMM-stepping backend.
+///
+/// One scorer serves one utterance at a time but may be reused across a whole
+/// batch (see [`Recognizer::decode_batch`]): [`SenoneScorer::finish_utterance`]
+/// closes an utterance and clears per-utterance accounting, while model-level
+/// caches (e.g. [`SimdScorer`]'s flattened parameter arena) survive so their
+/// cost amortises across the stream.
+///
+/// [`Recognizer::decode_batch`]: crate::Recognizer::decode_batch
+///
+/// # Plugging in a custom backend
+///
+/// ```
+/// use asr_acoustic::{AcousticModel, AcousticModelConfig, SenoneId, TransitionMatrix};
+/// use asr_core::{
+///     software_step_hmm, DecodeError, GmmSelectionConfig, HmmStepResult, PhoneDecoder,
+///     SenoneScorer,
+/// };
+/// use asr_float::LogProb;
+///
+/// /// A toy backend: every senone scores a fixed constant.
+/// #[derive(Debug)]
+/// struct FlatScorer;
+///
+/// impl SenoneScorer for FlatScorer {
+///     fn name(&self) -> &'static str {
+///         "flat"
+///     }
+///     fn begin_frame(&mut self, _feature: &[f32]) {}
+///     fn score_senones(
+///         &mut self,
+///         _model: &AcousticModel,
+///         active: &[SenoneId],
+///         _feature: &[f32],
+///     ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError> {
+///         Ok(active.iter().map(|&id| (id, LogProb::new(-1.0))).collect())
+///     }
+///     fn step_hmm(
+///         &mut self,
+///         prev_scores: &[LogProb],
+///         entry_score: LogProb,
+///         transitions: &TransitionMatrix,
+///         senone_scores: &[LogProb],
+///     ) -> Result<HmmStepResult, DecodeError> {
+///         // Custom backends can delegate the Viterbi recursion.
+///         software_step_hmm(prev_scores, entry_score, transitions, senone_scores)
+///     }
+///     fn finish_utterance(&mut self) -> Option<asr_hw::UtteranceReport> {
+///         None
+///     }
+///     fn reset(&mut self) {}
+/// }
+///
+/// // The decoder dispatches through the trait object; no enum to extend.
+/// let model = AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap();
+/// let mut decoder = PhoneDecoder::new(Box::new(FlatScorer), GmmSelectionConfig::default());
+/// let x = vec![0.0; model.feature_dim()];
+/// decoder.begin_frame(&x);
+/// let skipped = decoder
+///     .score_frame(&model, &[SenoneId(0), SenoneId(1)], &x)
+///     .unwrap();
+/// assert!(!skipped);
+/// assert_eq!(decoder.score_of(SenoneId(1)).raw(), -1.0);
+/// ```
+pub trait SenoneScorer: std::fmt::Debug + Send {
+    /// A short stable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Starts a 10 ms frame (hardware backends load the feature vector).
+    fn begin_frame(&mut self, feature: &[f32]);
+
+    /// Scores the requested senones for the current frame.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific: hardware errors surface as
+    /// [`DecodeError::Hardware`], unknown senone ids as
+    /// [`DecodeError::Acoustic`].
+    fn score_senones(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+    ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError>;
+
+    /// Advances one HMM by one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::DimensionMismatch`] for shape errors and
+    /// propagates backend failures.
+    fn step_hmm(
+        &mut self,
+        prev_scores: &[LogProb],
+        entry_score: LogProb,
+        transitions: &TransitionMatrix,
+        senone_scores: &[LogProb],
+    ) -> Result<HmmStepResult, DecodeError>;
+
+    /// Records a dictionary / LM fetch over the DMA (hardware backends).
+    fn dma_fetch(&mut self, _bytes: u64) {}
+
+    /// Ends the frame (hardware backends charge the host-CPU software stages
+    /// and close the bandwidth window).
+    fn end_frame(&mut self, _active_triphones: usize, _lattice_edges: usize) {}
+
+    /// Finishes the utterance: returns the power/cycle report when the
+    /// backend keeps one, and clears all per-utterance accounting so the
+    /// scorer can serve the next utterance of a batch.  Model-level caches
+    /// survive.
+    fn finish_utterance(&mut self) -> Option<UtteranceReport>;
+
+    /// Hard-resets per-utterance state without producing a report (used to
+    /// guarantee a clean start even after an aborted decode).  Model-level
+    /// caches survive.
+    fn reset(&mut self);
+}
+
+/// The shared software Viterbi recursion, usable by any [`SenoneScorer`]
+/// implementation that has no dedicated HMM-stepping hardware.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::DimensionMismatch`] if `prev_scores` or
+/// `senone_scores` disagree with the transition matrix's state count.
+pub fn software_step_hmm(
+    prev_scores: &[LogProb],
+    entry_score: LogProb,
+    transitions: &TransitionMatrix,
+    senone_scores: &[LogProb],
+) -> Result<HmmStepResult, DecodeError> {
+    let n = transitions.num_states();
+    if prev_scores.len() != n || senone_scores.len() != n {
+        return Err(DecodeError::DimensionMismatch {
+            expected: n,
+            got: prev_scores.len(),
+        });
+    }
+    let mut scores = Vec::with_capacity(n);
+    for (j, &obs_j) in senone_scores.iter().enumerate() {
+        let mut best = LogProb::zero();
+        for (i, a_ij) in transitions.column(j) {
+            let c = prev_scores[i] + a_ij;
+            if c.raw() > best.raw() {
+                best = c;
+            }
+        }
+        if j == 0 && entry_score.raw() > best.raw() {
+            best = entry_score;
+        }
+        scores.push(best + obs_j);
+    }
+    let mut exit = LogProb::zero();
+    for (i, &score_i) in scores.iter().enumerate() {
+        let e = score_i + transitions.log_exit_prob(i);
+        if e.raw() > exit.raw() {
+            exit = e;
+        }
+    }
+    Ok(HmmStepResult {
+        scores,
+        exit_score: exit,
+    })
+}
+
+/// Applies the dimension-truncation fast-GMM layer: zeroes the feature tail
+/// beyond `max_dims` (the model expects the full vector length, so those
+/// dimensions contribute only their constant term).  Borrows when no
+/// truncation applies.
+fn truncated<'a>(selection: &GmmSelectionConfig, feature: &'a [f32]) -> Cow<'a, [f32]> {
+    match selection.max_dims {
+        Some(d) if d < feature.len() => {
+            let mut v = feature.to_vec();
+            for x in v.iter_mut().skip(d) {
+                *x = 0.0;
+            }
+            Cow::Owned(v)
+        }
+        _ => Cow::Borrowed(feature),
+    }
+}
+
+/// The paper's system: OP units + Viterbi units with cycle, bandwidth and
+/// power accounting, behind the [`SenoneScorer`] seam.
+#[derive(Debug)]
+pub struct SocScorer {
+    soc: Box<SpeechSoc>,
+}
+
+impl SocScorer {
+    /// Builds the scorer around a fresh SoC model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidConfig`] if the SoC configuration is
+    /// invalid.
+    pub fn new(config: SocConfig) -> Result<Self, DecodeError> {
+        Ok(SocScorer {
+            soc: Box::new(
+                SpeechSoc::new(config).map_err(|e| DecodeError::InvalidConfig(e.to_string()))?,
+            ),
+        })
+    }
+
+    /// Access to the underlying SoC model.
+    pub fn soc(&self) -> &SpeechSoc {
+        &self.soc
+    }
+}
+
+impl SenoneScorer for SocScorer {
+    fn name(&self) -> &'static str {
+        "soc"
+    }
+
+    fn begin_frame(&mut self, feature: &[f32]) {
+        self.soc.begin_frame(feature);
+    }
+
+    fn score_senones(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        _feature: &[f32],
+    ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError> {
+        Ok(self.soc.score_senones(model, active)?)
+    }
+
+    fn step_hmm(
+        &mut self,
+        prev_scores: &[LogProb],
+        entry_score: LogProb,
+        transitions: &TransitionMatrix,
+        senone_scores: &[LogProb],
+    ) -> Result<HmmStepResult, DecodeError> {
+        let step = self
+            .soc
+            .step_hmm(prev_scores, entry_score, transitions, senone_scores)?;
+        Ok(HmmStepResult {
+            scores: step.scores,
+            exit_score: step.exit_score,
+        })
+    }
+
+    fn dma_fetch(&mut self, bytes: u64) {
+        self.soc.dma_fetch(bytes);
+    }
+
+    fn end_frame(&mut self, active_triphones: usize, lattice_edges: usize) {
+        self.soc.end_frame(active_triphones, lattice_edges);
+    }
+
+    fn finish_utterance(&mut self) -> Option<UtteranceReport> {
+        let report = self.soc.finish_utterance();
+        // Clear the counters so the same SoC model (and its warmed caches)
+        // serves the next utterance of a batch without re-allocation.
+        self.soc.reset();
+        Some(report)
+    }
+
+    fn reset(&mut self) {
+        self.soc.reset();
+    }
+}
+
+/// The scalar software reference: the same arithmetic as the hardware OP
+/// unit, evaluated senone by senone with no cycle/power accounting.
+#[derive(Debug, Clone)]
+pub struct SoftwareScorer {
+    selection: GmmSelectionConfig,
+}
+
+impl SoftwareScorer {
+    /// Creates the scorer; `selection` controls the Gaussian-layer fast-GMM
+    /// shortcuts (best-component-only, dimension truncation).
+    pub fn new(selection: GmmSelectionConfig) -> Self {
+        SoftwareScorer { selection }
+    }
+}
+
+impl SenoneScorer for SoftwareScorer {
+    fn name(&self) -> &'static str {
+        "software"
+    }
+
+    fn begin_frame(&mut self, _feature: &[f32]) {}
+
+    fn score_senones(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+    ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError> {
+        let x = truncated(&self.selection, feature);
+        active
+            .iter()
+            .map(|&id| {
+                let senone = model
+                    .senones()
+                    .get(id)
+                    .ok_or_else(|| AcousticError::UnknownId(format!("senone {}", id.0)))?;
+                let mix = senone.mixture();
+                let score = if self.selection.best_component_only {
+                    mix.max_component_log_likelihood(&x)
+                } else {
+                    mix.log_likelihood(&x)
+                };
+                Ok((id, score))
+            })
+            .collect()
+    }
+
+    fn step_hmm(
+        &mut self,
+        prev_scores: &[LogProb],
+        entry_score: LogProb,
+        transitions: &TransitionMatrix,
+        senone_scores: &[LogProb],
+    ) -> Result<HmmStepResult, DecodeError> {
+        software_step_hmm(prev_scores, entry_score, transitions, senone_scores)
+    }
+
+    fn finish_utterance(&mut self) -> Option<UtteranceReport> {
+        None
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Flattened Gaussian parameters of one acoustic model, laid out for linear
+/// streaming: per mixture component a `C_jk` constant plus contiguous mean
+/// and precision (`δ = −1/2σ²`) rows.  This is the software analogue of the
+/// OP unit's Gaussian-parameter buffer.
+#[derive(Debug)]
+struct FlattenedModel {
+    /// Identity of the model this table was built from.
+    model_ptr: usize,
+    num_senones: usize,
+    dim: usize,
+    /// Per senone: (first component row, component count).
+    components: Vec<(usize, usize)>,
+    /// Per component row: `C_jk = log(c_k) + log_norm_k`.
+    consts: Vec<f32>,
+    /// Per component row: `dim` contiguous mean values.
+    means: Vec<f32>,
+    /// Per component row: `dim` contiguous precision values.
+    precisions: Vec<f32>,
+}
+
+impl FlattenedModel {
+    fn build(model: &AcousticModel) -> Self {
+        let dim = model.feature_dim();
+        let pool = model.senones();
+        let mut components = Vec::with_capacity(pool.len());
+        let mut consts = Vec::new();
+        let mut means = Vec::new();
+        let mut precisions = Vec::new();
+        for senone in pool.iter() {
+            let mix = senone.mixture();
+            components.push((consts.len(), mix.num_components()));
+            for (k, g) in mix.components().iter().enumerate() {
+                consts.push(mix.log_weight_consts()[k]);
+                means.extend_from_slice(g.mean());
+                precisions.extend_from_slice(g.precision());
+            }
+        }
+        FlattenedModel {
+            model_ptr: model as *const AcousticModel as usize,
+            num_senones: pool.len(),
+            dim,
+            components,
+            consts,
+            means,
+            precisions,
+        }
+    }
+
+    fn matches(&self, model: &AcousticModel) -> bool {
+        self.model_ptr == model as *const AcousticModel as usize
+            && self.num_senones == model.senones().len()
+            && self.dim == model.feature_dim()
+            && self.spot_check(model)
+    }
+
+    /// Bit-compares a handful of live parameters against the cached rows.
+    /// Address + shape alone are not a safe cache key: a same-shape model
+    /// allocated at a recycled address (drop recogniser A, build recogniser
+    /// B) would otherwise be scored against A's Gaussians.
+    fn spot_check(&self, model: &AcousticModel) -> bool {
+        let pool = model.senones();
+        let probe = |senone_idx: usize| -> bool {
+            let Some(senone) = pool.get(SenoneId(senone_idx as u32)) else {
+                return false;
+            };
+            let mix = senone.mixture();
+            let (first, count) = self.components[senone_idx];
+            count == mix.num_components()
+                && mix
+                    .log_weight_consts()
+                    .first()
+                    .is_some_and(|&c| c.to_bits() == self.consts[first].to_bits())
+                && mix.components().first().is_some_and(|g| {
+                    g.mean()
+                        .first()
+                        .is_some_and(|&m| m.to_bits() == self.means[first * self.dim].to_bits())
+                        && g.precision().last().is_some_and(|&p| {
+                            p.to_bits()
+                                == self.precisions[first * self.dim + self.dim - 1].to_bits()
+                        })
+                })
+        };
+        probe(0) && probe(self.num_senones - 1)
+    }
+}
+
+/// Width of the blocked accumulation in [`SimdScorer`]: four independent f32
+/// lanes, the shape auto-vectorisers map onto 128-bit SIMD registers.
+const LANES: usize = 4;
+
+/// A batching-aware SIMD-style software scorer.
+///
+/// On first use it flattens the acoustic model's Gaussian parameters into
+/// contiguous mean/precision rows ([`FlattenedModel`]) and evaluates each
+/// component with four independent accumulator lanes over the feature
+/// dimensions — branch-free, cache-linear inner loops that the compiler
+/// auto-vectorises.  The flattened arena survives
+/// [`SenoneScorer::finish_utterance`]/[`SenoneScorer::reset`], so its build
+/// cost amortises across a [`decode_batch`] stream — exactly the cache reuse
+/// the batch API exists to exploit.
+///
+/// [`decode_batch`]: crate::Recognizer::decode_batch
+#[derive(Debug)]
+pub struct SimdScorer {
+    selection: GmmSelectionConfig,
+    table: Option<FlattenedModel>,
+    table_builds: usize,
+}
+
+impl SimdScorer {
+    /// Creates the scorer; the parameter arena is built lazily on the first
+    /// scored frame.
+    pub fn new(selection: GmmSelectionConfig) -> Self {
+        SimdScorer {
+            selection,
+            table: None,
+            table_builds: 0,
+        }
+    }
+
+    /// Whether the flattened parameter arena has been built.
+    pub fn is_warm(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// How many times the parameter arena has been (re)built — 1 for a whole
+    /// batch is the amortisation working; one per utterance means the model
+    /// cache is being invalidated.
+    pub fn table_builds(&self) -> usize {
+        self.table_builds
+    }
+
+    fn score_one(table: &FlattenedModel, senone: usize, x: &[f32], best_only: bool) -> LogProb {
+        let (first, count) = table.components[senone];
+        let dim = table.dim;
+        let main = dim - dim % LANES;
+        let mut acc = LogProb::zero();
+        for k in first..first + count {
+            let mean = &table.means[k * dim..k * dim + dim];
+            let prec = &table.precisions[k * dim..k * dim + dim];
+            let mut lanes = [0.0f32; LANES];
+            for ((xs, ms), ps) in x[..main]
+                .chunks_exact(LANES)
+                .zip(mean[..main].chunks_exact(LANES))
+                .zip(prec[..main].chunks_exact(LANES))
+            {
+                for l in 0..LANES {
+                    let d = xs[l] - ms[l];
+                    lanes[l] += d * d * ps[l];
+                }
+            }
+            let tail: f32 = x[main..]
+                .iter()
+                .zip(&mean[main..])
+                .zip(&prec[main..])
+                .map(|((&xi, &mi), &pi)| {
+                    let d = xi - mi;
+                    d * d * pi
+                })
+                .sum();
+            let component = LogProb::new(table.consts[k] + lanes.iter().sum::<f32>() + tail);
+            acc = if best_only {
+                acc.max(component)
+            } else {
+                acc.log_add(component)
+            };
+        }
+        acc
+    }
+}
+
+impl SenoneScorer for SimdScorer {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn begin_frame(&mut self, _feature: &[f32]) {}
+
+    fn score_senones(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+    ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError> {
+        if !self.table.as_ref().is_some_and(|t| t.matches(model)) {
+            self.table = Some(FlattenedModel::build(model));
+            self.table_builds += 1;
+        }
+        let table = self.table.as_ref().expect("table built above");
+        let x = truncated(&self.selection, feature);
+        let best_only = self.selection.best_component_only;
+        active
+            .iter()
+            .map(|&id| {
+                if id.index() >= table.num_senones {
+                    return Err(AcousticError::UnknownId(format!("senone {}", id.0)).into());
+                }
+                Ok((id, Self::score_one(table, id.index(), &x, best_only)))
+            })
+            .collect()
+    }
+
+    fn step_hmm(
+        &mut self,
+        prev_scores: &[LogProb],
+        entry_score: LogProb,
+        transitions: &TransitionMatrix,
+        senone_scores: &[LogProb],
+    ) -> Result<HmmStepResult, DecodeError> {
+        software_step_hmm(prev_scores, entry_score, transitions, senone_scores)
+    }
+
+    fn finish_utterance(&mut self) -> Option<UtteranceReport> {
+        None
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Default score for a senone that was not scored this frame — matches the
+/// search's historical "effectively pruned" constant.
+const UNSCORED: f32 = -1.0e6;
+
+/// A generation-stamped dense senone-score table.
+///
+/// Replaces the per-frame `HashMap<SenoneId, LogProb>` on the decode hot
+/// path: one allocation sized to the senone inventory, O(1) per-frame clear
+/// by bumping an epoch counter, and O(1) lookups by senone index.  Entries
+/// stamped with an older epoch fall back to the current frame's floor score,
+/// which is how Conditional Down Sampling's "poor but finite" score for
+/// never-cached senones is realised without touching the table.
+#[derive(Debug, Default)]
+pub struct SenoneScoreArena {
+    scores: Vec<LogProb>,
+    stamps: Vec<u64>,
+    epoch: u64,
+    stamped: usize,
+    best: LogProb,
+    floor: LogProb,
+}
+
+impl SenoneScoreArena {
+    /// Creates an empty arena; it grows to the senone inventory on first use.
+    pub fn new() -> Self {
+        SenoneScoreArena {
+            scores: Vec::new(),
+            stamps: Vec::new(),
+            epoch: 1,
+            stamped: 0,
+            best: LogProb::zero(),
+            floor: LogProb::new(UNSCORED),
+        }
+    }
+
+    /// Starts a freshly scored frame: invalidates all previous entries in
+    /// O(1) and resets the floor for unscored senones.
+    pub fn begin_scored_frame(&mut self, inventory: usize) {
+        if self.scores.len() < inventory {
+            self.scores.resize(inventory, LogProb::zero());
+            self.stamps.resize(inventory, 0);
+        }
+        self.epoch += 1;
+        self.stamped = 0;
+        self.best = LogProb::zero();
+        self.floor = LogProb::new(UNSCORED);
+    }
+
+    /// Keeps the previous frame's entries (a CDS skip frame) but serves
+    /// `floor` for senones that were never cached.
+    pub fn reuse_with_floor(&mut self, floor: LogProb) {
+        self.floor = floor;
+    }
+
+    /// Records one senone's score for the current frame.
+    pub fn set(&mut self, id: SenoneId, score: LogProb) {
+        let i = id.index();
+        if i >= self.scores.len() {
+            self.scores.resize(i + 1, LogProb::zero());
+            self.stamps.resize(i + 1, 0);
+        }
+        if self.stamps[i] != self.epoch {
+            self.stamps[i] = self.epoch;
+            self.stamped += 1;
+        }
+        self.scores[i] = score;
+        self.best = self.best.max(score);
+    }
+
+    /// The senone's score this frame, or the frame's floor if it was not
+    /// scored (and, on CDS skip frames, never cached).
+    pub fn get(&self, id: SenoneId) -> LogProb {
+        match self.stamps.get(id.index()) {
+            Some(&stamp) if stamp == self.epoch => self.scores[id.index()],
+            _ => self.floor,
+        }
+    }
+
+    /// Whether any senone is cached for the current epoch.
+    pub fn has_scores(&self) -> bool {
+        self.stamped > 0
+    }
+
+    /// Number of senones cached for the current epoch.
+    pub fn len(&self) -> usize {
+        self.stamped
+    }
+
+    /// Whether the arena holds no current-epoch scores.
+    pub fn is_empty(&self) -> bool {
+        self.stamped == 0
+    }
+
+    /// Best score cached for the current epoch.
+    pub fn best(&self) -> LogProb {
+        self.best
+    }
+
+    /// Invalidates everything (end of utterance).
+    pub fn clear(&mut self) {
+        self.epoch += 1;
+        self.stamped = 0;
+        self.best = LogProb::zero();
+        self.floor = LogProb::new(UNSCORED);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScoringBackendKind;
+    use asr_acoustic::AcousticModelConfig;
+
+    fn model() -> AcousticModel {
+        AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap()
+    }
+
+    fn all_ids(m: &AcousticModel) -> Vec<SenoneId> {
+        (0..m.senones().len() as u32).map(SenoneId).collect()
+    }
+
+    #[test]
+    fn scorer_construction_and_names() {
+        let sel = GmmSelectionConfig::default();
+        let soc = ScoringBackendKind::Hardware(SocConfig::default())
+            .build_scorer(&sel)
+            .unwrap();
+        assert_eq!(soc.name(), "soc");
+        let sw = ScoringBackendKind::Software.build_scorer(&sel).unwrap();
+        assert_eq!(sw.name(), "software");
+        let simd = ScoringBackendKind::Simd.build_scorer(&sel).unwrap();
+        assert_eq!(simd.name(), "simd");
+        let bad = ScoringBackendKind::Hardware(SocConfig {
+            num_structures: 0,
+            ..SocConfig::default()
+        });
+        assert!(bad.build_scorer(&sel).is_err());
+    }
+
+    #[test]
+    fn simd_matches_scalar_reference() {
+        let m = model();
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.17 * d as f32).collect();
+        let ids = all_ids(&m);
+        let mut scalar = SoftwareScorer::new(GmmSelectionConfig::default());
+        let mut simd = SimdScorer::new(GmmSelectionConfig::default());
+        assert!(!simd.is_warm());
+        let a = scalar.score_senones(&m, &ids, &x).unwrap();
+        let b = simd.score_senones(&m, &ids, &x).unwrap();
+        assert!(simd.is_warm());
+        for ((ia, sa), (ib, sb)) in a.iter().zip(&b) {
+            assert_eq!(ia, ib);
+            assert!(
+                (sa.raw() - sb.raw()).abs() < 1e-2,
+                "{ia:?}: scalar {} simd {}",
+                sa.raw(),
+                sb.raw()
+            );
+        }
+    }
+
+    #[test]
+    fn simd_honours_gaussian_fast_gmm_layers() {
+        let m = model();
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.3 * d as f32).collect();
+        let ids = all_ids(&m);
+        let full = SimdScorer::new(GmmSelectionConfig::default())
+            .score_senones(&m, &ids, &x)
+            .unwrap();
+        let best = SimdScorer::new(GmmSelectionConfig {
+            best_component_only: true,
+            ..GmmSelectionConfig::default()
+        })
+        .score_senones(&m, &ids, &x)
+        .unwrap();
+        let trunc = SimdScorer::new(GmmSelectionConfig {
+            max_dims: Some(3),
+            ..GmmSelectionConfig::default()
+        })
+        .score_senones(&m, &ids, &x)
+        .unwrap();
+        let trunc_scalar = SoftwareScorer::new(GmmSelectionConfig {
+            max_dims: Some(3),
+            ..GmmSelectionConfig::default()
+        })
+        .score_senones(&m, &ids, &x)
+        .unwrap();
+        for (k, (id, s)) in full.iter().enumerate() {
+            // Best-component is a lower bound on the full mixture.
+            assert!(best[k].1.raw() <= s.raw() + 1e-4, "{id:?}");
+            // Truncation matches the scalar truncation semantics.
+            assert!((trunc[k].1.raw() - trunc_scalar[k].1.raw()).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn simd_arena_survives_utterance_reset_and_tracks_the_model() {
+        let m = model();
+        let x = vec![0.1f32; m.feature_dim()];
+        let mut simd = SimdScorer::new(GmmSelectionConfig::default());
+        simd.score_senones(&m, &all_ids(&m), &x).unwrap();
+        assert!(simd.is_warm());
+        assert_eq!(simd.table_builds(), 1);
+        assert!(simd.finish_utterance().is_none());
+        simd.reset();
+        assert!(
+            simd.is_warm(),
+            "the model arena must survive the batch seam"
+        );
+        // Repeated scoring of the same model reuses the arena: the
+        // address+shape+parameter spot-check must confirm the warm hit.
+        simd.score_senones(&m, &all_ids(&m), &x).unwrap();
+        simd.score_senones(&m, &all_ids(&m), &x).unwrap();
+        assert_eq!(simd.table_builds(), 1, "warm hits must not rebuild");
+        // A different model (different address/shape) forces a rebuild.
+        let m2 = AcousticModel::untrained(AcousticModelConfig {
+            num_phones: 4,
+            num_senones: 12,
+            ..AcousticModelConfig::tiny()
+        })
+        .unwrap();
+        let scores = simd
+            .score_senones(&m2, &all_ids(&m2), &vec![0.1f32; m2.feature_dim()])
+            .unwrap();
+        assert_eq!(scores.len(), m2.senones().len());
+        assert_eq!(simd.table_builds(), 2);
+    }
+
+    #[test]
+    fn simd_rebuilds_for_a_same_shape_model_with_different_parameters() {
+        // Same senone count, same dimension, different Gaussians (the
+        // quantised copy): the cache must serve the *new* model's parameters,
+        // never the old ones — the hazard a pointer-only cache key has when
+        // an allocation is recycled (the spot-check in
+        // FlattenedModel::matches guards the recycled-address case).
+        let a = model();
+        let b = asr_acoustic::quantize_model(&a, asr_float::MantissaWidth::BITS_12).unwrap();
+        let x: Vec<f32> = (0..a.feature_dim()).map(|d| 0.21 * d as f32).collect();
+        let ids = all_ids(&a);
+        let mut warm = SimdScorer::new(GmmSelectionConfig::default());
+        warm.score_senones(&a, &ids, &x).unwrap();
+        let via_warm_scorer = warm.score_senones(&b, &ids, &x).unwrap();
+        assert_eq!(warm.table_builds(), 2, "same-shape model must rebuild");
+        let via_fresh_scorer = SimdScorer::new(GmmSelectionConfig::default())
+            .score_senones(&b, &ids, &x)
+            .unwrap();
+        for ((ia, sa), (ib, sb)) in via_warm_scorer.iter().zip(&via_fresh_scorer) {
+            assert_eq!(ia, ib);
+            assert_eq!(sa.raw(), sb.raw(), "stale parameters served for {ia:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_senones_are_typed_errors_not_panics() {
+        let m = model();
+        let x = vec![0.0f32; m.feature_dim()];
+        let bad = [SenoneId(9_999)];
+        let mut scalar = SoftwareScorer::new(GmmSelectionConfig::default());
+        let mut simd = SimdScorer::new(GmmSelectionConfig::default());
+        assert!(matches!(
+            scalar.score_senones(&m, &bad, &x),
+            Err(DecodeError::Acoustic(_))
+        ));
+        assert!(matches!(
+            simd.score_senones(&m, &bad, &x),
+            Err(DecodeError::Acoustic(_))
+        ));
+    }
+
+    #[test]
+    fn software_step_hmm_validates_shapes() {
+        let m = model();
+        let t = m.transitions();
+        let n = t.num_states();
+        let prev = vec![LogProb::new(-2.0); n];
+        let obs = vec![LogProb::new(-1.0); n];
+        let step = software_step_hmm(&prev, LogProb::zero(), t, &obs).unwrap();
+        assert_eq!(step.scores.len(), n);
+        assert!(software_step_hmm(&prev[..n - 1], LogProb::zero(), t, &obs).is_err());
+    }
+
+    #[test]
+    fn arena_epochs_and_floors() {
+        let mut arena = SenoneScoreArena::new();
+        assert!(arena.is_empty());
+        assert_eq!(arena.get(SenoneId(3)).raw(), UNSCORED);
+
+        arena.begin_scored_frame(8);
+        arena.set(SenoneId(2), LogProb::new(-1.5));
+        arena.set(SenoneId(5), LogProb::new(-0.5));
+        assert_eq!(arena.len(), 2);
+        assert!(arena.has_scores());
+        assert_eq!(arena.get(SenoneId(2)).raw(), -1.5);
+        assert_eq!(arena.best().raw(), -0.5);
+        assert_eq!(arena.get(SenoneId(4)).raw(), UNSCORED);
+
+        // A CDS skip frame keeps the cache but floors unscored senones.
+        arena.reuse_with_floor(LogProb::new(-20.5));
+        assert_eq!(arena.get(SenoneId(5)).raw(), -0.5);
+        assert_eq!(arena.get(SenoneId(4)).raw(), -20.5);
+
+        // A new scored frame invalidates everything in O(1).
+        arena.begin_scored_frame(8);
+        assert!(arena.is_empty());
+        assert_eq!(arena.get(SenoneId(2)).raw(), UNSCORED);
+
+        // Out-of-range ids grow the table rather than panicking.
+        arena.set(SenoneId(40), LogProb::new(-3.0));
+        assert_eq!(arena.get(SenoneId(40)).raw(), -3.0);
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.get(SenoneId(40)).raw(), UNSCORED);
+        // Re-stamping the same senone twice counts once.
+        arena.begin_scored_frame(8);
+        arena.set(SenoneId(1), LogProb::new(-2.0));
+        arena.set(SenoneId(1), LogProb::new(-1.0));
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.get(SenoneId(1)).raw(), -1.0);
+    }
+}

@@ -248,18 +248,19 @@ impl<'a> TokenPassingSearch<'a> {
                 // Feedback disabled (for the E4 ablation): score everything.
                 (0..inventory_size as u32).map(SenoneId).collect()
             };
-            let (score_map, cds_skipped) =
-                phone_decoder.score_frame(self.model, &requested, feature)?;
+            let cds_skipped = phone_decoder.score_frame(self.model, &requested, feature)?;
 
-            // Advance every active instance.
+            // Advance every active instance, reading scores straight out of
+            // the phone decoder's senone-score arena (no per-frame map).
             let mut frame_best = LogProb::zero();
             let mut exits: Vec<(LexNodeId, LogProb)> = Vec::new();
             let node_ids: Vec<LexNodeId> = active.keys().copied().collect();
             for node in node_ids {
-                let senones = self.network.senones(node).to_vec();
-                let obs: Vec<LogProb> = senones
+                let obs: Vec<LogProb> = self
+                    .network
+                    .senones(node)
                     .iter()
-                    .map(|id| *score_map.get(id).unwrap_or(&LogProb::new(-1.0e6)))
+                    .map(|&id| phone_decoder.score_of(id))
                     .collect();
                 let entry_score = entry_map
                     .get(&node)
@@ -391,7 +392,6 @@ impl<'a> TokenPassingSearch<'a> {
 mod tests {
     use super::*;
     use crate::config::{GmmSelectionConfig, ScoringBackendKind};
-    use crate::phone_decode::ScoringBackend;
     use asr_acoustic::{
         AcousticModel, AcousticModelConfig, DiagGaussian, GaussianMixture, HmmTopology, SenonePool,
         TransitionMatrix, TriphoneInventory,
@@ -480,7 +480,9 @@ mod tests {
         };
         let features = synth_features(&dict, words, 3);
         let mut phone_decoder = PhoneDecoder::new(
-            ScoringBackend::from_kind(backend_kind).unwrap(),
+            backend_kind
+                .build_scorer(&GmmSelectionConfig::default())
+                .unwrap(),
             GmmSelectionConfig::default(),
         );
         let search = TokenPassingSearch::new(&model, &network, &lm, &config);
@@ -543,6 +545,12 @@ mod tests {
     }
 
     #[test]
+    fn decodes_with_simd_backend() {
+        let (outcome, expected, _) = decode_with(&ScoringBackendKind::Simd, &["alpha", "bravo"]);
+        assert_eq!(outcome.best_token_words, expected);
+    }
+
+    #[test]
     fn feedback_keeps_active_senones_sparse() {
         let (outcome, _, _) =
             decode_with(&ScoringBackendKind::Software, &["alpha", "bravo", "mix"]);
@@ -562,7 +570,9 @@ mod tests {
         let config = DecoderConfig::software();
         let search = TokenPassingSearch::new(&model, &network, &lm, &config);
         let mut pd = PhoneDecoder::new(
-            ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
+            ScoringBackendKind::Software
+                .build_scorer(&GmmSelectionConfig::default())
+                .unwrap(),
             GmmSelectionConfig::default(),
         );
         let bad = vec![vec![0.0f32; 2]];
@@ -581,7 +591,9 @@ mod tests {
         let config = DecoderConfig::software();
         let search = TokenPassingSearch::new(&model, &network, &lm, &config);
         let mut pd = PhoneDecoder::new(
-            ScoringBackend::from_kind(&ScoringBackendKind::Software).unwrap(),
+            ScoringBackendKind::Software
+                .build_scorer(&GmmSelectionConfig::default())
+                .unwrap(),
             GmmSelectionConfig::default(),
         );
         let outcome = search.decode(&[], &mut pd).unwrap();

@@ -144,6 +144,61 @@ pub struct UtteranceReport {
     pub energy: EnergyReport,
 }
 
+impl UtteranceReport {
+    /// Folds another utterance's report into this one — the batch-level
+    /// aggregation used when one SoC model serves a stream of utterances
+    /// (`Recognizer::decode_batch`): counters add, means re-weight by frame
+    /// (or audio-second) counts, and peak figures take the maximum.
+    pub fn merge(&self, other: &UtteranceReport) -> UtteranceReport {
+        if self.frames == 0 {
+            return other.clone();
+        }
+        if other.frames == 0 {
+            return self.clone();
+        }
+        let frames = self.frames + other.frames;
+        let fa = self.frames as f64;
+        let fb = other.frames as f64;
+        let ft = frames as f64;
+        let weighted = |a: f64, b: f64| (a * fa + b * fb) / ft;
+        let audio = self.energy.audio_seconds + other.energy.audio_seconds;
+        let by_audio = |a: f64, b: f64| {
+            (a * self.energy.audio_seconds + b * other.energy.audio_seconds)
+                / audio.max(f64::MIN_POSITIVE)
+        };
+        UtteranceReport {
+            frames,
+            senones_scored: self.senones_scored + other.senones_scored,
+            hmm_updates: self.hmm_updates + other.hmm_updates,
+            mean_senones_per_frame: weighted(
+                self.mean_senones_per_frame,
+                other.mean_senones_per_frame,
+            ),
+            worst_frame_rtf: self.worst_frame_rtf.max(other.worst_frame_rtf),
+            mean_rtf: weighted(self.mean_rtf, other.mean_rtf),
+            real_time_fraction: weighted(self.real_time_fraction, other.real_time_fraction),
+            peak_bandwidth_gb_per_s: self
+                .peak_bandwidth_gb_per_s
+                .max(other.peak_bandwidth_gb_per_s),
+            mean_bandwidth_gb_per_s: weighted(
+                self.mean_bandwidth_gb_per_s,
+                other.mean_bandwidth_gb_per_s,
+            ),
+            energy: EnergyReport {
+                accelerator_energy_j: self.energy.accelerator_energy_j
+                    + other.energy.accelerator_energy_j,
+                host_energy_j: self.energy.host_energy_j + other.energy.host_energy_j,
+                audio_seconds: audio,
+                opu_activity: by_audio(self.energy.opu_activity, other.energy.opu_activity),
+                viterbi_activity: by_audio(
+                    self.energy.viterbi_activity,
+                    other.energy.viterbi_activity,
+                ),
+            },
+        }
+    }
+}
+
 /// The assembled low-power speech-recognition SoC.
 #[derive(Debug, Clone)]
 pub struct SpeechSoc {
@@ -586,6 +641,48 @@ mod tests {
         soc.reset();
         assert!(soc.frame_reports().is_empty());
         assert_eq!(soc.finish_utterance(), UtteranceReport::default());
+    }
+
+    #[test]
+    fn utterance_reports_merge_for_batches() {
+        let m = model();
+        let ids: Vec<SenoneId> = (0..m.senones().len() as u32).map(SenoneId).collect();
+        let decode = |frames: usize| -> UtteranceReport {
+            let mut soc = soc(2);
+            for f in 0..frames {
+                let x: Vec<f32> = (0..m.feature_dim())
+                    .map(|d| 0.02 * (f + d) as f32)
+                    .collect();
+                soc.begin_frame(&x);
+                soc.score_senones(&m, &ids).unwrap();
+                soc.end_frame(1, 0);
+            }
+            soc.finish_utterance()
+        };
+        let a = decode(10);
+        let b = decode(30);
+        let merged = a.merge(&b);
+        assert_eq!(merged.frames, 40);
+        assert_eq!(merged.senones_scored, a.senones_scored + b.senones_scored);
+        assert_eq!(merged.hmm_updates, a.hmm_updates + b.hmm_updates);
+        // Weighted mean lands between the parts and reproduces the total.
+        let total_senones = merged.mean_senones_per_frame * merged.frames as f64;
+        assert!((total_senones - merged.senones_scored as f64).abs() < 1e-6);
+        assert!(merged.worst_frame_rtf >= a.worst_frame_rtf.max(b.worst_frame_rtf) - 1e-12);
+        assert!(
+            (merged.energy.audio_seconds - (a.energy.audio_seconds + b.energy.audio_seconds)).abs()
+                < 1e-12
+        );
+        assert!(
+            (merged.energy.total_energy_j()
+                - (a.energy.total_energy_j() + b.energy.total_energy_j()))
+            .abs()
+                < 1e-12
+        );
+        // Merging with an empty report is the identity.
+        let empty = UtteranceReport::default();
+        assert_eq!(empty.merge(&a), a);
+        assert_eq!(a.merge(&empty), a);
     }
 
     #[test]

@@ -40,9 +40,12 @@ fn main() -> Result<(), LvcsrError> {
             config,
         )?;
 
+        // One batched decode per width: the whole test set shares one scorer,
+        // so the SoC model is built once instead of once per utterance.
+        let utterances: Vec<&[Vec<f32>]> = test_set.iter().map(|(f, _)| f.as_slice()).collect();
+        let results = recognizer.decode_batch(&utterances)?;
         let mut wer = WerScore::default();
-        for (features, reference) in &test_set {
-            let result = recognizer.decode_features(features)?;
+        for ((_, reference), result) in test_set.iter().zip(&results) {
             wer = wer.merge(&align_wer(reference, &result.hypothesis.words));
         }
         // Storage/bandwidth at the *paper's* full 6000-senone geometry.

@@ -10,7 +10,7 @@
 //! | [`acoustic`] | `asr-acoustic` | senones, Gaussian mixtures, triphone HMMs, flash storage layout |
 //! | [`lexicon`] | `asr-lexicon` | phone set, pronunciation dictionary, lexical tree, n-gram LM |
 //! | [`hw`] | `asr-hw` | cycle-accurate OP unit and Viterbi unit, flash/DMA, power & area model, the 2-structure SoC |
-//! | [`decoder`] | `asr-core` | phone decode, word decode (token passing over the lexical tree), word lattice, global best path |
+//! | [`decoder`] | `asr-core` | the `SenoneScorer` backend seam (SoC / scalar / SIMD scorers), phone decode, word decode (token passing over the lexical tree), word lattice, global best path, batch decoding |
 //! | [`corpus`] | `asr-corpus` | synthetic WSJ5K-like tasks, utterance/audio synthesis, WER scoring |
 //! | [`baseline`] | `asr-baseline` | software-decoder and related-work accelerator baselines |
 //!
@@ -35,6 +35,14 @@
 //! assert_eq!(result.hypothesis.words, reference);
 //! let hw = result.hardware.unwrap();
 //! assert!(hw.real_time_fraction > 0.99);
+//!
+//! // A stream of utterances decodes through one scorer (the SoC model is
+//! // built once and its counters reset between utterances), with results
+//! // identical to per-utterance decoding.
+//! let (more, _) = task.synthesize_utterance(3, 0.2, 8);
+//! let batch = recognizer.decode_batch(&[features, more]).unwrap();
+//! assert_eq!(batch[0].hypothesis.words, reference);
+//! assert_eq!(batch.len(), 2);
 //! ```
 
 #![deny(missing_docs)]

@@ -1,0 +1,125 @@
+//! Batch-decoding integration tests: `Recognizer::decode_batch` must be
+//! observationally identical to decoding each utterance alone, on every
+//! backend — the property that makes the batch API a pure throughput
+//! optimisation.
+
+use lvcsr::corpus::{SyntheticTask, TaskConfig, TaskGenerator};
+use lvcsr::decoder::{DecodeResult, DecoderConfig, GmmSelectionConfig, Recognizer};
+use proptest::prelude::*;
+
+fn build_task() -> SyntheticTask {
+    TaskGenerator::new(4242)
+        .generate(&TaskConfig::tiny())
+        .expect("task")
+}
+
+fn build_recognizer(task: &SyntheticTask, config: DecoderConfig) -> Recognizer {
+    Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        config,
+    )
+    .expect("recogniser")
+}
+
+fn backend_config(index: usize) -> DecoderConfig {
+    match index % 3 {
+        0 => DecoderConfig::software(),
+        1 => DecoderConfig::simd(),
+        _ => DecoderConfig::hardware(2),
+    }
+}
+
+/// The full observable surface of a decode, comparable across call paths.
+type Fingerprint = (Vec<u32>, Vec<u32>, usize, u64, usize, Option<(usize, u64)>);
+
+fn fingerprint(r: &DecodeResult) -> Fingerprint {
+    (
+        r.hypothesis.words.iter().map(|w| w.0).collect(),
+        r.live_hypothesis.words.iter().map(|w| w.0).collect(),
+        r.stats.num_frames(),
+        r.stats.total_senones_scored(),
+        r.lattice.len(),
+        r.hardware.as_ref().map(|h| (h.frames, h.senones_scored)),
+    )
+}
+
+proptest! {
+    /// decode_batch == N × decode_features, for every backend, including
+    /// under Conditional Down Sampling (whose cache is exactly the state
+    /// that could leak between utterances).
+    #[test]
+    fn batch_decoding_matches_per_utterance_decoding(
+        backend_index in 0usize..3,
+        cds_period in 1usize..3,
+        num_utterances in 1usize..3,
+        words_per_utterance in 1usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let task = build_task();
+        let mut config = backend_config(backend_index);
+        config.gmm_selection = GmmSelectionConfig::with_cds(cds_period);
+        let rec = build_recognizer(&task, config);
+        let utterances: Vec<Vec<Vec<f32>>> = (0..num_utterances)
+            .map(|i| {
+                task.synthesize_utterance(words_per_utterance, 0.2, seed.wrapping_add(i as u64))
+                    .0
+            })
+            .collect();
+        let batch = rec.decode_batch(&utterances).expect("batch decode");
+        prop_assert_eq!(batch.len(), utterances.len());
+        for (features, batched) in utterances.iter().zip(&batch) {
+            let single = rec.decode_features(features).expect("single decode");
+            prop_assert_eq!(fingerprint(batched), fingerprint(&single));
+        }
+    }
+}
+
+#[test]
+fn empty_utterances_yield_typed_empty_results_in_and_out_of_batches() {
+    let task = build_task();
+    for config in [
+        DecoderConfig::software(),
+        DecoderConfig::simd(),
+        DecoderConfig::hardware(2),
+    ] {
+        let rec = build_recognizer(&task, config);
+        let alone = rec.decode_features(&[]).expect("empty decode");
+        assert!(alone.is_empty());
+        assert!(alone.hardware.is_none());
+
+        let (utt, _) = task.synthesize_utterance(2, 0.2, 9);
+        let batch = rec
+            .decode_batch(&[utt.clone(), Vec::new(), utt.clone()])
+            .expect("batch with empty utterance");
+        assert!(batch[1].is_empty());
+        // The empty utterance leaves no stale state behind: its neighbours
+        // decode identically.
+        assert_eq!(batch[0].hypothesis, batch[2].hypothesis);
+        assert_eq!(
+            batch[0].stats.total_senones_scored(),
+            batch[2].stats.total_senones_scored()
+        );
+    }
+}
+
+#[test]
+fn batch_hardware_reports_merge_into_a_stream_report() {
+    let task = build_task();
+    let rec = build_recognizer(&task, DecoderConfig::hardware(2));
+    let utterances: Vec<Vec<Vec<f32>>> = (0..4)
+        .map(|i| task.synthesize_utterance(2, 0.2, 100 + i).0)
+        .collect();
+    let results = rec.decode_batch(&utterances).expect("batch decode");
+    let merged = results
+        .iter()
+        .filter_map(|r| r.hardware.clone())
+        .fold(lvcsr::hw::UtteranceReport::default(), |acc, r| {
+            acc.merge(&r)
+        });
+    let total_frames: usize = utterances.iter().map(Vec::len).sum();
+    assert_eq!(merged.frames, total_frames);
+    assert!(merged.real_time_fraction > 0.99);
+    assert!(merged.energy.total_energy_j() > 0.0);
+}
