@@ -1,0 +1,87 @@
+//! Serving/sharding throughput bench: a 32-utterance workload decoded on
+//! (a) one SoC scorer, (b) a 4-shard `ShardedScorer` (4 SoC instances, the
+//! active-senone set split across scoped threads), and (c) the same sharded
+//! scorer fed through the `asr-serve` queue + micro-batcher.
+//!
+//! The `bench_gate` acceptance check reads (a) and (b): the sharded scorer
+//! must beat the single-SoC path on this workload, or the scale-out claim is
+//! regressing.
+
+use asr_bench::experiments::{recognizer, serve_bench_task};
+use asr_core::DecoderConfig;
+use asr_serve::{AsrServer, ServeConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let task = serve_bench_task(13);
+    let utterances: Vec<Vec<Vec<f32>>> = (0..32)
+        .map(|i| task.synthesize_utterance(1, 0.3, 200 + i as u64).0)
+        .collect();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let single = recognizer(&task, DecoderConfig::hardware(2)).expect("recogniser");
+    group.bench_function("single_soc_32", |b| {
+        b.iter(|| single.decode_batch(&utterances).expect("decode").len())
+    });
+
+    let sharded = recognizer(&task, DecoderConfig::sharded_hardware(4)).expect("recogniser");
+    group.bench_function("sharded4_soc_32", |b| {
+        b.iter(|| sharded.decode_batch(&utterances).expect("decode").len())
+    });
+
+    // The full serving path: 32 submissions through the bounded queue, the
+    // micro-batcher coalescing them onto the worker's warmed sharded scorer.
+    let server = AsrServer::spawn(
+        recognizer(&task, DecoderConfig::sharded_hardware(4)).expect("recogniser"),
+        ServeConfig {
+            max_pending: 64,
+            max_batch: 8,
+            max_batch_delay: Duration::from_millis(1),
+        },
+    )
+    .expect("server");
+    group.bench_function("queue_sharded4_soc_32", |b| {
+        b.iter(|| {
+            let pending: Vec<_> = utterances
+                .iter()
+                .map(|u| server.submit(u.clone()).expect("submit"))
+                .collect();
+            pending
+                .into_iter()
+                .map(|f| f.wait().expect("decode").hypothesis.words.len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+    record_host_cpus();
+}
+
+/// Records the *measurement* host's CPU count into the `LVCSR_BENCH_JSON`
+/// document as the pseudo-entry `serve_throughput/host_cpus`.  The bench
+/// gate's shard check reads it so the strict "sharded must beat single"
+/// rule is applied only when the numbers were actually measured with real
+/// parallelism available — gating a 1-CPU measurement on a multi-core
+/// reviewer's machine (or vice versa) would judge the wrong claim.
+fn record_host_cpus() {
+    let path = match std::env::var("LVCSR_BENCH_JSON") {
+        Ok(p) if !p.is_empty() => p,
+        _ => return,
+    };
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if let Err(e) =
+        asr_bench::bench_json::record_entry(&path, "serve_throughput/host_cpus", cpus as f64)
+    {
+        eprintln!("warning: could not record host_cpus in {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

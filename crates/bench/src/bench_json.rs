@@ -1,0 +1,110 @@
+//! The flat `{"group/benchmark": number}` bench-result document.
+//!
+//! The criterion shim writes this format under `LVCSR_BENCH_JSON` (see
+//! `json_out` in `shims/criterion/src/lib.rs` — that copy is deliberately
+//! standalone so the shim stays swappable for crates.io criterion, and
+//! carries a KEEP IN SYNC note pointing here).  Everything *inside* this
+//! crate — the `bench_gate` binary that reads the documents and the
+//! `serve_throughput` bench that records metadata next to its results —
+//! shares this one implementation instead of keeping format copies in sync
+//! by comment discipline.
+
+use std::collections::BTreeMap;
+
+/// Parses the flat `{"key": number, ...}` documents the criterion shim
+/// writes.  Tolerant line-based scan — not a general JSON parser; lines
+/// that do not look like `"key": number` are skipped.
+pub fn parse_flat_map(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            map.insert(key.to_string(), v);
+        }
+    }
+    map
+}
+
+/// Renders the map back into the shim's document shape (sorted keys,
+/// scientific-notation values, two-space indent).
+pub fn render_flat_map(map: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{k}\": {v:e}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Read-modify-writes one entry into the document at `path`, preserving
+/// every other entry (the same merge discipline the shim uses, so bench
+/// binaries and metadata writers can run in any order).
+pub fn record_entry(path: &str, key: &str, value: f64) -> std::io::Result<()> {
+    let mut map = std::fs::read_to_string(path)
+        .map(|text| parse_flat_map(&text))
+        .unwrap_or_default();
+    map.insert(key.to_string(), value);
+    std::fs::write(path, render_flat_map(&map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A verbatim snapshot of the criterion shim's `render_flat_map` output.
+    /// If the shim's format changes, this test (and this module) must be
+    /// updated with it — see the KEEP IN SYNC note in
+    /// `shims/criterion/src/lib.rs`.
+    const SHIM_OUTPUT: &str = "{\n  \"decode_batch_amortisation/batch_32\": 3.950898177514793e-3,\n  \"e5_decode_utterance/software_simd\": 1.3807006081734087e-4\n}\n";
+
+    #[test]
+    fn format_snapshot_parses() {
+        let map = parse_flat_map(SHIM_OUTPUT);
+        assert_eq!(map.len(), 2);
+        assert!((map["decode_batch_amortisation/batch_32"] - 3.950898177514793e-3).abs() < 1e-12);
+        assert!((map["e5_decode_utterance/software_simd"] - 1.3807006081734087e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let map = parse_flat_map(SHIM_OUTPUT);
+        assert_eq!(parse_flat_map(&render_flat_map(&map)), map);
+    }
+
+    #[test]
+    fn parser_skips_garbage_lines() {
+        assert!(parse_flat_map("{\n not json \n}\n").is_empty());
+        assert!(parse_flat_map("").is_empty());
+    }
+
+    #[test]
+    fn record_entry_merges_and_preserves() {
+        let dir = std::env::temp_dir().join("lvcsr-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        // Creates the document when missing…
+        record_entry(path, "g/a", 1.5).unwrap();
+        // …merges into an existing one without clobbering other keys…
+        record_entry(path, "g/b", 2.5e-3).unwrap();
+        // …and overwrites a re-recorded key.
+        record_entry(path, "g/a", 3.0).unwrap();
+        let map = parse_flat_map(&std::fs::read_to_string(path).unwrap());
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["g/a"], 3.0);
+        assert!((map["g/b"] - 2.5e-3).abs() < 1e-12);
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -476,6 +476,26 @@ pub fn batch_bench_task(seed: u64) -> SyntheticTask {
         .expect("valid batch bench task")
 }
 
+/// Builds the task for the serving/sharding benches: like
+/// [`batch_bench_task`] but with a larger senone inventory (50 phones → 150
+/// senones) and heavier mixtures (12 components), so each frame's active-set
+/// scoring is heavy enough for a sharded scorer's thread-level parallelism
+/// to pay for its spawn overhead — the regime a saturated serving node lives
+/// in.
+pub fn serve_bench_task(seed: u64) -> SyntheticTask {
+    let config = asr_corpus::TaskConfig {
+        vocabulary_size: 30,
+        num_phones: 50,
+        feature_dim: 39,
+        components_per_senone: 12,
+        word_length_range: (2, 3),
+        ..asr_corpus::TaskConfig::small()
+    };
+    asr_corpus::TaskGenerator::new(seed)
+        .generate(&config)
+        .expect("valid serve bench task")
+}
+
 /// Builds a recogniser over a synthetic task.
 pub fn recognizer(
     task: &SyntheticTask,

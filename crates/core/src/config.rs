@@ -1,6 +1,7 @@
 //! Decoder configuration.
 
 use crate::scorer::{SenoneScorer, SimdScorer, SocScorer, SoftwareScorer};
+use crate::shard::ShardedScorer;
 use crate::DecodeError;
 use asr_hw::SocConfig;
 
@@ -34,6 +35,19 @@ pub enum ScoringBackendKind {
     ///
     /// [`decode_batch`]: crate::Recognizer::decode_batch
     Simd,
+    /// A sharded scale-out scorer ([`crate::ShardedScorer`]):
+    /// `shards` instances of `inner`, each scoring a contiguous slice of
+    /// every frame's active-senone set on its own scoped thread, with the
+    /// per-shard hardware reports folded by
+    /// [`UtteranceReport::merge_parallel`](asr_hw::UtteranceReport::merge_parallel).
+    /// Results are identical to running `inner` unsharded; only throughput
+    /// and the report's shape change.
+    Sharded {
+        /// Number of inner scorers (≥ 1).
+        shards: usize,
+        /// The backend each shard runs (nesting is allowed but pointless).
+        inner: Box<ScoringBackendKind>,
+    },
 }
 
 impl Default for ScoringBackendKind {
@@ -57,6 +71,35 @@ impl ScoringBackendKind {
             ScoringBackendKind::Hardware(cfg) => Ok(Box::new(SocScorer::new(cfg.clone())?)),
             ScoringBackendKind::Software => Ok(Box::new(SoftwareScorer::new(*selection))),
             ScoringBackendKind::Simd => Ok(Box::new(SimdScorer::new(*selection))),
+            ScoringBackendKind::Sharded { shards, inner } => {
+                let built = (0..*shards)
+                    .map(|_| inner.build_scorer(selection))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Box::new(ShardedScorer::new(built)?))
+            }
+        }
+    }
+
+    /// Validates the backend descriptor (recursively for sharded backends).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidConfig`] for an invalid SoC
+    /// configuration or a zero shard count.
+    pub fn validate(&self) -> Result<(), DecodeError> {
+        match self {
+            ScoringBackendKind::Hardware(soc) => soc
+                .validate()
+                .map_err(|e| DecodeError::InvalidConfig(e.to_string())),
+            ScoringBackendKind::Software | ScoringBackendKind::Simd => Ok(()),
+            ScoringBackendKind::Sharded { shards, inner } => {
+                if *shards == 0 {
+                    return Err(DecodeError::InvalidConfig(
+                        "a sharded backend needs at least one shard".into(),
+                    ));
+                }
+                inner.validate()
+            }
         }
     }
 }
@@ -182,6 +225,19 @@ impl DecoderConfig {
         }
     }
 
+    /// A configuration sharding the active-senone set across `shards`
+    /// default-configured SoC instances (the scale-out counterpart of
+    /// [`DecoderConfig::hardware`], which scales one SoC *up*).
+    pub fn sharded_hardware(shards: usize) -> Self {
+        DecoderConfig {
+            backend: ScoringBackendKind::Sharded {
+                shards,
+                inner: Box::new(ScoringBackendKind::Hardware(SocConfig::default())),
+            },
+            ..Self::default()
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -208,11 +264,7 @@ impl DecoderConfig {
                 "cds_threshold must be finite and non-negative".into(),
             ));
         }
-        if let ScoringBackendKind::Hardware(soc) = &self.backend {
-            soc.validate()
-                .map_err(|e| DecodeError::InvalidConfig(e.to_string()))?;
-        }
-        Ok(())
+        self.backend.validate()
     }
 }
 
@@ -240,9 +292,45 @@ mod tests {
             (ScoringBackendKind::default(), "soc"),
             (ScoringBackendKind::Software, "software"),
             (ScoringBackendKind::Simd, "simd"),
+            (
+                ScoringBackendKind::Sharded {
+                    shards: 2,
+                    inner: Box::new(ScoringBackendKind::Simd),
+                },
+                "sharded",
+            ),
         ] {
             assert_eq!(kind.build_scorer(&sel).unwrap().name(), name);
         }
+    }
+
+    #[test]
+    fn sharded_configs_validate_recursively() {
+        DecoderConfig::sharded_hardware(4).validate().unwrap();
+        let zero = DecoderConfig {
+            backend: ScoringBackendKind::Sharded {
+                shards: 0,
+                inner: Box::new(ScoringBackendKind::Software),
+            },
+            ..DecoderConfig::default()
+        };
+        assert!(zero.validate().is_err());
+        // An invalid inner SoC config fails through the shard wrapper.
+        let bad_inner = DecoderConfig {
+            backend: ScoringBackendKind::Sharded {
+                shards: 2,
+                inner: Box::new(ScoringBackendKind::Hardware(SocConfig {
+                    num_structures: 0,
+                    ..SocConfig::default()
+                })),
+            },
+            ..DecoderConfig::default()
+        };
+        assert!(bad_inner.validate().is_err());
+        assert!(bad_inner
+            .backend
+            .build_scorer(&GmmSelectionConfig::default())
+            .is_err());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod phone_decode;
 pub mod recognizer;
 pub mod scorer;
 pub mod search;
+pub mod shard;
 pub mod stats;
 
 pub use config::{DecoderConfig, GmmSelectionConfig, ScoringBackendKind};
@@ -49,6 +50,7 @@ pub use scorer::{
     SoftwareScorer,
 };
 pub use search::{SearchNetwork, TokenPassingSearch};
+pub use shard::ShardedScorer;
 pub use stats::{DecodeStats, FrameStats};
 
 /// Errors produced by decoding.

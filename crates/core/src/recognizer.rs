@@ -235,6 +235,27 @@ impl Recognizer {
     /// alone with [`Recognizer::decode_features`].  Empty utterances yield
     /// [`DecodeResult::empty`].
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use asr_core::{DecoderConfig, Recognizer};
+    /// use asr_corpus::{TaskConfig, TaskGenerator};
+    ///
+    /// let task = TaskGenerator::new(5).generate(&TaskConfig::tiny()).unwrap();
+    /// let recognizer = Recognizer::new(
+    ///     task.acoustic_model.clone(),
+    ///     task.dictionary.clone(),
+    ///     task.language_model.clone(),
+    ///     DecoderConfig::simd(),
+    /// )
+    /// .unwrap();
+    /// let (first, first_ref) = task.synthesize_utterance(1, 0.2, 1);
+    /// let (second, second_ref) = task.synthesize_utterance(2, 0.2, 2);
+    /// let results = recognizer.decode_batch(&[first, second]).unwrap();
+    /// assert_eq!(results[0].hypothesis.words, first_ref);
+    /// assert_eq!(results[1].hypothesis.words, second_ref);
+    /// ```
+    ///
     /// # Errors
     ///
     /// Fails on the first utterance that fails to decode.
@@ -243,9 +264,27 @@ impl Recognizer {
         utterances: &[U],
     ) -> Result<Vec<DecodeResult>, DecodeError> {
         let mut phone_decoder = self.phone_decoder()?;
+        self.decode_batch_with(utterances, &mut phone_decoder)
+    }
+
+    /// Decodes a batch of utterances through a caller-supplied phone decoder
+    /// — [`Recognizer::decode_batch`] with the scorer's lifetime under the
+    /// caller's control, so one decoder (and its warmed model caches) can
+    /// serve *many* batches.  This is the entry point the serving layer's
+    /// micro-batcher uses: each coalesced batch reuses the worker's
+    /// long-lived decoder instead of rebuilding the backend per flush.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first utterance that fails to decode.
+    pub fn decode_batch_with<U: AsRef<[Vec<f32>]>>(
+        &self,
+        utterances: &[U],
+        phone_decoder: &mut PhoneDecoder,
+    ) -> Result<Vec<DecodeResult>, DecodeError> {
         utterances
             .iter()
-            .map(|u| self.decode_features_with(u.as_ref(), &mut phone_decoder))
+            .map(|u| self.decode_features_with(u.as_ref(), phone_decoder))
             .collect()
     }
 
@@ -456,6 +495,10 @@ mod tests {
             ScoringBackendKind::Software,
             ScoringBackendKind::Simd,
             ScoringBackendKind::Hardware(asr_hw::SocConfig::default()),
+            ScoringBackendKind::Sharded {
+                shards: 2,
+                inner: Box::new(ScoringBackendKind::Hardware(asr_hw::SocConfig::default())),
+            },
         ] {
             let rec = recognizer(backend);
             let batch = rec.decode_batch(&utterances).unwrap();

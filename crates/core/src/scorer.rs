@@ -453,7 +453,7 @@ const LANES: usize = 4;
 /// A batching-aware SIMD-style software scorer.
 ///
 /// On first use it flattens the acoustic model's Gaussian parameters into
-/// contiguous mean/precision rows ([`FlattenedModel`]) and evaluates each
+/// contiguous mean/precision rows (the private `FlattenedModel`) and evaluates each
 /// component with four independent accumulator lanes over the feature
 /// dimensions — branch-free, cache-linear inner loops that the compiler
 /// auto-vectorises.  The flattened arena survives

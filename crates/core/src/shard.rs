@@ -1,0 +1,427 @@
+//! The sharded multi-SoC scorer: one [`SenoneScorer`] built from several.
+//!
+//! The paper scales senone scoring *up* by adding accelerator structures
+//! inside one SoC; ASRPU-style designs scale it *out* by partitioning the
+//! active-senone set across parallel scoring units.  [`ShardedScorer`] is
+//! that scale-out step behind the existing seam: it owns N inner scorers
+//! (N [`SpeechSoc`] instances via [`SocScorer`], or any mix of backends),
+//! splits every frame's active set into N contiguous slices, scores the
+//! slices concurrently on scoped threads, and folds the per-shard hardware
+//! reports with [`UtteranceReport::merge_parallel`] so the final report
+//! describes one scaled-out machine over one audio stream rather than N
+//! copies of the audio.
+//!
+//! Because every senone is scored by exactly one shard with the same
+//! arithmetic the unsharded backend would use, sharding is *observationally
+//! pure*: scores, hypotheses and decode statistics are identical to the
+//! unsharded inner scorer (property-tested in `tests/shard.rs`), and only
+//! wall-clock throughput and the hardware report's shape change.
+//!
+//! [`SpeechSoc`]: asr_hw::SpeechSoc
+//! [`SocScorer`]: crate::SocScorer
+
+use crate::scorer::{HmmStepResult, SenoneScorer};
+use crate::DecodeError;
+use asr_acoustic::{AcousticModel, SenoneId, TransitionMatrix};
+use asr_float::LogProb;
+use asr_hw::UtteranceReport;
+
+/// Below this many active senones a frame is scored on the calling thread,
+/// shard by shard, instead of spawning scoped threads.  The partition is the
+/// same either way, so the choice is invisible in the results.
+///
+/// The threshold is tuned for the scorer sharding exists for — the
+/// cycle-accurate SoC, where one senone costs tens of microseconds of
+/// softfloat simulation, so even a feedback-pruned active set (~10–20
+/// senones on the bench tasks) amortises the ~10 µs per-thread spawn cost
+/// several times over.  Sharding a *cheap* backend (scalar/SIMD software, a
+/// fraction of a microsecond per senone) parallelises below its break-even
+/// point and wastes the spawn overhead; that combination is supported for
+/// correctness (mixed-backend shards, property tests) but is not a
+/// configuration the threshold optimises.
+const MIN_PARALLEL_SENONES: usize = 8;
+
+/// A scorer that shards the active-senone set across several inner scorers.
+///
+/// * [`SenoneScorer::score_senones`] splits the active set into
+///   `num_shards()` contiguous slices and scores them concurrently (scoped
+///   threads), concatenating the per-slice results in order.
+/// * [`SenoneScorer::step_hmm`] dispatches HMM updates round-robin across the
+///   shards, mirroring [`SpeechSoc`]'s internal structure scheduling.
+/// * [`SenoneScorer::finish_utterance`] folds the shards' reports with
+///   [`UtteranceReport::merge_parallel`].
+/// * The host-side bookkeeping calls ([`SenoneScorer::dma_fetch`], the
+///   software-stage charge of [`SenoneScorer::end_frame`]) go to shard 0
+///   only, so host cycles and dictionary traffic are not multiplied by the
+///   shard count; every shard still opens and closes its frame window.
+///
+/// Build one directly from live scorers with [`ShardedScorer::new`], or
+/// declaratively through
+/// [`ScoringBackendKind::Sharded`](crate::ScoringBackendKind::Sharded).
+///
+/// [`SpeechSoc`]: asr_hw::SpeechSoc
+#[derive(Debug)]
+pub struct ShardedScorer {
+    shards: Vec<Box<dyn SenoneScorer>>,
+    next_hmm_shard: usize,
+    /// Whether to score shards on scoped threads.  Defaults to "only when the
+    /// host has more than one CPU": on a single-core host the threads would
+    /// serialise anyway and only the spawn overhead would remain.
+    parallel: bool,
+}
+
+impl ShardedScorer {
+    /// Builds the scorer around the given shards (any mix of backends).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidConfig`] when `shards` is empty.
+    pub fn new(shards: Vec<Box<dyn SenoneScorer>>) -> Result<Self, DecodeError> {
+        if shards.is_empty() {
+            return Err(DecodeError::InvalidConfig(
+                "a sharded scorer needs at least one shard".into(),
+            ));
+        }
+        let host_cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Ok(ShardedScorer {
+            parallel: shards.len() > 1 && host_cpus > 1,
+            shards,
+            next_hmm_shard: 0,
+        })
+    }
+
+    /// Overrides the host-parallelism heuristic: `true` forces scoped-thread
+    /// scoring even on a single-core host, `false` forces the sequential
+    /// fan-out.  Results are identical either way; only wall-clock changes.
+    pub fn with_parallelism(mut self, parallel: bool) -> Self {
+        self.parallel = parallel && self.shards.len() > 1;
+        self
+    }
+
+    /// Whether frames are scored on scoped threads (false on single-core
+    /// hosts, where the shards still partition the work but score in turn).
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Number of inner scorers.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The inner scorers' names, in shard order.
+    pub fn shard_names(&self) -> Vec<&'static str> {
+        self.shards.iter().map(|s| s.name()).collect()
+    }
+
+    /// The slice length that partitions `active_len` senones into at most
+    /// `num_shards` contiguous chunks.
+    fn chunk_len(&self, active_len: usize) -> usize {
+        active_len.div_ceil(self.shards.len()).max(1)
+    }
+}
+
+impl SenoneScorer for ShardedScorer {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn begin_frame(&mut self, feature: &[f32]) {
+        for shard in &mut self.shards {
+            shard.begin_frame(feature);
+        }
+    }
+
+    fn score_senones(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+    ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError> {
+        if self.shards.len() == 1 {
+            return self.shards[0].score_senones(model, active, feature);
+        }
+        let chunk = self.chunk_len(active.len());
+        if !self.parallel || active.len() < MIN_PARALLEL_SENONES {
+            let mut out = Vec::with_capacity(active.len());
+            for (shard, part) in self.shards.iter_mut().zip(active.chunks(chunk)) {
+                out.extend(shard.score_senones(model, part, feature)?);
+            }
+            return Ok(out);
+        }
+        // One scoped thread per shard beyond the first: each shard scores its
+        // contiguous slice of the active set against the shared (immutable)
+        // model, while the calling thread scores shard 0's slice instead of
+        // idling on the joins.  Reassembling in shard order keeps the
+        // concatenated result in `active` order, which makes the sharded
+        // output bit-identical to the unsharded one.
+        let mut chunks = active.chunks(chunk);
+        let first_part = chunks.next().unwrap_or(&[]);
+        let (first_shard, rest_shards) = self
+            .shards
+            .split_first_mut()
+            .expect("at least one shard exists");
+        let (first_result, rest_results) = std::thread::scope(|scope| {
+            let handles: Vec<_> = rest_shards
+                .iter_mut()
+                .zip(chunks)
+                .map(|(shard, part)| scope.spawn(move || shard.score_senones(model, part, feature)))
+                .collect();
+            let first = first_shard.score_senones(model, first_part, feature);
+            let rest: Vec<Result<Vec<(SenoneId, LogProb)>, DecodeError>> = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard scoring thread panicked"))
+                .collect();
+            (first, rest)
+        });
+        let mut out = Vec::with_capacity(active.len());
+        out.extend(first_result?);
+        for r in rest_results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
+    fn step_hmm(
+        &mut self,
+        prev_scores: &[LogProb],
+        entry_score: LogProb,
+        transitions: &TransitionMatrix,
+        senone_scores: &[LogProb],
+    ) -> Result<HmmStepResult, DecodeError> {
+        let idx = self.next_hmm_shard;
+        self.next_hmm_shard = (idx + 1) % self.shards.len();
+        self.shards[idx].step_hmm(prev_scores, entry_score, transitions, senone_scores)
+    }
+
+    fn dma_fetch(&mut self, bytes: u64) {
+        // Dictionary / LM traffic happens once, not once per shard.
+        self.shards[0].dma_fetch(bytes);
+    }
+
+    fn end_frame(&mut self, active_triphones: usize, lattice_edges: usize) {
+        // The host software stages run once; charge them to shard 0.  Every
+        // other shard still closes its frame window (idle cycles, bandwidth).
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if i == 0 {
+                shard.end_frame(active_triphones, lattice_edges);
+            } else {
+                shard.end_frame(0, 0);
+            }
+        }
+    }
+
+    fn finish_utterance(&mut self) -> Option<UtteranceReport> {
+        self.next_hmm_shard = 0;
+        let mut merged: Option<UtteranceReport> = None;
+        for shard in &mut self.shards {
+            if let Some(report) = shard.finish_utterance() {
+                merged = Some(match merged {
+                    Some(acc) => acc.merge_parallel(&report),
+                    None => report,
+                });
+            }
+        }
+        merged
+    }
+
+    fn reset(&mut self) {
+        self.next_hmm_shard = 0;
+        for shard in &mut self.shards {
+            shard.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GmmSelectionConfig, ScoringBackendKind};
+    use crate::scorer::{SimdScorer, SocScorer, SoftwareScorer};
+    use asr_acoustic::AcousticModelConfig;
+    use asr_hw::SocConfig;
+
+    fn model() -> AcousticModel {
+        AcousticModel::untrained(AcousticModelConfig::tiny()).unwrap()
+    }
+
+    fn all_ids(m: &AcousticModel) -> Vec<SenoneId> {
+        (0..m.senones().len() as u32).map(SenoneId).collect()
+    }
+
+    fn soc_shards(n: usize) -> ShardedScorer {
+        let shards: Vec<Box<dyn SenoneScorer>> = (0..n)
+            .map(|_| {
+                Box::new(SocScorer::new(SocConfig::default()).unwrap()) as Box<dyn SenoneScorer>
+            })
+            .collect();
+        ShardedScorer::new(shards).unwrap()
+    }
+
+    #[test]
+    fn empty_shard_list_is_a_typed_error() {
+        assert!(matches!(
+            ShardedScorer::new(Vec::new()),
+            Err(DecodeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn sharded_scores_match_the_unsharded_inner_scorer() {
+        let m = model();
+        let ids = all_ids(&m);
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.23 * d as f32).collect();
+        let mut reference = SocScorer::new(SocConfig::default()).unwrap();
+        reference.begin_frame(&x);
+        let want = reference.score_senones(&m, &ids, &x).unwrap();
+        for n in [1usize, 2, 4] {
+            let mut sharded = soc_shards(n);
+            sharded.begin_frame(&x);
+            let got = sharded.score_senones(&m, &ids, &x).unwrap();
+            assert_eq!(got.len(), want.len());
+            for ((ia, sa), (ib, sb)) in want.iter().zip(&got) {
+                assert_eq!(ia, ib, "{n} shards must keep active order");
+                assert_eq!(sa.raw(), sb.raw(), "{n} shards changed {ia:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_parallel_and_sequential_paths_agree() {
+        let m = model();
+        let ids = all_ids(&m); // 24 senones: above the parallel threshold
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.31 * d as f32).collect();
+        let mut parallel = soc_shards(4).with_parallelism(true);
+        let mut sequential = soc_shards(4).with_parallelism(false);
+        assert!(parallel.is_parallel());
+        assert!(!sequential.is_parallel());
+        parallel.begin_frame(&x);
+        sequential.begin_frame(&x);
+        let a = parallel.score_senones(&m, &ids, &x).unwrap();
+        let b = sequential.score_senones(&m, &ids, &x).unwrap();
+        for ((ia, sa), (ib, sb)) in a.iter().zip(&b) {
+            assert_eq!(ia, ib);
+            assert_eq!(sa.raw(), sb.raw(), "thread scheduling must not leak in");
+        }
+        // A single shard never parallelises, even when asked to.
+        assert!(!soc_shards(1).with_parallelism(true).is_parallel());
+    }
+
+    #[test]
+    fn mixed_backends_shard_too() {
+        let m = model();
+        let ids = all_ids(&m);
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.11 * d as f32).collect();
+        let sel = GmmSelectionConfig::default();
+        let mut mixed = ShardedScorer::new(vec![
+            Box::new(SoftwareScorer::new(sel)) as Box<dyn SenoneScorer>,
+            Box::new(SimdScorer::new(sel)) as Box<dyn SenoneScorer>,
+        ])
+        .unwrap();
+        assert_eq!(mixed.num_shards(), 2);
+        assert_eq!(mixed.shard_names(), vec!["software", "simd"]);
+        assert_eq!(mixed.name(), "sharded");
+        mixed.begin_frame(&x);
+        let got = mixed.score_senones(&m, &ids, &x).unwrap();
+        let mut scalar = SoftwareScorer::new(sel);
+        let want = scalar.score_senones(&m, &ids, &x).unwrap();
+        for ((ia, sa), (ib, sb)) in want.iter().zip(&got) {
+            assert_eq!(ia, ib);
+            // Scalar and SIMD agree to float tolerance, so the mixed shard
+            // output stays within it as well.
+            assert!((sa.raw() - sb.raw()).abs() < 1e-2, "{ia:?}");
+        }
+        // Software shards keep no hardware report.
+        assert!(mixed.finish_utterance().is_none());
+    }
+
+    #[test]
+    fn per_shard_reports_fold_without_multiplying_frames() {
+        let m = model();
+        let ids = all_ids(&m);
+        let frames = 6;
+        let decode_frames = |scorer: &mut dyn SenoneScorer| {
+            for f in 0..frames {
+                let x: Vec<f32> = (0..m.feature_dim())
+                    .map(|d| 0.03 * (f + d) as f32)
+                    .collect();
+                scorer.begin_frame(&x);
+                scorer.score_senones(&m, &ids, &x).unwrap();
+                scorer.end_frame(2, 1);
+            }
+        };
+        let mut single = SocScorer::new(SocConfig::default()).unwrap();
+        decode_frames(&mut single);
+        let want = single.finish_utterance().unwrap();
+
+        let mut sharded = soc_shards(4);
+        decode_frames(&mut sharded);
+        let got = sharded.finish_utterance().unwrap();
+
+        // Same audio stream: frames and audio seconds match the unsharded
+        // run; the scored work is the same total, split across shards.
+        assert_eq!(got.frames, want.frames);
+        assert!((got.energy.audio_seconds - want.energy.audio_seconds).abs() < 1e-12);
+        assert_eq!(got.senones_scored, want.senones_scored);
+        // Each shard carries a quarter of the load, so the sharded machine
+        // has per-frame slack the single SoC does not.
+        assert!(got.worst_frame_rtf <= want.worst_frame_rtf + 1e-12);
+        // A finished scorer serves the next utterance from clean counters.
+        let mut second = soc_shards(2);
+        decode_frames(&mut second);
+        second.finish_utterance().unwrap();
+        decode_frames(&mut second);
+        let again = second.finish_utterance().unwrap();
+        assert_eq!(again.frames, frames);
+    }
+
+    #[test]
+    fn hmm_updates_round_robin_across_shards() {
+        let m = model();
+        let t = m.transitions();
+        let n = t.num_states();
+        let prev = vec![LogProb::new(-2.0); n];
+        let obs = vec![LogProb::new(-1.0); n];
+        let mut sharded = soc_shards(3);
+        for _ in 0..6 {
+            sharded.step_hmm(&prev, LogProb::zero(), t, &obs).unwrap();
+        }
+        sharded.dma_fetch(128);
+        sharded.end_frame(6, 2);
+        let report = sharded.finish_utterance().unwrap();
+        // 6 updates over 3 shards: every shard stepped twice, and the merged
+        // report sees all six.
+        assert_eq!(report.hmm_updates, 6);
+        // reset() clears the round-robin cursor and the shards' counters:
+        // finishing straight away yields a zero-frame report.
+        sharded.reset();
+        let cleared = sharded.finish_utterance().unwrap();
+        assert_eq!(cleared.frames, 0);
+        assert_eq!(cleared.hmm_updates, 0);
+    }
+
+    #[test]
+    fn config_built_sharded_backend_matches_direct_construction() {
+        let sel = GmmSelectionConfig::default();
+        let kind = ScoringBackendKind::Sharded {
+            shards: 2,
+            inner: Box::new(ScoringBackendKind::Hardware(SocConfig::default())),
+        };
+        let mut scorer = kind.build_scorer(&sel).unwrap();
+        assert_eq!(scorer.name(), "sharded");
+        let m = model();
+        let x = vec![0.1f32; m.feature_dim()];
+        scorer.begin_frame(&x);
+        let got = scorer.score_senones(&m, &all_ids(&m), &x).unwrap();
+        assert_eq!(got.len(), m.senones().len());
+        assert!(scorer.finish_utterance().is_some());
+        // Zero shards is rejected at construction.
+        let bad = ScoringBackendKind::Sharded {
+            shards: 0,
+            inner: Box::new(ScoringBackendKind::Software),
+        };
+        assert!(bad.build_scorer(&sel).is_err());
+    }
+}

@@ -164,7 +164,7 @@ impl HostCpuModel {
     }
 
     /// A desktop-class processor for the software-baseline comparison
-    /// (the paper's related work "run[s] on a desktop platform (Pentium
+    /// (the paper's related work "run\[s\] on a desktop platform (Pentium
     /// Series) consuming all its resources").
     pub fn desktop_pentium() -> Self {
         HostCpuModel {

@@ -197,6 +197,60 @@ impl UtteranceReport {
             },
         }
     }
+
+    /// Folds the report of a *parallel shard* into this one — the aggregation
+    /// used when several SoC instances process the **same** frames
+    /// concurrently, each scoring a slice of the active-senone set (a sharded
+    /// scorer), as opposed to [`UtteranceReport::merge`], which concatenates
+    /// reports of *different* utterances of a sequential stream.
+    ///
+    /// The combination models one scaled-out machine over one audio stream:
+    /// work counters (senones, HMM updates) add; frame and audio-second
+    /// counts take the maximum (the shards saw the same frames, so summing
+    /// them would multiply the audio length by the shard count); per-frame
+    /// real-time factors take the maximum because the slowest shard bounds
+    /// the frame, and `real_time_fraction` the minimum for the same reason;
+    /// flash bandwidth adds (each shard streams its own parameter slice
+    /// concurrently); energies add, over the un-multiplied audio length.
+    pub fn merge_parallel(&self, shard: &UtteranceReport) -> UtteranceReport {
+        if self.frames == 0 {
+            return shard.clone();
+        }
+        if shard.frames == 0 {
+            return self.clone();
+        }
+        let frames = self.frames.max(shard.frames);
+        // Activity factors are averaged weighted by accelerator energy, which
+        // keeps a left fold over N shards associative: the accumulated
+        // report's energy is exactly the weight its activity already carries.
+        let e_self = self.energy.accelerator_energy_j;
+        let e_shard = shard.energy.accelerator_energy_j;
+        let by_energy =
+            |a: f64, b: f64| (a * e_self + b * e_shard) / (e_self + e_shard).max(f64::MIN_POSITIVE);
+        UtteranceReport {
+            frames,
+            senones_scored: self.senones_scored + shard.senones_scored,
+            hmm_updates: self.hmm_updates + shard.hmm_updates,
+            mean_senones_per_frame: (self.senones_scored + shard.senones_scored) as f64
+                / frames as f64,
+            worst_frame_rtf: self.worst_frame_rtf.max(shard.worst_frame_rtf),
+            mean_rtf: self.mean_rtf.max(shard.mean_rtf),
+            real_time_fraction: self.real_time_fraction.min(shard.real_time_fraction),
+            peak_bandwidth_gb_per_s: self.peak_bandwidth_gb_per_s + shard.peak_bandwidth_gb_per_s,
+            mean_bandwidth_gb_per_s: self.mean_bandwidth_gb_per_s + shard.mean_bandwidth_gb_per_s,
+            energy: EnergyReport {
+                accelerator_energy_j: self.energy.accelerator_energy_j
+                    + shard.energy.accelerator_energy_j,
+                host_energy_j: self.energy.host_energy_j + shard.energy.host_energy_j,
+                audio_seconds: self.energy.audio_seconds.max(shard.energy.audio_seconds),
+                opu_activity: by_energy(self.energy.opu_activity, shard.energy.opu_activity),
+                viterbi_activity: by_energy(
+                    self.energy.viterbi_activity,
+                    shard.energy.viterbi_activity,
+                ),
+            },
+        }
+    }
 }
 
 /// The assembled low-power speech-recognition SoC.
@@ -683,6 +737,63 @@ mod tests {
         let empty = UtteranceReport::default();
         assert_eq!(empty.merge(&a), a);
         assert_eq!(a.merge(&empty), a);
+    }
+
+    #[test]
+    fn parallel_merge_models_shards_over_the_same_audio() {
+        let m = model();
+        let all: Vec<SenoneId> = (0..m.senones().len() as u32).map(SenoneId).collect();
+        // Two shards decode the *same* 10 frames, each scoring half the
+        // active set — the sharded-scorer situation.
+        let shard_report = |ids: &[SenoneId]| -> UtteranceReport {
+            let mut soc = soc(1);
+            for f in 0..10 {
+                let x: Vec<f32> = (0..m.feature_dim())
+                    .map(|d| 0.02 * (f + d) as f32)
+                    .collect();
+                soc.begin_frame(&x);
+                soc.score_senones(&m, ids).unwrap();
+                soc.end_frame(1, 0);
+            }
+            soc.finish_utterance()
+        };
+        let (left, right) = all.split_at(all.len() / 2);
+        let a = shard_report(left);
+        let b = shard_report(right);
+        let merged = a.merge_parallel(&b);
+        // Same audio: frames and audio seconds do NOT multiply by the shard
+        // count (the sequential `merge` would report 20 frames here).
+        assert_eq!(merged.frames, 10);
+        assert!(
+            (merged.energy.audio_seconds - a.energy.audio_seconds).abs() < 1e-12,
+            "parallel shards must not stretch the audio"
+        );
+        // Work and energy add; the slowest shard bounds the real-time factor.
+        assert_eq!(merged.senones_scored, a.senones_scored + b.senones_scored);
+        assert!((merged.worst_frame_rtf - a.worst_frame_rtf.max(b.worst_frame_rtf)).abs() < 1e-12);
+        assert!(
+            (merged.energy.accelerator_energy_j
+                - (a.energy.accelerator_energy_j + b.energy.accelerator_energy_j))
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (merged.mean_senones_per_frame * merged.frames as f64 - merged.senones_scored as f64)
+                .abs()
+                < 1e-6
+        );
+        // Concurrent flash streams add up.
+        assert!(merged.peak_bandwidth_gb_per_s >= a.peak_bandwidth_gb_per_s);
+        // Activity stays a valid factor and the fold is associative.
+        assert!(merged.energy.opu_activity > 0.0 && merged.energy.opu_activity <= 1.0);
+        let c = shard_report(&all[..3]);
+        let left_fold = a.merge_parallel(&b).merge_parallel(&c);
+        let right_fold = a.merge_parallel(&b.merge_parallel(&c));
+        assert!((left_fold.energy.opu_activity - right_fold.energy.opu_activity).abs() < 1e-9);
+        // Identity on empty reports, in both positions.
+        let empty = UtteranceReport::default();
+        assert_eq!(empty.merge_parallel(&a), a);
+        assert_eq!(a.merge_parallel(&empty), a);
     }
 
     #[test]

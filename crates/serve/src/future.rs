@@ -1,0 +1,178 @@
+//! Per-request completion: a slot the batcher fulfils exactly once, and the
+//! [`DecodeFuture`] handle callers hold on to — pollable from any async
+//! executor *and* blockingly waitable, so the serving front does not dictate
+//! a runtime.
+
+use crate::ServeError;
+use asr_core::DecodeResult;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// The outcome of one served request.
+pub(crate) type Outcome = Result<DecodeResult, ServeError>;
+
+#[derive(Debug, Default)]
+struct SlotState {
+    outcome: Option<Outcome>,
+    waker: Option<Waker>,
+    fulfilled: bool,
+}
+
+/// Shared completion slot between the batcher (producer) and the
+/// [`DecodeFuture`] (consumer).
+#[derive(Debug, Default)]
+pub(crate) struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl Slot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Slot::default())
+    }
+
+    /// Completes the request; the first call wins, later calls are ignored
+    /// (the shutdown safety net may race a normal completion).
+    pub(crate) fn fulfil(&self, outcome: Outcome) {
+        let mut state = self.state.lock().expect("slot lock poisoned");
+        if state.fulfilled {
+            return;
+        }
+        state.fulfilled = true;
+        state.outcome = Some(outcome);
+        if let Some(waker) = state.waker.take() {
+            waker.wake();
+        }
+        self.ready.notify_all();
+    }
+
+    pub(crate) fn is_fulfilled(&self) -> bool {
+        self.state.lock().expect("slot lock poisoned").fulfilled
+    }
+}
+
+/// A pending decode: resolves to the request's [`DecodeResult`] (or the typed
+/// [`ServeError`]) once the micro-batcher has served it.
+///
+/// The handle is deliberately dual-interface:
+///
+/// * it implements [`std::future::Future`], so it can be `.await`ed on any
+///   executor (or driven by the bundled [`block_on`] shim);
+/// * [`DecodeFuture::wait`] blocks the calling thread — the right tool for
+///   synchronous clients and tests.
+///
+/// Every accepted request's future resolves: the server drains the queue on
+/// shutdown and fails unserved requests with [`ServeError::Closed`] rather
+/// than leaving a future dangling.
+#[derive(Debug)]
+pub struct DecodeFuture {
+    slot: Arc<Slot>,
+}
+
+impl DecodeFuture {
+    pub(crate) fn new(slot: Arc<Slot>) -> Self {
+        DecodeFuture { slot }
+    }
+
+    /// Whether the result is already available (a `poll`/[`wait`] would not
+    /// block).
+    ///
+    /// [`wait`]: DecodeFuture::wait
+    pub fn is_ready(&self) -> bool {
+        self.slot.is_fulfilled()
+    }
+
+    /// Blocks the calling thread until the request completes.
+    pub fn wait(self) -> Outcome {
+        let mut state = self.slot.state.lock().expect("slot lock poisoned");
+        loop {
+            if let Some(outcome) = state.outcome.take() {
+                return outcome;
+            }
+            state = self.slot.ready.wait(state).expect("slot lock poisoned");
+        }
+    }
+}
+
+impl Future for DecodeFuture {
+    type Output = Outcome;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.slot.state.lock().expect("slot lock poisoned");
+        match state.outcome.take() {
+            Some(outcome) => Poll::Ready(outcome),
+            None => {
+                state.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// A minimal single-future executor: polls `future` on the current thread,
+/// parking between polls until the pending operation wakes it.
+///
+/// This is the offline stand-in for a real runtime's `block_on` — the
+/// serving front only needs *some* way to drive a [`std::future::Future`] in
+/// environments (like this workspace's CI) with no async runtime dependency.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    struct ThreadWaker(std::thread::Thread);
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_returns_a_prefilled_outcome() {
+        let slot = Slot::new();
+        slot.fulfil(Ok(DecodeResult::empty()));
+        assert!(slot.is_fulfilled());
+        let future = DecodeFuture::new(Arc::clone(&slot));
+        assert!(future.is_ready());
+        assert!(future.wait().unwrap().is_empty());
+    }
+
+    #[test]
+    fn first_fulfilment_wins() {
+        let slot = Slot::new();
+        slot.fulfil(Err(ServeError::Closed));
+        slot.fulfil(Ok(DecodeResult::empty()));
+        let outcome = DecodeFuture::new(slot).wait();
+        assert_eq!(outcome.unwrap_err(), ServeError::Closed);
+    }
+
+    #[test]
+    fn block_on_drives_a_future_fulfilled_from_another_thread() {
+        let slot = Slot::new();
+        let future = DecodeFuture::new(Arc::clone(&slot));
+        assert!(!future.is_ready());
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            slot.fulfil(Ok(DecodeResult::empty()));
+        });
+        assert!(block_on(future).unwrap().is_empty());
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn block_on_handles_immediately_ready_futures() {
+        assert_eq!(block_on(std::future::ready(17)), 17);
+    }
+}

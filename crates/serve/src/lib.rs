@@ -1,0 +1,215 @@
+//! # asr-serve — the async batched serving front
+//!
+//! The paper's SoC decodes one utterance at a time; this crate turns the
+//! reproduction into a traffic-serving system.  Callers [`submit`] utterances
+//! into a **bounded request queue** and get back a [`DecodeFuture`]; a
+//! dedicated batcher thread coalesces pending requests into micro-batches
+//! and streams them through **one long-lived scorer** (flushing on batch
+//! size or deadline, whichever comes first) — the amortisation of
+//! [`Recognizer::decode_batch_with`], with per-request error isolation, so
+//! the backend's model-level caches pay off across the whole request stream
+//! just as `decode_batch` pays off for a single caller.
+//!
+//! ```text
+//!  clients ──submit()──► bounded queue ──► micro-batcher ──► batched decode
+//!     ▲                   (backpressure:     (flush on max_batch    (one warmed
+//!     │                    QueueFull)         or max_batch_delay)    scorer)
+//!     └──────── DecodeFuture (std Future and/or blocking wait()) ◄───┘
+//! ```
+//!
+//! Overload is **typed, not silent**: when the queue is full, [`submit`]
+//! returns [`ServeError::QueueFull`] immediately — the request is never
+//! dropped on the floor and the caller decides whether to retry, shed or
+//! block.  The server never cancels accepted work: every accepted request's
+//! future resolves, and requests still queued at shutdown are drained before
+//! the worker exits.
+//!
+//! The crate is executor-agnostic by construction: [`DecodeFuture`]
+//! implements [`std::future::Future`] so it can be awaited on any executor,
+//! and also offers a blocking [`DecodeFuture::wait`] for synchronous callers.
+//! A minimal [`block_on`] shim ships for environments without an async
+//! runtime (this workspace builds offline with no external dependencies).
+//!
+//! Pair the front with a sharded backend
+//! ([`ScoringBackendKind::Sharded`](asr_core::ScoringBackendKind::Sharded))
+//! and the queue feeds a scorer that splits every frame's active-senone set
+//! across N SoC instances — scale-up and scale-out composed through the same
+//! [`SenoneScorer`](asr_core::SenoneScorer) seam.
+//!
+//! [`submit`]: AsrServer::submit
+//! [`Recognizer::decode_batch_with`]: asr_core::Recognizer::decode_batch_with
+//!
+//! # Example
+//!
+//! ```
+//! use asr_corpus::{TaskConfig, TaskGenerator};
+//! use asr_core::{DecoderConfig, Recognizer};
+//! use asr_serve::{block_on, AsrServer, ServeConfig};
+//!
+//! let task = TaskGenerator::new(9).generate(&TaskConfig::tiny()).unwrap();
+//! let recognizer = Recognizer::new(
+//!     task.acoustic_model.clone(),
+//!     task.dictionary.clone(),
+//!     task.language_model.clone(),
+//!     DecoderConfig::simd(),
+//! )
+//! .unwrap();
+//! let server = AsrServer::spawn(recognizer, ServeConfig::default()).unwrap();
+//!
+//! // Enqueue a few utterances; the batcher coalesces them into one
+//! // decode_batch call over the worker's warmed scorer.
+//! let pending: Vec<_> = (0..4)
+//!     .map(|seed| {
+//!         let (features, reference) = task.synthesize_utterance(1, 0.2, seed);
+//!         (server.submit(features).unwrap(), reference)
+//!     })
+//!     .collect();
+//! for (future, reference) in pending {
+//!     // A DecodeFuture is a std Future — await it on any executor (the
+//!     // bundled block_on here), or call .wait() to block synchronously.
+//!     let result = block_on(future).unwrap();
+//!     assert_eq!(result.hypothesis.words, reference);
+//! }
+//! assert_eq!(server.stats().completed, 4);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod future;
+mod server;
+
+pub use future::{block_on, DecodeFuture};
+pub use server::{AsrServer, ServeStats};
+
+use asr_core::DecodeError;
+use std::time::Duration;
+
+/// Configuration of the serving front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Bound on requests waiting in the queue (accepted but not yet decoding).
+    /// When the queue is full, [`AsrServer::submit`] returns
+    /// [`ServeError::QueueFull`] instead of blocking or dropping — the typed
+    /// backpressure signal.
+    pub max_pending: usize,
+    /// The micro-batcher flushes as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// …or when the oldest pending request has waited this long, whichever
+    /// comes first.  The knob trades per-request latency against batch
+    /// amortisation.
+    pub max_batch_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_pending: 64,
+            max_batch: 8,
+            max_batch_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the queue bound or batch
+    /// size is zero.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_pending == 0 {
+            return Err(ServeError::InvalidConfig("max_pending must be >= 1".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced by the serving front.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded request queue is full — the typed backpressure/overload
+    /// signal.  The request was **not** enqueued (and not dropped from the
+    /// queue); retry later or shed load upstream.
+    QueueFull {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// The server is shutting down (or its worker died); no new requests are
+    /// accepted and unstarted work resolves to this error.
+    Closed,
+    /// The underlying decode failed; the typed [`DecodeError`] is preserved.
+    Decode(DecodeError),
+    /// The serving configuration was invalid.
+    InvalidConfig(String),
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request queue full ({capacity} pending)")
+            }
+            ServeError::Closed => write!(f, "server is closed"),
+            ServeError::Decode(e) => write!(f, "decode failed: {e}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for ServeError {
+    fn from(e: DecodeError) -> Self {
+        ServeError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        ServeConfig::default().validate().unwrap();
+        assert!(ServeConfig {
+            max_pending: 0,
+            ..ServeConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        assert!(ServeError::QueueFull { capacity: 8 }
+            .to_string()
+            .contains('8'));
+        assert!(!ServeError::Closed.to_string().is_empty());
+        assert!(ServeError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
+        let e: ServeError = DecodeError::InvalidConfig("beam".into()).into();
+        assert!(matches!(e, ServeError::Decode(_)));
+        assert!(e.source().is_some(), "typed decode source must survive");
+        assert!(ServeError::Closed.source().is_none());
+    }
+}

@@ -1,0 +1,628 @@
+//! The server: a bounded request queue in front of a micro-batching worker
+//! thread that owns the recogniser and one long-lived phone decoder.
+
+use crate::future::{DecodeFuture, Slot};
+use crate::{ServeConfig, ServeError};
+use asr_core::{PhoneDecoder, Recognizer};
+use asr_hw::UtteranceReport;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One accepted request: the features to decode and the slot to fulfil.
+///
+/// The drop guard is the no-dangling-future invariant: however a request
+/// leaves the queue (served, drained at shutdown, or dropped because the
+/// worker died), its future resolves — unserved requests fail with the typed
+/// [`ServeError::Closed`] instead of hanging their caller.
+#[derive(Debug)]
+struct Request {
+    features: Vec<Vec<f32>>,
+    slot: Arc<Slot>,
+    /// When the request entered the queue; the micro-batcher flushes when
+    /// the *oldest* pending request has waited `max_batch_delay`.
+    enqueued: Instant,
+}
+
+impl Drop for Request {
+    fn drop(&mut self) {
+        // No-op when the batcher already fulfilled the slot.
+        self.slot.fulfil(Err(ServeError::Closed));
+    }
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    pending: VecDeque<Request>,
+    closed: bool,
+}
+
+/// Monotonic counters shared between callers and the worker.
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: Mutex<Queue>,
+    wakeup: Condvar,
+    counters: Counters,
+    /// The stream-level hardware report: every served utterance's report
+    /// folded with [`UtteranceReport::merge`] (a sequential stream through
+    /// one scorer — sharded backends have already parallel-merged their
+    /// shards underneath).
+    hardware: Mutex<Option<UtteranceReport>>,
+}
+
+/// A point-in-time snapshot of the serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests refused with [`ServeError::QueueFull`].
+    pub rejected: u64,
+    /// Requests decoded successfully.
+    pub completed: u64,
+    /// Requests that failed to decode (the error went to the caller).
+    pub failed: u64,
+    /// Micro-batches flushed to the decoder.
+    pub batches: u64,
+    /// Largest micro-batch flushed so far.
+    pub largest_batch: usize,
+}
+
+impl ServeStats {
+    /// Mean utterances per flushed batch — the amortisation the micro-batcher
+    /// achieved (1.0 means no coalescing happened).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.completed + self.failed) as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The async batched serving front.
+///
+/// [`AsrServer::spawn`] moves a [`Recognizer`] onto a dedicated batcher
+/// thread, which builds **one** phone decoder from the configured backend and
+/// reuses it for every micro-batch — the serving-scale version of
+/// [`Recognizer::decode_batch`]'s one-scorer amortisation.  Requests enter
+/// through [`AsrServer::submit`] (bounded queue, typed backpressure) and
+/// complete through their [`DecodeFuture`]s.
+///
+/// Dropping the server closes the queue, drains the already-accepted
+/// requests, and joins the worker; see [`AsrServer::close`] for the explicit
+/// form.
+///
+/// [`Recognizer::decode_batch`]: asr_core::Recognizer::decode_batch
+#[derive(Debug)]
+pub struct AsrServer {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+    config: ServeConfig,
+}
+
+impl AsrServer {
+    /// Validates `config`, builds the backend scorer, and starts the batcher
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a bad serving configuration
+    /// and [`ServeError::Decode`] when the recogniser's backend fails to
+    /// build.
+    pub fn spawn(recognizer: Recognizer, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        // Build the long-lived decoder up front so a bad backend config fails
+        // at spawn, not on the first request.
+        let decoder = recognizer.phone_decoder()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            wakeup: Condvar::new(),
+            counters: Counters::default(),
+            hardware: Mutex::new(None),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker_config = config.clone();
+        let worker = std::thread::Builder::new()
+            .name("asr-serve-batcher".into())
+            .spawn(move || batcher_loop(&recognizer, decoder, &worker_shared, &worker_config))
+            .expect("spawning the batcher thread failed");
+        Ok(AsrServer {
+            shared,
+            worker: Some(worker),
+            config,
+        })
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Enqueues one utterance for decoding and returns its future.
+    ///
+    /// Never blocks: admission is a queue-bound check under a short lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] when `max_pending` requests are
+    /// already waiting (the request is not enqueued — retry or shed), and
+    /// [`ServeError::Closed`] after [`AsrServer::close`]/drop began.
+    pub fn submit(&self, features: Vec<Vec<f32>>) -> Result<DecodeFuture, ServeError> {
+        let mut queue = self.lock_queue();
+        if queue.closed {
+            return Err(ServeError::Closed);
+        }
+        if queue.pending.len() >= self.config.max_pending {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull {
+                capacity: self.config.max_pending,
+            });
+        }
+        let slot = Slot::new();
+        queue.pending.push_back(Request {
+            features,
+            slot: Arc::clone(&slot),
+            enqueued: Instant::now(),
+        });
+        // Counted while still holding the queue lock: once it drops, the
+        // batcher may complete the request, and a stats() snapshot must
+        // never see completed > submitted.
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        drop(queue);
+        self.shared.wakeup.notify_all();
+        Ok(DecodeFuture::new(slot))
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        ServeStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            largest_batch: c.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The hardware report of the whole served stream so far: every decoded
+    /// utterance's report folded with [`UtteranceReport::merge`].  `None`
+    /// until a hardware-backed utterance completes (software backends keep no
+    /// report).
+    pub fn hardware_report(&self) -> Option<UtteranceReport> {
+        self.shared
+            .hardware
+            .lock()
+            .expect("hardware report lock poisoned")
+            .clone()
+    }
+
+    /// Number of requests currently waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.lock_queue().pending.len()
+    }
+
+    /// Closes the queue, waits for the already-accepted requests to finish,
+    /// and joins the batcher thread.  Equivalent to dropping the server, but
+    /// explicit about when the blocking happens.
+    pub fn close(mut self) {
+        self.shutdown();
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, Queue> {
+        self.shared
+            .queue
+            .lock()
+            .expect("request queue lock poisoned")
+    }
+
+    fn shutdown(&mut self) {
+        self.lock_queue().closed = true;
+        self.shared.wakeup.notify_all();
+        if let Some(worker) = self.worker.take() {
+            // A panicked worker is already detached from the queue; the drain
+            // below (and each Request's drop guard) fails what it left behind.
+            let _ = worker.join();
+        }
+        // Normally empty (the worker drains before exiting); non-empty only
+        // if the worker died mid-stream.
+        self.lock_queue().pending.clear();
+    }
+}
+
+impl Drop for AsrServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Closes the queue and fails its pending requests when the worker exits —
+/// including by panic.  Without this, a panicking worker (e.g. a poisoned
+/// lock) would leave `closed == false`: `submit` would keep accepting
+/// requests that nothing will ever dequeue, and their futures would hang
+/// until the server itself is dropped.  A no-op on the normal exit path,
+/// where the queue is already closed and drained.
+struct CloseOnExit<'a>(&'a Shared);
+
+impl Drop for CloseOnExit<'_> {
+    fn drop(&mut self) {
+        // Recover the queue even if the panic poisoned its lock.
+        let mut queue = self
+            .0
+            .queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        queue.closed = true;
+        // Dropping the requests fires their drop guards: every pending
+        // future resolves to `ServeError::Closed` instead of hanging.
+        queue.pending.clear();
+        drop(queue);
+        self.0.wakeup.notify_all();
+    }
+}
+
+/// The worker: wait for requests, coalesce, decode, fulfil — until the queue
+/// is closed *and* drained.
+fn batcher_loop(
+    recognizer: &Recognizer,
+    mut decoder: PhoneDecoder,
+    shared: &Shared,
+    config: &ServeConfig,
+) {
+    let _close_on_exit = CloseOnExit(shared);
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("request queue lock poisoned");
+            // Sleep until there is work (or shutdown with nothing left).
+            loop {
+                if !queue.pending.is_empty() {
+                    break;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared
+                    .wakeup
+                    .wait(queue)
+                    .expect("request queue lock poisoned");
+            }
+            // Micro-batching: give later requests until the *oldest* pending
+            // request has waited `max_batch_delay` to join this flush, unless
+            // the batch is already full or the server is draining for
+            // shutdown (then latency no longer buys anything).  Anchoring the
+            // deadline at enqueue time means a request that already waited
+            // out a previous flush's decode is not made to wait a fresh
+            // window on top.
+            if queue.pending.len() < config.max_batch && !queue.closed {
+                let deadline = queue
+                    .pending
+                    .front()
+                    .expect("pending is non-empty here")
+                    .enqueued
+                    + config.max_batch_delay;
+                while queue.pending.len() < config.max_batch && !queue.closed {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _timeout) = shared
+                        .wakeup
+                        .wait_timeout(queue, deadline - now)
+                        .expect("request queue lock poisoned");
+                    queue = guard;
+                }
+            }
+            let take = queue.pending.len().min(config.max_batch);
+            queue.pending.drain(..take).collect::<Vec<Request>>()
+        };
+
+        // Decode outside the lock so submissions stay non-blocking.  The
+        // coalesced batch streams through the worker's one long-lived
+        // decoder — `decode_batch_with`'s amortisation, unrolled per request
+        // so a bad utterance fails alone instead of poisoning (or
+        // double-decoding) its batch neighbours.
+        let outcomes: Vec<_> = batch
+            .iter()
+            .map(|request| {
+                recognizer
+                    .decode_features_with(&request.features, &mut decoder)
+                    .map_err(ServeError::from)
+            })
+            .collect();
+
+        let c = &shared.counters;
+        c.batches.fetch_add(1, Ordering::Relaxed);
+        c.largest_batch.fetch_max(batch.len(), Ordering::Relaxed);
+        for (request, outcome) in batch.into_iter().zip(outcomes) {
+            match &outcome {
+                Ok(result) => {
+                    c.completed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(report) = &result.hardware {
+                        let mut merged = shared
+                            .hardware
+                            .lock()
+                            .expect("hardware report lock poisoned");
+                        *merged = Some(match merged.take() {
+                            Some(acc) => acc.merge(report),
+                            None => report.clone(),
+                        });
+                    }
+                }
+                Err(_) => {
+                    c.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            request.slot.fulfil(outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_on;
+    use asr_core::{DecodeError, DecoderConfig};
+    use asr_corpus::{SyntheticTask, TaskConfig, TaskGenerator};
+
+    fn task() -> SyntheticTask {
+        TaskGenerator::new(77)
+            .generate(&TaskConfig::tiny())
+            .unwrap()
+    }
+
+    fn recognizer(task: &SyntheticTask, config: DecoderConfig) -> Recognizer {
+        Recognizer::new(
+            task.acoustic_model.clone(),
+            task.dictionary.clone(),
+            task.language_model.clone(),
+            config,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_requests_and_matches_direct_decode() {
+        let task = task();
+        let rec = recognizer(&task, DecoderConfig::simd());
+        let direct = recognizer(&task, DecoderConfig::simd());
+        let server = AsrServer::spawn(rec, ServeConfig::default()).unwrap();
+        let utterances: Vec<_> = (0..6)
+            .map(|seed| task.synthesize_utterance(1, 0.2, seed).0)
+            .collect();
+        let futures: Vec<_> = utterances
+            .iter()
+            .map(|u| server.submit(u.clone()).unwrap())
+            .collect();
+        let want = direct.decode_batch(&utterances).unwrap();
+        for (future, want) in futures.into_iter().zip(&want) {
+            let got = future.wait().unwrap();
+            assert_eq!(got.hypothesis, want.hypothesis);
+            assert_eq!(got.stats.num_frames(), want.stats.num_frames());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.batches >= 1);
+        assert!(stats.largest_batch >= 1);
+        assert!(stats.mean_batch_size() >= 1.0);
+        // Software backend → no hardware report stream.
+        assert!(server.hardware_report().is_none());
+        server.close();
+    }
+
+    #[test]
+    fn hardware_stream_report_accumulates() {
+        let task = task();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::hardware(2)),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let (features, _) = task.synthesize_utterance(1, 0.2, 3);
+        let frames = features.len();
+        let a = server.submit(features.clone()).unwrap();
+        let b = server.submit(features).unwrap();
+        a.wait().unwrap();
+        b.wait().unwrap();
+        let report = server.hardware_report().expect("hardware stream report");
+        assert_eq!(report.frames, 2 * frames);
+    }
+
+    #[test]
+    fn queue_full_is_typed_backpressure_not_a_drop() {
+        let task = task();
+        // A deliberately tiny queue and a long coalescing window so the
+        // worker is still waiting while we overfill.
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig {
+                max_pending: 2,
+                max_batch: 64,
+                max_batch_delay: std::time::Duration::from_millis(250),
+            },
+        )
+        .unwrap();
+        let (features, _) = task.synthesize_utterance(1, 0.2, 1);
+        let mut accepted = Vec::new();
+        let mut rejections = 0;
+        for _ in 0..20 {
+            match server.submit(features.clone()) {
+                Ok(future) => accepted.push(future),
+                Err(ServeError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    rejections += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejections > 0, "the bound must push back");
+        let stats = server.stats();
+        assert_eq!(stats.rejected, rejections);
+        // Every *accepted* request completes successfully — backpressure
+        // refuses at the door, it never drops admitted work.
+        let accepted_count = accepted.len() as u64;
+        for future in accepted {
+            assert!(future.wait().is_ok());
+        }
+        assert_eq!(server.stats().completed, accepted_count);
+    }
+
+    #[test]
+    fn close_drains_accepted_requests_then_rejects_new_ones() {
+        let task = task();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig {
+                max_batch_delay: std::time::Duration::from_millis(100),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let (features, reference) = task.synthesize_utterance(1, 0.2, 5);
+        let futures: Vec<_> = (0..4)
+            .map(|_| server.submit(features.clone()).unwrap())
+            .collect();
+        server.close();
+        for future in futures {
+            // Accepted before close → decoded during the drain, not failed.
+            assert_eq!(future.wait().unwrap().hypothesis.words, reference);
+        }
+    }
+
+    #[test]
+    fn submissions_after_close_fail_closed() {
+        let task = task();
+        let rec = recognizer(&task, DecoderConfig::simd());
+        let server = AsrServer::spawn(rec, ServeConfig::default()).unwrap();
+        // Close via the explicit path, keeping a handle: mimic with drop
+        // ordering instead — mark closed through a second scope.
+        let (features, _) = task.synthesize_utterance(1, 0.2, 2);
+        {
+            // Mark the shared queue closed exactly as shutdown does.
+            server.lock_queue().closed = true;
+        }
+        assert!(matches!(server.submit(features), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn a_bad_utterance_fails_alone_without_poisoning_the_batch() {
+        let task = task();
+        let dim = task.acoustic_model.feature_dim();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig {
+                // Force everything into one coalesced batch.
+                max_batch: 8,
+                max_batch_delay: std::time::Duration::from_millis(100),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let (good, reference) = task.synthesize_utterance(1, 0.2, 4);
+        let bad = vec![vec![0.0f32; dim + 1]];
+        let first = server.submit(good.clone()).unwrap();
+        let poison = server.submit(bad).unwrap();
+        let last = server.submit(good).unwrap();
+        assert_eq!(first.wait().unwrap().hypothesis.words, reference);
+        assert!(matches!(
+            poison.wait(),
+            Err(ServeError::Decode(DecodeError::DimensionMismatch { .. }))
+        ));
+        assert_eq!(last.wait().unwrap().hypothesis.words, reference);
+        let stats = server.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn a_dying_worker_closes_the_queue_and_fails_pending_futures() {
+        // Drive the exit guard directly: whatever takes the batcher down
+        // (panic included), the queue must close and pending futures must
+        // resolve instead of hanging.
+        let shared = Shared {
+            queue: Mutex::new(Queue::default()),
+            wakeup: Condvar::new(),
+            counters: Counters::default(),
+            hardware: Mutex::new(None),
+        };
+        let slot = Slot::new();
+        shared.queue.lock().unwrap().pending.push_back(Request {
+            features: Vec::new(),
+            slot: Arc::clone(&slot),
+            enqueued: Instant::now(),
+        });
+        let future = DecodeFuture::new(slot);
+        drop(CloseOnExit(&shared));
+        assert!(shared.queue.lock().unwrap().closed);
+        assert!(matches!(future.wait(), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn futures_are_pollable_on_an_executor() {
+        let task = task();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let (features, reference) = task.synthesize_utterance(2, 0.2, 6);
+        let future = server.submit(features).unwrap();
+        let result = block_on(future).unwrap();
+        assert_eq!(result.hypothesis.words, reference);
+    }
+
+    #[test]
+    fn spawn_rejects_invalid_configs_up_front() {
+        let task = task();
+        let bad_serve = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+        );
+        assert!(matches!(bad_serve, Err(ServeError::InvalidConfig(_))));
+        // A recogniser whose backend cannot build fails at spawn, not on the
+        // first request.  (An invalid SoC config is rejected by Recognizer::new
+        // already, so exercise the path through a valid-at-construction but
+        // unbuildable sharded config is impossible — instead check the
+        // spawn-time decoder build succeeds for a sharded backend.)
+        let sharded = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::sharded_hardware(2)),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let (features, reference) = task.synthesize_utterance(1, 0.2, 9);
+        assert_eq!(
+            sharded
+                .submit(features)
+                .unwrap()
+                .wait()
+                .unwrap()
+                .hypothesis
+                .words,
+            reference
+        );
+        assert!(sharded.hardware_report().is_some());
+    }
+}

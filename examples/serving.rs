@@ -1,0 +1,78 @@
+//! Serving quickstart: an async batched front over a sharded multi-SoC
+//! scorer.  32 utterances are enqueued into the bounded request queue, the
+//! micro-batcher coalesces them into `decode_batch` calls over one warmed
+//! scorer, and the stream-level hardware report shows what the sharded
+//! machine did.
+//!
+//! Run with: `cargo run --example serving --release`
+
+use lvcsr::corpus::{align_wer, TaskConfig, TaskGenerator, WerScore};
+use lvcsr::decoder::{DecoderConfig, Recognizer};
+use lvcsr::serve::{AsrServer, ServeConfig};
+use lvcsr::LvcsrError;
+use std::time::Duration;
+
+fn main() -> Result<(), LvcsrError> {
+    // 1. A synthetic task and a recogniser whose backend shards the
+    //    active-senone set across four SoC instances.
+    let task = TaskGenerator::new(2024).generate(&TaskConfig::small())?;
+    let recognizer = Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        DecoderConfig::sharded_hardware(4),
+    )?;
+
+    // 2. The serving front: a bounded queue (typed backpressure when full)
+    //    feeding a micro-batcher that flushes every 8 requests or 2 ms.
+    let server = AsrServer::spawn(
+        recognizer,
+        ServeConfig {
+            max_pending: 64,
+            max_batch: 8,
+            max_batch_delay: Duration::from_millis(2),
+        },
+    )?;
+
+    // 3. Enqueue 32 utterances; every submit returns a future immediately.
+    let test_set = task.synthesize_test_set(32, 3, 0.3);
+    let pending: Vec<_> = test_set
+        .iter()
+        .map(|(features, _)| server.submit(features.clone()))
+        .collect::<Result<_, _>>()?;
+
+    // 4. Collect results (DecodeFuture also implements std::future::Future
+    //    for async callers; wait() is the blocking form).
+    let mut wer = WerScore::default();
+    for ((_, reference), future) in test_set.iter().zip(pending) {
+        let result = future.wait()?;
+        wer = wer.merge(&align_wer(reference, &result.hypothesis.words));
+    }
+
+    // 5. What the serving layer and the sharded machine did.
+    let stats = server.stats();
+    let report = server.hardware_report().expect("hardware stream report");
+    println!("served                  : {} utterances", stats.completed);
+    println!(
+        "micro-batching          : {} batches, mean size {:.1}, largest {}",
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.largest_batch
+    );
+    println!("word error rate         : {:.1}%", 100.0 * wer.wer());
+    println!(
+        "audio processed         : {:.1} s in {} frames",
+        report.energy.audio_seconds, report.frames
+    );
+    println!(
+        "frames meeting 10 ms    : {:.1}% (worst shard rtf {:.3})",
+        100.0 * report.real_time_fraction,
+        report.worst_frame_rtf
+    );
+    println!(
+        "average power, 4 shards : {:.3} W (paper budget: 0.400 W per fully active SoC)",
+        report.energy.average_power_w()
+    );
+    server.close();
+    Ok(())
+}

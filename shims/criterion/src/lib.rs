@@ -41,11 +41,12 @@ mod json_out {
     /// Parses the flat `{"key": number, ...}` documents this module writes.
     /// Tolerant line-based scan — not a general JSON parser.
     ///
-    /// KEEP IN SYNC with `parse_flat_map` in
-    /// `crates/bench/src/bin/bench_gate.rs`, the reader of this format (it
-    /// cannot import this module without breaking the shim's swap-back
-    /// compatibility with crates.io criterion). If `render_flat_map` changes
-    /// shape, update the gate's parser and its format-snapshot test.
+    /// KEEP IN SYNC with `asr_bench::bench_json`
+    /// (`crates/bench/src/bench_json.rs`), the shared reader/merger of this
+    /// format (this shim cannot import it without breaking swap-back
+    /// compatibility with crates.io criterion, and asr-bench cannot be a
+    /// dependency of its own dev-dependency). If `render_flat_map` changes
+    /// shape, update that module and its format-snapshot test.
     fn parse_flat_map(text: &str) -> BTreeMap<String, f64> {
         let mut map = BTreeMap::new();
         for line in text.lines() {
@@ -158,7 +159,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Call `f` repeatedly for the configured measurement window and record
-    /// the best-of-[`MEASUREMENT_WINDOWS`] mean iteration time. In smoke mode
+    /// the best-of-`MEASUREMENT_WINDOWS` mean iteration time. In smoke mode
     /// (no `--bench` flag) `f` runs exactly once, just proving the benchmark
     /// executes.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {

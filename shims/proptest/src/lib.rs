@@ -88,7 +88,7 @@ pub mod collection {
     use core::ops::{Range, RangeInclusive};
     use rand::Rng;
 
-    /// How many elements a [`vec`] strategy may produce.
+    /// How many elements a [`vec()`](fn@vec) strategy may produce.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

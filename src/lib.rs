@@ -13,6 +13,7 @@
 //! | [`decoder`] | `asr-core` | the `SenoneScorer` backend seam (SoC / scalar / SIMD scorers), phone decode, word decode (token passing over the lexical tree), word lattice, global best path, batch decoding |
 //! | [`corpus`] | `asr-corpus` | synthetic WSJ5K-like tasks, utterance/audio synthesis, WER scoring |
 //! | [`baseline`] | `asr-baseline` | software-decoder and related-work accelerator baselines |
+//! | [`serve`] | `asr-serve` | async batched serving front: bounded queue, micro-batcher, typed backpressure |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,41 @@
 //! assert_eq!(batch[0].hypothesis.words, reference);
 //! assert_eq!(batch.len(), 2);
 //! ```
+//!
+//! # Serving quickstart
+//!
+//! Many callers share one warmed scorer through the async front (the
+//! README's serving quickstart and `examples/serving.rs` are the long
+//! forms):
+//!
+//! ```
+//! use lvcsr::corpus::{TaskConfig, TaskGenerator};
+//! use lvcsr::decoder::{DecoderConfig, Recognizer};
+//! use lvcsr::serve::{AsrServer, ServeConfig};
+//!
+//! let task = TaskGenerator::new(1).generate(&TaskConfig::tiny()).unwrap();
+//! let recognizer = Recognizer::new(
+//!     task.acoustic_model.clone(),
+//!     task.dictionary.clone(),
+//!     task.language_model.clone(),
+//!     // Two SoC instances sharing each frame's active-senone set.
+//!     DecoderConfig::sharded_hardware(2),
+//! )
+//! .unwrap();
+//! let server = AsrServer::spawn(recognizer, ServeConfig::default()).unwrap();
+//! let pending: Vec<_> = (0..4)
+//!     .map(|seed| {
+//!         let (features, reference) = task.synthesize_utterance(1, 0.2, seed);
+//!         (server.submit(features).unwrap(), reference)
+//!     })
+//!     .collect();
+//! for (future, reference) in pending {
+//!     assert_eq!(future.wait().unwrap().hypothesis.words, reference);
+//! }
+//! let report = server.hardware_report().unwrap();
+//! assert!(report.real_time_fraction > 0.99);
+//! assert_eq!(server.stats().completed, 4);
+//! ```
 
 #![deny(missing_docs)]
 
@@ -55,6 +91,7 @@ pub use asr_float as float;
 pub use asr_frontend as frontend;
 pub use asr_hw as hw;
 pub use asr_lexicon as lexicon;
+pub use asr_serve as serve;
 
 /// One error type for the whole workspace: every crate's error converts into
 /// it via `From`, so application code (the `examples/`, integration tests,
@@ -77,6 +114,9 @@ pub enum LvcsrError {
     Decode(decoder::DecodeError),
     /// Synthetic-corpus error (`asr-corpus`).
     Corpus(corpus::CorpusError),
+    /// Serving-front error (`asr-serve`): backpressure, shutdown, or a decode
+    /// failure surfaced through the queue.
+    Serve(serve::ServeError),
 }
 
 impl core::fmt::Display for LvcsrError {
@@ -89,6 +129,7 @@ impl core::fmt::Display for LvcsrError {
             LvcsrError::Hardware(e) => write!(f, "hardware model: {e}"),
             LvcsrError::Decode(e) => write!(f, "decoder: {e}"),
             LvcsrError::Corpus(e) => write!(f, "corpus: {e}"),
+            LvcsrError::Serve(e) => write!(f, "serving front: {e}"),
         }
     }
 }
@@ -103,6 +144,7 @@ impl std::error::Error for LvcsrError {
             LvcsrError::Hardware(e) => Some(e),
             LvcsrError::Decode(e) => Some(e),
             LvcsrError::Corpus(e) => Some(e),
+            LvcsrError::Serve(e) => Some(e),
         }
     }
 }
@@ -125,6 +167,7 @@ lvcsr_error_from!(
     Hardware(hw::HwError),
     Decode(decoder::DecodeError),
     Corpus(corpus::CorpusError),
+    Serve(serve::ServeError),
 );
 
 #[cfg(test)]
@@ -142,6 +185,7 @@ mod tests {
             hw::HwError::NoFeatureLoaded.into(),
             decoder::DecodeError::InvalidConfig("beam".into()).into(),
             corpus::CorpusError::InvalidConfig("vocab".into()).into(),
+            serve::ServeError::Decode(decoder::DecodeError::InvalidConfig("queue".into())).into(),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

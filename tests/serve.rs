@@ -1,0 +1,178 @@
+//! Serving-front integration tests: the queue + micro-batcher must be
+//! observationally identical to calling `decode_batch` directly, on every
+//! backend, and overload must surface as the typed backpressure error rather
+//! than dropped or corrupted requests.
+
+use lvcsr::corpus::{SyntheticTask, TaskConfig, TaskGenerator};
+use lvcsr::decoder::{DecodeResult, DecoderConfig, Recognizer};
+use lvcsr::serve::{AsrServer, ServeConfig, ServeError};
+use std::time::Duration;
+
+fn build_task() -> SyntheticTask {
+    TaskGenerator::new(31415)
+        .generate(&TaskConfig::tiny())
+        .expect("task")
+}
+
+fn build_recognizer(task: &SyntheticTask, config: DecoderConfig) -> Recognizer {
+    Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        config,
+    )
+    .expect("recogniser")
+}
+
+fn fingerprint(r: &DecodeResult) -> (Vec<u32>, usize, u64, Option<(usize, u64)>) {
+    (
+        r.hypothesis.words.iter().map(|w| w.0).collect(),
+        r.stats.num_frames(),
+        r.stats.total_senones_scored(),
+        r.hardware.as_ref().map(|h| (h.frames, h.senones_scored)),
+    )
+}
+
+/// Acceptance: `decode_batch` routed through the serving queue matches a
+/// direct `decode_batch` call, on every backend (including the sharded
+/// scale-out one).
+#[test]
+fn queued_decoding_matches_direct_decode_batch_on_every_backend() {
+    let task = build_task();
+    let utterances: Vec<Vec<Vec<f32>>> = (0..8)
+        .map(|seed| {
+            task.synthesize_utterance(1 + (seed as usize) % 2, 0.2, seed)
+                .0
+        })
+        .collect();
+    for config in [
+        DecoderConfig::software(),
+        DecoderConfig::simd(),
+        DecoderConfig::hardware(2),
+        DecoderConfig::sharded_hardware(4),
+    ] {
+        let direct = build_recognizer(&task, config.clone())
+            .decode_batch(&utterances)
+            .expect("direct decode");
+        let server = AsrServer::spawn(
+            build_recognizer(&task, config.clone()),
+            ServeConfig::default(),
+        )
+        .expect("server");
+        let futures: Vec<_> = utterances
+            .iter()
+            .map(|u| server.submit(u.clone()).expect("submit"))
+            .collect();
+        for (future, want) in futures.into_iter().zip(&direct) {
+            let got = future.wait().expect("queued decode");
+            assert_eq!(
+                fingerprint(&got),
+                fingerprint(want),
+                "queue must not change results for {config:?}"
+            );
+        }
+    }
+}
+
+/// Overload: a full queue refuses with the typed [`ServeError::QueueFull`]
+/// and *every accepted request still completes* — backpressure sheds at the
+/// door, it never drops admitted work.
+#[test]
+fn overload_returns_typed_backpressure_and_drops_nothing() {
+    let task = build_task();
+    let server = AsrServer::spawn(
+        build_recognizer(&task, DecoderConfig::simd()),
+        ServeConfig {
+            max_pending: 3,
+            max_batch: 16,
+            // A long coalescing window keeps the worker waiting while the
+            // burst overfills the queue.
+            max_batch_delay: Duration::from_millis(300),
+        },
+    )
+    .expect("server");
+    let (features, reference) = task.synthesize_utterance(1, 0.2, 7);
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..24 {
+        match server.submit(features.clone()) {
+            Ok(future) => accepted.push(future),
+            Err(ServeError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 3);
+                rejected += 1;
+            }
+            Err(other) => panic!("overload must be QueueFull, got {other}"),
+        }
+    }
+    assert!(rejected > 0, "a 3-deep queue must push back on a 24-burst");
+    assert!(!accepted.is_empty(), "admission must still work under load");
+    let accepted_count = accepted.len() as u64;
+    for future in accepted {
+        let result = future.wait().expect("accepted requests complete");
+        assert_eq!(result.hypothesis.words, reference);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.completed, accepted_count);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.submitted, accepted_count);
+}
+
+/// The stream-level hardware report accumulates across queued utterances
+/// exactly like a manual `UtteranceReport::merge` fold over direct decodes.
+#[test]
+fn stream_hardware_report_matches_a_direct_fold() {
+    let task = build_task();
+    let utterances: Vec<Vec<Vec<f32>>> = (0..5)
+        .map(|seed| task.synthesize_utterance(1, 0.2, 40 + seed).0)
+        .collect();
+    let direct = build_recognizer(&task, DecoderConfig::hardware(2))
+        .decode_batch(&utterances)
+        .expect("direct decode");
+    let mut want = lvcsr::hw::UtteranceReport::default();
+    for result in &direct {
+        want = want.merge(result.hardware.as_ref().expect("report"));
+    }
+    let server = AsrServer::spawn(
+        build_recognizer(&task, DecoderConfig::hardware(2)),
+        ServeConfig::default(),
+    )
+    .expect("server");
+    let futures: Vec<_> = utterances
+        .iter()
+        .map(|u| server.submit(u.clone()).expect("submit"))
+        .collect();
+    for future in futures {
+        future.wait().expect("queued decode");
+    }
+    let got = server.hardware_report().expect("stream report");
+    assert_eq!(got.frames, want.frames);
+    assert_eq!(got.senones_scored, want.senones_scored);
+    assert!((got.energy.audio_seconds - want.energy.audio_seconds).abs() < 1e-12);
+}
+
+/// Shutdown is graceful: accepted work drains, later submissions fail
+/// `Closed`, and nothing hangs.
+#[test]
+fn shutdown_drains_accepted_work() {
+    let task = build_task();
+    let server = AsrServer::spawn(
+        build_recognizer(&task, DecoderConfig::simd()),
+        ServeConfig {
+            max_batch_delay: Duration::from_millis(200),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server");
+    let (features, reference) = task.synthesize_utterance(1, 0.2, 3);
+    let pending: Vec<_> = (0..6)
+        .map(|_| server.submit(features.clone()).expect("submit"))
+        .collect();
+    server.close();
+    for future in pending {
+        assert_eq!(
+            future.wait().expect("drained on close").hypothesis.words,
+            reference
+        );
+    }
+}
