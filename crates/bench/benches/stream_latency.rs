@@ -1,0 +1,97 @@
+//! Streaming latency bench: the same 32-utterance workload decoded (a)
+//! offline through `decode_batch` (one warmed decoder, whole utterances) and
+//! (b) through streaming feature sessions fed 5-frame chunks, with the
+//! decoder recycled across sessions so both paths amortise the backend's
+//! model caches identically — the measured difference is the price of
+//! incremental operation itself.
+//!
+//! The `bench_gate` acceptance check reads both: streaming must stay within
+//! 15 % of the offline path's throughput (the stream-vs-offline RTF overhead
+//! bound), or chunked operation has stopped being free.  The bench also
+//! records `stream_latency/p50_chunk_seconds` — the median per-chunk
+//! processing latency of a streamed run — which the gate tracks under the
+//! ordinary regression rule.
+
+use asr_bench::experiments::{batch_bench_task, recognizer};
+use asr_core::DecoderConfig;
+use asr_stream::StreamingRecognizer;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Frames per streamed chunk: 5 frames = 50 ms of audio per push, a typical
+/// interactive packet size.
+const CHUNK_FRAMES: usize = 5;
+
+fn bench_stream_latency(c: &mut Criterion) {
+    let task = batch_bench_task(17);
+    let utterances: Vec<Vec<Vec<f32>>> = (0..32)
+        .map(|i| task.synthesize_utterance(1, 0.3, 300 + i as u64).0)
+        .collect();
+
+    let mut group = c.benchmark_group("stream_latency");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let offline = recognizer(&task, DecoderConfig::simd()).expect("recogniser");
+    group.bench_function("offline_32", |b| {
+        b.iter(|| offline.decode_batch(&utterances).expect("decode").len())
+    });
+
+    let streamer = StreamingRecognizer::feature_only(
+        recognizer(&task, DecoderConfig::simd()).expect("recogniser"),
+    )
+    .expect("streamer");
+    group.bench_function("stream_32", |b| {
+        b.iter(|| {
+            let mut decoder = streamer
+                .recognizer()
+                .phone_decoder()
+                .expect("decoder builds");
+            let mut words = 0usize;
+            for features in &utterances {
+                let mut session = streamer.feature_session_with(decoder);
+                for chunk in features.chunks(CHUNK_FRAMES) {
+                    session.push_chunk(chunk).expect("chunk decodes");
+                }
+                let (outcome, recycled) = session.finish_parts();
+                words += outcome.expect("finish").result.hypothesis.words.len();
+                decoder = recycled;
+            }
+            words
+        })
+    });
+    group.finish();
+
+    record_p50_chunk_latency(&streamer, &utterances);
+}
+
+/// Measures one representative streamed pass and records the median per-chunk
+/// latency into the `LVCSR_BENCH_JSON` document as
+/// `stream_latency/p50_chunk_seconds`.
+fn record_p50_chunk_latency(streamer: &StreamingRecognizer, utterances: &[Vec<Vec<f32>>]) {
+    let path = match std::env::var("LVCSR_BENCH_JSON") {
+        Ok(p) if !p.is_empty() => p,
+        _ => return,
+    };
+    let mut timing = asr_hw::StreamTiming::new();
+    for features in utterances {
+        let mut session = streamer.feature_session().expect("session");
+        for chunk in features.chunks(CHUNK_FRAMES) {
+            session.push_chunk(chunk).expect("chunk decodes");
+        }
+        let outcome = session.finish().expect("finish");
+        timing = timing.merge(&outcome.timing);
+    }
+    if let Err(e) = asr_bench::bench_json::record_entry(
+        &path,
+        "stream_latency/p50_chunk_seconds",
+        timing.p50_latency_s(),
+    ) {
+        eprintln!("warning: could not record p50 chunk latency in {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_stream_latency);
+criterion_main!(benches);

@@ -36,6 +36,17 @@ const SEQUENTIAL_BENCH: &str = "decode_batch_amortisation/sequential_32";
 const SHARDED_BENCH: &str = "serve_throughput/sharded4_soc_32";
 const SINGLE_SOC_BENCH: &str = "serve_throughput/single_soc_32";
 
+/// The two benchmarks backing the streaming-overhead acceptance check: the
+/// same 32-utterance workload decoded through chunked streaming sessions and
+/// through the offline batch path (both with one recycled decoder).  Judged
+/// as a ratio: streaming must stay within [`STREAM_OVERHEAD_LIMIT`] of
+/// offline, or incremental operation has started to tax throughput.
+const STREAM_BENCH: &str = "stream_latency/stream_32";
+const STREAM_OFFLINE_BENCH: &str = "stream_latency/offline_32";
+
+/// Allowed stream-vs-offline overhead: 15 %.
+const STREAM_OVERHEAD_LIMIT: f64 = 1.15;
+
 /// Metadata entry the `serve_throughput` bench writes alongside its results:
 /// the CPU count of the machine that *measured* them.  Not a benchmark — it
 /// is excluded from the regression comparison and consumed only by the shard
@@ -53,6 +64,8 @@ fn ratio_checked(name: &str) -> bool {
         || name == SEQUENTIAL_BENCH
         || name == SHARDED_BENCH
         || name == SINGLE_SOC_BENCH
+        || name == STREAM_BENCH
+        || name == STREAM_OFFLINE_BENCH
 }
 
 /// The sharded/single ratio the gate tolerates for a host with `cpus`
@@ -217,6 +230,33 @@ fn run(baseline_path: &str, pr_path: &str, max_regression: f64) -> Result<(), St
         )),
     }
 
+    // The streaming claim: chunked incremental decoding must stay within the
+    // overhead bound of the offline batch path on the same workload.  Both
+    // sides come from the same run, so the check is machine-independent.
+    match (pr.get(STREAM_BENCH), pr.get(STREAM_OFFLINE_BENCH)) {
+        (Some(&stream), Some(&offline)) => {
+            println!(
+                "stream overhead: stream_32 {} vs offline_32 {} ({:.2}x, limit {:.2}x)",
+                format_time(stream),
+                format_time(offline),
+                stream / offline,
+                STREAM_OVERHEAD_LIMIT
+            );
+            if stream >= offline * STREAM_OVERHEAD_LIMIT {
+                failures.push(format!(
+                    "stream_32 ({}) exceeds the {:.0}% streaming-overhead bound over \
+                     offline_32 ({})",
+                    format_time(stream),
+                    (STREAM_OVERHEAD_LIMIT - 1.0) * 100.0,
+                    format_time(offline)
+                ));
+            }
+        }
+        _ => failures.push(format!(
+            "missing {STREAM_BENCH} / {STREAM_OFFLINE_BENCH} in {pr_path}"
+        )),
+    }
+
     if failures.is_empty() {
         println!(
             "\nbench gate: OK ({} benchmarks compared)",
@@ -286,11 +326,17 @@ mod tests {
             SEQUENTIAL_BENCH,
             SHARDED_BENCH,
             SINGLE_SOC_BENCH,
+            STREAM_BENCH,
+            STREAM_OFFLINE_BENCH,
         ] {
             assert!(ratio_checked(name), "{name}");
         }
         assert!(!ratio_checked("serve_throughput/queue_sharded4_soc_32"));
         assert!(!ratio_checked("decode_batch/simd/32"));
+        // The p50 chunk latency is a real measurement: regression-gated, not
+        // ratio-checked, not metadata.
+        assert!(!ratio_checked("stream_latency/p50_chunk_seconds"));
+        assert!(!metadata("stream_latency/p50_chunk_seconds"));
     }
 
     #[test]

@@ -334,6 +334,55 @@ mod tests {
     }
 
     #[test]
+    fn nested_sharded_configs_validate_to_any_depth() {
+        let nest = |inner: ScoringBackendKind, shards: usize| ScoringBackendKind::Sharded {
+            shards,
+            inner: Box::new(inner),
+        };
+        // Sharded(2, Sharded(2, Simd)) is pointless but legal.
+        let valid = DecoderConfig {
+            backend: nest(nest(ScoringBackendKind::Simd, 2), 2),
+            ..DecoderConfig::default()
+        };
+        valid.validate().unwrap();
+        assert_eq!(
+            valid
+                .backend
+                .build_scorer(&GmmSelectionConfig::default())
+                .unwrap()
+                .name(),
+            "sharded"
+        );
+        // A zero shard count is rejected at every nesting depth.
+        for bad_backend in [
+            nest(nest(ScoringBackendKind::Software, 0), 2),
+            nest(nest(ScoringBackendKind::Software, 2), 0),
+            nest(nest(nest(ScoringBackendKind::Simd, 0), 1), 1),
+        ] {
+            let bad = DecoderConfig {
+                backend: bad_backend,
+                ..DecoderConfig::default()
+            };
+            assert!(bad.validate().is_err(), "{:?}", bad.backend);
+        }
+        // An invalid SoC leaf fails through two shard wrappers.
+        let bad_leaf = DecoderConfig {
+            backend: nest(
+                nest(
+                    ScoringBackendKind::Hardware(SocConfig {
+                        num_structures: 0,
+                        ..SocConfig::default()
+                    }),
+                    2,
+                ),
+                2,
+            ),
+            ..DecoderConfig::default()
+        };
+        assert!(bad_leaf.validate().is_err());
+    }
+
+    #[test]
     fn invalid_configs_rejected() {
         let c = DecoderConfig {
             beam: 0.0,

@@ -43,6 +43,12 @@ impl WordLattice {
         self.num_frames
     }
 
+    /// Sets the number of frames the lattice covers — used by the incremental
+    /// search, which only learns the utterance length when it is finished.
+    pub fn set_num_frames(&mut self, num_frames: usize) {
+        self.num_frames = num_frames;
+    }
+
     /// Number of word candidates.
     pub fn len(&self) -> usize {
         self.entries.len()

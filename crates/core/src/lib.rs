@@ -38,6 +38,7 @@ pub mod phone_decode;
 pub mod recognizer;
 pub mod scorer;
 pub mod search;
+pub mod session;
 pub mod shard;
 pub mod stats;
 
@@ -49,7 +50,8 @@ pub use scorer::{
     software_step_hmm, HmmStepResult, SenoneScoreArena, SenoneScorer, SimdScorer, SocScorer,
     SoftwareScorer,
 };
-pub use search::{SearchNetwork, TokenPassingSearch};
+pub use search::{SearchNetwork, SearchOutcome, SearchState, TokenPassingSearch};
+pub use session::{DecodeSession, PartialHypothesis};
 pub use shard::ShardedScorer;
 pub use stats::{DecodeStats, FrameStats};
 

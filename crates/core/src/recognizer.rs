@@ -3,10 +3,11 @@
 use crate::config::DecoderConfig;
 use crate::lattice::WordLattice;
 use crate::phone_decode::PhoneDecoder;
-use crate::search::{SearchNetwork, TokenPassingSearch};
+use crate::search::{SearchNetwork, SearchOutcome, TokenPassingSearch};
 use crate::stats::DecodeStats;
 use crate::DecodeError;
 use asr_acoustic::AcousticModel;
+use asr_float::LogProb;
 use asr_frontend::Frontend;
 use asr_hw::UtteranceReport;
 use asr_lexicon::{Dictionary, NGramModel, WordId};
@@ -36,6 +37,10 @@ pub struct DecodeResult {
     pub hypothesis: Hypothesis,
     /// The raw best-token hypothesis from the on-the-fly search.
     pub live_hypothesis: Hypothesis,
+    /// Combined acoustic + LM score of the live best-token hypothesis
+    /// ([`asr_float::LogProb::zero`] when nothing was recognised) — the
+    /// utterance-level figure the streaming equivalence property compares.
+    pub best_score: LogProb,
     /// The word lattice.
     pub lattice: WordLattice,
     /// Per-frame decoding statistics (active senones, pruning, CDS).
@@ -55,6 +60,7 @@ impl DecodeResult {
         DecodeResult {
             hypothesis: Hypothesis::default(),
             live_hypothesis: Hypothesis::default(),
+            best_score: LogProb::zero(),
             lattice: WordLattice::new(0),
             stats: DecodeStats::new(),
             hardware: None,
@@ -202,8 +208,20 @@ impl Recognizer {
         let search = TokenPassingSearch::new(&self.model, &self.network, &self.lm, &self.config);
         let outcome = search.decode(features, phone_decoder)?;
         let hardware = phone_decoder.finish_utterance();
+        Ok(self.assemble_result(outcome, hardware))
+    }
 
-        // Global best path search over the word lattice with the LM.
+    /// Runs the global best path search over a finished [`SearchOutcome`]'s
+    /// lattice and packages everything into a [`DecodeResult`] — shared by
+    /// the offline decode above and [`DecodeSession::finish`], so both paths
+    /// post-process identically by construction.
+    ///
+    /// [`DecodeSession::finish`]: crate::DecodeSession::finish
+    pub(crate) fn assemble_result(
+        &self,
+        outcome: SearchOutcome,
+        hardware: Option<UtteranceReport>,
+    ) -> DecodeResult {
         let lattice_words = outcome.lattice.best_path(
             &self.lm,
             self.config.lm_weight,
@@ -215,13 +233,14 @@ impl Recognizer {
         } else {
             lattice_words
         };
-        Ok(DecodeResult {
+        DecodeResult {
             hypothesis: self.spell(&chosen),
             live_hypothesis: self.spell(&outcome.best_token_words),
+            best_score: outcome.best_token_score,
             lattice: outcome.lattice,
             stats: outcome.stats,
             hardware,
-        })
+        }
     }
 
     /// Decodes a batch of utterances through **one** scorer, so the backend's

@@ -119,10 +119,51 @@ struct PendingEntry {
 pub struct SearchOutcome {
     /// Best word sequence found by the on-the-fly search (token history).
     pub best_token_words: Vec<WordId>,
+    /// Combined acoustic + LM score of [`SearchOutcome::best_token_words`]
+    /// ([`LogProb::zero`] when no word end was ever reached).
+    pub best_token_score: LogProb,
     /// The word lattice handed to the global best path search.
     pub lattice: WordLattice,
     /// Per-frame statistics.
     pub stats: DecodeStats,
+}
+
+/// The mutable state of one in-flight utterance: the active/pending token
+/// sets, the growing word lattice, the per-frame statistics and the best
+/// completed hypothesis so far.
+///
+/// Created by [`TokenPassingSearch::begin`], advanced one frame at a time by
+/// [`TokenPassingSearch::step`], and closed by [`TokenPassingSearch::finish`].
+/// [`TokenPassingSearch::decode`] is exactly this loop over a full feature
+/// slice, so a streaming caller feeding frames incrementally produces results
+/// identical to the offline path by construction.
+#[derive(Debug, Clone)]
+pub struct SearchState {
+    active: HashMap<LexNodeId, Token>,
+    pending: HashMap<LexNodeId, PendingEntry>,
+    lattice: WordLattice,
+    stats: DecodeStats,
+    /// Best completed (word-end) hypothesis: (score, history, end frame).
+    best_final: Option<(LogProb, Vec<WordId>, usize)>,
+    /// Frames consumed so far.
+    frames: usize,
+}
+
+impl SearchState {
+    /// Number of frames stepped so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// The best completed word sequence so far (empty until the first word
+    /// end survives the word beam) — the live partial hypothesis a streaming
+    /// caller can surface between chunks.
+    pub fn best_words(&self) -> &[WordId] {
+        self.best_final
+            .as_ref()
+            .map(|(_, h, _)| h.as_slice())
+            .unwrap_or(&[])
+    }
 }
 
 /// The token-passing search engine.
@@ -156,8 +197,261 @@ impl<'a> TokenPassingSearch<'a> {
             + LogProb::new(self.config.word_insertion_penalty)
     }
 
+    /// Starts a fresh utterance: an empty token set with word starts pending
+    /// at frame 0.
+    pub fn begin(&self) -> SearchState {
+        let mut pending = HashMap::new();
+        for (_, node) in self.network.lextree().successors(LexNodeId::ROOT) {
+            pending.insert(
+                node,
+                PendingEntry {
+                    entry_score: LogProb::ONE,
+                    history: Vec::new(),
+                    word_start_frame: 0,
+                    score_at_word_start: LogProb::ONE,
+                },
+            );
+        }
+        SearchState {
+            active: HashMap::new(),
+            pending,
+            lattice: WordLattice::new(0),
+            stats: DecodeStats::new(),
+            best_final: None,
+            frames: 0,
+        }
+    }
+
+    /// Advances the search by one frame, driving the phone-decode stage for
+    /// senone scores and HMM updates.  The caller never has to announce how
+    /// many frames are coming: word starts and word-internal transitions are
+    /// always staged as pending entries, and [`TokenPassingSearch::finish`]
+    /// simply drops the entries of the frame that never arrived — so stepping
+    /// frame by frame is bit-identical to the offline loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::DimensionMismatch`] if the feature vector has
+    /// the wrong dimension, or propagates backend errors.
+    pub fn step(
+        &self,
+        state: &mut SearchState,
+        phone_decoder: &mut PhoneDecoder,
+        feature: &[f32],
+    ) -> Result<(), DecodeError> {
+        let dim = self.model.feature_dim();
+        if feature.len() != dim {
+            return Err(DecodeError::DimensionMismatch {
+                expected: dim,
+                got: feature.len(),
+            });
+        }
+        let t = state.frames;
+        let tree = self.network.lextree();
+        let inventory_size = self.model.senones().len();
+        let states = self.model.config().topology.num_states();
+        let transitions = self.model.transitions();
+
+        phone_decoder.begin_frame(feature);
+
+        // Merge pending entries into the active set.
+        let mut entry_map: HashMap<LexNodeId, PendingEntry> = HashMap::new();
+        for (node, entry) in state.pending.drain() {
+            match state.active.get_mut(&node) {
+                Some(token) => {
+                    // The entering path may take over the instance's word
+                    // bookkeeping if it is stronger than everything inside.
+                    if entry.entry_score.raw() > token.best().raw() {
+                        token.history = entry.history.clone();
+                        token.word_start_frame = entry.word_start_frame;
+                        token.score_at_word_start = entry.score_at_word_start;
+                    }
+                    entry_map.insert(node, entry);
+                }
+                None => {
+                    state.active.insert(
+                        node,
+                        Token {
+                            scores: vec![LogProb::zero(); states],
+                            history: entry.history.clone(),
+                            word_start_frame: entry.word_start_frame,
+                            score_at_word_start: entry.score_at_word_start,
+                        },
+                    );
+                    entry_map.insert(node, entry);
+                }
+            }
+        }
+
+        // Active senone set — the feedback to the phone decode stage.
+        let mut active_senones: Vec<SenoneId> = state
+            .active
+            .keys()
+            .flat_map(|&node| self.network.senones(node).iter().copied())
+            .collect();
+        active_senones.sort_unstable();
+        active_senones.dedup();
+        let requested = if self.config.gmm_selection.senone_feedback {
+            active_senones.clone()
+        } else {
+            // Feedback disabled (for the E4 ablation): score everything.
+            (0..inventory_size as u32).map(SenoneId).collect()
+        };
+        let cds_skipped = phone_decoder.score_frame(self.model, &requested, feature)?;
+
+        // Advance every active instance, reading scores straight out of
+        // the phone decoder's senone-score arena (no per-frame map).
+        let mut frame_best = LogProb::zero();
+        let mut exits: Vec<(LexNodeId, LogProb)> = Vec::new();
+        let node_ids: Vec<LexNodeId> = state.active.keys().copied().collect();
+        for node in node_ids {
+            let obs: Vec<LogProb> = self
+                .network
+                .senones(node)
+                .iter()
+                .map(|&id| phone_decoder.score_of(id))
+                .collect();
+            let entry_score = entry_map
+                .get(&node)
+                .map(|e| e.entry_score)
+                .unwrap_or_else(LogProb::zero);
+            let token = state.active.get_mut(&node).expect("node is active");
+            let step = phone_decoder.step_hmm(&token.scores, entry_score, transitions, &obs)?;
+            token.scores = step.scores;
+            let best = token.best();
+            if best.raw() > frame_best.raw() {
+                frame_best = best;
+            }
+            if !step.exit_score.is_zero() {
+                exits.push((node, step.exit_score));
+            }
+        }
+
+        // Handle exits: word ends and word-internal propagation.  Entries for
+        // the next frame are always staged; if the utterance ends here they
+        // are discarded by `finish`, which is what the offline loop's
+        // "is there a next frame" guard amounted to.
+        let word_beam_floor = frame_best + LogProb::new(-self.config.word_beam);
+        let mut word_ends_this_frame = 0usize;
+        for (node, exit_score) in exits {
+            if exit_score.raw() < word_beam_floor.raw() {
+                continue;
+            }
+            let token = state.active.get(&node).expect("node is active").clone();
+            // Word ends at this node.
+            for &word in tree.words_at(node) {
+                word_ends_this_frame += 1;
+                let acoustic = exit_score - token.score_at_word_start;
+                state.lattice.push(WordLatticeEntry {
+                    word,
+                    start_frame: token.word_start_frame,
+                    end_frame: t,
+                    acoustic_score: acoustic,
+                });
+                let with_lm = exit_score + self.lm_score(&token.history, word);
+                let mut new_history = token.history.clone();
+                new_history.push(word);
+                let better_final = state
+                    .best_final
+                    .as_ref()
+                    .map(|(s, _, e)| t > *e || (t == *e && with_lm.raw() > s.raw()))
+                    .unwrap_or(true);
+                if better_final {
+                    state.best_final = Some((with_lm, new_history.clone(), t));
+                }
+                // Start new words at the next frame.
+                for (_, root_child) in tree.successors(LexNodeId::ROOT) {
+                    let candidate = PendingEntry {
+                        entry_score: with_lm,
+                        history: new_history.clone(),
+                        word_start_frame: t + 1,
+                        score_at_word_start: with_lm,
+                    };
+                    match state.pending.get(&root_child) {
+                        Some(existing)
+                            if existing.entry_score.raw() >= candidate.entry_score.raw() => {}
+                        _ => {
+                            state.pending.insert(root_child, candidate);
+                        }
+                    }
+                }
+            }
+            // Word-internal transition into child nodes.
+            for (_, child) in tree.successors(node) {
+                let candidate = PendingEntry {
+                    entry_score: exit_score,
+                    history: token.history.clone(),
+                    word_start_frame: token.word_start_frame,
+                    score_at_word_start: token.score_at_word_start,
+                };
+                match state.pending.get(&child) {
+                    Some(existing) if existing.entry_score.raw() >= candidate.entry_score.raw() => {
+                    }
+                    _ => {
+                        state.pending.insert(child, candidate);
+                    }
+                }
+            }
+        }
+
+        // Beam pruning and the instance cap.
+        let beam_floor = frame_best + LogProb::new(-self.config.beam);
+        let before = state.active.len();
+        state
+            .active
+            .retain(|_, token| token.best().raw() >= beam_floor.raw());
+        if state.active.len() > self.config.max_active_hmms {
+            let mut scored: Vec<(LexNodeId, LogProb)> = state
+                .active
+                .iter()
+                .map(|(&node, token)| (node, token.best()))
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let keep: std::collections::HashSet<LexNodeId> = scored
+                .iter()
+                .take(self.config.max_active_hmms)
+                .map(|&(n, _)| n)
+                .collect();
+            state.active.retain(|node, _| keep.contains(node));
+        }
+        let pruned = before.saturating_sub(state.active.len());
+
+        state.stats.push(FrameStats {
+            frame: t,
+            senones_scored: if cds_skipped { 0 } else { requested.len() },
+            senone_inventory: inventory_size,
+            active_hmms: state.active.len(),
+            pruned_hmms: pruned,
+            word_ends: word_ends_this_frame,
+            cds_skipped,
+        });
+        // Word-decode dictionary lookups go over the DMA.
+        phone_decoder.dma_fetch((word_ends_this_frame * 64) as u64);
+        phone_decoder.end_frame(state.active.len(), state.lattice.len());
+        state.frames = t + 1;
+        Ok(())
+    }
+
+    /// Closes the utterance: drops the pending entries of the frame that
+    /// never arrived and packages the outcome.
+    pub fn finish(&self, mut state: SearchState) -> SearchOutcome {
+        state.lattice.set_num_frames(state.frames);
+        let (best_token_score, best_token_words) = state
+            .best_final
+            .map(|(s, h, _)| (s, h))
+            .unwrap_or((LogProb::zero(), Vec::new()));
+        SearchOutcome {
+            best_token_words,
+            best_token_score,
+            lattice: state.lattice,
+            stats: state.stats,
+        }
+    }
+
     /// Decodes one utterance of feature vectors, driving the phone-decode
-    /// stage for senone scores and HMM updates.
+    /// stage for senone scores and HMM updates — [`TokenPassingSearch::begin`]
+    /// / [`TokenPassingSearch::step`] / [`TokenPassingSearch::finish`] rolled
+    /// into one loop over the whole feature slice.
     ///
     /// # Errors
     ///
@@ -177,214 +471,11 @@ impl<'a> TokenPassingSearch<'a> {
                 });
             }
         }
-        let num_frames = features.len();
-        let tree = self.network.lextree();
-        let inventory_size = self.model.senones().len();
-        let states = self.model.config().topology.num_states();
-        let transitions = self.model.transitions();
-
-        let mut active: HashMap<LexNodeId, Token> = HashMap::new();
-        let mut pending: HashMap<LexNodeId, PendingEntry> = HashMap::new();
-        let mut lattice = WordLattice::new(num_frames);
-        let mut stats = DecodeStats::new();
-        // Best completed (word-end) hypothesis: (score, history, end frame).
-        let mut best_final: Option<(LogProb, Vec<WordId>, usize)> = None;
-
-        // Initial word starts at frame 0.
-        for (_, node) in tree.successors(LexNodeId::ROOT) {
-            pending.insert(
-                node,
-                PendingEntry {
-                    entry_score: LogProb::ONE,
-                    history: Vec::new(),
-                    word_start_frame: 0,
-                    score_at_word_start: LogProb::ONE,
-                },
-            );
+        let mut state = self.begin();
+        for feature in features {
+            self.step(&mut state, phone_decoder, feature)?;
         }
-
-        for (t, feature) in features.iter().enumerate() {
-            phone_decoder.begin_frame(feature);
-
-            // Merge pending entries into the active set.
-            let mut entry_map: HashMap<LexNodeId, PendingEntry> = HashMap::new();
-            for (node, entry) in pending.drain() {
-                match active.get_mut(&node) {
-                    Some(token) => {
-                        // The entering path may take over the instance's word
-                        // bookkeeping if it is stronger than everything inside.
-                        if entry.entry_score.raw() > token.best().raw() {
-                            token.history = entry.history.clone();
-                            token.word_start_frame = entry.word_start_frame;
-                            token.score_at_word_start = entry.score_at_word_start;
-                        }
-                        entry_map.insert(node, entry);
-                    }
-                    None => {
-                        active.insert(
-                            node,
-                            Token {
-                                scores: vec![LogProb::zero(); states],
-                                history: entry.history.clone(),
-                                word_start_frame: entry.word_start_frame,
-                                score_at_word_start: entry.score_at_word_start,
-                            },
-                        );
-                        entry_map.insert(node, entry);
-                    }
-                }
-            }
-
-            // Active senone set — the feedback to the phone decode stage.
-            let mut active_senones: Vec<SenoneId> = active
-                .keys()
-                .flat_map(|&node| self.network.senones(node).iter().copied())
-                .collect();
-            active_senones.sort_unstable();
-            active_senones.dedup();
-            let requested = if self.config.gmm_selection.senone_feedback {
-                active_senones.clone()
-            } else {
-                // Feedback disabled (for the E4 ablation): score everything.
-                (0..inventory_size as u32).map(SenoneId).collect()
-            };
-            let cds_skipped = phone_decoder.score_frame(self.model, &requested, feature)?;
-
-            // Advance every active instance, reading scores straight out of
-            // the phone decoder's senone-score arena (no per-frame map).
-            let mut frame_best = LogProb::zero();
-            let mut exits: Vec<(LexNodeId, LogProb)> = Vec::new();
-            let node_ids: Vec<LexNodeId> = active.keys().copied().collect();
-            for node in node_ids {
-                let obs: Vec<LogProb> = self
-                    .network
-                    .senones(node)
-                    .iter()
-                    .map(|&id| phone_decoder.score_of(id))
-                    .collect();
-                let entry_score = entry_map
-                    .get(&node)
-                    .map(|e| e.entry_score)
-                    .unwrap_or_else(LogProb::zero);
-                let token = active.get_mut(&node).expect("node is active");
-                let step = phone_decoder.step_hmm(&token.scores, entry_score, transitions, &obs)?;
-                token.scores = step.scores;
-                let best = token.best();
-                if best.raw() > frame_best.raw() {
-                    frame_best = best;
-                }
-                if !step.exit_score.is_zero() {
-                    exits.push((node, step.exit_score));
-                }
-            }
-
-            // Handle exits: word ends and word-internal propagation.
-            let word_beam_floor = frame_best + LogProb::new(-self.config.word_beam);
-            let mut word_ends_this_frame = 0usize;
-            for (node, exit_score) in exits {
-                if exit_score.raw() < word_beam_floor.raw() {
-                    continue;
-                }
-                let token = active.get(&node).expect("node is active").clone();
-                // Word ends at this node.
-                for &word in tree.words_at(node) {
-                    word_ends_this_frame += 1;
-                    let acoustic = exit_score - token.score_at_word_start;
-                    lattice.push(WordLatticeEntry {
-                        word,
-                        start_frame: token.word_start_frame,
-                        end_frame: t,
-                        acoustic_score: acoustic,
-                    });
-                    let with_lm = exit_score + self.lm_score(&token.history, word);
-                    let mut new_history = token.history.clone();
-                    new_history.push(word);
-                    let better_final = best_final
-                        .as_ref()
-                        .map(|(s, _, e)| t > *e || (t == *e && with_lm.raw() > s.raw()))
-                        .unwrap_or(true);
-                    if better_final {
-                        best_final = Some((with_lm, new_history.clone(), t));
-                    }
-                    // Start new words at the next frame.
-                    if t + 1 < num_frames {
-                        for (_, root_child) in tree.successors(LexNodeId::ROOT) {
-                            let candidate = PendingEntry {
-                                entry_score: with_lm,
-                                history: new_history.clone(),
-                                word_start_frame: t + 1,
-                                score_at_word_start: with_lm,
-                            };
-                            match pending.get(&root_child) {
-                                Some(existing)
-                                    if existing.entry_score.raw()
-                                        >= candidate.entry_score.raw() => {}
-                                _ => {
-                                    pending.insert(root_child, candidate);
-                                }
-                            }
-                        }
-                    }
-                }
-                // Word-internal transition into child nodes.
-                if t + 1 < num_frames {
-                    for (_, child) in tree.successors(node) {
-                        let candidate = PendingEntry {
-                            entry_score: exit_score,
-                            history: token.history.clone(),
-                            word_start_frame: token.word_start_frame,
-                            score_at_word_start: token.score_at_word_start,
-                        };
-                        match pending.get(&child) {
-                            Some(existing)
-                                if existing.entry_score.raw() >= candidate.entry_score.raw() => {}
-                            _ => {
-                                pending.insert(child, candidate);
-                            }
-                        }
-                    }
-                }
-            }
-
-            // Beam pruning and the instance cap.
-            let beam_floor = frame_best + LogProb::new(-self.config.beam);
-            let before = active.len();
-            active.retain(|_, token| token.best().raw() >= beam_floor.raw());
-            if active.len() > self.config.max_active_hmms {
-                let mut scored: Vec<(LexNodeId, LogProb)> = active
-                    .iter()
-                    .map(|(&node, token)| (node, token.best()))
-                    .collect();
-                scored.sort_by(|a, b| b.1.total_cmp(&a.1));
-                let keep: std::collections::HashSet<LexNodeId> = scored
-                    .iter()
-                    .take(self.config.max_active_hmms)
-                    .map(|&(n, _)| n)
-                    .collect();
-                active.retain(|node, _| keep.contains(node));
-            }
-            let pruned = before.saturating_sub(active.len());
-
-            stats.push(FrameStats {
-                frame: t,
-                senones_scored: if cds_skipped { 0 } else { requested.len() },
-                senone_inventory: inventory_size,
-                active_hmms: active.len(),
-                pruned_hmms: pruned,
-                word_ends: word_ends_this_frame,
-                cds_skipped,
-            });
-            // Word-decode dictionary lookups go over the DMA.
-            phone_decoder.dma_fetch((word_ends_this_frame * 64) as u64);
-            phone_decoder.end_frame(active.len(), lattice.len());
-        }
-
-        let best_token_words = best_final.map(|(_, h, _)| h).unwrap_or_default();
-        Ok(SearchOutcome {
-            best_token_words,
-            lattice,
-            stats,
-        })
+        Ok(self.finish(state))
     }
 }
 

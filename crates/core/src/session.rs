@@ -1,0 +1,352 @@
+//! Incremental decoding sessions: the real-time counterpart of
+//! [`Recognizer::decode_features`].
+//!
+//! The paper's SoC is a *real-time* recognizer — feature frames arrive one
+//! 10 ms hop at a time and the hardware keeps up.  A [`DecodeSession`] is
+//! that regime as an API: open a session, push feature chunks of any size as
+//! they arrive, read a [`PartialHypothesis`] between chunks, and [`finish`]
+//! for the full [`DecodeResult`].  The session drives the exact same
+//! per-frame search step as the offline path
+//! ([`TokenPassingSearch::step`](crate::TokenPassingSearch::step)), so the
+//! final hypothesis, score and statistics are identical to calling
+//! [`Recognizer::decode_features`] on the concatenated input — the invariant
+//! the workspace's `tests/stream.rs` property test pins on every backend.
+//!
+//! [`finish`]: DecodeSession::finish
+
+use crate::phone_decode::PhoneDecoder;
+use crate::recognizer::{DecodeResult, Recognizer};
+use crate::search::{SearchState, TokenPassingSearch};
+use crate::DecodeError;
+use asr_lexicon::WordId;
+
+/// A snapshot of what the search believes so far, surfaced between chunks.
+///
+/// Partials are **prefix-consistent by construction**: each snapshot's word
+/// sequence extends the previous snapshot's (the session holds its last
+/// partial while the search is mid-revision instead of retracting words),
+/// and `frames` grows monotonically.  The final result of
+/// [`DecodeSession::finish`] is produced by the global best path search and
+/// may differ from the last partial — partials are a live preview, not a
+/// commitment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartialHypothesis {
+    /// Feature frames consumed when this snapshot was taken.
+    pub frames: usize,
+    /// Word identifiers recognised so far.
+    pub words: Vec<WordId>,
+    /// Word spellings recognised so far.
+    pub text: Vec<String>,
+}
+
+impl PartialHypothesis {
+    /// The partial as a single space-separated string.
+    pub fn to_sentence(&self) -> String {
+        self.text.join(" ")
+    }
+}
+
+/// An in-flight incremental decode of one utterance.
+///
+/// Created by [`Recognizer::begin_session`]; feed it frames with
+/// [`DecodeSession::step_frame`] / [`DecodeSession::push_chunk`] and close it
+/// with [`DecodeSession::finish`].  Chunk boundaries are invisible to the
+/// search: any chunking of the same frames produces the same result.
+///
+/// # Example
+///
+/// ```
+/// use asr_core::{DecoderConfig, Recognizer};
+/// use asr_corpus::{TaskConfig, TaskGenerator};
+///
+/// let task = TaskGenerator::new(5).generate(&TaskConfig::tiny()).unwrap();
+/// let recognizer = Recognizer::new(
+///     task.acoustic_model.clone(),
+///     task.dictionary.clone(),
+///     task.language_model.clone(),
+///     DecoderConfig::simd(),
+/// )
+/// .unwrap();
+/// let (features, reference) = task.synthesize_utterance(2, 0.2, 1);
+///
+/// let mut session = recognizer.begin_session().unwrap();
+/// for chunk in features.chunks(3) {
+///     session.push_chunk(chunk).unwrap();
+/// }
+/// let streamed = session.finish().unwrap();
+/// let offline = recognizer.decode_features(&features).unwrap();
+/// assert_eq!(streamed.hypothesis.words, reference);
+/// assert_eq!(streamed.hypothesis, offline.hypothesis);
+/// ```
+#[derive(Debug)]
+pub struct DecodeSession<'r> {
+    recognizer: &'r Recognizer,
+    phone_decoder: PhoneDecoder,
+    state: SearchState,
+    partial_words: Vec<WordId>,
+}
+
+impl Recognizer {
+    /// Opens an incremental decode session on the configured backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidConfig`] if the backend configuration is
+    /// invalid.
+    pub fn begin_session(&self) -> Result<DecodeSession<'_>, DecodeError> {
+        Ok(self.begin_session_with(self.phone_decoder()?))
+    }
+
+    /// Opens an incremental decode session around a caller-supplied phone
+    /// decoder — the streaming counterpart of
+    /// [`Recognizer::decode_features_with`], for custom backends and for
+    /// reusing one warmed decoder across consecutive sessions (reclaim it
+    /// with [`DecodeSession::finish_parts`]).
+    pub fn begin_session_with(&self, mut phone_decoder: PhoneDecoder) -> DecodeSession<'_> {
+        phone_decoder.begin_utterance();
+        let search = TokenPassingSearch::new(
+            self.model(),
+            self.network(),
+            self.language_model(),
+            self.config(),
+        );
+        DecodeSession {
+            recognizer: self,
+            phone_decoder,
+            state: search.begin(),
+            partial_words: Vec::new(),
+        }
+    }
+}
+
+impl<'r> DecodeSession<'r> {
+    fn search(&self) -> TokenPassingSearch<'r> {
+        TokenPassingSearch::new(
+            self.recognizer.model(),
+            self.recognizer.network(),
+            self.recognizer.language_model(),
+            self.recognizer.config(),
+        )
+    }
+
+    /// The recogniser this session decodes against.
+    pub fn recognizer(&self) -> &'r Recognizer {
+        self.recognizer
+    }
+
+    /// Feature frames consumed so far.
+    pub fn frames(&self) -> usize {
+        self.state.frames()
+    }
+
+    /// Consumes one feature frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::DimensionMismatch`] for a frame of the wrong
+    /// dimension, or propagates backend errors.  The session stays usable
+    /// after a dimension error (the bad frame was rejected before touching
+    /// the search).
+    pub fn step_frame(&mut self, feature: &[f32]) -> Result<(), DecodeError> {
+        let search = self.search();
+        search.step(&mut self.state, &mut self.phone_decoder, feature)?;
+        // Hold the previous partial while the search revises; only ever
+        // extend, so partials stay prefix-consistent.
+        let best = self.state.best_words();
+        if best.len() > self.partial_words.len() && best.starts_with(&self.partial_words) {
+            self.partial_words = best.to_vec();
+        }
+        Ok(())
+    }
+
+    /// Consumes a chunk of feature frames (any size, including empty).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first frame that fails to decode; earlier frames of the
+    /// chunk have been consumed.
+    pub fn push_chunk(&mut self, frames: &[Vec<f32>]) -> Result<(), DecodeError> {
+        for frame in frames {
+            self.step_frame(frame)?;
+        }
+        Ok(())
+    }
+
+    /// The current partial hypothesis (words completed so far).
+    pub fn partial(&self) -> PartialHypothesis {
+        let spelled = self
+            .partial_words
+            .iter()
+            .map(|&w| {
+                self.recognizer
+                    .dictionary()
+                    .spelling(w)
+                    .unwrap_or("<unk>")
+                    .to_string()
+            })
+            .collect();
+        PartialHypothesis {
+            frames: self.state.frames(),
+            words: self.partial_words.clone(),
+            text: spelled,
+        }
+    }
+
+    /// Closes the session: runs the global best path search over the lattice
+    /// and returns the full [`DecodeResult`].  A session that consumed zero
+    /// frames yields [`DecodeResult::empty`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` keeps the signature
+    /// stable for backends that may fail on utterance close.
+    pub fn finish(self) -> Result<DecodeResult, DecodeError> {
+        self.finish_parts().0
+    }
+
+    /// Like [`DecodeSession::finish`], but also hands back the phone decoder
+    /// so one warmed backend can serve the next session
+    /// (via [`Recognizer::begin_session_with`]).
+    pub fn finish_parts(mut self) -> (Result<DecodeResult, DecodeError>, PhoneDecoder) {
+        if self.state.frames() == 0 {
+            // Matches the offline path for empty input: no search ran, no
+            // hardware report (the backend scored nothing).
+            self.phone_decoder.begin_utterance();
+            return (Ok(DecodeResult::empty()), self.phone_decoder);
+        }
+        let search = self.search();
+        let outcome = search.finish(self.state);
+        let hardware = self.phone_decoder.finish_utterance();
+        (
+            Ok(self.recognizer.assemble_result(outcome, hardware)),
+            self.phone_decoder,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DecoderConfig;
+    use asr_corpus::{SyntheticTask, TaskConfig, TaskGenerator};
+
+    fn task() -> SyntheticTask {
+        TaskGenerator::new(31)
+            .generate(&TaskConfig::tiny())
+            .unwrap()
+    }
+
+    fn recognizer(task: &SyntheticTask, config: DecoderConfig) -> Recognizer {
+        Recognizer::new(
+            task.acoustic_model.clone(),
+            task.dictionary.clone(),
+            task.language_model.clone(),
+            config,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn session_matches_offline_decode_frame_by_frame() {
+        let task = task();
+        let rec = recognizer(&task, DecoderConfig::software());
+        let (features, reference) = task.synthesize_utterance(2, 0.2, 3);
+        let offline = rec.decode_features(&features).unwrap();
+
+        let mut session = rec.begin_session().unwrap();
+        for frame in &features {
+            session.step_frame(frame).unwrap();
+        }
+        assert_eq!(session.frames(), features.len());
+        let streamed = session.finish().unwrap();
+        assert_eq!(streamed.hypothesis, offline.hypothesis);
+        assert_eq!(streamed.live_hypothesis, offline.live_hypothesis);
+        assert_eq!(streamed.best_score.raw(), offline.best_score.raw());
+        assert_eq!(streamed.stats, offline.stats);
+        assert_eq!(streamed.lattice.len(), offline.lattice.len());
+        assert_eq!(streamed.lattice.num_frames(), offline.lattice.num_frames());
+        assert_eq!(streamed.hypothesis.words, reference);
+    }
+
+    #[test]
+    fn hardware_session_reports_match_offline() {
+        let task = task();
+        let rec = recognizer(&task, DecoderConfig::hardware(2));
+        let (features, _) = task.synthesize_utterance(1, 0.2, 9);
+        let offline = rec.decode_features(&features).unwrap();
+        let mut session = rec.begin_session().unwrap();
+        session.push_chunk(&features).unwrap();
+        let streamed = session.finish().unwrap();
+        let (a, b) = (streamed.hardware.unwrap(), offline.hardware.unwrap());
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.senones_scored, b.senones_scored);
+        assert_eq!(a.hmm_updates, b.hmm_updates);
+    }
+
+    #[test]
+    fn partials_grow_monotonically_and_stay_prefixes() {
+        let task = task();
+        let rec = recognizer(&task, DecoderConfig::simd());
+        let (features, _) = task.synthesize_utterance(3, 0.2, 17);
+        let mut session = rec.begin_session().unwrap();
+        let mut previous = PartialHypothesis::default();
+        for chunk in features.chunks(2) {
+            session.push_chunk(chunk).unwrap();
+            let partial = session.partial();
+            assert!(partial.frames >= previous.frames, "frames must be monotone");
+            assert!(
+                partial.words.starts_with(&previous.words),
+                "{:?} must extend {:?}",
+                partial.words,
+                previous.words
+            );
+            previous = partial;
+        }
+        // A multi-word utterance surfaces at least one word before finish.
+        assert!(!previous.words.is_empty());
+        assert_eq!(previous.words.len(), previous.text.len());
+        assert!(!previous.to_sentence().is_empty());
+    }
+
+    #[test]
+    fn zero_frame_session_is_the_typed_empty_result() {
+        let task = task();
+        let rec = recognizer(&task, DecoderConfig::software());
+        let session = rec.begin_session().unwrap();
+        assert_eq!(session.partial(), PartialHypothesis::default());
+        let result = session.finish().unwrap();
+        assert!(result.is_empty());
+        assert!(result.hypothesis.words.is_empty());
+        assert!(result.best_score.is_zero());
+    }
+
+    #[test]
+    fn a_rejected_frame_leaves_the_session_usable() {
+        let task = task();
+        let rec = recognizer(&task, DecoderConfig::software());
+        let (features, reference) = task.synthesize_utterance(1, 0.2, 4);
+        let mut session = rec.begin_session().unwrap();
+        let bad = vec![0.0f32; task.acoustic_model.feature_dim() + 1];
+        assert!(matches!(
+            session.step_frame(&bad),
+            Err(DecodeError::DimensionMismatch { .. })
+        ));
+        session.push_chunk(&features).unwrap();
+        assert_eq!(session.finish().unwrap().hypothesis.words, reference);
+    }
+
+    #[test]
+    fn finish_parts_recycles_the_decoder_across_sessions() {
+        let task = task();
+        let rec = recognizer(&task, DecoderConfig::simd());
+        let (features, reference) = task.synthesize_utterance(1, 0.2, 6);
+        let mut decoder = rec.phone_decoder().unwrap();
+        for _ in 0..2 {
+            let mut session = rec.begin_session_with(decoder);
+            session.push_chunk(&features).unwrap();
+            let (result, recycled) = session.finish_parts();
+            assert_eq!(result.unwrap().hypothesis.words, reference);
+            decoder = recycled;
+        }
+    }
+}

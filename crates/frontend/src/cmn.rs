@@ -19,25 +19,63 @@ pub struct CepstralMeanNorm {
 }
 
 impl CepstralMeanNorm {
-    /// Creates a normaliser for `dim`-dimensional cepstra.
+    /// Creates a normaliser for `dim`-dimensional cepstra with the default
+    /// prior: 100 frames of weight at a zero mean.
     ///
     /// # Panics
     ///
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
+        Self::with_prior(dim, 100.0, None)
+    }
+
+    /// Creates a normaliser with an explicit streaming prior: the initial
+    /// mean estimate (`None` → zeros) and the weight, in frames, it carries
+    /// against observed data.  A `prior_frames` of 0 trusts the observed
+    /// running mean immediately — the setting whose frame-by-frame behaviour
+    /// is pinned against batch CMN by this module's equivalence test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, if `prior_frames` is negative or non-finite, or
+    /// if a supplied `prior_mean` has the wrong dimension or non-finite
+    /// values ([`crate::FrontendConfig::validate`] rejects such configs
+    /// before they reach this constructor).
+    pub fn with_prior(dim: usize, prior_frames: f64, prior_mean: Option<Vec<f64>>) -> Self {
         assert!(dim > 0, "dimension must be positive");
+        assert!(
+            prior_frames.is_finite() && prior_frames >= 0.0,
+            "prior_frames must be finite and non-negative"
+        );
+        let prior_mean = prior_mean.unwrap_or_else(|| vec![0.0; dim]);
+        assert_eq!(prior_mean.len(), dim, "inconsistent prior dimension");
+        assert!(
+            prior_mean.iter().all(|v| v.is_finite()),
+            "prior mean must be finite"
+        );
         CepstralMeanNorm {
             dim,
             running_sum: vec![0.0; dim],
             count: 0,
-            prior_frames: 100.0,
-            prior_mean: vec![0.0; dim],
+            prior_frames,
+            prior_mean,
         }
     }
 
     /// Feature dimension.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The prior weight in frames.
+    pub fn prior_frames(&self) -> f64 {
+        self.prior_frames
+    }
+
+    /// The current prior mean (updated by
+    /// [`CepstralMeanNorm::reset_between_utterances`]).
+    pub fn prior_mean(&self) -> &[f64] {
+        &self.prior_mean
     }
 
     /// Number of frames accumulated so far in streaming mode.
@@ -167,6 +205,101 @@ mod tests {
             "prior should nearly cancel the mean, got {}",
             f[0]
         );
+    }
+
+    #[test]
+    fn explicit_prior_is_used_and_exposed() {
+        let mut cmn = CepstralMeanNorm::with_prior(2, 50.0, Some(vec![4.0, -2.0]));
+        assert_eq!(cmn.prior_frames(), 50.0);
+        assert_eq!(cmn.prior_mean(), &[4.0, -2.0]);
+        // The very first frame is corrected by the supplied prior mean.
+        let mut f = vec![4.0f32, -2.0];
+        cmn.normalize_live(&mut f);
+        assert!(f[0].abs() < 1e-5 && f[1].abs() < 1e-5, "{f:?}");
+    }
+
+    #[test]
+    fn zero_prior_trusts_observations_immediately() {
+        let mut cmn = CepstralMeanNorm::with_prior(1, 0.0, None);
+        // First frame: no estimate yet, passes through unchanged.
+        let mut f = vec![6.0f32];
+        cmn.normalize_live(&mut f);
+        assert_eq!(f[0], 6.0);
+        // Second frame: the running mean (exactly 6.0) is subtracted in full,
+        // with no prior pulling the estimate toward zero.
+        let mut g = vec![6.0f32];
+        cmn.normalize_live(&mut g);
+        assert!(g[0].abs() < 1e-6, "{}", g[0]);
+    }
+
+    /// The satellite equivalence property: live CMN with `prior_frames = 0`
+    /// fed frame by frame converges to batch CMN on the same utterance — the
+    /// foundation of the streaming frontend's stream≈offline behaviour.  The
+    /// early frames differ by construction (the running mean has seen less
+    /// data); after a burn-in the gap must be small, and the *mean* over the
+    /// whole utterance must agree tightly.
+    #[test]
+    fn live_cmn_with_zero_prior_matches_batch_cmn_frame_by_frame() {
+        // A deterministic quasi-stationary utterance: a fixed offset per
+        // dimension plus small bounded oscillation (what stationary channel
+        // colouration plus speech modulation looks like to CMN).
+        let dim = 4;
+        let n = 400;
+        let utterance: Vec<Vec<f32>> = (0..n)
+            .map(|t| {
+                (0..dim)
+                    .map(|d| {
+                        let offset = [5.0f32, -3.0, 0.5, 12.0][d];
+                        offset + 0.3 * ((0.7 * t as f32 + d as f32).sin())
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut batch = utterance.clone();
+        CepstralMeanNorm::normalize_batch(&mut batch);
+
+        let mut cmn = CepstralMeanNorm::with_prior(dim, 0.0, None);
+        let live: Vec<Vec<f32>> = utterance
+            .iter()
+            .map(|f| {
+                let mut frame = f.clone();
+                cmn.normalize_live(&mut frame);
+                frame
+            })
+            .collect();
+
+        // After burn-in, every frame agrees within a small tolerance.
+        for (t, (l, b)) in live.iter().zip(&batch).enumerate().skip(n / 4) {
+            for d in 0..dim {
+                assert!(
+                    (l[d] - b[d]).abs() < 0.05,
+                    "frame {t} dim {d}: live {} vs batch {}",
+                    l[d],
+                    b[d]
+                );
+            }
+        }
+        // And the settled-region means agree even more tightly (the early
+        // frames carry the running mean's warm-up bias by construction).
+        for d in 0..dim {
+            let mean = |fs: &[Vec<f32>]| {
+                fs[n / 4..].iter().map(|f| f[d]).sum::<f32>() / (n - n / 4) as f32
+            };
+            assert!((mean(&live) - mean(&batch)).abs() < 0.02, "dim {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prior_frames")]
+    fn negative_prior_frames_panics() {
+        CepstralMeanNorm::with_prior(2, -1.0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent prior dimension")]
+    fn wrong_prior_dim_panics() {
+        CepstralMeanNorm::with_prior(2, 10.0, Some(vec![0.0; 3]));
     }
 
     #[test]

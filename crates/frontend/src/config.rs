@@ -60,6 +60,17 @@ pub struct FrontendConfig {
     pub delta_window: usize,
     /// Whether cepstral mean normalisation is applied per utterance.
     pub cepstral_mean_norm: bool,
+    /// Weight, in frames, of the initial mean estimate when CMN runs in
+    /// *live* (streaming) mode: the running mean is blended with
+    /// [`FrontendConfig::cmn_prior_mean`] as if the prior had already been
+    /// observed for this many frames, so early frames are not over-corrected.
+    /// 0 trusts the observed running mean immediately.  Ignored by the batch
+    /// (whole-utterance) path.
+    pub cmn_prior_frames: f64,
+    /// Initial per-coefficient mean estimate for live CMN (`None` → zeros).
+    /// Must have [`FrontendConfig::num_cepstra`] entries when set.  Ignored
+    /// by the batch path.
+    pub cmn_prior_mean: Option<Vec<f64>>,
     /// Dither amplitude added to the signal to avoid log(0) on digital silence.
     pub dither: f32,
 }
@@ -79,6 +90,8 @@ impl Default for FrontendConfig {
             use_delta_delta: true,
             delta_window: 2,
             cepstral_mean_norm: true,
+            cmn_prior_frames: 100.0,
+            cmn_prior_mean: None,
             dither: 1.0e-6,
         }
     }
@@ -177,7 +190,41 @@ impl FrontendConfig {
                 "delta_window must be >= 1 when deltas are enabled".into(),
             ));
         }
+        if !self.cmn_prior_frames.is_finite() || self.cmn_prior_frames < 0.0 {
+            return Err(FrontendError::InvalidConfig(
+                "cmn_prior_frames must be finite and non-negative".into(),
+            ));
+        }
+        if let Some(prior) = &self.cmn_prior_mean {
+            if prior.len() != self.num_cepstra {
+                return Err(FrontendError::InvalidConfig(format!(
+                    "cmn_prior_mean has {} entries but num_cepstra is {}",
+                    prior.len(),
+                    self.num_cepstra
+                )));
+            }
+            if prior.iter().any(|v| !v.is_finite()) {
+                return Err(FrontendError::InvalidConfig(
+                    "cmn_prior_mean entries must be finite".into(),
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// Builds the live (streaming) CMN normaliser this configuration
+    /// describes, over [`FrontendConfig::num_cepstra`] coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid prior; call [`FrontendConfig::validate`] first
+    /// (every frontend constructor does).
+    pub fn live_cmn(&self) -> crate::CepstralMeanNorm {
+        crate::CepstralMeanNorm::with_prior(
+            self.num_cepstra,
+            self.cmn_prior_frames,
+            self.cmn_prior_mean.clone(),
+        )
     }
 }
 
@@ -237,9 +284,39 @@ mod tests {
         let mut c = base.clone();
         c.delta_window = 0;
         assert!(c.validate().is_err());
-        let mut c = base;
+        let mut c = base.clone();
         c.frame_length_ms = -1.0;
         assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.cmn_prior_frames = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.cmn_prior_frames = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.cmn_prior_mean = Some(vec![0.0; 3]); // needs num_cepstra = 13 entries
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.cmn_prior_mean = Some(vec![f64::INFINITY; 13]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn live_cmn_builder_applies_the_configured_prior() {
+        let cfg = FrontendConfig {
+            cmn_prior_frames: 25.0,
+            cmn_prior_mean: Some(vec![1.5; 13]),
+            ..FrontendConfig::default()
+        };
+        cfg.validate().unwrap();
+        let cmn = cfg.live_cmn();
+        assert_eq!(cmn.dim(), 13);
+        assert_eq!(cmn.prior_frames(), 25.0);
+        assert_eq!(cmn.prior_mean(), &[1.5f64; 13][..]);
+        // The default prior matches the historical hardcoded values.
+        let default_cmn = FrontendConfig::default().live_cmn();
+        assert_eq!(default_cmn.prior_frames(), 100.0);
+        assert!(default_cmn.prior_mean().iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod clock;
+pub mod latency;
 pub mod memory;
 pub mod opu;
 pub mod power;
@@ -48,6 +49,7 @@ pub mod soc;
 pub mod viterbi_unit;
 
 pub use clock::{ClockDomain, CycleCount};
+pub use latency::StreamTiming;
 pub use memory::{DmaEngine, FlashMemory, MemoryStats, WorkingRam};
 pub use opu::{ObservationProbabilityUnit, OpuConfig, OpuStats};
 pub use power::{AreaBudget, EnergyReport, HostCpuModel, PowerModel};

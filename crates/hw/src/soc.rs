@@ -142,6 +142,11 @@ pub struct UtteranceReport {
     pub mean_bandwidth_gb_per_s: f64,
     /// Energy/power summary.
     pub energy: EnergyReport,
+    /// Host wall-clock streaming latency record, when the utterance was
+    /// decoded through a streaming session (per-chunk latencies and the
+    /// stream's real-time factor).  `None` for offline decodes; the SoC model
+    /// itself never fills this — the streaming layer folds it in.
+    pub streaming: Option<crate::latency::StreamTiming>,
 }
 
 impl UtteranceReport {
@@ -195,6 +200,10 @@ impl UtteranceReport {
                     other.energy.viterbi_activity,
                 ),
             },
+            streaming: crate::latency::StreamTiming::merge_options(
+                &self.streaming,
+                &other.streaming,
+            ),
         }
     }
 
@@ -249,6 +258,10 @@ impl UtteranceReport {
                     shard.energy.viterbi_activity,
                 ),
             },
+            // Parallel shards saw the same chunks; keeping one record (the
+            // stream layer stamps the merged report anyway) avoids counting
+            // the same chunk N times.
+            streaming: self.streaming.clone().or_else(|| shard.streaming.clone()),
         }
     }
 }
@@ -515,6 +528,7 @@ impl SpeechSoc {
                 opu_activity: opu_activity_sum / n,
                 viterbi_activity: vit_activity_sum / n,
             },
+            streaming: None,
         }
     }
 

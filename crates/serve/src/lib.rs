@@ -80,7 +80,11 @@ mod future;
 mod server;
 
 pub use future::{block_on, DecodeFuture};
-pub use server::{AsrServer, ServeStats};
+pub use server::{AsrServer, ServeStats, StreamHandle};
+
+// Streaming clients read partial hypotheses through the serve layer too; the
+// type is asr-core's, re-exported so callers need only this crate.
+pub use asr_core::PartialHypothesis;
 
 use asr_core::DecodeError;
 use std::time::Duration;

@@ -1,35 +1,91 @@
 //! The server: a bounded request queue in front of a micro-batching worker
-//! thread that owns the recogniser and one long-lived phone decoder.
+//! thread that owns the recogniser and one long-lived phone decoder, plus
+//! incremental stream sessions multiplexed over the same queue.
 
 use crate::future::{DecodeFuture, Slot};
 use crate::{ServeConfig, ServeError};
-use asr_core::{PhoneDecoder, Recognizer};
+use asr_core::{DecodeSession, PartialHypothesis, PhoneDecoder, Recognizer};
 use asr_hw::UtteranceReport;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// One accepted request: the features to decode and the slot to fulfil.
+/// One accepted command: a whole-utterance decode, or one step in the life
+/// of an incremental stream session.
 ///
-/// The drop guard is the no-dangling-future invariant: however a request
-/// leaves the queue (served, drained at shutdown, or dropped because the
-/// worker died), its future resolves — unserved requests fail with the typed
-/// [`ServeError::Closed`] instead of hanging their caller.
+/// The drop guard is the no-dangling-future invariant: however a
+/// slot-carrying command leaves the queue (served, drained at shutdown, or
+/// dropped because the worker died), its future resolves — unserved requests
+/// fail with the typed [`ServeError::Closed`] instead of hanging their
+/// caller.  Dropped stream pushes need no guard: their session's finish
+/// command resolves (or fails `Closed`) on its own.
+#[derive(Debug)]
+enum Command {
+    /// Decode one complete utterance and fulfil the slot.
+    Decode {
+        features: Vec<Vec<f32>>,
+        slot: Arc<Slot>,
+    },
+    /// Create an incremental session for stream `id`.
+    StreamOpen { id: u64, state: Arc<StreamState> },
+    /// Feed a feature chunk to stream `id`.
+    StreamPush { id: u64, chunk: Vec<Vec<f32>> },
+    /// Close stream `id` and fulfil the slot with its final result.
+    StreamFinish { id: u64, slot: Arc<Slot> },
+    /// Discard stream `id`'s session without producing a result (the
+    /// client's handle was dropped unfinished).
+    StreamCancel { id: u64 },
+}
+
+impl Command {
+    /// Stream commands are latency-sensitive: the micro-batcher skips its
+    /// coalescing wait while one is queued.
+    fn is_stream(&self) -> bool {
+        !matches!(self, Command::Decode { .. })
+    }
+}
+
 #[derive(Debug)]
 struct Request {
-    features: Vec<Vec<f32>>,
-    slot: Arc<Slot>,
-    /// When the request entered the queue; the micro-batcher flushes when
-    /// the *oldest* pending request has waited `max_batch_delay`.
+    command: Command,
+    /// When the command entered the queue; the micro-batcher flushes when
+    /// the *oldest* pending command has waited `max_batch_delay`.
     enqueued: Instant,
 }
 
 impl Drop for Request {
     fn drop(&mut self) {
         // No-op when the batcher already fulfilled the slot.
-        self.slot.fulfil(Err(ServeError::Closed));
+        match &self.command {
+            Command::Decode { slot, .. } | Command::StreamFinish { slot, .. } => {
+                slot.fulfil(Err(ServeError::Closed));
+            }
+            Command::StreamOpen { .. }
+            | Command::StreamPush { .. }
+            | Command::StreamCancel { .. } => {}
+        }
+    }
+}
+
+/// Shared per-stream state: the latest partial hypothesis, readable by the
+/// client between pushes.
+#[derive(Debug, Default)]
+struct StreamState {
+    partial: Mutex<PartialHypothesis>,
+}
+
+impl StreamState {
+    fn snapshot(&self) -> PartialHypothesis {
+        self.partial
+            .lock()
+            .expect("stream partial lock poisoned")
+            .clone()
+    }
+
+    fn store(&self, partial: PartialHypothesis) {
+        *self.partial.lock().expect("stream partial lock poisoned") = partial;
     }
 }
 
@@ -48,6 +104,10 @@ struct Counters {
     failed: AtomicU64,
     batches: AtomicU64,
     largest_batch: AtomicUsize,
+    stream_sessions: AtomicU64,
+    stream_chunks: AtomicU64,
+    /// Stream-session ids (monotonic; never reused within a server).
+    next_stream_id: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -65,7 +125,10 @@ struct Shared {
 /// A point-in-time snapshot of the serving counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
-    /// Requests accepted into the queue.
+    /// Units of result-producing work accepted into the queue:
+    /// whole-utterance decode requests plus stream-session finishes.  Every
+    /// `completed`/`failed` tick has a matching `submitted` tick, so
+    /// `submitted - completed - failed` is the in-flight depth.
     pub submitted: u64,
     /// Requests refused with [`ServeError::QueueFull`].
     pub rejected: u64,
@@ -77,6 +140,10 @@ pub struct ServeStats {
     pub batches: u64,
     /// Largest micro-batch flushed so far.
     pub largest_batch: usize,
+    /// Incremental stream sessions opened.
+    pub stream_sessions: u64,
+    /// Stream feature chunks processed by the worker.
+    pub stream_chunks: u64,
 }
 
 impl ServeStats {
@@ -160,11 +227,28 @@ impl AsrServer {
     /// already waiting (the request is not enqueued — retry or shed), and
     /// [`ServeError::Closed`] after [`AsrServer::close`]/drop began.
     pub fn submit(&self, features: Vec<Vec<f32>>) -> Result<DecodeFuture, ServeError> {
-        let mut queue = self.lock_queue();
+        let slot = Slot::new();
+        self.enqueue(
+            Command::Decode {
+                features,
+                slot: Arc::clone(&slot),
+            },
+            true,
+            true,
+        )?;
+        Ok(DecodeFuture::new(slot))
+    }
+
+    /// Checks admission under the queue lock: closed servers refuse
+    /// everything, and bounded commands are refused when `max_pending` are
+    /// already waiting.  Session open/finish commands are exempt from the
+    /// bound — they carry no feature payload, and bouncing a *finish* would
+    /// strand a session whose work is already done.
+    fn admit(&self, queue: &mut Queue, bounded: bool) -> Result<(), ServeError> {
         if queue.closed {
             return Err(ServeError::Closed);
         }
-        if queue.pending.len() >= self.config.max_pending {
+        if bounded && queue.pending.len() >= self.config.max_pending {
             self.shared
                 .counters
                 .rejected
@@ -173,22 +257,75 @@ impl AsrServer {
                 capacity: self.config.max_pending,
             });
         }
-        let slot = Slot::new();
+        Ok(())
+    }
+
+    /// Enqueues one command.  `count_submitted` is set for the commands that
+    /// will eventually resolve as `completed`/`failed` (whole-utterance
+    /// decodes, stream finishes), so a `stats()` snapshot never sees
+    /// `completed + failed > submitted`; the increment happens while the
+    /// queue lock is still held, before the batcher can complete the work.
+    fn enqueue(
+        &self,
+        command: Command,
+        bounded: bool,
+        count_submitted: bool,
+    ) -> Result<(), ServeError> {
+        let mut queue = self.lock_queue();
+        self.admit(&mut queue, bounded)?;
         queue.pending.push_back(Request {
-            features,
-            slot: Arc::clone(&slot),
+            command,
             enqueued: Instant::now(),
         });
-        // Counted while still holding the queue lock: once it drops, the
-        // batcher may complete the request, and a stats() snapshot must
-        // never see completed > submitted.
-        self.shared
-            .counters
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
+        if count_submitted {
+            self.shared
+                .counters
+                .submitted
+                .fetch_add(1, Ordering::Relaxed);
+        }
         drop(queue);
         self.shared.wakeup.notify_all();
-        Ok(DecodeFuture::new(slot))
+        Ok(())
+    }
+
+    /// Opens an incremental stream session: the serving-side counterpart of
+    /// [`Recognizer::begin_session`](asr_core::Recognizer::begin_session).
+    /// Push feature chunks as they arrive, read partial hypotheses between
+    /// pushes, and [`StreamHandle::finish`] for a [`DecodeFuture`] resolving
+    /// to the same result an offline decode of the concatenated chunks would
+    /// produce.  Sessions share the worker (and its queue) with batch
+    /// requests; the micro-batcher skips its coalescing delay while stream
+    /// commands are queued, so interactive sessions are not taxed with batch
+    /// latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] after shutdown began.
+    pub fn open_stream(&self) -> Result<StreamHandle<'_>, ServeError> {
+        let id = self
+            .shared
+            .counters
+            .next_stream_id
+            .fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(StreamState::default());
+        self.enqueue(
+            Command::StreamOpen {
+                id,
+                state: Arc::clone(&state),
+            },
+            false,
+            false,
+        )?;
+        self.shared
+            .counters
+            .stream_sessions
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(StreamHandle {
+            server: self,
+            id,
+            state,
+            consumed: false,
+        })
     }
 
     /// A snapshot of the serving counters.
@@ -201,6 +338,8 @@ impl AsrServer {
             failed: c.failed.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             largest_batch: c.largest_batch.load(Ordering::Relaxed),
+            stream_sessions: c.stream_sessions.load(Ordering::Relaxed),
+            stream_chunks: c.stream_chunks.load(Ordering::Relaxed),
         }
     }
 
@@ -255,6 +394,102 @@ impl Drop for AsrServer {
     }
 }
 
+/// A client-side handle on one incremental stream session.
+///
+/// Obtained from [`AsrServer::open_stream`].  Chunks pushed through the
+/// handle are processed in order by the server's worker; the latest partial
+/// hypothesis is always readable without blocking; [`StreamHandle::finish`]
+/// converts the session into a [`DecodeFuture`].  Commands of different
+/// sessions (and batch submissions) interleave freely on the queue — each
+/// session has its own decoder state on the worker.
+///
+/// Dropping the handle without finishing cancels the session: the worker
+/// discards its decoder state (no result is produced, nothing counts as
+/// completed or failed), so abandoned sessions cannot accumulate on a
+/// long-running server.
+#[derive(Debug)]
+pub struct StreamHandle<'s> {
+    server: &'s AsrServer,
+    id: u64,
+    state: Arc<StreamState>,
+    /// Whether `finish` consumed the session (suppresses the cancel-on-drop).
+    consumed: bool,
+}
+
+impl Drop for StreamHandle<'_> {
+    fn drop(&mut self) {
+        if !self.consumed {
+            // Best effort: on a closed server the worker is draining anyway
+            // and its session map dies with it.
+            let _ = self
+                .server
+                .enqueue(Command::StreamCancel { id: self.id }, false, false);
+        }
+    }
+}
+
+impl StreamHandle<'_> {
+    /// The session's id (unique within its server).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Enqueues one feature chunk for this session.
+    ///
+    /// Never blocks.  The chunk is cloned into the queue, so on backpressure
+    /// the caller still owns the data and can retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] when the bounded queue is full (the
+    /// chunk was not enqueued) and [`ServeError::Closed`] after shutdown
+    /// began.  Decode errors inside the worker surface on
+    /// [`StreamHandle::finish`], not here.
+    pub fn push_chunk(&self, chunk: &[Vec<f32>]) -> Result<(), ServeError> {
+        self.server.enqueue(
+            Command::StreamPush {
+                id: self.id,
+                chunk: chunk.to_vec(),
+            },
+            true,
+            false,
+        )
+    }
+
+    /// The latest partial hypothesis the worker has published for this
+    /// session.  Non-blocking; lags the most recent push until the worker
+    /// processes it.
+    pub fn partial(&self) -> PartialHypothesis {
+        self.state.snapshot()
+    }
+
+    /// Closes the session and returns the future of its final result —
+    /// identical to an offline decode of every chunk pushed so far (the
+    /// typed empty result if none were).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] if the server shut down before the
+    /// finish could be enqueued.
+    pub fn finish(mut self) -> Result<DecodeFuture, ServeError> {
+        // Either way the handle is spent: on success the worker will remove
+        // the session at the finish command; on Closed the worker is
+        // draining and its session map dies with it.  Never cancel-on-drop
+        // after this.
+        self.consumed = true;
+        let slot = Slot::new();
+        self.server.enqueue(
+            Command::StreamFinish {
+                id: self.id,
+                slot: Arc::clone(&slot),
+            },
+            false,
+            true,
+        )?;
+        Ok(DecodeFuture::new(slot))
+    }
+}
+
 /// Closes the queue and fails its pending requests when the worker exits —
 /// including by panic.  Without this, a panicking worker (e.g. a poisoned
 /// lock) would leave `closed == false`: `submit` would keep accepting
@@ -280,8 +515,40 @@ impl Drop for CloseOnExit<'_> {
     }
 }
 
-/// The worker: wait for requests, coalesce, decode, fulfil — until the queue
-/// is closed *and* drained.
+/// One live stream session on the worker: the incremental decoder plus the
+/// shared state its partials publish into.  The whole entry degrades to the
+/// first error the session hit; the finish command collects it.
+type WorkerStream<'a> = Result<(DecodeSession<'a>, Arc<StreamState>), ServeError>;
+
+/// Folds a decoded utterance's outcome into the stream-level counters and
+/// hardware report.
+fn record_outcome(shared: &Shared, outcome: &Result<asr_core::DecodeResult, ServeError>) {
+    let c = &shared.counters;
+    match outcome {
+        Ok(result) => {
+            c.completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(report) = &result.hardware {
+                let mut merged = shared
+                    .hardware
+                    .lock()
+                    .expect("hardware report lock poisoned");
+                *merged = Some(match merged.take() {
+                    Some(acc) => acc.merge(report),
+                    None => report.clone(),
+                });
+            }
+        }
+        Err(_) => {
+            c.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The worker: wait for commands, coalesce, decode, fulfil — until the queue
+/// is closed *and* drained.  Whole-utterance decodes run through the one
+/// long-lived `decoder`; each stream session owns its own incremental
+/// decoder state in `sessions` (interleaved sessions cannot share CDS /
+/// arena state).
 fn batcher_loop(
     recognizer: &Recognizer,
     mut decoder: PhoneDecoder,
@@ -289,6 +556,7 @@ fn batcher_loop(
     config: &ServeConfig,
 ) {
     let _close_on_exit = CloseOnExit(shared);
+    let mut sessions: HashMap<u64, WorkerStream<'_>> = HashMap::new();
     loop {
         let batch = {
             let mut queue = shared.queue.lock().expect("request queue lock poisoned");
@@ -307,12 +575,14 @@ fn batcher_loop(
             }
             // Micro-batching: give later requests until the *oldest* pending
             // request has waited `max_batch_delay` to join this flush, unless
-            // the batch is already full or the server is draining for
-            // shutdown (then latency no longer buys anything).  Anchoring the
-            // deadline at enqueue time means a request that already waited
-            // out a previous flush's decode is not made to wait a fresh
-            // window on top.
-            if queue.pending.len() < config.max_batch && !queue.closed {
+            // the batch is already full, the server is draining for shutdown
+            // (then latency no longer buys anything), or a stream command is
+            // queued (streams are latency-bound: their chunks gain nothing
+            // from coalescing with batch traffic).  Anchoring the deadline at
+            // enqueue time means a request that already waited out a previous
+            // flush's decode is not made to wait a fresh window on top.
+            let has_stream = queue.pending.iter().any(|r| r.command.is_stream());
+            if queue.pending.len() < config.max_batch && !queue.closed && !has_stream {
                 let deadline = queue
                     .pending
                     .front()
@@ -329,49 +599,70 @@ fn batcher_loop(
                         .wait_timeout(queue, deadline - now)
                         .expect("request queue lock poisoned");
                     queue = guard;
+                    if queue.pending.iter().any(|r| r.command.is_stream()) {
+                        break;
+                    }
                 }
             }
             let take = queue.pending.len().min(config.max_batch);
             queue.pending.drain(..take).collect::<Vec<Request>>()
         };
 
-        // Decode outside the lock so submissions stay non-blocking.  The
-        // coalesced batch streams through the worker's one long-lived
-        // decoder — `decode_batch_with`'s amortisation, unrolled per request
-        // so a bad utterance fails alone instead of poisoning (or
-        // double-decoding) its batch neighbours.
-        let outcomes: Vec<_> = batch
-            .iter()
-            .map(|request| {
-                recognizer
-                    .decode_features_with(&request.features, &mut decoder)
-                    .map_err(ServeError::from)
-            })
-            .collect();
-
+        // Work outside the lock so submissions stay non-blocking.  Commands
+        // run in arrival order: whole-utterance decodes stream through the
+        // worker's one long-lived decoder (`decode_batch_with`'s
+        // amortisation, unrolled per request so a bad utterance fails alone
+        // instead of poisoning its batch neighbours), and stream commands
+        // advance their session's own incremental state.
         let c = &shared.counters;
         c.batches.fetch_add(1, Ordering::Relaxed);
         c.largest_batch.fetch_max(batch.len(), Ordering::Relaxed);
-        for (request, outcome) in batch.into_iter().zip(outcomes) {
-            match &outcome {
-                Ok(result) => {
-                    c.completed.fetch_add(1, Ordering::Relaxed);
-                    if let Some(report) = &result.hardware {
-                        let mut merged = shared
-                            .hardware
-                            .lock()
-                            .expect("hardware report lock poisoned");
-                        *merged = Some(match merged.take() {
-                            Some(acc) => acc.merge(report),
-                            None => report.clone(),
-                        });
+        for request in batch {
+            match &request.command {
+                Command::Decode { features, slot } => {
+                    let outcome = recognizer
+                        .decode_features_with(features, &mut decoder)
+                        .map_err(ServeError::from);
+                    record_outcome(shared, &outcome);
+                    slot.fulfil(outcome);
+                }
+                Command::StreamOpen { id, state } => {
+                    let entry = recognizer
+                        .begin_session()
+                        .map(|session| (session, Arc::clone(state)))
+                        .map_err(ServeError::from);
+                    sessions.insert(*id, entry);
+                }
+                Command::StreamPush { id, chunk } => {
+                    c.stream_chunks.fetch_add(1, Ordering::Relaxed);
+                    if let Some(entry) = sessions.get_mut(id) {
+                        if let Ok((session, state)) = entry {
+                            match session.push_chunk(chunk) {
+                                Ok(()) => state.store(session.partial()),
+                                // The session degrades to its first error;
+                                // finish() will deliver it.
+                                Err(e) => *entry = Err(ServeError::from(e)),
+                            }
+                        }
                     }
                 }
-                Err(_) => {
-                    c.failed.fetch_add(1, Ordering::Relaxed);
+                Command::StreamFinish { id, slot } => {
+                    let outcome = match sessions.remove(id) {
+                        Some(Ok((session, _state))) => session.finish().map_err(ServeError::from),
+                        Some(Err(e)) => Err(e),
+                        // Unreachable through the handle API (open precedes
+                        // finish in queue order); fail typed, not by hanging.
+                        None => Err(ServeError::Closed),
+                    };
+                    record_outcome(shared, &outcome);
+                    slot.fulfil(outcome);
+                }
+                Command::StreamCancel { id } => {
+                    // The client dropped its handle: discard the session's
+                    // decoder state.  No result, no completed/failed tick.
+                    sessions.remove(id);
                 }
             }
-            request.slot.fulfil(outcome);
         }
     }
 }
@@ -567,14 +858,231 @@ mod tests {
         };
         let slot = Slot::new();
         shared.queue.lock().unwrap().pending.push_back(Request {
-            features: Vec::new(),
-            slot: Arc::clone(&slot),
+            command: Command::Decode {
+                features: Vec::new(),
+                slot: Arc::clone(&slot),
+            },
             enqueued: Instant::now(),
         });
         let future = DecodeFuture::new(slot);
         drop(CloseOnExit(&shared));
         assert!(shared.queue.lock().unwrap().closed);
         assert!(matches!(future.wait(), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn stream_session_matches_offline_decode() {
+        let task = task();
+        let direct = recognizer(&task, DecoderConfig::simd());
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let (features, reference) = task.synthesize_utterance(2, 0.2, 21);
+        let offline = direct.decode_features(&features).unwrap();
+
+        let handle = server.open_stream().unwrap();
+        for chunk in features.chunks(3) {
+            handle.push_chunk(chunk).unwrap();
+        }
+        let result = handle.finish().unwrap().wait().unwrap();
+        assert_eq!(result.hypothesis.words, reference);
+        assert_eq!(result.hypothesis, offline.hypothesis);
+        assert_eq!(result.best_score.raw(), offline.best_score.raw());
+        assert_eq!(result.stats.num_frames(), features.len());
+        let stats = server.stats();
+        assert_eq!(stats.stream_sessions, 1);
+        assert_eq!(stats.stream_chunks as usize, features.len().div_ceil(3));
+        assert_eq!(stats.completed, 1);
+        // The finish counted as submitted work: completed never outruns it.
+        assert_eq!(stats.submitted, 1);
+        server.close();
+    }
+
+    #[test]
+    fn dropped_stream_handles_cancel_their_worker_sessions() {
+        let task = task();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let (features, reference) = task.synthesize_utterance(1, 0.2, 81);
+        {
+            let handle = server.open_stream().unwrap();
+            handle.push_chunk(&features).unwrap();
+            // Dropped here without finish: the worker discards the session.
+        }
+        // Subsequent traffic is unaffected, and the abandoned session never
+        // produced a result tick.
+        let got = server.submit(features.clone()).unwrap().wait().unwrap();
+        assert_eq!(got.hypothesis.words, reference);
+        let stats = server.stats();
+        assert_eq!(stats.stream_sessions, 1);
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        server.close();
+    }
+
+    #[test]
+    fn interleaved_streams_and_batch_requests_stay_isolated() {
+        let task = task();
+        let direct = recognizer(&task, DecoderConfig::simd());
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let (first, first_ref) = task.synthesize_utterance(1, 0.2, 31);
+        let (second, second_ref) = task.synthesize_utterance(2, 0.2, 32);
+        let (batch_utt, batch_ref) = task.synthesize_utterance(1, 0.2, 33);
+        let want_first = direct.decode_features(&first).unwrap();
+        let want_second = direct.decode_features(&second).unwrap();
+
+        // Two sessions interleaved chunk by chunk, with a whole-utterance
+        // request racing through the same queue.
+        let a = server.open_stream().unwrap();
+        let b = server.open_stream().unwrap();
+        assert_ne!(a.id(), b.id());
+        let batch_future = server.submit(batch_utt).unwrap();
+        let mut ai = first.chunks(2);
+        let mut bi = second.chunks(2);
+        loop {
+            match (ai.next(), bi.next()) {
+                (None, None) => break,
+                (chunk_a, chunk_b) => {
+                    if let Some(chunk) = chunk_a {
+                        a.push_chunk(chunk).unwrap();
+                    }
+                    if let Some(chunk) = chunk_b {
+                        b.push_chunk(chunk).unwrap();
+                    }
+                }
+            }
+        }
+        let got_a = a.finish().unwrap().wait().unwrap();
+        let got_b = b.finish().unwrap().wait().unwrap();
+        assert_eq!(got_a.hypothesis.words, first_ref);
+        assert_eq!(got_b.hypothesis.words, second_ref);
+        assert_eq!(got_a.hypothesis, want_first.hypothesis);
+        assert_eq!(got_b.hypothesis, want_second.hypothesis);
+        assert_eq!(batch_future.wait().unwrap().hypothesis.words, batch_ref);
+        assert_eq!(server.stats().completed, 3);
+    }
+
+    #[test]
+    fn stream_partials_are_published_and_prefix_consistent() {
+        let task = task();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let (features, reference) = task.synthesize_utterance(3, 0.2, 41);
+        let handle = server.open_stream().unwrap();
+        assert_eq!(handle.partial(), PartialHypothesis::default());
+        let mut previous = PartialHypothesis::default();
+        for chunk in features.chunks(4) {
+            handle.push_chunk(chunk).unwrap();
+            // The worker publishes asynchronously; wait for it to catch up
+            // so the snapshot is deterministic.
+            while handle.partial().frames < previous.frames + chunk.len() {
+                std::thread::yield_now();
+            }
+            let partial = handle.partial();
+            assert!(partial.words.starts_with(&previous.words));
+            previous = partial;
+        }
+        assert!(!previous.words.is_empty());
+        let result = handle.finish().unwrap().wait().unwrap();
+        assert_eq!(result.hypothesis.words, reference);
+    }
+
+    #[test]
+    fn empty_stream_session_resolves_to_the_typed_empty_result() {
+        let task = task();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let handle = server.open_stream().unwrap();
+        let result = handle.finish().unwrap().wait().unwrap();
+        assert!(result.is_empty());
+        assert_eq!(server.stats().completed, 1);
+    }
+
+    #[test]
+    fn a_bad_chunk_fails_the_session_at_finish_not_its_neighbours() {
+        let task = task();
+        let dim = task.acoustic_model.feature_dim();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let (good, reference) = task.synthesize_utterance(1, 0.2, 51);
+        let poisoned = server.open_stream().unwrap();
+        let healthy = server.open_stream().unwrap();
+        poisoned.push_chunk(&[vec![0.0; dim + 2]]).unwrap();
+        // Later pushes to the failed session are absorbed, not decoded.
+        poisoned.push_chunk(&good).unwrap();
+        healthy.push_chunk(&good).unwrap();
+        assert!(matches!(
+            poisoned.finish().unwrap().wait(),
+            Err(ServeError::Decode(DecodeError::DimensionMismatch { .. }))
+        ));
+        assert_eq!(
+            healthy.finish().unwrap().wait().unwrap().hypothesis.words,
+            reference
+        );
+        let stats = server.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn streams_cannot_be_opened_or_pushed_after_close() {
+        let task = task();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let (features, _) = task.synthesize_utterance(1, 0.2, 61);
+        let handle = server.open_stream().unwrap();
+        handle.push_chunk(&features).unwrap();
+        {
+            // Mark the shared queue closed exactly as shutdown does.
+            server.lock_queue().closed = true;
+        }
+        assert!(matches!(
+            handle.push_chunk(&features),
+            Err(ServeError::Closed)
+        ));
+        assert!(matches!(server.open_stream(), Err(ServeError::Closed)));
+        assert!(matches!(handle.finish(), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn stream_hardware_reports_fold_into_the_server_report() {
+        let task = task();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::hardware(2)),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let (features, _) = task.synthesize_utterance(1, 0.2, 71);
+        let frames = features.len();
+        let handle = server.open_stream().unwrap();
+        handle.push_chunk(&features).unwrap();
+        handle.finish().unwrap().wait().unwrap();
+        let direct = server.submit(features).unwrap();
+        direct.wait().unwrap();
+        let report = server.hardware_report().expect("merged stream report");
+        assert_eq!(report.frames, 2 * frames);
     }
 
     #[test]

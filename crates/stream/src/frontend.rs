@@ -1,0 +1,420 @@
+//! The chunked frontend: raw audio pushed in arbitrary-size chunks, feature
+//! vectors out as soon as they are computable.
+//!
+//! Reuses the per-frame MFCC kernel ([`MfccExtractor`]) of the offline
+//! frontend unchanged; what changes is the state that the offline path gets
+//! for free from seeing the whole utterance:
+//!
+//! * **pre-emphasis** carries its one-sample history across chunks;
+//! * **framing** buffers the 15 ms of window overlap between 10 ms hops;
+//! * **CMN** runs in *live* mode (running mean with the configured prior),
+//!   because the utterance mean is unknowable mid-stream;
+//! * **deltas** are computed incrementally: a frame's feature vector is
+//!   emitted once its full regression context has arrived (a fixed lookahead
+//!   of `delta_window` frames per derivative order), and
+//!   [`StreamingFrontend::finish_utterance`] flushes the tail with the same
+//!   edge clamping the offline [`DeltaComputer`](asr_frontend::DeltaComputer)
+//!   applies — so with CMN disabled the streamed features are **bit-identical**
+//!   to [`Frontend::process`](asr_frontend::Frontend::process) regardless of
+//!   chunking (pinned by this module's tests).
+
+use asr_frontend::mfcc::MfccExtractor;
+use asr_frontend::{CepstralMeanNorm, FeatureVector, FrontendConfig, FrontendError};
+
+/// Incremental delta / delta-delta appender over a growing cepstra sequence.
+///
+/// Holds the utterance's static cepstra and emits fully-contexted feature
+/// vectors; the final clamped frames are produced on `flush`.
+#[derive(Debug, Clone)]
+struct IncrementalDelta {
+    window: usize,
+    use_delta: bool,
+    use_delta_delta: bool,
+    cepstra: Vec<Vec<f32>>,
+    emitted: usize,
+}
+
+impl IncrementalDelta {
+    fn new(window: usize, use_delta: bool, use_delta_delta: bool) -> Self {
+        IncrementalDelta {
+            window: window.max(1),
+            use_delta,
+            use_delta_delta,
+            cepstra: Vec::new(),
+            emitted: 0,
+        }
+    }
+
+    /// Frames of future context frame `t` needs before its derivatives stop
+    /// depending on frames that have not arrived yet.
+    fn lookahead(&self) -> usize {
+        match (self.use_delta, self.use_delta_delta) {
+            (false, _) => 0,
+            (true, false) => self.window,
+            // Δ at t+W reads cepstra up to t+2W; ΔΔ at t reads Δ up to t+W.
+            (true, true) => 2 * self.window,
+        }
+    }
+
+    /// The regression delta of `seq` at index `t`, with indices clamped to
+    /// the sequence — the exact per-frame formula of
+    /// [`asr_frontend::DeltaComputer::delta`].
+    fn delta_at(seq: &[Vec<f32>], t: usize, window: usize) -> Vec<f32> {
+        let n = seq.len();
+        let dim = seq[0].len();
+        let denom: f32 = 2.0 * (1..=window).map(|i| (i * i) as f32).sum::<f32>();
+        let clamp = |idx: isize| -> &Vec<f32> { &seq[idx.clamp(0, n as isize - 1) as usize] };
+        let mut out = vec![0.0f32; dim];
+        for w in 1..=window {
+            let plus = clamp(t as isize + w as isize);
+            let minus = clamp(t as isize - w as isize);
+            for d in 0..dim {
+                out[d] += w as f32 * (plus[d] - minus[d]);
+            }
+        }
+        for v in &mut out {
+            *v /= denom;
+        }
+        out
+    }
+
+    fn feature_at(&self, t: usize) -> FeatureVector {
+        let mut v = self.cepstra[t].clone();
+        if self.use_delta {
+            let delta_of = |i: usize| Self::delta_at(&self.cepstra, i, self.window);
+            let delta = delta_of(t);
+            if self.use_delta_delta {
+                // ΔΔ is the regression of Δ; materialise only the Δ frames
+                // the window touches (clamped like the offline pass over the
+                // full Δ sequence — clamping an index then differentiating
+                // equals differentiating the clamped sequence).
+                let n = self.cepstra.len();
+                let deltas: Vec<Vec<f32>> = (0..n.min(t + self.window + 1))
+                    .skip(t.saturating_sub(self.window))
+                    .map(delta_of)
+                    .collect();
+                let local_t = t - t.saturating_sub(self.window);
+                // Re-clamp inside the materialised slice: indices below the
+                // slice start are the slice's first entry only when that
+                // entry is genuinely frame 0 (saturating_sub guarantees it).
+                let dd = Self::delta_at(&deltas, local_t, self.window);
+                v.extend_from_slice(&delta);
+                v.extend_from_slice(&dd);
+            } else {
+                v.extend_from_slice(&delta);
+            }
+        }
+        v
+    }
+
+    /// Accepts one static cepstrum and returns every frame whose context is
+    /// now complete.
+    fn push(&mut self, cepstrum: Vec<f32>) -> Vec<FeatureVector> {
+        self.cepstra.push(cepstrum);
+        let lookahead = self.lookahead();
+        let mut out = Vec::new();
+        while self.emitted + lookahead < self.cepstra.len() {
+            out.push(self.feature_at(self.emitted));
+            self.emitted += 1;
+        }
+        out
+    }
+
+    /// Emits the remaining tail with end-of-utterance clamping and resets
+    /// for the next utterance.
+    fn flush(&mut self) -> Vec<FeatureVector> {
+        let mut out = Vec::new();
+        while self.emitted < self.cepstra.len() {
+            out.push(self.feature_at(self.emitted));
+            self.emitted += 1;
+        }
+        self.cepstra.clear();
+        self.emitted = 0;
+        out
+    }
+}
+
+/// The chunked streaming frontend: push samples of any chunk size, collect
+/// feature vectors as their context completes, and
+/// [`finish_utterance`](StreamingFrontend::finish_utterance) at an endpoint.
+#[derive(Debug, Clone)]
+pub struct StreamingFrontend {
+    extractor: MfccExtractor,
+    cmn: Option<CepstralMeanNorm>,
+    delta: IncrementalDelta,
+    /// Emphasized + dithered samples not yet consumed by framing (the next
+    /// frame starts at index 0).
+    buffer: Vec<f32>,
+    /// Last *raw* input sample of the previous chunk (pre-emphasis history).
+    last_raw: Option<f32>,
+    /// Absolute sample index within the utterance (dither parity).
+    samples_seen: usize,
+    /// Feature frames emitted for the current utterance.
+    frames_emitted: usize,
+}
+
+impl StreamingFrontend {
+    /// Builds a streaming frontend for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(config: FrontendConfig) -> Result<Self, FrontendError> {
+        config.validate()?;
+        let cmn = config.cepstral_mean_norm.then(|| config.live_cmn());
+        let delta = IncrementalDelta::new(
+            config.delta_window.max(1),
+            config.use_delta,
+            config.use_delta_delta,
+        );
+        Ok(StreamingFrontend {
+            extractor: MfccExtractor::new(config)?,
+            cmn,
+            delta,
+            buffer: Vec::new(),
+            last_raw: None,
+            samples_seen: 0,
+            frames_emitted: 0,
+        })
+    }
+
+    /// The configuration this frontend was built with.
+    pub fn config(&self) -> &FrontendConfig {
+        self.extractor.config()
+    }
+
+    /// Feature frames emitted so far for the current utterance.
+    pub fn frames_emitted(&self) -> usize {
+        self.frames_emitted
+    }
+
+    /// Samples consumed so far for the current utterance.
+    pub fn samples_seen(&self) -> usize {
+        self.samples_seen
+    }
+
+    /// Consumes one chunk of PCM samples and returns every feature vector
+    /// whose analysis window *and* delta context are now complete.  Returns
+    /// an empty vector while the stream is still inside the initial window
+    /// or the delta lookahead.
+    pub fn push_samples(&mut self, samples: &[f32]) -> Vec<FeatureVector> {
+        // Only four scalars of the configuration matter per chunk; copy them
+        // out rather than cloning the whole config on the hot path.
+        let cfg = self.extractor.config();
+        let pre_emphasis = cfg.pre_emphasis;
+        let dither = cfg.dither;
+        let frame_len = cfg.frame_length_samples();
+        let shift = cfg.frame_shift_samples();
+        // Pre-emphasis with cross-chunk history, exactly as the offline pass
+        // over the concatenated signal: y[0] = x[0], y[n] = x[n] − α·x[n−1].
+        for &x in samples {
+            let emphasized = if pre_emphasis == 0.0 {
+                x
+            } else {
+                match self.last_raw {
+                    Some(prev) => x - pre_emphasis * prev,
+                    None => x,
+                }
+            };
+            self.last_raw = Some(x);
+            // Deterministic dither, parity-indexed by the absolute sample
+            // position (matches the offline frontend's alternating sign).
+            let dithered = if dither > 0.0 {
+                emphasized
+                    + dither
+                        * if self.samples_seen % 2 == 0 {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+            } else {
+                emphasized
+            };
+            self.samples_seen += 1;
+            self.buffer.push(dithered);
+        }
+
+        // Slide complete analysis windows out of the buffer.
+        let mut out = Vec::new();
+        while self.buffer.len() >= frame_len {
+            let mut cepstra = self.extractor.frame_cepstra(&self.buffer[..frame_len]);
+            if let Some(cmn) = &mut self.cmn {
+                cmn.normalize_live(&mut cepstra);
+            }
+            out.extend(self.delta.push(cepstra));
+            self.buffer.drain(..shift);
+        }
+        self.frames_emitted += out.len();
+        out
+    }
+
+    /// Ends the current utterance: flushes the delta lookahead tail (with the
+    /// offline edge clamping), discards the sub-window sample remainder, and
+    /// resets per-utterance state.  The live-CMN running mean becomes the
+    /// prior of the next utterance (Sphinx's `cmn prior` behaviour).
+    pub fn finish_utterance(&mut self) -> Vec<FeatureVector> {
+        let tail = self.delta.flush();
+        self.buffer.clear();
+        self.last_raw = None;
+        self.samples_seen = 0;
+        self.frames_emitted = 0;
+        if let Some(cmn) = &mut self.cmn {
+            cmn.reset_between_utterances();
+        }
+        tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_frontend::{DeltaComputer, Frontend};
+    use proptest::prelude::*;
+
+    fn tone(freq: f32, seconds: f32, rate: u32) -> Vec<f32> {
+        (0..(seconds * rate as f32) as usize)
+            .map(|n| (2.0 * std::f32::consts::PI * freq * n as f32 / rate as f32).sin())
+            .collect()
+    }
+
+    /// Streams `samples` through a fresh frontend in the given chunk sizes
+    /// (cycled) and returns all emitted features.
+    fn stream_in_chunks(cfg: &FrontendConfig, samples: &[f32], chunks: &[usize]) -> Vec<Vec<f32>> {
+        let mut fe = StreamingFrontend::new(cfg.clone()).unwrap();
+        let mut out = Vec::new();
+        let mut pos = 0;
+        let mut i = 0;
+        while pos < samples.len() {
+            let take = chunks[i % chunks.len()].max(1).min(samples.len() - pos);
+            out.extend(fe.push_samples(&samples[pos..pos + take]));
+            pos += take;
+            i += 1;
+        }
+        out.extend(fe.finish_utterance());
+        out
+    }
+
+    #[test]
+    fn matches_offline_frontend_exactly_without_cmn() {
+        // CMN off isolates the streaming machinery (pre-emphasis carry,
+        // framing, dither parity, incremental deltas), all of which must be
+        // bit-identical to the offline pass.
+        let cfg = FrontendConfig {
+            cepstral_mean_norm: false,
+            ..FrontendConfig::default()
+        };
+        let samples = tone(440.0, 0.5, 16_000);
+        let offline = Frontend::new(cfg.clone()).unwrap().process(&samples);
+        for chunks in [&[1usize][..], &[7, 160, 3][..], &[4096][..]] {
+            let streamed = stream_in_chunks(&cfg, &samples, chunks);
+            assert_eq!(streamed.len(), offline.len(), "chunks {chunks:?}");
+            for (t, (s, o)) in streamed.iter().zip(&offline).enumerate() {
+                assert_eq!(s, o, "frame {t} with chunks {chunks:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_offline_without_deltas_or_dither() {
+        let cfg = FrontendConfig {
+            cepstral_mean_norm: false,
+            use_delta: false,
+            use_delta_delta: false,
+            dither: 0.0,
+            ..FrontendConfig::default()
+        };
+        let samples = tone(900.0, 0.3, 16_000);
+        let offline = Frontend::new(cfg.clone()).unwrap().process(&samples);
+        let streamed = stream_in_chunks(&cfg, &samples, &[123]);
+        assert_eq!(streamed, offline);
+    }
+
+    #[test]
+    fn delta_only_configuration_matches_offline() {
+        let cfg = FrontendConfig {
+            cepstral_mean_norm: false,
+            use_delta: true,
+            use_delta_delta: false,
+            ..FrontendConfig::default()
+        };
+        let samples = tone(600.0, 0.3, 16_000);
+        let offline = Frontend::new(cfg.clone()).unwrap().process(&samples);
+        let streamed = stream_in_chunks(&cfg, &samples, &[50, 1]);
+        assert_eq!(streamed, offline);
+    }
+
+    #[test]
+    fn incremental_delta_equals_offline_delta_computer() {
+        // The delta appender alone, against the offline DeltaComputer, for a
+        // sequence shorter than the lookahead (pure flush), around it, and
+        // well beyond it.
+        for n in [1usize, 3, 4, 5, 20] {
+            let frames: Vec<Vec<f32>> = (0..n)
+                .map(|t| vec![t as f32, -(t as f32) * 0.5, (t * t) as f32 * 0.1])
+                .collect();
+            let offline = DeltaComputer::new(2).append(&frames, true, true);
+            let mut inc = IncrementalDelta::new(2, true, true);
+            let mut streamed = Vec::new();
+            for f in &frames {
+                streamed.extend(inc.push(f.clone()));
+            }
+            streamed.extend(inc.flush());
+            assert_eq!(streamed, offline, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn live_cmn_path_produces_sane_features_and_resets() {
+        let cfg = FrontendConfig::default(); // CMN on
+        let mut fe = StreamingFrontend::new(cfg.clone()).unwrap();
+        let samples = tone(500.0, 0.4, 16_000);
+        let mut feats = fe.push_samples(&samples);
+        feats.extend(fe.finish_utterance());
+        let offline_count = Frontend::new(cfg.clone()).unwrap().process(&samples).len();
+        assert_eq!(feats.len(), offline_count);
+        assert!(feats.iter().all(|f| f.len() == cfg.feature_dim()));
+        assert!(feats.iter().flatten().all(|v| v.is_finite()));
+        // After finish_utterance the frontend starts the next utterance clean.
+        assert_eq!(fe.samples_seen(), 0);
+        assert_eq!(fe.frames_emitted(), 0);
+        let again = fe.push_samples(&samples);
+        assert!(!again.is_empty());
+    }
+
+    #[test]
+    fn short_input_yields_nothing_even_after_flush() {
+        let mut fe = StreamingFrontend::new(FrontendConfig {
+            cepstral_mean_norm: false,
+            ..FrontendConfig::default()
+        })
+        .unwrap();
+        assert!(fe.push_samples(&[0.0; 100]).is_empty());
+        assert!(fe.finish_utterance().is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let cfg = FrontendConfig {
+            num_cepstra: 0,
+            ..FrontendConfig::default()
+        };
+        assert!(StreamingFrontend::new(cfg).is_err());
+    }
+
+    proptest! {
+        /// Chunking invariance: the emitted features never depend on how the
+        /// sample stream was sliced.
+        #[test]
+        fn prop_chunking_is_invisible(chunk in 1usize..700, freq in 100.0f32..3000.0) {
+            let cfg = FrontendConfig {
+                cepstral_mean_norm: false,
+                ..FrontendConfig::default()
+            };
+            let samples = tone(freq, 0.2, 16_000);
+            let whole = stream_in_chunks(&cfg, &samples, &[samples.len()]);
+            let sliced = stream_in_chunks(&cfg, &samples, &[chunk]);
+            prop_assert_eq!(whole, sliced);
+        }
+    }
+}

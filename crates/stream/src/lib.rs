@@ -1,0 +1,216 @@
+//! # asr-stream — streaming recognition
+//!
+//! The paper's SoC is a *real-time* recognizer: audio arrives frame by frame
+//! and the hardware keeps up at low power.  Every other path in this
+//! workspace is offline — it takes the whole utterance up front.  This crate
+//! is the real-time regime as a subsystem:
+//!
+//! ```text
+//!  audio chunks ──► StreamingFrontend ──► EnergyVad ──► DecodeSession
+//!   (any size)       (25 ms windows,       (energy        (incremental
+//!                     live CMN,             endpointer:    Viterbi: partial
+//!                     incremental deltas)   segments       hypotheses per
+//!                                           utterances)    chunk)
+//!                                                              │
+//!                 StreamOutcome { DecodeResult, StreamTiming } ◄┘
+//!                  (per-chunk latency + stream RTF folded into
+//!                   the hardware UtteranceReport)
+//! ```
+//!
+//! Two session shapes, both opened from a [`StreamingRecognizer`]:
+//!
+//! * [`FeatureStreamSession`] — feature-vector chunks in, one utterance out.
+//!   The core invariant, property-tested across every backend in the
+//!   workspace's `tests/stream.rs`: **any chunking of the same frames decodes
+//!   to exactly the offline result** of
+//!   [`Recognizer::decode_features`](asr_core::Recognizer::decode_features),
+//!   because chunk boundaries never reach the search
+//!   ([`asr_core::DecodeSession`] steps the identical per-frame loop).
+//! * [`AudioStreamSession`] — continuous raw audio in, a stream of endpointed
+//!   utterances out: the chunked frontend turns samples into features with
+//!   *live* (running-mean) CMN, the energy VAD opens an utterance when speech
+//!   starts and closes it after a hangover of silence, and each utterance
+//!   decodes incrementally while its audio is still arriving.
+//!
+//! Between chunks, sessions surface [`PartialHypothesis`] snapshots —
+//! prefix-consistent, monotone previews of the final result.  Every chunk's
+//! wall-clock latency and audio coverage is recorded into an
+//! [`asr_hw::StreamTiming`], which [`StreamOutcome`] carries and which is
+//! folded into the hardware [`UtteranceReport`](asr_hw::UtteranceReport) on
+//! hardware backends — so a streamed decode reports its host real-time
+//! factor next to the SoC's simulated one.
+//!
+//! # Example
+//!
+//! ```
+//! use asr_core::{DecoderConfig, Recognizer};
+//! use asr_corpus::{TaskConfig, TaskGenerator};
+//! use asr_stream::{StreamConfig, StreamingRecognizer};
+//!
+//! let task = TaskGenerator::new(7).generate(&TaskConfig::tiny()).unwrap();
+//! let recognizer = Recognizer::new(
+//!     task.acoustic_model.clone(),
+//!     task.dictionary.clone(),
+//!     task.language_model.clone(),
+//!     DecoderConfig::simd(),
+//! )
+//! .unwrap();
+//! let (features, reference) = task.synthesize_utterance(2, 0.2, 1);
+//!
+//! // Offline result for comparison…
+//! let offline = recognizer.decode_features(&features).unwrap();
+//!
+//! // …and the same frames streamed in 3-frame chunks.
+//! let streamer = StreamingRecognizer::feature_only(recognizer).unwrap();
+//! let mut session = streamer.feature_session().unwrap();
+//! for chunk in features.chunks(3) {
+//!     session.push_chunk(chunk).unwrap();
+//! }
+//! let outcome = session.finish().unwrap();
+//! assert_eq!(outcome.result.hypothesis.words, reference);
+//! assert_eq!(outcome.result.hypothesis, offline.hypothesis);
+//! assert!(outcome.timing.chunks() > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod frontend;
+pub mod session;
+pub mod vad;
+
+pub use frontend::StreamingFrontend;
+pub use session::{
+    AudioStreamSession, FeatureStreamSession, StreamEvent, StreamOutcome, StreamingRecognizer,
+};
+pub use vad::{EnergyVad, VadConfig, VadEvent};
+
+// The partial-hypothesis type is asr-core's (the serving layer shares it);
+// re-exported so streaming callers need only this crate.
+pub use asr_core::PartialHypothesis;
+
+use asr_core::DecodeError;
+use asr_frontend::{FrontendConfig, FrontendError};
+
+/// Configuration of the streaming subsystem: the chunked frontend and the
+/// energy endpointer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamConfig {
+    /// Frontend geometry and live-CMN prior
+    /// ([`FrontendConfig::cmn_prior_frames`] / `cmn_prior_mean`).
+    pub frontend: FrontendConfig,
+    /// Energy VAD / endpointing parameters.
+    pub vad: VadConfig,
+}
+
+impl StreamConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::Frontend`] or [`StreamError::InvalidConfig`]
+    /// for an invalid frontend or VAD configuration.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        self.frontend.validate()?;
+        self.vad.validate()?;
+        Ok(())
+    }
+}
+
+/// Errors produced by the streaming subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// The streaming configuration was invalid (VAD parameters, or a
+    /// frontend whose feature dimension does not match the acoustic model).
+    InvalidConfig(String),
+    /// The frontend configuration was invalid (typed source preserved).
+    Frontend(FrontendError),
+    /// Decoding failed (typed source preserved).
+    Decode(DecodeError),
+}
+
+impl core::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StreamError::InvalidConfig(msg) => write!(f, "invalid stream config: {msg}"),
+            StreamError::Frontend(e) => write!(f, "stream frontend: {e}"),
+            StreamError::Decode(e) => write!(f, "stream decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Frontend(e) => Some(e),
+            StreamError::Decode(e) => Some(e),
+            StreamError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<FrontendError> for StreamError {
+    fn from(e: FrontendError) -> Self {
+        StreamError::Frontend(e)
+    }
+}
+
+impl From<DecodeError> for StreamError {
+    fn from(e: DecodeError) -> Self {
+        StreamError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = StreamError::InvalidConfig("vad".into());
+        assert!(e.to_string().contains("vad"));
+        assert!(e.source().is_none());
+        let e: StreamError = FrontendError::InvalidConfig("cmn".into()).into();
+        assert!(e.to_string().contains("cmn"));
+        assert!(e.source().is_some());
+        let e: StreamError = DecodeError::InvalidConfig("beam".into()).into();
+        assert!(e.to_string().contains("beam"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn config_validation_covers_both_halves() {
+        StreamConfig::default().validate().unwrap();
+        let bad_frontend = StreamConfig {
+            frontend: FrontendConfig {
+                num_cepstra: 0,
+                ..FrontendConfig::default()
+            },
+            ..StreamConfig::default()
+        };
+        assert!(matches!(
+            bad_frontend.validate(),
+            Err(StreamError::Frontend(_))
+        ));
+        let bad_vad = StreamConfig {
+            vad: VadConfig {
+                energy_threshold: -1.0,
+                ..VadConfig::default()
+            },
+            ..StreamConfig::default()
+        };
+        assert!(matches!(
+            bad_vad.validate(),
+            Err(StreamError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn crate_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<StreamingFrontend>();
+        assert_send::<EnergyVad>();
+        assert_send::<StreamConfig>();
+    }
+}

@@ -1,0 +1,575 @@
+//! Streaming sessions: feature-chunk sessions (one utterance, any chunking)
+//! and continuous-audio sessions (VAD-endpointed utterance stream), both with
+//! per-chunk latency accounting.
+
+use crate::frontend::StreamingFrontend;
+use crate::vad::{hop_rms, EnergyVad, VadEvent};
+use crate::{StreamConfig, StreamError};
+use asr_core::{DecodeResult, DecodeSession, PartialHypothesis, PhoneDecoder, Recognizer};
+use asr_hw::StreamTiming;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Everything produced by one streamed utterance: the decode result (with
+/// the timing folded into its hardware report, when there is one) and the
+/// stand-alone timing record for software backends.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// The decoded utterance — identical to what the offline path would have
+    /// produced for the same feature frames.
+    pub result: DecodeResult,
+    /// Per-chunk latency / stream real-time-factor record.
+    pub timing: StreamTiming,
+}
+
+/// An event surfaced by [`AudioStreamSession::push_audio`].
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// The endpointer opened an utterance (speech detected).
+    UtteranceStarted,
+    /// The in-flight utterance's partial hypothesis grew.
+    Partial(PartialHypothesis),
+    /// The endpointer closed the utterance; here is everything it produced.
+    UtteranceEnd(Box<StreamOutcome>),
+}
+
+/// The streaming façade over a [`Recognizer`]: owns it plus the stream
+/// configuration, and opens sessions.
+#[derive(Debug)]
+pub struct StreamingRecognizer {
+    recognizer: Recognizer,
+    config: StreamConfig,
+}
+
+impl StreamingRecognizer {
+    /// Wraps a recogniser for streaming with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StreamError`] for an invalid stream configuration.  (The
+    /// frontend-vs-model feature-dimension match is checked when an audio
+    /// session is opened — feature sessions don't involve the frontend.)
+    pub fn new(recognizer: Recognizer, config: StreamConfig) -> Result<Self, StreamError> {
+        config.validate()?;
+        Ok(StreamingRecognizer { recognizer, config })
+    }
+
+    /// Wraps a recogniser for feature-level streaming with the default
+    /// configuration — enough for [`StreamingRecognizer::feature_session`];
+    /// audio sessions additionally need the frontend dimension to match the
+    /// acoustic model's.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (the default configuration is valid); the
+    /// `Result` mirrors [`StreamingRecognizer::new`].
+    pub fn feature_only(recognizer: Recognizer) -> Result<Self, StreamError> {
+        Self::new(recognizer, StreamConfig::default())
+    }
+
+    /// The wrapped recogniser.
+    pub fn recognizer(&self) -> &Recognizer {
+        &self.recognizer
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Releases the wrapped recogniser.
+    pub fn into_recognizer(self) -> Recognizer {
+        self.recognizer
+    }
+
+    fn frame_shift_s(&self) -> f64 {
+        self.config.frontend.frame_shift_ms as f64 / 1000.0
+    }
+
+    /// Opens a feature-chunk session for one utterance on the configured
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failures.
+    pub fn feature_session(&self) -> Result<FeatureStreamSession<'_>, StreamError> {
+        Ok(FeatureStreamSession {
+            session: self.recognizer.begin_session()?,
+            timing: StreamTiming::new(),
+            frame_shift_s: self.frame_shift_s(),
+        })
+    }
+
+    /// Opens a feature-chunk session around a caller-supplied phone decoder
+    /// — reclaim it with [`FeatureStreamSession::finish_parts`] so one warmed
+    /// backend serves session after session.
+    pub fn feature_session_with(&self, decoder: PhoneDecoder) -> FeatureStreamSession<'_> {
+        FeatureStreamSession {
+            session: self.recognizer.begin_session_with(decoder),
+            timing: StreamTiming::new(),
+            frame_shift_s: self.frame_shift_s(),
+        }
+    }
+
+    /// Opens a continuous-audio session: push raw samples, collect endpointed
+    /// utterances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when the configured frontend's
+    /// feature dimension does not match the acoustic model's, and propagates
+    /// frontend construction failures.
+    pub fn audio_session(&self) -> Result<AudioStreamSession<'_>, StreamError> {
+        let frontend_dim = self.config.frontend.feature_dim();
+        let model_dim = self.recognizer.model().feature_dim();
+        if frontend_dim != model_dim {
+            return Err(StreamError::InvalidConfig(format!(
+                "frontend produces {frontend_dim}-dim features but the acoustic model \
+                 expects {model_dim}"
+            )));
+        }
+        let hop = self.config.frontend.frame_shift_samples();
+        Ok(AudioStreamSession {
+            owner: self,
+            frontend: StreamingFrontend::new(self.config.frontend.clone())?,
+            vad: EnergyVad::new(self.config.vad.clone()),
+            hop,
+            residue: Vec::new(),
+            preroll: VecDeque::new(),
+            current: None,
+            last_partial_words: 0,
+            utterances_finished: 0,
+        })
+    }
+}
+
+/// One utterance streamed as feature-vector chunks.
+///
+/// Chunk boundaries are invisible to the search: any chunking of the same
+/// frames finishes with exactly the offline
+/// [`Recognizer::decode_features`] result.  Each [`push_chunk`] records its
+/// wall-clock latency and audio coverage into the session's
+/// [`StreamTiming`].
+///
+/// [`push_chunk`]: FeatureStreamSession::push_chunk
+#[derive(Debug)]
+pub struct FeatureStreamSession<'r> {
+    session: DecodeSession<'r>,
+    timing: StreamTiming,
+    frame_shift_s: f64,
+}
+
+impl<'r> FeatureStreamSession<'r> {
+    /// Consumes one chunk of feature frames (any size) and returns the
+    /// updated partial hypothesis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors; earlier frames of the chunk have been
+    /// consumed.
+    pub fn push_chunk(&mut self, frames: &[Vec<f32>]) -> Result<PartialHypothesis, StreamError> {
+        let start = Instant::now();
+        self.session.push_chunk(frames)?;
+        self.timing.record_chunk(
+            start.elapsed().as_secs_f64(),
+            frames.len() as f64 * self.frame_shift_s,
+        );
+        Ok(self.session.partial())
+    }
+
+    /// The current partial hypothesis.
+    pub fn partial(&self) -> PartialHypothesis {
+        self.session.partial()
+    }
+
+    /// Feature frames consumed so far.
+    pub fn frames(&self) -> usize {
+        self.session.frames()
+    }
+
+    /// The latency record so far.
+    pub fn timing(&self) -> &StreamTiming {
+        &self.timing
+    }
+
+    /// Closes the session: the full [`DecodeResult`] (identical to offline
+    /// decoding of the concatenated chunks; [`DecodeResult::empty`] when no
+    /// frame was pushed) plus the latency record, which is also folded into
+    /// the hardware report when the backend kept one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors.
+    pub fn finish(self) -> Result<StreamOutcome, StreamError> {
+        self.finish_parts().0
+    }
+
+    /// Like [`FeatureStreamSession::finish`], but also hands back the phone
+    /// decoder for reuse via
+    /// [`StreamingRecognizer::feature_session_with`].
+    pub fn finish_parts(self) -> (Result<StreamOutcome, StreamError>, PhoneDecoder) {
+        let timing = self.timing;
+        let (result, decoder) = self.session.finish_parts();
+        let outcome = result.map_err(StreamError::from).map(|mut result| {
+            if let Some(hw) = &mut result.hardware {
+                hw.streaming = Some(timing.clone());
+            }
+            StreamOutcome { result, timing }
+        });
+        (outcome, decoder)
+    }
+}
+
+/// A continuous-audio session: raw PCM in, endpointed utterances out.
+///
+/// Audio is consumed in VAD hops (one frame shift each).  While the
+/// endpointer reports silence, hops accumulate in a bounded pre-roll; when
+/// speech opens, the pre-roll and every further hop stream through the
+/// chunked frontend into an incremental decode session, and utterance events
+/// surface as they happen.
+#[derive(Debug)]
+pub struct AudioStreamSession<'r> {
+    owner: &'r StreamingRecognizer,
+    frontend: StreamingFrontend,
+    vad: EnergyVad,
+    hop: usize,
+    /// Samples not yet forming a full hop.
+    residue: Vec<f32>,
+    /// Recent silence hops, replayed into the utterance on speech start.
+    preroll: VecDeque<Vec<f32>>,
+    current: Option<FeatureStreamSession<'r>>,
+    last_partial_words: usize,
+    utterances_finished: usize,
+}
+
+impl<'r> AudioStreamSession<'r> {
+    /// Whether an utterance is currently open.
+    pub fn in_utterance(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Utterances endpointed and decoded so far.
+    pub fn utterances_finished(&self) -> usize {
+        self.utterances_finished
+    }
+
+    /// Consumes a chunk of PCM samples (any size) and returns the stream
+    /// events it caused, in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from the in-flight utterance.
+    pub fn push_audio(&mut self, samples: &[f32]) -> Result<Vec<StreamEvent>, StreamError> {
+        self.residue.extend_from_slice(samples);
+        let mut events = Vec::new();
+        while self.residue.len() >= self.hop {
+            let hop: Vec<f32> = self.residue.drain(..self.hop).collect();
+            self.process_hop(hop, &mut events)?;
+        }
+        Ok(events)
+    }
+
+    fn process_hop(
+        &mut self,
+        hop: Vec<f32>,
+        events: &mut Vec<StreamEvent>,
+    ) -> Result<(), StreamError> {
+        let rms = hop_rms(&hop);
+        if !self.vad.in_speech() {
+            // Buffer the hop first so the trigger hops themselves (and the
+            // configured pre-roll before them) belong to the utterance.
+            self.preroll.push_back(hop);
+            let capacity =
+                self.owner.config.vad.preroll_hops + self.owner.config.vad.min_speech_hops;
+            while self.preroll.len() > capacity.max(1) {
+                self.preroll.pop_front();
+            }
+            if self.vad.push_hop(rms) == Some(VadEvent::SpeechStart) {
+                events.push(StreamEvent::UtteranceStarted);
+                self.last_partial_words = 0;
+                if let Err(e) = self.open_utterance() {
+                    // The VAD already flipped to speech; roll everything back
+                    // to silence so the session stays usable (the next hop
+                    // must not find in_speech with no open utterance).
+                    self.vad.reset();
+                    self.current = None;
+                    self.frontend.finish_utterance();
+                    return Err(e);
+                }
+            }
+            return Ok(());
+        }
+
+        // In speech: the hop (voiced, or silence inside the hangover) is part
+        // of the utterance.
+        let ended = self.vad.push_hop(rms) == Some(VadEvent::SpeechEnd);
+        let features = self.frontend.push_samples(&hop);
+        let session = self
+            .current
+            .as_mut()
+            .expect("an utterance is open while the VAD is in speech");
+        if !features.is_empty() {
+            let partial = session.push_chunk(&features)?;
+            if partial.words.len() > self.last_partial_words {
+                self.last_partial_words = partial.words.len();
+                events.push(StreamEvent::Partial(partial));
+            }
+        }
+        if ended {
+            let outcome = self.finish_current()?;
+            events.push(StreamEvent::UtteranceEnd(Box::new(outcome)));
+        }
+        Ok(())
+    }
+
+    /// Opens the utterance the VAD just triggered: builds a decode session
+    /// and replays the buffered pre-roll into it.
+    fn open_utterance(&mut self) -> Result<(), StreamError> {
+        let mut session = self.owner.feature_session()?;
+        for buffered in self.preroll.drain(..) {
+            let features = self.frontend.push_samples(&buffered);
+            if !features.is_empty() {
+                session.push_chunk(&features)?;
+            }
+        }
+        self.current = Some(session);
+        Ok(())
+    }
+
+    /// Flushes the frontend tail into the open session and finishes it.
+    fn finish_current(&mut self) -> Result<StreamOutcome, StreamError> {
+        let mut session = self
+            .current
+            .take()
+            .expect("finish_current requires an open utterance");
+        let tail = self.frontend.finish_utterance();
+        if !tail.is_empty() {
+            session.push_chunk(&tail)?;
+        }
+        self.last_partial_words = 0;
+        let outcome = session.finish()?;
+        self.utterances_finished += 1;
+        Ok(outcome)
+    }
+
+    /// Closes the session.  An utterance still open (speech ran into the end
+    /// of the stream) is finished and returned; a session in which the VAD
+    /// never triggered — or whose last utterance already ended — returns
+    /// [`DecodeResult::empty`] with an empty timing record rather than an
+    /// error.  Sub-hop residue and un-triggered pre-roll audio are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from finishing the open utterance.
+    pub fn close(mut self) -> Result<StreamOutcome, StreamError> {
+        if self.current.is_some() {
+            self.vad.reset();
+            self.finish_current()
+        } else {
+            Ok(StreamOutcome {
+                result: DecodeResult::empty(),
+                timing: StreamTiming::new(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vad::VadConfig;
+    use asr_core::DecoderConfig;
+    use asr_corpus::{SyntheticTask, TaskConfig, TaskGenerator};
+    use asr_frontend::FrontendConfig;
+
+    fn task_with_dim(dim: usize) -> SyntheticTask {
+        TaskGenerator::new(51)
+            .generate(&TaskConfig {
+                feature_dim: dim,
+                ..TaskConfig::tiny()
+            })
+            .unwrap()
+    }
+
+    fn recognizer(task: &SyntheticTask, config: DecoderConfig) -> Recognizer {
+        Recognizer::new(
+            task.acoustic_model.clone(),
+            task.dictionary.clone(),
+            task.language_model.clone(),
+            config,
+        )
+        .unwrap()
+    }
+
+    /// A stream config whose frontend emits 13-dim statics (matching the
+    /// test task) and whose VAD endpoints quickly.
+    fn audio_config() -> StreamConfig {
+        StreamConfig {
+            frontend: FrontendConfig {
+                use_delta: false,
+                use_delta_delta: false,
+                ..FrontendConfig::default()
+            },
+            vad: VadConfig {
+                energy_threshold: 0.05,
+                min_speech_hops: 2,
+                hangover_hops: 5,
+                preroll_hops: 2,
+            },
+        }
+    }
+
+    fn tone(seconds: f32) -> Vec<f32> {
+        (0..(seconds * 16_000.0) as usize)
+            .map(|n| 0.5 * (2.0 * std::f32::consts::PI * 440.0 * n as f32 / 16_000.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn feature_session_equals_offline_and_records_timing() {
+        let task = task_with_dim(6);
+        let rec = recognizer(&task, DecoderConfig::simd());
+        let (features, reference) = task.synthesize_utterance(2, 0.2, 2);
+        let offline = rec.decode_features(&features).unwrap();
+        let streamer = StreamingRecognizer::feature_only(rec).unwrap();
+        let mut session = streamer.feature_session().unwrap();
+        for chunk in features.chunks(4) {
+            session.push_chunk(chunk).unwrap();
+        }
+        assert_eq!(session.frames(), features.len());
+        assert!(session.timing().chunks() > 0);
+        let outcome = session.finish().unwrap();
+        assert_eq!(outcome.result.hypothesis.words, reference);
+        assert_eq!(outcome.result.hypothesis, offline.hypothesis);
+        assert_eq!(outcome.result.best_score.raw(), offline.best_score.raw());
+        assert_eq!(outcome.timing.chunks(), features.len().div_ceil(4));
+        // 10 ms of audio per frame was accounted.
+        let expected_audio = features.len() as f64 * 0.010;
+        assert!((outcome.timing.audio_seconds() - expected_audio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hardware_report_carries_the_stream_timing() {
+        let task = task_with_dim(6);
+        let rec = recognizer(&task, DecoderConfig::hardware(2));
+        let (features, _) = task.synthesize_utterance(1, 0.2, 5);
+        let streamer = StreamingRecognizer::feature_only(rec).unwrap();
+        let mut session = streamer.feature_session().unwrap();
+        session.push_chunk(&features).unwrap();
+        let outcome = session.finish().unwrap();
+        let hw = outcome.result.hardware.expect("hardware report");
+        let timing = hw.streaming.expect("stream timing folded into report");
+        assert_eq!(timing.chunks(), 1);
+        assert_eq!(timing, outcome.timing);
+    }
+
+    #[test]
+    fn feature_session_decoder_reuse() {
+        let task = task_with_dim(6);
+        let rec = recognizer(&task, DecoderConfig::simd());
+        let (features, reference) = task.synthesize_utterance(1, 0.2, 7);
+        let streamer = StreamingRecognizer::feature_only(rec).unwrap();
+        let mut decoder = streamer.recognizer().phone_decoder().unwrap();
+        for _ in 0..2 {
+            let mut session = streamer.feature_session_with(decoder);
+            session.push_chunk(&features).unwrap();
+            let (outcome, recycled) = session.finish_parts();
+            assert_eq!(outcome.unwrap().result.hypothesis.words, reference);
+            decoder = recycled;
+        }
+    }
+
+    #[test]
+    fn audio_session_endpoints_a_tone_burst() {
+        let task = task_with_dim(13);
+        let rec = recognizer(&task, DecoderConfig::hardware(1));
+        let streamer = StreamingRecognizer::new(rec, audio_config()).unwrap();
+        let mut session = streamer.audio_session().unwrap();
+        assert!(!session.in_utterance());
+
+        let mut events = Vec::new();
+        // 200 ms of leading silence, 300 ms of tone, 300 ms of trailing
+        // silence — pushed in odd-sized chunks.
+        let mut audio = vec![0.0f32; 3200];
+        audio.extend(tone(0.3));
+        audio.extend(vec![0.0f32; 4800]);
+        for chunk in audio.chunks(777) {
+            events.extend(session.push_audio(chunk).unwrap());
+        }
+        let started = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::UtteranceStarted))
+            .count();
+        let ended: Vec<&StreamOutcome> = events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::UtteranceEnd(o) => Some(o.as_ref()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started, 1, "{events:?}");
+        assert_eq!(ended.len(), 1);
+        assert_eq!(session.utterances_finished(), 1);
+        let outcome = ended[0];
+        assert!(outcome.result.stats.num_frames() > 10);
+        assert!(outcome.timing.chunks() > 0);
+        assert!(outcome.timing.audio_seconds() > 0.2);
+        let hw = outcome.result.hardware.as_ref().expect("hardware report");
+        assert_eq!(
+            hw.streaming.as_ref().unwrap().chunks(),
+            outcome.timing.chunks()
+        );
+        // The stream went back to silence; closing now is the empty result.
+        assert!(!session.in_utterance());
+        let last = session.close().unwrap();
+        assert!(last.result.is_empty());
+    }
+
+    #[test]
+    fn close_finishes_an_utterance_cut_by_end_of_stream() {
+        let task = task_with_dim(13);
+        let rec = recognizer(&task, DecoderConfig::software());
+        let streamer = StreamingRecognizer::new(rec, audio_config()).unwrap();
+        let mut session = streamer.audio_session().unwrap();
+        // Tone right up to the end: the VAD never sees the hangover.
+        session.push_audio(&tone(0.3)).unwrap();
+        assert!(session.in_utterance());
+        let outcome = session.close().unwrap();
+        assert!(outcome.result.stats.num_frames() > 0);
+        assert!(outcome.timing.chunks() > 0);
+    }
+
+    #[test]
+    fn zero_voiced_session_closes_to_the_typed_empty_result() {
+        let task = task_with_dim(13);
+        let rec = recognizer(&task, DecoderConfig::software());
+        let streamer = StreamingRecognizer::new(rec, audio_config()).unwrap();
+        let mut session = streamer.audio_session().unwrap();
+        // Half a second of silence: the VAD never triggers.
+        for chunk in vec![0.0f32; 8000].chunks(640) {
+            let events = session.push_audio(chunk).unwrap();
+            assert!(events.is_empty(), "{events:?}");
+        }
+        assert!(!session.in_utterance());
+        let outcome = session.close().unwrap();
+        assert!(outcome.result.is_empty());
+        assert_eq!(outcome.result.hypothesis.words.len(), 0);
+        assert_eq!(outcome.timing.chunks(), 0);
+    }
+
+    #[test]
+    fn audio_session_requires_matching_dimensions() {
+        let task = task_with_dim(6); // model wants 6-dim, frontend makes 13
+        let rec = recognizer(&task, DecoderConfig::software());
+        let streamer = StreamingRecognizer::new(rec, audio_config()).unwrap();
+        assert!(matches!(
+            streamer.audio_session(),
+            Err(StreamError::InvalidConfig(_))
+        ));
+        // Feature sessions are still fine: they bypass the frontend.
+        assert!(streamer.feature_session().is_ok());
+        assert_eq!(streamer.config().vad.min_speech_hops, 2);
+        let rec = streamer.into_recognizer();
+        assert_eq!(rec.model().feature_dim(), 6);
+    }
+}

@@ -1,0 +1,283 @@
+//! Energy-based voice activity detection and endpointing.
+//!
+//! The continuous-audio session needs to know where utterances begin and end
+//! so the decoder is only driven while someone is speaking — the same
+//! power-saving instinct as the paper's feedback path, one stage earlier.
+//! The detector is deliberately simple (per-hop RMS energy against a fixed
+//! threshold, with debounce and hangover), which is exactly what low-power
+//! always-listening front ends deploy: the expensive recognizer only wakes
+//! up behind it.
+//!
+//! The detector consumes one *hop* (one 10 ms frame shift) of audio at a
+//! time and runs a two-state machine:
+//!
+//! ```text
+//!             ≥ min_speech_hops consecutive voiced hops
+//!   Silence ────────────────────────────────────────────► Speech
+//!      ▲                                                    │
+//!      └──────────────────────────────────────────────────┘
+//!             ≥ hangover_hops consecutive silent hops
+//! ```
+
+use crate::StreamError;
+
+/// Configuration of the energy VAD / endpointer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VadConfig {
+    /// RMS amplitude above which a hop counts as voiced (input samples are
+    /// expected roughly in `[-1, 1]`).
+    pub energy_threshold: f32,
+    /// Consecutive voiced hops required to open an utterance (debounce
+    /// against clicks).
+    pub min_speech_hops: usize,
+    /// Consecutive silent hops required to close an utterance (hangover
+    /// across short intra-utterance pauses).
+    pub hangover_hops: usize,
+    /// Hops of audio kept before the trigger and prepended to the utterance,
+    /// so a soft word onset is not clipped.
+    pub preroll_hops: usize,
+}
+
+impl Default for VadConfig {
+    fn default() -> Self {
+        VadConfig {
+            energy_threshold: 0.01,
+            min_speech_hops: 3,
+            // 300 ms of hangover at the 10 ms default hop.
+            hangover_hops: 30,
+            preroll_hops: 5,
+        }
+    }
+}
+
+impl VadConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for a non-positive or
+    /// non-finite threshold or zero debounce/hangover counts.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if !self.energy_threshold.is_finite() || self.energy_threshold <= 0.0 {
+            return Err(StreamError::InvalidConfig(
+                "energy_threshold must be finite and positive".into(),
+            ));
+        }
+        if self.min_speech_hops == 0 {
+            return Err(StreamError::InvalidConfig(
+                "min_speech_hops must be >= 1".into(),
+            ));
+        }
+        if self.hangover_hops == 0 {
+            return Err(StreamError::InvalidConfig(
+                "hangover_hops must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A state transition reported by the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VadEvent {
+    /// An utterance opened at this hop (its voiced run reaches back
+    /// `min_speech_hops − 1` hops).
+    SpeechStart,
+    /// The utterance closed at this hop (its last voiced hop was
+    /// `hangover_hops` ago).
+    SpeechEnd,
+}
+
+/// RMS amplitude of one hop of samples (0 for an empty hop).
+pub fn hop_rms(samples: &[f32]) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f32 = samples.iter().map(|s| s * s).sum();
+    (sum_sq / samples.len() as f32).sqrt()
+}
+
+/// The energy endpointer state machine.
+#[derive(Debug, Clone)]
+pub struct EnergyVad {
+    config: VadConfig,
+    in_speech: bool,
+    voiced_run: usize,
+    silent_run: usize,
+}
+
+impl EnergyVad {
+    /// Creates a detector (validate the config first via
+    /// [`VadConfig::validate`]; [`crate::StreamConfig::validate`] does).
+    pub fn new(config: VadConfig) -> Self {
+        EnergyVad {
+            config,
+            in_speech: false,
+            voiced_run: 0,
+            silent_run: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VadConfig {
+        &self.config
+    }
+
+    /// Whether the detector currently believes speech is in progress.
+    pub fn in_speech(&self) -> bool {
+        self.in_speech
+    }
+
+    /// Consumes one hop's RMS energy; returns the state transition it caused,
+    /// if any.
+    pub fn push_hop(&mut self, rms: f32) -> Option<VadEvent> {
+        let voiced = rms >= self.config.energy_threshold;
+        if self.in_speech {
+            if voiced {
+                self.silent_run = 0;
+            } else {
+                self.silent_run += 1;
+                if self.silent_run >= self.config.hangover_hops {
+                    self.in_speech = false;
+                    self.voiced_run = 0;
+                    self.silent_run = 0;
+                    return Some(VadEvent::SpeechEnd);
+                }
+            }
+        } else if voiced {
+            self.voiced_run += 1;
+            if self.voiced_run >= self.config.min_speech_hops {
+                self.in_speech = true;
+                self.silent_run = 0;
+                return Some(VadEvent::SpeechStart);
+            }
+        } else {
+            self.voiced_run = 0;
+        }
+        None
+    }
+
+    /// Returns the detector to silence (e.g. when a session force-closes an
+    /// utterance).
+    pub fn reset(&mut self) {
+        self.in_speech = false;
+        self.voiced_run = 0;
+        self.silent_run = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vad() -> EnergyVad {
+        EnergyVad::new(VadConfig {
+            energy_threshold: 0.1,
+            min_speech_hops: 3,
+            hangover_hops: 4,
+            preroll_hops: 2,
+        })
+    }
+
+    #[test]
+    fn triggers_after_min_speech_and_ends_after_hangover() {
+        let mut v = vad();
+        assert!(!v.in_speech());
+        // Two voiced hops: still debouncing.
+        assert_eq!(v.push_hop(0.5), None);
+        assert_eq!(v.push_hop(0.5), None);
+        assert!(!v.in_speech());
+        // Third: speech starts.
+        assert_eq!(v.push_hop(0.5), Some(VadEvent::SpeechStart));
+        assert!(v.in_speech());
+        // Three silent hops: hangover not yet exhausted.
+        for _ in 0..3 {
+            assert_eq!(v.push_hop(0.0), None);
+        }
+        assert!(v.in_speech());
+        // Fourth: utterance ends.
+        assert_eq!(v.push_hop(0.0), Some(VadEvent::SpeechEnd));
+        assert!(!v.in_speech());
+    }
+
+    #[test]
+    fn clicks_shorter_than_debounce_do_not_trigger() {
+        let mut v = vad();
+        for _ in 0..10 {
+            assert_eq!(v.push_hop(0.5), None); // one voiced hop…
+            assert_eq!(v.push_hop(0.0), None); // …then silence resets the run
+        }
+        assert!(!v.in_speech());
+    }
+
+    #[test]
+    fn short_pauses_inside_speech_are_bridged() {
+        let mut v = vad();
+        for _ in 0..3 {
+            v.push_hop(0.5);
+        }
+        assert!(v.in_speech());
+        // A 3-hop pause (< hangover of 4), then speech resumes: no end event.
+        for _ in 0..3 {
+            assert_eq!(v.push_hop(0.0), None);
+        }
+        assert_eq!(v.push_hop(0.5), None);
+        assert!(v.in_speech());
+        // The hangover counter restarted: four fresh silent hops to close.
+        for _ in 0..3 {
+            assert_eq!(v.push_hop(0.0), None);
+        }
+        assert_eq!(v.push_hop(0.0), Some(VadEvent::SpeechEnd));
+    }
+
+    #[test]
+    fn reset_returns_to_silence() {
+        let mut v = vad();
+        for _ in 0..3 {
+            v.push_hop(0.9);
+        }
+        assert!(v.in_speech());
+        v.reset();
+        assert!(!v.in_speech());
+        assert_eq!(v.config().min_speech_hops, 3);
+    }
+
+    #[test]
+    fn rms_is_zero_for_empty_and_scales_with_amplitude() {
+        assert_eq!(hop_rms(&[]), 0.0);
+        assert!((hop_rms(&[0.5; 160]) - 0.5).abs() < 1e-6);
+        assert!(hop_rms(&[0.2; 160]) < hop_rms(&[0.8; 160]));
+    }
+
+    #[test]
+    fn config_validation() {
+        VadConfig::default().validate().unwrap();
+        for bad in [
+            VadConfig {
+                energy_threshold: 0.0,
+                ..VadConfig::default()
+            },
+            VadConfig {
+                energy_threshold: f32::NAN,
+                ..VadConfig::default()
+            },
+            VadConfig {
+                min_speech_hops: 0,
+                ..VadConfig::default()
+            },
+            VadConfig {
+                hangover_hops: 0,
+                ..VadConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+        // Zero preroll is allowed: it only trades onset clipping for memory.
+        VadConfig {
+            preroll_hops: 0,
+            ..VadConfig::default()
+        }
+        .validate()
+        .unwrap();
+    }
+}

@@ -1,0 +1,143 @@
+//! Streaming quickstart: the real-time regime the paper's SoC was built for.
+//!
+//! Two demonstrations:
+//!
+//! 1. **Feature streaming** — one utterance pushed through a
+//!    [`FeatureStreamSession`](lvcsr::stream::FeatureStreamSession) in small
+//!    chunks, partial hypotheses surfacing as words complete, and the final
+//!    result provably identical to the offline decode of the same frames.
+//! 2. **Continuous audio** — raw PCM with silence around two tone bursts
+//!    pushed into an [`AudioStreamSession`](lvcsr::stream::AudioStreamSession):
+//!    the energy VAD opens an utterance per burst, decodes it incrementally
+//!    while its audio is still arriving, and reports per-chunk latency and
+//!    the stream's host real-time factor.
+//!
+//! Run with: `cargo run --example streaming --release`
+
+use lvcsr::corpus::{TaskConfig, TaskGenerator};
+use lvcsr::decoder::{DecoderConfig, Recognizer};
+use lvcsr::frontend::FrontendConfig;
+use lvcsr::stream::{StreamConfig, StreamEvent, StreamingRecognizer, VadConfig};
+use lvcsr::LvcsrError;
+
+fn main() -> Result<(), LvcsrError> {
+    // --- 1. feature streaming: chunks in, partials out, offline-identical ---
+    let task = TaskGenerator::new(11).generate(&TaskConfig::small())?;
+    let recognizer = Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        DecoderConfig::hardware(2),
+    )?;
+    let (features, reference) = task.synthesize_utterance(4, 0.2, 3);
+    let offline = recognizer.decode_features(&features)?;
+
+    let streamer = StreamingRecognizer::feature_only(recognizer)?;
+    let mut session = streamer.feature_session()?;
+    println!("streaming {} frames in 5-frame chunks:", features.len());
+    let mut last_words = 0;
+    for chunk in features.chunks(5) {
+        let partial = session.push_chunk(chunk)?;
+        if partial.words.len() > last_words {
+            last_words = partial.words.len();
+            println!(
+                "  after {:>3} frames: \"{}\"",
+                partial.frames,
+                partial.to_sentence()
+            );
+        }
+    }
+    let outcome = session.finish()?;
+    println!(
+        "final: \"{}\" ({})",
+        outcome.result.hypothesis.to_sentence(),
+        if outcome.result.hypothesis.words == reference {
+            "correct"
+        } else {
+            "incorrect"
+        }
+    );
+    assert_eq!(outcome.result.hypothesis, offline.hypothesis);
+    println!(
+        "identical to offline decode; {} chunks, p50 chunk latency {:.2} µs, \
+         stream RTF {:.4}",
+        outcome.timing.chunks(),
+        outcome.timing.p50_latency_s() * 1.0e6,
+        outcome.timing.real_time_factor()
+    );
+    let hw = outcome.result.hardware.expect("hardware backend report");
+    println!(
+        "SoC report: {} frames, host-side stream timing folded in ({} chunks)\n",
+        hw.frames,
+        hw.streaming.expect("stream timing").chunks()
+    );
+
+    // --- 2. continuous audio with VAD endpointing ---
+    // A 13-dim task so the delta-less MFCC frontend matches the model.
+    let audio_task = TaskGenerator::new(23).generate(&TaskConfig {
+        feature_dim: 13,
+        ..TaskConfig::tiny()
+    })?;
+    let audio_recognizer = Recognizer::new(
+        audio_task.acoustic_model.clone(),
+        audio_task.dictionary.clone(),
+        audio_task.language_model.clone(),
+        DecoderConfig::software(),
+    )?;
+    let streamer = StreamingRecognizer::new(
+        audio_recognizer,
+        StreamConfig {
+            frontend: FrontendConfig {
+                use_delta: false,
+                use_delta_delta: false,
+                ..FrontendConfig::default()
+            },
+            vad: VadConfig {
+                energy_threshold: 0.05,
+                min_speech_hops: 2,
+                hangover_hops: 8,
+                preroll_hops: 3,
+            },
+        },
+    )?;
+    let mut audio_session = streamer.audio_session()?;
+
+    // 2 tone bursts with silence between: two utterances for the endpointer.
+    let tone = |seconds: f32, freq: f32| -> Vec<f32> {
+        (0..(seconds * 16_000.0) as usize)
+            .map(|n| 0.5 * (2.0 * std::f32::consts::PI * freq * n as f32 / 16_000.0).sin())
+            .collect()
+    };
+    let mut audio = vec![0.0f32; 2_400];
+    audio.extend(tone(0.25, 440.0));
+    audio.extend(vec![0.0f32; 3_200]);
+    audio.extend(tone(0.20, 1200.0));
+    audio.extend(vec![0.0f32; 3_200]);
+
+    println!(
+        "pushing {:.2} s of audio (two bursts) through the VAD in 50 ms chunks:",
+        audio.len() as f32 / 16_000.0
+    );
+    for chunk in audio.chunks(800) {
+        for event in audio_session.push_audio(chunk)? {
+            match event {
+                StreamEvent::UtteranceStarted => println!("  [VAD] speech started"),
+                StreamEvent::Partial(p) => {
+                    println!("  [partial] \"{}\" @ frame {}", p.to_sentence(), p.frames)
+                }
+                StreamEvent::UtteranceEnd(outcome) => println!(
+                    "  [VAD] speech ended: {} frames decoded, stream RTF {:.4}",
+                    outcome.result.stats.num_frames(),
+                    outcome.timing.real_time_factor()
+                ),
+            }
+        }
+    }
+    let finished = audio_session.utterances_finished();
+    let last = audio_session.close()?;
+    println!(
+        "closed: {finished} endpointed utterances, trailing session empty: {}",
+        last.result.is_empty()
+    );
+    Ok(())
+}

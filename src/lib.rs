@@ -13,7 +13,8 @@
 //! | [`decoder`] | `asr-core` | the `SenoneScorer` backend seam (SoC / scalar / SIMD scorers), phone decode, word decode (token passing over the lexical tree), word lattice, global best path, batch decoding |
 //! | [`corpus`] | `asr-corpus` | synthetic WSJ5K-like tasks, utterance/audio synthesis, WER scoring |
 //! | [`baseline`] | `asr-baseline` | software-decoder and related-work accelerator baselines |
-//! | [`serve`] | `asr-serve` | async batched serving front: bounded queue, micro-batcher, typed backpressure |
+//! | [`serve`] | `asr-serve` | async batched serving front: bounded queue, micro-batcher, typed backpressure, incremental stream sessions |
+//! | [`stream`] | `asr-stream` | streaming recognition: chunked frontend with live CMN, energy VAD endpointing, incremental decode sessions with partials and chunk-latency accounting |
 //!
 //! # Quickstart
 //!
@@ -92,6 +93,7 @@ pub use asr_frontend as frontend;
 pub use asr_hw as hw;
 pub use asr_lexicon as lexicon;
 pub use asr_serve as serve;
+pub use asr_stream as stream;
 
 /// One error type for the whole workspace: every crate's error converts into
 /// it via `From`, so application code (the `examples/`, integration tests,
@@ -117,6 +119,9 @@ pub enum LvcsrError {
     /// Serving-front error (`asr-serve`): backpressure, shutdown, or a decode
     /// failure surfaced through the queue.
     Serve(serve::ServeError),
+    /// Streaming-subsystem error (`asr-stream`): an invalid stream/VAD
+    /// configuration, or a frontend/decode failure inside a session.
+    Stream(stream::StreamError),
 }
 
 impl core::fmt::Display for LvcsrError {
@@ -130,6 +135,7 @@ impl core::fmt::Display for LvcsrError {
             LvcsrError::Decode(e) => write!(f, "decoder: {e}"),
             LvcsrError::Corpus(e) => write!(f, "corpus: {e}"),
             LvcsrError::Serve(e) => write!(f, "serving front: {e}"),
+            LvcsrError::Stream(e) => write!(f, "streaming: {e}"),
         }
     }
 }
@@ -145,6 +151,7 @@ impl std::error::Error for LvcsrError {
             LvcsrError::Decode(e) => Some(e),
             LvcsrError::Corpus(e) => Some(e),
             LvcsrError::Serve(e) => Some(e),
+            LvcsrError::Stream(e) => Some(e),
         }
     }
 }
@@ -168,6 +175,7 @@ lvcsr_error_from!(
     Decode(decoder::DecodeError),
     Corpus(corpus::CorpusError),
     Serve(serve::ServeError),
+    Stream(stream::StreamError),
 );
 
 #[cfg(test)]
@@ -186,6 +194,7 @@ mod tests {
             decoder::DecodeError::InvalidConfig("beam".into()).into(),
             corpus::CorpusError::InvalidConfig("vocab".into()).into(),
             serve::ServeError::Decode(decoder::DecodeError::InvalidConfig("queue".into())).into(),
+            stream::StreamError::Decode(decoder::DecodeError::InvalidConfig("chunk".into())).into(),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

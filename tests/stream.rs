@@ -1,0 +1,187 @@
+//! Streaming integration tests: the central invariant of the streaming
+//! subsystem is that **chunking is invisible** — feeding an utterance's
+//! feature frames through a streaming session in chunks of any size produces
+//! the identical hypothesis, score and statistics as the offline
+//! `decode_features` on the concatenated input, on every backend; and the
+//! partial hypotheses surfaced between chunks are prefix-consistent with
+//! monotone frame counts.
+
+use lvcsr::corpus::{SyntheticTask, TaskConfig, TaskGenerator};
+use lvcsr::decoder::{
+    DecodeResult, DecoderConfig, PartialHypothesis, Recognizer, ScoringBackendKind,
+};
+use lvcsr::stream::{StreamEvent, StreamingRecognizer, VadConfig};
+use proptest::prelude::*;
+
+fn build_task() -> SyntheticTask {
+    TaskGenerator::new(4242)
+        .generate(&TaskConfig::tiny())
+        .expect("task")
+}
+
+fn build_recognizer(task: &SyntheticTask, backend: ScoringBackendKind) -> Recognizer {
+    Recognizer::new(
+        task.acoustic_model.clone(),
+        task.dictionary.clone(),
+        task.language_model.clone(),
+        DecoderConfig {
+            backend,
+            ..DecoderConfig::default()
+        },
+    )
+    .expect("recogniser")
+}
+
+fn backend(index: usize) -> ScoringBackendKind {
+    match index % 4 {
+        0 => ScoringBackendKind::Software,
+        1 => ScoringBackendKind::Simd,
+        2 => ScoringBackendKind::Hardware(lvcsr::hw::SocConfig::default()),
+        _ => ScoringBackendKind::Sharded {
+            shards: 2,
+            inner: Box::new(ScoringBackendKind::Hardware(lvcsr::hw::SocConfig::default())),
+        },
+    }
+}
+
+/// The decode surface that must not change under chunking: both hypotheses,
+/// the live score, the statistics, the lattice shape and the hardware work
+/// counters.
+type Fingerprint = (
+    Vec<u32>,
+    Vec<u32>,
+    f32,
+    usize,
+    u64,
+    usize,
+    Option<(usize, u64)>,
+);
+
+fn fingerprint(r: &DecodeResult) -> Fingerprint {
+    (
+        r.hypothesis.words.iter().map(|w| w.0).collect(),
+        r.live_hypothesis.words.iter().map(|w| w.0).collect(),
+        r.best_score.raw(),
+        r.stats.num_frames(),
+        r.stats.total_senones_scored(),
+        r.lattice.len(),
+        r.hardware.as_ref().map(|h| (h.frames, h.senones_scored)),
+    )
+}
+
+proptest! {
+    /// The acceptance property: for chunk sizes 1, 3, 7 and whole-utterance,
+    /// on every backend (software / simd / soc / sharded), a streaming
+    /// session equals the offline decode, and its partials are
+    /// prefix-consistent with monotone frame counts.
+    #[test]
+    fn streaming_equals_offline_on_every_backend_and_chunking(
+        backend_index in 0usize..4,
+        chunk_index in 0usize..4,
+        words in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        let task = build_task();
+        let rec = build_recognizer(&task, backend(backend_index));
+        let (features, _) = task.synthesize_utterance(words, 0.2, seed);
+        let chunk = [1usize, 3, 7, features.len()][chunk_index].max(1);
+
+        let offline = rec.decode_features(&features).expect("offline decode");
+
+        let streamer = StreamingRecognizer::feature_only(rec).expect("streamer");
+        let mut session = streamer.feature_session().expect("session");
+        let mut previous = PartialHypothesis::default();
+        for piece in features.chunks(chunk) {
+            let partial = session.push_chunk(piece).expect("chunk decodes");
+            // Monotone frame counts…
+            prop_assert!(partial.frames > previous.frames);
+            prop_assert_eq!(partial.frames, session.frames());
+            // …and prefix-consistent words.
+            prop_assert!(
+                partial.words.starts_with(&previous.words),
+                "partial {:?} must extend {:?}",
+                partial.words,
+                previous.words
+            );
+            previous = partial;
+        }
+        let outcome = session.finish().expect("finish");
+        prop_assert_eq!(fingerprint(&outcome.result), fingerprint(&offline));
+        // The latency record covered every chunk and all the audio.
+        prop_assert_eq!(outcome.timing.chunks(), features.len().div_ceil(chunk));
+        let audio = outcome.timing.audio_seconds();
+        prop_assert!((audio - features.len() as f64 * 0.010).abs() < 1e-9);
+        // Hardware backends carry the fold into their report.
+        if let Some(hw) = &outcome.result.hardware {
+            prop_assert_eq!(
+                hw.streaming.as_ref().expect("timing folded").chunks(),
+                outcome.timing.chunks()
+            );
+        }
+    }
+}
+
+/// The serve-layer stream sessions obey the same equality, across backends.
+#[test]
+fn serve_stream_sessions_equal_offline_on_every_backend() {
+    let task = build_task();
+    let (features, reference) = task.synthesize_utterance(2, 0.2, 77);
+    for backend_index in 0..4 {
+        let offline = build_recognizer(&task, backend(backend_index))
+            .decode_features(&features)
+            .expect("offline");
+        let server = lvcsr::serve::AsrServer::spawn(
+            build_recognizer(&task, backend(backend_index)),
+            lvcsr::serve::ServeConfig::default(),
+        )
+        .expect("server");
+        let handle = server.open_stream().expect("stream");
+        for chunk in features.chunks(5) {
+            handle.push_chunk(chunk).expect("push");
+        }
+        let result = handle.finish().expect("finish").wait().expect("decode");
+        assert_eq!(
+            fingerprint(&result),
+            fingerprint(&offline),
+            "backend {backend_index}"
+        );
+        assert_eq!(result.hypothesis.words, reference);
+        server.close();
+    }
+}
+
+/// A continuous-audio session over silence only: the VAD never opens an
+/// utterance and close() is the typed empty result — not an error.
+#[test]
+fn silent_audio_session_closes_empty() {
+    let task = TaskGenerator::new(99)
+        .generate(&TaskConfig {
+            feature_dim: 13,
+            ..TaskConfig::tiny()
+        })
+        .expect("task");
+    let rec = build_recognizer(&task, ScoringBackendKind::Software);
+    let streamer = StreamingRecognizer::new(
+        rec,
+        lvcsr::stream::StreamConfig {
+            frontend: lvcsr::frontend::FrontendConfig {
+                use_delta: false,
+                use_delta_delta: false,
+                ..lvcsr::frontend::FrontendConfig::default()
+            },
+            vad: VadConfig::default(),
+        },
+    )
+    .expect("streamer");
+    let mut session = streamer.audio_session().expect("audio session");
+    let events = session.push_audio(&vec![0.0f32; 16_000]).expect("push");
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, StreamEvent::UtteranceStarted)),
+        "silence must not trigger the VAD"
+    );
+    let outcome = session.close().expect("close");
+    assert!(outcome.result.is_empty());
+    assert_eq!(outcome.result.hypothesis.words.len(), 0);
+}
