@@ -4,8 +4,11 @@
 //! shim when `LVCSR_BENCH_JSON` is set) against the committed
 //! `BENCH_baseline.json` and fails if any benchmark shared by both files
 //! regressed by more than the allowed fraction (default 15 %).  It also
-//! enforces the batch-decoding amortisation claim: `decode_batch` of 32
-//! utterances must beat 32 sequential `decode_features` calls.
+//! enforces the ratio claims: `decode_batch` of 32 utterances must beat 32
+//! sequential `decode_features` calls, the 4-shard scorer must beat the
+//! single SoC (multi-core hosts), the persistent shard worker pool must not
+//! lose to per-frame scoped spawning, and chunked streaming must stay
+//! within 15 % of offline decoding.
 //!
 //! Usage:
 //!
@@ -36,6 +39,16 @@ const SEQUENTIAL_BENCH: &str = "decode_batch_amortisation/sequential_32";
 const SHARDED_BENCH: &str = "serve_throughput/sharded4_soc_32";
 const SINGLE_SOC_BENCH: &str = "serve_throughput/single_soc_32";
 
+/// The two benchmarks backing the shard-dispatch acceptance check: the same
+/// 200-frame workload through the persistent worker pool and through the
+/// per-frame scoped-spawn dispatch.  Judged as a ratio (the pool must not
+/// lose to respawning threads every frame), with the same host-dependent
+/// limit as the scale-out pair: strict on hosts that measured with real
+/// parallelism, an overhead bound on single-core hosts where both
+/// dispatches serialise onto one CPU.
+const POOL_BENCH: &str = "shard_scaling/pool_200f";
+const SCOPED_BENCH: &str = "shard_scaling/scoped_200f";
+
 /// The two benchmarks backing the streaming-overhead acceptance check: the
 /// same 32-utterance workload decoded through chunked streaming sessions and
 /// through the offline batch path (both with one recycled decoder).  Judged
@@ -55,8 +68,17 @@ const STREAM_OVERHEAD_LIMIT: f64 = 1.15;
 /// to run on a different host class than the bench did).
 const HOST_CPUS_KEY: &str = "serve_throughput/host_cpus";
 
+/// Same convention for the `shard_scaling` bench, which may run on a
+/// different host (or job) than `serve_throughput`.
+const SHARD_SCALING_CPUS_KEY: &str = "shard_scaling/host_cpus";
+
+/// The measured per-frame pool dispatch overhead over the inline floor —
+/// informational (recorded alongside the results, printed by the bench),
+/// not a gated benchmark: it is a small difference of two noisy numbers.
+const POOL_OVERHEAD_KEY: &str = "shard_scaling/pool_dispatch_overhead_per_frame_seconds";
+
 fn metadata(name: &str) -> bool {
-    name == HOST_CPUS_KEY
+    name == HOST_CPUS_KEY || name == SHARD_SCALING_CPUS_KEY || name == POOL_OVERHEAD_KEY
 }
 
 fn ratio_checked(name: &str) -> bool {
@@ -64,6 +86,8 @@ fn ratio_checked(name: &str) -> bool {
         || name == SEQUENTIAL_BENCH
         || name == SHARDED_BENCH
         || name == SINGLE_SOC_BENCH
+        || name == POOL_BENCH
+        || name == SCOPED_BENCH
         || name == STREAM_BENCH
         || name == STREAM_OFFLINE_BENCH
 }
@@ -93,6 +117,76 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
         return Err(format!("{path} contains no benchmark results"));
     }
     Ok(map)
+}
+
+/// One host-sensitive ratio claim: `contender` must beat `reference` when
+/// the numbers were measured with real parallelism, and stay within the
+/// single-core overhead bound otherwise (see [`shard_ratio_limit`]).
+struct HostGatedRatio<'a> {
+    /// Human label for the report line (e.g. "shard scale-out").
+    label: &'a str,
+    /// Benchmark key that must win (or stay within the overhead bound).
+    contender: &'a str,
+    /// Benchmark key it is judged against.
+    reference: &'a str,
+    /// CPU count of the *measurement* host, with its provenance.
+    cpus: usize,
+    cpus_source: &'a str,
+    /// Extra text appended to the report line (e.g. a recorded overhead).
+    note: String,
+}
+
+fn check_host_gated_ratio(
+    pr: &BTreeMap<String, f64>,
+    failures: &mut Vec<String>,
+    pr_path: &str,
+    check: HostGatedRatio<'_>,
+) {
+    let short = |key: &str| key.rsplit('/').next().unwrap_or(key).to_string();
+    let HostGatedRatio {
+        label,
+        contender,
+        reference,
+        cpus,
+        cpus_source,
+        note,
+    } = check;
+    match (pr.get(contender), pr.get(reference)) {
+        (Some(&fast), Some(&slow)) => {
+            let limit = shard_ratio_limit(cpus);
+            println!(
+                "{label} ({cpus} cpu(s), {cpus_source}): {} {} vs {} {} \
+                 ({:.2}x, limit {limit:.2}x{note})",
+                short(contender),
+                format_time(fast),
+                short(reference),
+                format_time(slow),
+                fast / slow,
+            );
+            if fast >= slow * limit {
+                failures.push(if cpus > 1 {
+                    format!(
+                        "{} ({}) must beat {} ({}) when measured on a {cpus}-cpu host",
+                        short(contender),
+                        format_time(fast),
+                        short(reference),
+                        format_time(slow)
+                    )
+                } else {
+                    format!(
+                        "{} ({}) exceeds the single-core overhead bound \
+                         ({:.0}% over {}'s {})",
+                        short(contender),
+                        format_time(fast),
+                        (shard_ratio_limit(1) - 1.0) * 100.0,
+                        short(reference),
+                        format_time(slow)
+                    )
+                });
+            }
+        }
+        _ => failures.push(format!("missing {contender} / {reference} in {pr_path}")),
+    }
 }
 
 fn format_time(seconds: f64) -> String {
@@ -196,39 +290,45 @@ fn run(baseline_path: &str, pr_path: &str, max_regression: f64) -> Result<(), St
             "gate host, unrecorded",
         ),
     };
-    match (pr.get(SHARDED_BENCH), pr.get(SINGLE_SOC_BENCH)) {
-        (Some(&sharded), Some(&single)) => {
-            let limit = shard_ratio_limit(cpus);
-            println!(
-                "shard scale-out ({cpus} cpu(s), {cpus_source}): sharded4 {} vs single {} \
-                 ({:.2}x, limit {limit:.2}x)",
-                format_time(sharded),
-                format_time(single),
-                sharded / single,
-            );
-            if sharded >= single * limit {
-                failures.push(if cpus > 1 {
-                    format!(
-                        "sharded4_soc_32 ({}) must beat single_soc_32 ({}) when \
-                         measured on a {cpus}-cpu host",
-                        format_time(sharded),
-                        format_time(single)
-                    )
-                } else {
-                    format!(
-                        "sharded4_soc_32 ({}) exceeds the single-core overhead bound \
-                         ({:.0}% over single_soc_32's {})",
-                        format_time(sharded),
-                        (shard_ratio_limit(1) - 1.0) * 100.0,
-                        format_time(single)
-                    )
-                });
-            }
-        }
-        _ => failures.push(format!(
-            "missing {SHARDED_BENCH} / {SINGLE_SOC_BENCH} in {pr_path}"
-        )),
-    }
+    check_host_gated_ratio(
+        &pr,
+        &mut failures,
+        pr_path,
+        HostGatedRatio {
+            label: "shard scale-out",
+            contender: SHARDED_BENCH,
+            reference: SINGLE_SOC_BENCH,
+            cpus,
+            cpus_source,
+            note: String::new(),
+        },
+    );
+
+    // The dispatch claim: the persistent worker pool must not lose to
+    // spawning a fresh thread per shard per frame.  Strict (pool ≤ scoped)
+    // when the numbers were measured with real parallelism; on a
+    // single-core measurement host both dispatches serialise, so the gate
+    // bounds the pool's overhead the same way the shard check does.
+    let (pool_cpus, pool_cpus_source) = match pr.get(SHARD_SCALING_CPUS_KEY) {
+        Some(&recorded) if recorded >= 1.0 => (recorded as usize, "measurement host"),
+        _ => (cpus, cpus_source),
+    };
+    check_host_gated_ratio(
+        &pr,
+        &mut failures,
+        pr_path,
+        HostGatedRatio {
+            label: "pool dispatch",
+            contender: POOL_BENCH,
+            reference: SCOPED_BENCH,
+            cpus: pool_cpus,
+            cpus_source: pool_cpus_source,
+            note: pr
+                .get(POOL_OVERHEAD_KEY)
+                .map(|&o| format!(", pool dispatch overhead {}/frame", format_time(o)))
+                .unwrap_or_default(),
+        },
+    );
 
     // The streaming claim: chunked incremental decoding must stay within the
     // overhead bound of the offline batch path on the same workload.  Both
@@ -326,6 +426,8 @@ mod tests {
             SEQUENTIAL_BENCH,
             SHARDED_BENCH,
             SINGLE_SOC_BENCH,
+            POOL_BENCH,
+            SCOPED_BENCH,
             STREAM_BENCH,
             STREAM_OFFLINE_BENCH,
         ] {
@@ -333,6 +435,10 @@ mod tests {
         }
         assert!(!ratio_checked("serve_throughput/queue_sharded4_soc_32"));
         assert!(!ratio_checked("decode_batch/simd/32"));
+        // The inline floor is a stable single-thread measurement: plain
+        // regression-gated.
+        assert!(!ratio_checked("shard_scaling/inline_200f"));
+        assert!(!metadata("shard_scaling/inline_200f"));
         // The p50 chunk latency is a real measurement: regression-gated, not
         // ratio-checked, not metadata.
         assert!(!ratio_checked("stream_latency/p50_chunk_seconds"));
@@ -342,7 +448,10 @@ mod tests {
     #[test]
     fn host_cpus_entry_is_metadata_not_a_benchmark() {
         assert!(metadata(HOST_CPUS_KEY));
+        assert!(metadata(SHARD_SCALING_CPUS_KEY));
+        assert!(metadata(POOL_OVERHEAD_KEY));
         assert!(!metadata(SHARDED_BENCH));
+        assert!(!metadata(POOL_BENCH));
         // The flat parser reads the recorded count back as a number.
         let map = parse_flat_map("{\n  \"serve_throughput/host_cpus\": 4\n}\n");
         assert_eq!(map[HOST_CPUS_KEY], 4.0);

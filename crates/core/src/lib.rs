@@ -42,7 +42,10 @@ pub mod session;
 pub mod shard;
 pub mod stats;
 
-pub use config::{DecoderConfig, GmmSelectionConfig, ScoringBackendKind};
+pub use config::{
+    DecoderConfig, GmmSelectionConfig, ScoringBackendKind, ShardDispatch, ShardPartition,
+    ShardTuning, DEFAULT_MIN_PARALLEL_SENONES,
+};
 pub use lattice::{WordLattice, WordLatticeEntry};
 pub use phone_decode::PhoneDecoder;
 pub use recognizer::{DecodeResult, Hypothesis, Recognizer};

@@ -35,6 +35,10 @@ pub struct PhoneDecoder {
     last_scored_feature: Vec<f32>,
     /// Frames skipped since the last full scoring pass.
     skips_since_scored: usize,
+    /// Reusable per-frame result buffer passed to
+    /// [`SenoneScorer::score_senones_into`], so scoring a frame costs no
+    /// result allocation once the buffer has grown to the active-set size.
+    scored_scratch: Vec<(SenoneId, LogProb)>,
 }
 
 impl PhoneDecoder {
@@ -46,6 +50,7 @@ impl PhoneDecoder {
             arena: SenoneScoreArena::new(),
             last_scored_feature: Vec::new(),
             skips_since_scored: 0,
+            scored_scratch: Vec::new(),
         }
     }
 
@@ -104,9 +109,11 @@ impl PhoneDecoder {
             return Ok(true);
         }
 
-        let scored = self.scorer.score_senones(model, active, feature)?;
+        self.scored_scratch.clear();
+        self.scorer
+            .score_senones_into(model, active, feature, &mut self.scored_scratch)?;
         self.arena.begin_scored_frame(model.senones().len());
-        for (id, score) in scored {
+        for &(id, score) in &self.scored_scratch {
             self.arena.set(id, score);
         }
         // CDS bookkeeping costs a per-frame feature copy; skip it entirely

@@ -116,6 +116,33 @@ pub trait SenoneScorer: std::fmt::Debug + Send {
         feature: &[f32],
     ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError>;
 
+    /// Scores the requested senones into a caller-supplied buffer (appended
+    /// in `active` order), so a per-frame result allocation can be reused
+    /// across frames.  The decode hot path ([`PhoneDecoder::score_frame`])
+    /// calls this with a persistent scratch buffer; backends that assemble
+    /// results from parts (e.g. [`ShardedScorer`](crate::ShardedScorer))
+    /// override it to write the concatenation directly into `out`.
+    ///
+    /// The default implementation delegates to
+    /// [`SenoneScorer::score_senones`] and appends.
+    ///
+    /// [`PhoneDecoder::score_frame`]: crate::PhoneDecoder::score_frame
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`SenoneScorer::score_senones`]; on error `out` may hold
+    /// a partial prefix and must be discarded by the caller.
+    fn score_senones_into(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+        out: &mut Vec<(SenoneId, LogProb)>,
+    ) -> Result<(), DecodeError> {
+        out.extend(self.score_senones(model, active, feature)?);
+        Ok(())
+    }
+
     /// Advances one HMM by one frame.
     ///
     /// # Errors
@@ -259,6 +286,16 @@ impl SenoneScorer for SocScorer {
         Ok(self.soc.score_senones(model, active)?)
     }
 
+    fn score_senones_into(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        _feature: &[f32],
+        out: &mut Vec<(SenoneId, LogProb)>,
+    ) -> Result<(), DecodeError> {
+        Ok(self.soc.score_senones_into(model, active, out)?)
+    }
+
     fn step_hmm(
         &mut self,
         prev_scores: &[LogProb],
@@ -324,23 +361,34 @@ impl SenoneScorer for SoftwareScorer {
         active: &[SenoneId],
         feature: &[f32],
     ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError> {
+        let mut out = Vec::with_capacity(active.len());
+        self.score_senones_into(model, active, feature, &mut out)?;
+        Ok(out)
+    }
+
+    fn score_senones_into(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+        out: &mut Vec<(SenoneId, LogProb)>,
+    ) -> Result<(), DecodeError> {
         let x = truncated(&self.selection, feature);
-        active
-            .iter()
-            .map(|&id| {
-                let senone = model
-                    .senones()
-                    .get(id)
-                    .ok_or_else(|| AcousticError::UnknownId(format!("senone {}", id.0)))?;
-                let mix = senone.mixture();
-                let score = if self.selection.best_component_only {
-                    mix.max_component_log_likelihood(&x)
-                } else {
-                    mix.log_likelihood(&x)
-                };
-                Ok((id, score))
-            })
-            .collect()
+        out.reserve(active.len());
+        for &id in active {
+            let senone = model
+                .senones()
+                .get(id)
+                .ok_or_else(|| AcousticError::UnknownId(format!("senone {}", id.0)))?;
+            let mix = senone.mixture();
+            let score = if self.selection.best_component_only {
+                mix.max_component_log_likelihood(&x)
+            } else {
+                mix.log_likelihood(&x)
+            };
+            out.push((id, score));
+        }
+        Ok(())
     }
 
     fn step_hmm(
@@ -544,6 +592,18 @@ impl SenoneScorer for SimdScorer {
         active: &[SenoneId],
         feature: &[f32],
     ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError> {
+        let mut out = Vec::with_capacity(active.len());
+        self.score_senones_into(model, active, feature, &mut out)?;
+        Ok(out)
+    }
+
+    fn score_senones_into(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+        out: &mut Vec<(SenoneId, LogProb)>,
+    ) -> Result<(), DecodeError> {
         if !self.table.as_ref().is_some_and(|t| t.matches(model)) {
             self.table = Some(FlattenedModel::build(model));
             self.table_builds += 1;
@@ -551,15 +611,14 @@ impl SenoneScorer for SimdScorer {
         let table = self.table.as_ref().expect("table built above");
         let x = truncated(&self.selection, feature);
         let best_only = self.selection.best_component_only;
-        active
-            .iter()
-            .map(|&id| {
-                if id.index() >= table.num_senones {
-                    return Err(AcousticError::UnknownId(format!("senone {}", id.0)).into());
-                }
-                Ok((id, Self::score_one(table, id.index(), &x, best_only)))
-            })
-            .collect()
+        out.reserve(active.len());
+        for &id in active {
+            if id.index() >= table.num_senones {
+                return Err(AcousticError::UnknownId(format!("senone {}", id.0)).into());
+            }
+            out.push((id, Self::score_one(table, id.index(), &x, best_only)));
+        }
+        Ok(())
     }
 
     fn step_hmm(

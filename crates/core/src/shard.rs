@@ -6,50 +6,289 @@
 //! that scale-out step behind the existing seam: it owns N inner scorers
 //! (N [`SpeechSoc`] instances via [`SocScorer`], or any mix of backends),
 //! splits every frame's active set into N contiguous slices, scores the
-//! slices concurrently on scoped threads, and folds the per-shard hardware
-//! reports with [`UtteranceReport::merge_parallel`] so the final report
-//! describes one scaled-out machine over one audio stream rather than N
-//! copies of the audio.
+//! slices concurrently, and folds the per-shard hardware reports with
+//! [`UtteranceReport::merge_parallel`] so the final report describes one
+//! scaled-out machine over one audio stream rather than N copies of the
+//! audio.
+//!
+//! Two axes are tunable per backend (see [`ShardTuning`]):
+//!
+//! * **Dispatch** ([`ShardDispatch`]) — how per-frame work reaches the
+//!   shards.  The default [`ShardDispatch::Pooled`] keeps N−1 long-lived
+//!   worker threads per utterance (spawned lazily on the first parallel
+//!   frame, fed jobs over channels, joined at
+//!   [`SenoneScorer::finish_utterance`]); shard 0 always scores inline on
+//!   the calling thread.  [`ShardDispatch::ScopedSpawn`] is the historical
+//!   thread-per-frame dispatch, kept as the overhead baseline the
+//!   `shard_scaling` bench gates against.  Worker lifetime is safe-Rust
+//!   only: shard boxes and an [`Arc`]-cloned acoustic model round-trip
+//!   through the job channels, so nothing borrows across threads.
+//! * **Partition** ([`ShardPartition`]) — how the active set splits.  The
+//!   default [`ShardPartition::CostWeighted`] balances *estimated cost*
+//!   (per-senone mixture component count) instead of senone count, so a
+//!   model with skewed mixture sizes still loads its shards evenly; for
+//!   uniform-cost models it degenerates to the equal split automatically.
 //!
 //! Because every senone is scored by exactly one shard with the same
 //! arithmetic the unsharded backend would use, sharding is *observationally
-//! pure*: scores, hypotheses and decode statistics are identical to the
-//! unsharded inner scorer (property-tested in `tests/shard.rs`), and only
-//! wall-clock throughput and the hardware report's shape change.
+//! pure* under every dispatch × partition combination: scores, hypotheses
+//! and decode statistics are identical to the unsharded inner scorer
+//! (property-tested in `tests/shard.rs`), and only wall-clock throughput
+//! and the hardware report's shape change.
 //!
 //! [`SpeechSoc`]: asr_hw::SpeechSoc
 //! [`SocScorer`]: crate::SocScorer
 
+use crate::config::{ShardDispatch, ShardPartition, ShardTuning};
 use crate::scorer::{HmmStepResult, SenoneScorer};
 use crate::DecodeError;
 use asr_acoustic::{AcousticModel, SenoneId, TransitionMatrix};
 use asr_float::LogProb;
 use asr_hw::UtteranceReport;
+use std::sync::{mpsc, Arc};
 
-/// Below this many active senones a frame is scored on the calling thread,
-/// shard by shard, instead of spawning scoped threads.  The partition is the
-/// same either way, so the choice is invisible in the results.
-///
-/// The threshold is tuned for the scorer sharding exists for — the
-/// cycle-accurate SoC, where one senone costs tens of microseconds of
-/// softfloat simulation, so even a feedback-pruned active set (~10–20
-/// senones on the bench tasks) amortises the ~10 µs per-thread spawn cost
-/// several times over.  Sharding a *cheap* backend (scalar/SIMD software, a
-/// fraction of a microsecond per senone) parallelises below its break-even
-/// point and wastes the spawn overhead; that combination is supported for
-/// correctness (mixed-backend shards, property tests) but is not a
-/// configuration the threshold optimises.
-const MIN_PARALLEL_SENONES: usize = 8;
+/// Message loss on the worker channels means a worker thread died, which
+/// only happens if an inner scorer panicked — propagate as a panic, exactly
+/// like the scoped-thread dispatch's `join().expect(..)` did.
+const WORKER_DIED: &str = "shard scoring worker panicked";
+
+/// Invariant message: shard boxes are always present between frames (they
+/// only leave `shards` while a pooled score call is in flight, and every
+/// reply puts them back before the call returns).
+const SHARD_PRESENT: &str = "shard present between frames";
+
+/// A fingerprint of one senone's parameters, bit-compared to detect a
+/// different model recycled at the same address (the same hazard
+/// `SimdScorer`'s flattened-arena cache guards against).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SenoneProbe {
+    components: usize,
+    weight_const_bits: u32,
+    mean_bits: u32,
+    precision_bits: u32,
+}
+
+impl SenoneProbe {
+    fn of(model: &AcousticModel, index: usize) -> Option<SenoneProbe> {
+        let senone = model.senones().get(SenoneId(index as u32))?;
+        let mix = senone.mixture();
+        let first_gaussian = mix.components().first();
+        Some(SenoneProbe {
+            components: mix.num_components(),
+            weight_const_bits: mix.log_weight_consts().first().map_or(0, |c| c.to_bits()),
+            mean_bits: first_gaussian
+                .and_then(|g| g.mean().first())
+                .map_or(0, |m| m.to_bits()),
+            // The last precision element too, matching the probe strength of
+            // `FlattenedModel::spot_check`: a same-shape model recycled at
+            // the same address must differ in *none* of these bits to be
+            // mistaken for a cache hit.
+            precision_bits: first_gaussian
+                .and_then(|g| g.precision().last())
+                .map_or(0, |p| p.to_bits()),
+        })
+    }
+}
+
+/// Per-model derived state, cached across utterances (a model-level cache in
+/// the sense of the [`SenoneScorer`] contract): the per-senone cost table
+/// driving the cost-weighted partition, and the shared [`Arc`] clone of the
+/// model that pooled workers score against.
+#[derive(Debug)]
+struct ModelCache {
+    model_ptr: usize,
+    num_senones: usize,
+    dim: usize,
+    first: Option<SenoneProbe>,
+    last: Option<SenoneProbe>,
+    /// Estimated relative scoring cost per senone: its mixture component
+    /// count (each component costs one full pass over the feature vector on
+    /// every backend, so components dominate per-senone cost).
+    costs: Vec<u32>,
+    /// Whether every senone costs the same — the cost-weighted partition
+    /// then short-circuits to the equal split.
+    uniform: bool,
+    /// Deep clone of the model handed to pooled workers (they outlive any
+    /// borrow of the caller's model).  Built lazily on the first pooled
+    /// frame; parameter values are identical, so scores are too.
+    shared: Option<Arc<AcousticModel>>,
+}
+
+impl ModelCache {
+    fn build(model: &AcousticModel) -> ModelCache {
+        let costs: Vec<u32> = model
+            .senones()
+            .iter()
+            .map(|s| s.mixture().num_components() as u32)
+            .collect();
+        let uniform = costs.windows(2).all(|w| w[0] == w[1]);
+        ModelCache {
+            model_ptr: model as *const AcousticModel as usize,
+            num_senones: model.senones().len(),
+            dim: model.feature_dim(),
+            first: SenoneProbe::of(model, 0),
+            last: SenoneProbe::of(model, model.senones().len().saturating_sub(1)),
+            costs,
+            uniform,
+            shared: None,
+        }
+    }
+
+    fn matches(&self, model: &AcousticModel) -> bool {
+        self.model_ptr == model as *const AcousticModel as usize
+            && self.num_senones == model.senones().len()
+            && self.dim == model.feature_dim()
+            && self.first == SenoneProbe::of(model, 0)
+            && self.last == SenoneProbe::of(model, self.num_senones.saturating_sub(1))
+    }
+
+    fn shared_model(&mut self, model: &AcousticModel) -> &Arc<AcousticModel> {
+        self.shared.get_or_insert_with(|| Arc::new(model.clone()))
+    }
+}
+
+/// One frame's work for one pooled worker.  Everything is owned (`'static`),
+/// which is what lets the workers be plain long-lived threads: the shard box
+/// and the buffers (including the result buffer, recycled through
+/// [`SenoneScorer::score_senones_into`]) round-trip caller → worker → caller
+/// every frame, and the model travels as an [`Arc`].
+#[derive(Debug)]
+struct ScoreJob {
+    shard: Box<dyn SenoneScorer>,
+    model: Arc<AcousticModel>,
+    active: Vec<SenoneId>,
+    feature: Vec<f32>,
+    result: Result<Vec<(SenoneId, LogProb)>, DecodeError>,
+}
+
+/// Recycled per-worker job buffers: active ids, feature copy, result.
+type SpareBuffers = (Vec<SenoneId>, Vec<f32>, Vec<(SenoneId, LogProb)>);
+
+/// The persistent per-utterance worker pool: worker `w` always serves shard
+/// `w + 1` (shard 0 scores inline on the calling thread).  Each worker owns
+/// its *own* reply channel, so if a worker dies mid-job its channel
+/// disconnects and the caller's `recv` fails immediately — a shared reply
+/// channel would stay open through the other workers' sender clones and
+/// turn a worker panic into a caller deadlock.  Dropping the pool closes
+/// the job channels and joins every worker.
+#[derive(Debug)]
+struct WorkerPool {
+    senders: Vec<mpsc::Sender<ScoreJob>>,
+    replies: Vec<mpsc::Receiver<ScoreJob>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Recycled job buffers per worker, so steady-state dispatch allocates
+    /// nothing — not even the per-shard result vector.
+    spare: Vec<SpareBuffers>,
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize) -> WorkerPool {
+        let mut senders = Vec::with_capacity(workers);
+        let mut replies = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<ScoreJob>();
+            let (reply_tx, reply_rx) = mpsc::channel::<ScoreJob>();
+            let handle = std::thread::Builder::new()
+                .name(format!("shard-worker-{}", w + 1))
+                .spawn(move || {
+                    while let Ok(mut job) = rx.recv() {
+                        let mut buf =
+                            std::mem::replace(&mut job.result, Ok(Vec::new())).unwrap_or_default();
+                        buf.clear();
+                        job.result = job
+                            .shard
+                            .score_senones_into(&job.model, &job.active, &job.feature, &mut buf)
+                            .map(|()| buf);
+                        if reply_tx.send(job).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn shard worker thread");
+            senders.push(tx);
+            replies.push(reply_rx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            senders,
+            replies,
+            handles,
+            spare: (0..workers)
+                .map(|_| (Vec::new(), Vec::new(), Vec::new()))
+                .collect(),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the senders ends every worker's receive loop; joining
+        // bounds the thread lifetime to the utterance.  A worker that
+        // panicked already surfaced as a caller panic on the reply channel,
+        // so join errors are not re-raised here.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Writes the partition boundaries for `active` into `bounds`
+/// (`n + 1` entries, `bounds[k]..bounds[k + 1]` is shard `k`'s slice).
+/// With `costs`, slices balance total estimated cost; without, they balance
+/// senone count (the historical equal split).
+fn fill_bounds(bounds: &mut Vec<usize>, n: usize, active: &[SenoneId], costs: Option<&[u32]>) {
+    bounds.clear();
+    bounds.push(0);
+    let cost_of =
+        |costs: &[u32], id: SenoneId| -> u64 { costs.get(id.index()).copied().unwrap_or(1) as u64 };
+    let total = costs.map(|costs| active.iter().map(|&id| cost_of(costs, id)).sum::<u64>());
+    match (costs, total) {
+        (Some(costs), Some(total)) if total > 0 => {
+            let mut acc = 0u64;
+            let mut k = 1usize;
+            for (i, &id) in active.iter().enumerate() {
+                acc += cost_of(costs, id);
+                // Cut shard k as soon as the prefix holds a k/n share of the
+                // total cost; a dominant senone may produce empty slices for
+                // later shards, which simply score nothing that frame.
+                while k < n && acc * n as u64 >= total * k as u64 {
+                    bounds.push(i + 1);
+                    k += 1;
+                }
+            }
+            while bounds.len() < n {
+                bounds.push(active.len());
+            }
+        }
+        _ => {
+            let chunk = active.len().div_ceil(n).max(1);
+            for k in 1..n {
+                bounds.push((k * chunk).min(active.len()));
+            }
+        }
+    }
+    bounds.push(active.len());
+}
 
 /// A scorer that shards the active-senone set across several inner scorers.
 ///
 /// * [`SenoneScorer::score_senones`] splits the active set into
-///   `num_shards()` contiguous slices and scores them concurrently (scoped
-///   threads), concatenating the per-slice results in order.
+///   `num_shards()` contiguous slices — cost-weighted by mixture component
+///   count under [`ShardPartition::CostWeighted`], equal-sized under
+///   [`ShardPartition::EqualSplit`] — and scores them concurrently,
+///   concatenating the per-slice results in `active` order.  Shard 0 always
+///   scores on the calling thread; the rest are fed through the persistent
+///   worker pool ([`ShardDispatch::Pooled`], zero thread spawns per frame)
+///   or scored on per-frame scoped threads ([`ShardDispatch::ScopedSpawn`]).
 /// * [`SenoneScorer::step_hmm`] dispatches HMM updates round-robin across the
 ///   shards, mirroring [`SpeechSoc`]'s internal structure scheduling.
-/// * [`SenoneScorer::finish_utterance`] folds the shards' reports with
-///   [`UtteranceReport::merge_parallel`].
+/// * [`SenoneScorer::finish_utterance`] joins the worker pool and folds the
+///   shards' reports with [`UtteranceReport::merge_parallel`], which also
+///   records the per-shard scored-senone balance
+///   ([`UtteranceReport::shard_senones`] /
+///   [`UtteranceReport::worst_shard_share`]).
 /// * The host-side bookkeeping calls ([`SenoneScorer::dma_fetch`], the
 ///   software-stage charge of [`SenoneScorer::end_frame`]) go to shard 0
 ///   only, so host cycles and dictionary traffic are not multiplied by the
@@ -62,16 +301,30 @@ const MIN_PARALLEL_SENONES: usize = 8;
 /// [`SpeechSoc`]: asr_hw::SpeechSoc
 #[derive(Debug)]
 pub struct ShardedScorer {
-    shards: Vec<Box<dyn SenoneScorer>>,
+    /// `Some` between frames; entries leave only while a pooled score call
+    /// is in flight and return before it completes.
+    shards: Vec<Option<Box<dyn SenoneScorer>>>,
     next_hmm_shard: usize,
-    /// Whether to score shards on scoped threads.  Defaults to "only when the
+    /// Whether to score shards on threads at all.  Defaults to "only when the
     /// host has more than one CPU": on a single-core host the threads would
-    /// serialise anyway and only the spawn overhead would remain.
+    /// serialise anyway and only the dispatch overhead would remain.
     parallel: bool,
+    tuning: ShardTuning,
+    /// Per-model cost table + pooled model clone (survives utterances).
+    model_cache: Option<ModelCache>,
+    /// The per-utterance worker pool (pooled dispatch only; `None` until the
+    /// first parallel frame, joined at `finish_utterance`).
+    pool: Option<WorkerPool>,
+    /// Cumulative OS threads spawned (pool workers + scoped threads) — the
+    /// observable the zero-spawns-per-frame property is asserted on.
+    threads_spawned: usize,
+    /// Reusable partition-boundary scratch.
+    bounds: Vec<usize>,
 }
 
 impl ShardedScorer {
-    /// Builds the scorer around the given shards (any mix of backends).
+    /// Builds the scorer around the given shards (any mix of backends), with
+    /// default [`ShardTuning`].
     ///
     /// # Errors
     ///
@@ -87,12 +340,17 @@ impl ShardedScorer {
             .unwrap_or(1);
         Ok(ShardedScorer {
             parallel: shards.len() > 1 && host_cpus > 1,
-            shards,
+            shards: shards.into_iter().map(Some).collect(),
             next_hmm_shard: 0,
+            tuning: ShardTuning::default(),
+            model_cache: None,
+            pool: None,
+            threads_spawned: 0,
+            bounds: Vec::new(),
         })
     }
 
-    /// Overrides the host-parallelism heuristic: `true` forces scoped-thread
+    /// Overrides the host-parallelism heuristic: `true` forces threaded
     /// scoring even on a single-core host, `false` forces the sequential
     /// fan-out.  Results are identical either way; only wall-clock changes.
     pub fn with_parallelism(mut self, parallel: bool) -> Self {
@@ -100,8 +358,43 @@ impl ShardedScorer {
         self
     }
 
-    /// Whether frames are scored on scoped threads (false on single-core
-    /// hosts, where the shards still partition the work but score in turn).
+    /// Replaces all tuning knobs at once (the path
+    /// [`ScoringBackendKind::Sharded`](crate::ScoringBackendKind::Sharded)
+    /// uses).  A zero `min_parallel_senones` is clamped to 1.
+    pub fn with_tuning(mut self, tuning: ShardTuning) -> Self {
+        self.tuning = ShardTuning {
+            min_parallel_senones: tuning.min_parallel_senones.max(1),
+            ..tuning
+        };
+        self
+    }
+
+    /// Sets the active-set size below which frames are scored on the calling
+    /// thread (clamped to at least 1).
+    pub fn with_min_parallel_senones(mut self, min_parallel_senones: usize) -> Self {
+        self.tuning.min_parallel_senones = min_parallel_senones.max(1);
+        self
+    }
+
+    /// Sets the partition policy.
+    pub fn with_partition(mut self, partition: ShardPartition) -> Self {
+        self.tuning.partition = partition;
+        self
+    }
+
+    /// Sets the dispatch mechanism.
+    pub fn with_dispatch(mut self, dispatch: ShardDispatch) -> Self {
+        self.tuning.dispatch = dispatch;
+        self
+    }
+
+    /// The active tuning knobs.
+    pub fn tuning(&self) -> ShardTuning {
+        self.tuning
+    }
+
+    /// Whether frames are scored on threads (false on single-core hosts,
+    /// where the shards still partition the work but score in turn).
     pub fn is_parallel(&self) -> bool {
         self.parallel
     }
@@ -111,15 +404,242 @@ impl ShardedScorer {
         self.shards.len()
     }
 
-    /// The inner scorers' names, in shard order.
-    pub fn shard_names(&self) -> Vec<&'static str> {
-        self.shards.iter().map(|s| s.name()).collect()
+    /// Cumulative count of OS threads this scorer has spawned — pool workers
+    /// (at most `num_shards() - 1` per utterance, usually per *batch* of
+    /// frames) plus per-frame scoped threads under
+    /// [`ShardDispatch::ScopedSpawn`].  The pooled zero-spawns-per-frame
+    /// property is asserted on this counter.
+    pub fn threads_spawned(&self) -> usize {
+        self.threads_spawned
     }
 
-    /// The slice length that partitions `active_len` senones into at most
-    /// `num_shards` contiguous chunks.
-    fn chunk_len(&self, active_len: usize) -> usize {
-        active_len.div_ceil(self.shards.len()).max(1)
+    /// Whether the worker pool is currently live (pooled dispatch, between
+    /// the first parallel frame and `finish_utterance`).
+    pub fn pool_is_live(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// The inner scorers' names, in shard order.
+    pub fn shard_names(&self) -> Vec<&'static str> {
+        self.shards
+            .iter()
+            .map(|s| s.as_ref().expect(SHARD_PRESENT).name())
+            .collect()
+    }
+
+    /// The contiguous slice boundaries the current tuning would partition
+    /// `active` into for `model` (`num_shards() + 1` entries).  Exposed for
+    /// tests and load-balance inspection; scoring uses exactly this split.
+    pub fn partition_bounds(&mut self, model: &AcousticModel, active: &[SenoneId]) -> Vec<usize> {
+        self.refresh_model_cache(model);
+        let mut bounds = std::mem::take(&mut self.bounds);
+        fill_bounds(&mut bounds, self.shards.len(), active, self.active_costs());
+        let snapshot = bounds.clone();
+        self.bounds = bounds;
+        snapshot
+    }
+
+    fn refresh_model_cache(&mut self, model: &AcousticModel) {
+        if self.model_cache.as_ref().is_some_and(|c| c.matches(model)) {
+            return;
+        }
+        self.model_cache = Some(ModelCache::build(model));
+    }
+
+    /// The cost table to partition with — `None` when the equal split
+    /// applies (explicitly configured, or every senone costs the same).
+    fn active_costs(&self) -> Option<&[u32]> {
+        match (self.tuning.partition, &self.model_cache) {
+            (ShardPartition::CostWeighted, Some(cache)) if !cache.uniform => {
+                Some(cache.costs.as_slice())
+            }
+            _ => None,
+        }
+    }
+
+    /// Sequential fan-out over the partition on the calling thread (small
+    /// frames, and hosts where threading cannot win).
+    fn score_inline(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+        bounds: &[usize],
+        out: &mut Vec<(SenoneId, LogProb)>,
+    ) -> Result<(), DecodeError> {
+        // Shards beyond 0 keep scoring against the pooled model clone once
+        // it exists, so pointer-keyed inner caches (the SIMD arena) are not
+        // invalidated by frames bouncing across the size threshold.
+        let shared = self.model_cache.as_ref().and_then(|c| c.shared.as_deref());
+        for (i, slot) in self.shards.iter_mut().enumerate() {
+            let part = &active[bounds[i]..bounds[i + 1]];
+            if part.is_empty() {
+                continue;
+            }
+            let shard_model = if i == 0 {
+                model
+            } else {
+                shared.unwrap_or(model)
+            };
+            slot.as_mut().expect(SHARD_PRESENT).score_senones_into(
+                shard_model,
+                part,
+                feature,
+                out,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Persistent-pool dispatch: shard boxes and reusable buffers travel to
+    /// the workers and back within this call; the calling thread scores
+    /// shard 0 while the workers run.
+    fn score_pooled(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+        bounds: &[usize],
+        out: &mut Vec<(SenoneId, LogProb)>,
+    ) -> Result<(), DecodeError> {
+        let n = self.shards.len();
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::spawn(n - 1));
+            self.threads_spawned += n - 1;
+        }
+        let ShardedScorer {
+            shards,
+            pool,
+            model_cache,
+            ..
+        } = self;
+        let pool = pool.as_mut().expect("pool created above");
+        let shared = Arc::clone(
+            model_cache
+                .as_mut()
+                .expect("model cache refreshed before pooled dispatch")
+                .shared_model(model),
+        );
+        for w in 0..n - 1 {
+            let part = &active[bounds[w + 1]..bounds[w + 2]];
+            if part.is_empty() {
+                continue;
+            }
+            let (mut active_buf, mut feature_buf, result_buf) = std::mem::take(&mut pool.spare[w]);
+            active_buf.clear();
+            active_buf.extend_from_slice(part);
+            feature_buf.clear();
+            feature_buf.extend_from_slice(feature);
+            let job = ScoreJob {
+                shard: shards[w + 1].take().expect(SHARD_PRESENT),
+                model: Arc::clone(&shared),
+                active: active_buf,
+                feature: feature_buf,
+                result: Ok(result_buf),
+            };
+            pool.senders[w].send(job).expect(WORKER_DIED);
+        }
+        // Score shard 0's slice here instead of idling on the replies; any
+        // error is held until every worker has answered, so the shard boxes
+        // are restored before it propagates.
+        let first_part = &active[bounds[0]..bounds[1]];
+        let mut first_err = if first_part.is_empty() {
+            None
+        } else {
+            shards[0]
+                .as_mut()
+                .expect(SHARD_PRESENT)
+                .score_senones_into(model, first_part, feature, out)
+                .err()
+        };
+        // Each worker replies on its own channel, so receiving in worker
+        // order yields shard order directly, and a worker that panicked
+        // disconnects its channel rather than leaving this recv waiting.
+        for w in 0..n - 1 {
+            if active[bounds[w + 1]..bounds[w + 2]].is_empty() {
+                continue;
+            }
+            let job = pool.replies[w].recv().expect(WORKER_DIED);
+            let ScoreJob {
+                shard,
+                active: active_buf,
+                feature: feature_buf,
+                result,
+                model: _,
+            } = job;
+            shards[w + 1] = Some(shard);
+            let result_buf = match result {
+                Ok(mut scores) => {
+                    if first_err.is_none() {
+                        out.append(&mut scores);
+                    }
+                    scores
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    Vec::new()
+                }
+            };
+            pool.spare[w] = (active_buf, feature_buf, result_buf);
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The historical dispatch: one scoped thread per non-empty slice per
+    /// frame.  Kept as the bench baseline pooled dispatch is gated against.
+    fn score_scoped(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+        bounds: &[usize],
+        out: &mut Vec<(SenoneId, LogProb)>,
+    ) -> Result<(), DecodeError> {
+        let (first_slot, rest) = self
+            .shards
+            .split_first_mut()
+            .expect("at least one shard exists");
+        let mut spawned = 0usize;
+        let (first_result, rest_results) = std::thread::scope(|scope| {
+            let handles: Vec<_> = rest
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(w, slot)| {
+                    let part = &active[bounds[w + 1]..bounds[w + 2]];
+                    if part.is_empty() {
+                        return None;
+                    }
+                    let shard = slot.as_mut().expect(SHARD_PRESENT);
+                    Some(scope.spawn(move || shard.score_senones(model, part, feature)))
+                })
+                .collect();
+            spawned = handles.len();
+            let first_part = &active[bounds[0]..bounds[1]];
+            let first = if first_part.is_empty() {
+                Ok(Vec::new())
+            } else {
+                first_slot
+                    .as_mut()
+                    .expect(SHARD_PRESENT)
+                    .score_senones(model, first_part, feature)
+            };
+            let rest: Vec<Result<Vec<(SenoneId, LogProb)>, DecodeError>> = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard scoring thread panicked"))
+                .collect();
+            (first, rest)
+        });
+        self.threads_spawned += spawned;
+        out.extend(first_result?);
+        for r in rest_results {
+            out.extend(r?);
+        }
+        Ok(())
     }
 }
 
@@ -129,8 +649,8 @@ impl SenoneScorer for ShardedScorer {
     }
 
     fn begin_frame(&mut self, feature: &[f32]) {
-        for shard in &mut self.shards {
-            shard.begin_frame(feature);
+        for slot in &mut self.shards {
+            slot.as_mut().expect(SHARD_PRESENT).begin_frame(feature);
         }
     }
 
@@ -140,48 +660,39 @@ impl SenoneScorer for ShardedScorer {
         active: &[SenoneId],
         feature: &[f32],
     ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError> {
-        if self.shards.len() == 1 {
-            return self.shards[0].score_senones(model, active, feature);
-        }
-        let chunk = self.chunk_len(active.len());
-        if !self.parallel || active.len() < MIN_PARALLEL_SENONES {
-            let mut out = Vec::with_capacity(active.len());
-            for (shard, part) in self.shards.iter_mut().zip(active.chunks(chunk)) {
-                out.extend(shard.score_senones(model, part, feature)?);
-            }
-            return Ok(out);
-        }
-        // One scoped thread per shard beyond the first: each shard scores its
-        // contiguous slice of the active set against the shared (immutable)
-        // model, while the calling thread scores shard 0's slice instead of
-        // idling on the joins.  Reassembling in shard order keeps the
-        // concatenated result in `active` order, which makes the sharded
-        // output bit-identical to the unsharded one.
-        let mut chunks = active.chunks(chunk);
-        let first_part = chunks.next().unwrap_or(&[]);
-        let (first_shard, rest_shards) = self
-            .shards
-            .split_first_mut()
-            .expect("at least one shard exists");
-        let (first_result, rest_results) = std::thread::scope(|scope| {
-            let handles: Vec<_> = rest_shards
-                .iter_mut()
-                .zip(chunks)
-                .map(|(shard, part)| scope.spawn(move || shard.score_senones(model, part, feature)))
-                .collect();
-            let first = first_shard.score_senones(model, first_part, feature);
-            let rest: Vec<Result<Vec<(SenoneId, LogProb)>, DecodeError>> = handles
-                .into_iter()
-                .map(|h| h.join().expect("shard scoring thread panicked"))
-                .collect();
-            (first, rest)
-        });
         let mut out = Vec::with_capacity(active.len());
-        out.extend(first_result?);
-        for r in rest_results {
-            out.extend(r?);
-        }
+        self.score_senones_into(model, active, feature, &mut out)?;
         Ok(out)
+    }
+
+    fn score_senones_into(
+        &mut self,
+        model: &AcousticModel,
+        active: &[SenoneId],
+        feature: &[f32],
+        out: &mut Vec<(SenoneId, LogProb)>,
+    ) -> Result<(), DecodeError> {
+        if self.shards.len() == 1 {
+            return self.shards[0]
+                .as_mut()
+                .expect(SHARD_PRESENT)
+                .score_senones_into(model, active, feature, out);
+        }
+        let pooled = self.tuning.dispatch == ShardDispatch::Pooled;
+        if self.tuning.partition == ShardPartition::CostWeighted || (pooled && self.parallel) {
+            self.refresh_model_cache(model);
+        }
+        let mut bounds = std::mem::take(&mut self.bounds);
+        fill_bounds(&mut bounds, self.shards.len(), active, self.active_costs());
+        let result = if !self.parallel || active.len() < self.tuning.min_parallel_senones {
+            self.score_inline(model, active, feature, &bounds, out)
+        } else if pooled {
+            self.score_pooled(model, active, feature, &bounds, out)
+        } else {
+            self.score_scoped(model, active, feature, &bounds, out)
+        };
+        self.bounds = bounds;
+        result
     }
 
     fn step_hmm(
@@ -193,18 +704,27 @@ impl SenoneScorer for ShardedScorer {
     ) -> Result<HmmStepResult, DecodeError> {
         let idx = self.next_hmm_shard;
         self.next_hmm_shard = (idx + 1) % self.shards.len();
-        self.shards[idx].step_hmm(prev_scores, entry_score, transitions, senone_scores)
+        self.shards[idx].as_mut().expect(SHARD_PRESENT).step_hmm(
+            prev_scores,
+            entry_score,
+            transitions,
+            senone_scores,
+        )
     }
 
     fn dma_fetch(&mut self, bytes: u64) {
         // Dictionary / LM traffic happens once, not once per shard.
-        self.shards[0].dma_fetch(bytes);
+        self.shards[0]
+            .as_mut()
+            .expect(SHARD_PRESENT)
+            .dma_fetch(bytes);
     }
 
     fn end_frame(&mut self, active_triphones: usize, lattice_edges: usize) {
         // The host software stages run once; charge them to shard 0.  Every
         // other shard still closes its frame window (idle cycles, bandwidth).
-        for (i, shard) in self.shards.iter_mut().enumerate() {
+        for (i, slot) in self.shards.iter_mut().enumerate() {
+            let shard = slot.as_mut().expect(SHARD_PRESENT);
             if i == 0 {
                 shard.end_frame(active_triphones, lattice_edges);
             } else {
@@ -215,9 +735,14 @@ impl SenoneScorer for ShardedScorer {
 
     fn finish_utterance(&mut self) -> Option<UtteranceReport> {
         self.next_hmm_shard = 0;
+        // The utterance's worker pool joins here: threads are created at
+        // most once per utterance (lazily, on the first parallel frame) and
+        // never per frame.  The model cache survives, so the next utterance
+        // of a batch reuses the cost table and pooled model clone.
+        self.pool = None;
         let mut merged: Option<UtteranceReport> = None;
-        for shard in &mut self.shards {
-            if let Some(report) = shard.finish_utterance() {
+        for slot in &mut self.shards {
+            if let Some(report) = slot.as_mut().expect(SHARD_PRESENT).finish_utterance() {
                 merged = Some(match merged {
                     Some(acc) => acc.merge_parallel(&report),
                     None => report,
@@ -229,8 +754,9 @@ impl SenoneScorer for ShardedScorer {
 
     fn reset(&mut self) {
         self.next_hmm_shard = 0;
-        for shard in &mut self.shards {
-            shard.reset();
+        self.pool = None;
+        for slot in &mut self.shards {
+            slot.as_mut().expect(SHARD_PRESENT).reset();
         }
     }
 }
@@ -277,13 +803,20 @@ mod tests {
         reference.begin_frame(&x);
         let want = reference.score_senones(&m, &ids, &x).unwrap();
         for n in [1usize, 2, 4] {
-            let mut sharded = soc_shards(n);
-            sharded.begin_frame(&x);
-            let got = sharded.score_senones(&m, &ids, &x).unwrap();
-            assert_eq!(got.len(), want.len());
-            for ((ia, sa), (ib, sb)) in want.iter().zip(&got) {
-                assert_eq!(ia, ib, "{n} shards must keep active order");
-                assert_eq!(sa.raw(), sb.raw(), "{n} shards changed {ia:?}");
+            for dispatch in [ShardDispatch::Pooled, ShardDispatch::ScopedSpawn] {
+                for partition in [ShardPartition::EqualSplit, ShardPartition::CostWeighted] {
+                    let mut sharded = soc_shards(n)
+                        .with_parallelism(true)
+                        .with_dispatch(dispatch)
+                        .with_partition(partition);
+                    sharded.begin_frame(&x);
+                    let got = sharded.score_senones(&m, &ids, &x).unwrap();
+                    assert_eq!(got.len(), want.len());
+                    for ((ia, sa), (ib, sb)) in want.iter().zip(&got) {
+                        assert_eq!(ia, ib, "{n} shards must keep active order");
+                        assert_eq!(sa.raw(), sb.raw(), "{n} shards changed {ia:?}");
+                    }
+                }
             }
         }
     }
@@ -293,20 +826,185 @@ mod tests {
         let m = model();
         let ids = all_ids(&m); // 24 senones: above the parallel threshold
         let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.31 * d as f32).collect();
-        let mut parallel = soc_shards(4).with_parallelism(true);
-        let mut sequential = soc_shards(4).with_parallelism(false);
-        assert!(parallel.is_parallel());
-        assert!(!sequential.is_parallel());
-        parallel.begin_frame(&x);
-        sequential.begin_frame(&x);
-        let a = parallel.score_senones(&m, &ids, &x).unwrap();
-        let b = sequential.score_senones(&m, &ids, &x).unwrap();
-        for ((ia, sa), (ib, sb)) in a.iter().zip(&b) {
-            assert_eq!(ia, ib);
-            assert_eq!(sa.raw(), sb.raw(), "thread scheduling must not leak in");
+        for dispatch in [ShardDispatch::Pooled, ShardDispatch::ScopedSpawn] {
+            let mut parallel = soc_shards(4).with_parallelism(true).with_dispatch(dispatch);
+            let mut sequential = soc_shards(4)
+                .with_parallelism(false)
+                .with_dispatch(dispatch);
+            assert!(parallel.is_parallel());
+            assert!(!sequential.is_parallel());
+            parallel.begin_frame(&x);
+            sequential.begin_frame(&x);
+            let a = parallel.score_senones(&m, &ids, &x).unwrap();
+            let b = sequential.score_senones(&m, &ids, &x).unwrap();
+            for ((ia, sa), (ib, sb)) in a.iter().zip(&b) {
+                assert_eq!(ia, ib);
+                assert_eq!(sa.raw(), sb.raw(), "thread scheduling must not leak in");
+            }
         }
         // A single shard never parallelises, even when asked to.
         assert!(!soc_shards(1).with_parallelism(true).is_parallel());
+    }
+
+    #[test]
+    fn pooled_dispatch_spawns_workers_once_per_utterance() {
+        let m = model();
+        let ids = all_ids(&m);
+        let frames = 12;
+        let mut pooled = soc_shards(3)
+            .with_parallelism(true)
+            .with_dispatch(ShardDispatch::Pooled);
+        assert_eq!(pooled.threads_spawned(), 0);
+        for utterance in 1..=2u32 {
+            for f in 0..frames {
+                let x: Vec<f32> = (0..m.feature_dim())
+                    .map(|d| 0.01 * (f + d) as f32)
+                    .collect();
+                pooled.begin_frame(&x);
+                pooled.score_senones(&m, &ids, &x).unwrap();
+                pooled.end_frame(1, 0);
+            }
+            assert!(pooled.pool_is_live());
+            pooled.finish_utterance().unwrap();
+            assert!(!pooled.pool_is_live(), "finish_utterance joins the pool");
+            // Workers spawn once per utterance, never per frame.
+            assert_eq!(pooled.threads_spawned(), 2 * utterance as usize);
+        }
+        // The scoped baseline pays the spawn on every scored frame.
+        let mut scoped = soc_shards(3)
+            .with_parallelism(true)
+            .with_dispatch(ShardDispatch::ScopedSpawn);
+        for f in 0..frames {
+            let x: Vec<f32> = (0..m.feature_dim())
+                .map(|d| 0.01 * (f + d) as f32)
+                .collect();
+            scoped.begin_frame(&x);
+            scoped.score_senones(&m, &ids, &x).unwrap();
+            scoped.end_frame(1, 0);
+        }
+        scoped.finish_utterance().unwrap();
+        assert_eq!(scoped.threads_spawned(), frames * 2);
+    }
+
+    /// A backend whose scoring panics — stands in for an inner-scorer bug.
+    #[derive(Debug)]
+    struct PanickingScorer;
+
+    impl SenoneScorer for PanickingScorer {
+        fn name(&self) -> &'static str {
+            "panicking"
+        }
+        fn begin_frame(&mut self, _feature: &[f32]) {}
+        fn score_senones(
+            &mut self,
+            _model: &AcousticModel,
+            _active: &[SenoneId],
+            _feature: &[f32],
+        ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError> {
+            panic!("inner scorer bug");
+        }
+        fn step_hmm(
+            &mut self,
+            prev_scores: &[LogProb],
+            entry_score: LogProb,
+            transitions: &TransitionMatrix,
+            senone_scores: &[LogProb],
+        ) -> Result<HmmStepResult, DecodeError> {
+            crate::scorer::software_step_hmm(prev_scores, entry_score, transitions, senone_scores)
+        }
+        fn finish_utterance(&mut self) -> Option<UtteranceReport> {
+            None
+        }
+        fn reset(&mut self) {}
+    }
+
+    /// A worker that dies mid-job must panic the caller (its private reply
+    /// channel disconnects), never leave it blocked on a reply that cannot
+    /// arrive — the regression a shared reply channel had with ≥ 2 workers.
+    #[test]
+    #[should_panic(expected = "shard scoring worker panicked")]
+    fn pooled_worker_panic_propagates_instead_of_deadlocking() {
+        let m = model();
+        let ids = all_ids(&m);
+        let x = vec![0.1f32; m.feature_dim()];
+        let sel = GmmSelectionConfig::default();
+        let mut sharded = ShardedScorer::new(vec![
+            Box::new(SoftwareScorer::new(sel)) as Box<dyn SenoneScorer>,
+            Box::new(SoftwareScorer::new(sel)) as Box<dyn SenoneScorer>,
+            Box::new(PanickingScorer) as Box<dyn SenoneScorer>,
+            Box::new(SoftwareScorer::new(sel)) as Box<dyn SenoneScorer>,
+        ])
+        .unwrap()
+        .with_parallelism(true)
+        .with_dispatch(ShardDispatch::Pooled);
+        sharded.begin_frame(&x);
+        let _ = sharded.score_senones(&m, &ids, &x);
+    }
+
+    #[test]
+    fn small_frames_stay_inline_under_the_threshold() {
+        let m = model();
+        let x: Vec<f32> = (0..m.feature_dim()).map(|d| 0.05 * d as f32).collect();
+        let small: Vec<SenoneId> = (0..4).map(SenoneId).collect();
+        let mut sharded = soc_shards(4)
+            .with_parallelism(true)
+            .with_min_parallel_senones(8);
+        sharded.begin_frame(&x);
+        sharded.score_senones(&m, &small, &x).unwrap();
+        assert_eq!(
+            sharded.threads_spawned(),
+            0,
+            "a 4-senone frame must not reach the dispatcher"
+        );
+        assert!(!sharded.pool_is_live());
+        // Lowering the threshold to 1 makes the same frame eligible.
+        let mut eager = soc_shards(4)
+            .with_parallelism(true)
+            .with_min_parallel_senones(1);
+        assert_eq!(eager.tuning().min_parallel_senones, 1);
+        eager.begin_frame(&x);
+        eager.score_senones(&m, &small, &x).unwrap();
+        assert!(eager.threads_spawned() > 0);
+        // The builder clamps zero to one instead of wedging the comparison.
+        assert_eq!(
+            soc_shards(2)
+                .with_min_parallel_senones(0)
+                .tuning()
+                .min_parallel_senones,
+            1
+        );
+        assert_eq!(
+            soc_shards(2)
+                .with_tuning(ShardTuning {
+                    min_parallel_senones: 0,
+                    ..ShardTuning::default()
+                })
+                .tuning()
+                .min_parallel_senones,
+            1
+        );
+    }
+
+    #[test]
+    fn partition_bounds_balance_cost_not_count_on_skewed_models() {
+        // 24 senones whose component counts grow with the index: an equal
+        // count split overloads the last shard, the cost-weighted split
+        // hands it fewer senones.
+        let m = model();
+        let ids = all_ids(&m);
+        let mut weighted = soc_shards(4).with_partition(ShardPartition::CostWeighted);
+        let mut equal = soc_shards(4).with_partition(ShardPartition::EqualSplit);
+        let eq_bounds = equal.partition_bounds(&m, &ids);
+        assert_eq!(eq_bounds, vec![0, 6, 12, 18, 24]);
+        // The tiny untrained model is uniform-cost, so cost weighting
+        // degenerates to the equal split.
+        assert_eq!(weighted.partition_bounds(&m, &ids), eq_bounds);
+        // Every bound list is monotone and covers the active set exactly.
+        let few: Vec<SenoneId> = (0..3).map(SenoneId).collect();
+        let bounds = weighted.partition_bounds(&m, &few);
+        assert_eq!(bounds.first(), Some(&0));
+        assert_eq!(bounds.last(), Some(&few.len()));
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
@@ -365,6 +1063,13 @@ mod tests {
         assert_eq!(got.frames, want.frames);
         assert!((got.energy.audio_seconds - want.energy.audio_seconds).abs() < 1e-12);
         assert_eq!(got.senones_scored, want.senones_scored);
+        // The merged report carries the per-shard senone balance.
+        assert_eq!(got.shard_senones.len(), 4);
+        assert_eq!(got.shard_senones.iter().sum::<u64>(), got.senones_scored);
+        let share = got.worst_shard_share().expect("sharded report has a share");
+        assert!((0.25..=1.0).contains(&share), "{share}");
+        assert!(want.shard_senones.is_empty());
+        assert!(want.worst_shard_share().is_none());
         // Each shard carries a quarter of the load, so the sharded machine
         // has per-frame slack the single SoC does not.
         assert!(got.worst_frame_rtf <= want.worst_frame_rtf + 1e-12);
@@ -408,6 +1113,7 @@ mod tests {
         let kind = ScoringBackendKind::Sharded {
             shards: 2,
             inner: Box::new(ScoringBackendKind::Hardware(SocConfig::default())),
+            tuning: ShardTuning::default(),
         };
         let mut scorer = kind.build_scorer(&sel).unwrap();
         assert_eq!(scorer.name(), "sharded");
@@ -421,7 +1127,19 @@ mod tests {
         let bad = ScoringBackendKind::Sharded {
             shards: 0,
             inner: Box::new(ScoringBackendKind::Software),
+            tuning: ShardTuning::default(),
         };
         assert!(bad.build_scorer(&sel).is_err());
+        // Zero min_parallel_senones is rejected by validation and build.
+        let bad_tuning = ScoringBackendKind::Sharded {
+            shards: 2,
+            inner: Box::new(ScoringBackendKind::Software),
+            tuning: ShardTuning {
+                min_parallel_senones: 0,
+                ..ShardTuning::default()
+            },
+        };
+        assert!(bad_tuning.validate().is_err());
+        assert!(bad_tuning.build_scorer(&sel).is_err());
     }
 }

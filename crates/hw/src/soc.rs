@@ -142,6 +142,12 @@ pub struct UtteranceReport {
     pub mean_bandwidth_gb_per_s: f64,
     /// Energy/power summary.
     pub energy: EnergyReport,
+    /// Scored-senone counts per parallel shard, in shard order — filled by
+    /// [`UtteranceReport::merge_parallel`] when per-shard reports fold into
+    /// one (a sharded scorer), empty for an unsharded machine.  The
+    /// sequential [`UtteranceReport::merge`] adds the counts element-wise,
+    /// so a batch through one sharded scorer accumulates per-shard totals.
+    pub shard_senones: Vec<u64>,
     /// Host wall-clock streaming latency record, when the utterance was
     /// decoded through a streaming session (per-chunk latencies and the
     /// stream's real-time factor).  `None` for offline decodes; the SoC model
@@ -150,6 +156,31 @@ pub struct UtteranceReport {
 }
 
 impl UtteranceReport {
+    /// The worst shard's share of the total scored senones, when this report
+    /// was folded from parallel shards ([`UtteranceReport::merge_parallel`]):
+    /// `1/N` is a perfectly balanced N-shard split, `1.0` means one shard
+    /// scored everything.  `None` for unsharded reports or when nothing was
+    /// scored.
+    pub fn worst_shard_share(&self) -> Option<f64> {
+        let total: u64 = self.shard_senones.iter().sum();
+        if self.shard_senones.len() < 2 || total == 0 {
+            return None;
+        }
+        let worst = *self.shard_senones.iter().max().expect("non-empty");
+        Some(worst as f64 / total as f64)
+    }
+
+    /// This report's per-shard senone counts as a parallel leaf: an already
+    /// folded report contributes its shard vector, an unsharded report
+    /// contributes itself as a single shard.
+    fn shard_counts(&self) -> Vec<u64> {
+        if self.shard_senones.is_empty() {
+            vec![self.senones_scored]
+        } else {
+            self.shard_senones.clone()
+        }
+    }
+
     /// Folds another utterance's report into this one — the batch-level
     /// aggregation used when one SoC model serves a stream of utterances
     /// (`Recognizer::decode_batch`): counters add, means re-weight by frame
@@ -189,6 +220,25 @@ impl UtteranceReport {
                 self.mean_bandwidth_gb_per_s,
                 other.mean_bandwidth_gb_per_s,
             ),
+            // The same machine served both utterances, so per-shard counts
+            // accumulate position-wise.  If either side is sharded, both are
+            // expanded through `shard_counts` (an unsharded report is one
+            // shard) and zero-padded, so `sum(shard_senones)` stays equal to
+            // `senones_scored` even across mixed merges; two unsharded
+            // reports stay unsharded.
+            shard_senones: if self.shard_senones.is_empty() && other.shard_senones.is_empty() {
+                Vec::new()
+            } else {
+                let mut counts = self.shard_counts();
+                let other_counts = other.shard_counts();
+                if counts.len() < other_counts.len() {
+                    counts.resize(other_counts.len(), 0);
+                }
+                for (acc, &c) in counts.iter_mut().zip(&other_counts) {
+                    *acc += c;
+                }
+                counts
+            },
             energy: EnergyReport {
                 accelerator_energy_j: self.energy.accelerator_energy_j
                     + other.energy.accelerator_energy_j,
@@ -247,6 +297,13 @@ impl UtteranceReport {
             real_time_fraction: self.real_time_fraction.min(shard.real_time_fraction),
             peak_bandwidth_gb_per_s: self.peak_bandwidth_gb_per_s + shard.peak_bandwidth_gb_per_s,
             mean_bandwidth_gb_per_s: self.mean_bandwidth_gb_per_s + shard.mean_bandwidth_gb_per_s,
+            // Concatenating in fold order keeps a left fold over N shards
+            // producing one count per shard, in shard order.
+            shard_senones: {
+                let mut counts = self.shard_counts();
+                counts.extend(shard.shard_counts());
+                counts
+            },
             energy: EnergyReport {
                 accelerator_energy_j: self.energy.accelerator_energy_j
                     + shard.energy.accelerator_energy_j,
@@ -358,19 +415,40 @@ impl SpeechSoc {
         model: &AcousticModel,
         ids: &[SenoneId],
     ) -> Result<Vec<(SenoneId, LogProb)>, HwError> {
-        let n = self.structures.len();
         let mut results = Vec::with_capacity(ids.len());
+        self.score_senones_into(model, ids, &mut results)?;
+        Ok(results)
+    }
+
+    /// [`SpeechSoc::score_senones`] into a caller-supplied buffer (appended
+    /// in `ids` order), so the decode hot path can reuse one allocation
+    /// across frames.  On error the buffer may hold a partial prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OP-unit errors ([`HwError::NoFeatureLoaded`],
+    /// [`HwError::UnknownId`], [`HwError::ShapeMismatch`]).
+    pub fn score_senones_into(
+        &mut self,
+        model: &AcousticModel,
+        ids: &[SenoneId],
+        out: &mut Vec<(SenoneId, LogProb)>,
+    ) -> Result<(), HwError> {
+        let n = self.structures.len();
+        out.reserve(ids.len());
         for (chunk_idx, chunk) in ids.chunks(ids.len().div_ceil(n).max(1)).enumerate() {
             let structure = &mut self.structures[chunk_idx % n];
             let before = structure.opu.stats().parameters_streamed;
-            let scores = structure.opu.score_active_set(model, chunk)?;
+            for &id in chunk {
+                let score = structure.opu.score_senone(model, id)?;
+                out.push((id, score));
+            }
             let streamed = structure.opu.stats().parameters_streamed - before;
             self.flash.read_parameters(streamed as usize);
             // Senone scores are written to RAM for the Viterbi stage.
             self.ram.write(chunk.len() as u64 * 4);
-            results.extend(scores);
         }
-        Ok(results)
+        Ok(())
     }
 
     /// Advances one triphone HMM by one frame on the next structure's Viterbi
@@ -521,6 +599,7 @@ impl SpeechSoc {
             mean_bandwidth_gb_per_s: self.flash.mean_frame_bytes()
                 / self.config.frame_period_s
                 / 1.0e9,
+            shard_senones: Vec::new(),
             energy: EnergyReport {
                 accelerator_energy_j: accel_energy,
                 host_energy_j: host_energy,
@@ -796,6 +875,40 @@ mod tests {
                 .abs()
                 < 1e-6
         );
+        // The fold records each shard's senone count, in order, and the
+        // worst-shard share reads off the balance.
+        assert_eq!(
+            merged.shard_senones,
+            vec![a.senones_scored, b.senones_scored]
+        );
+        let share = merged.worst_shard_share().expect("two shards have a share");
+        assert!(
+            (share - a.senones_scored.max(b.senones_scored) as f64 / merged.senones_scored as f64)
+                .abs()
+                < 1e-12
+        );
+        assert!(a.worst_shard_share().is_none(), "leaves are unsharded");
+        // A sequential merge of two sharded utterances accumulates the
+        // per-shard counts instead of concatenating them.
+        let batch = merged.merge(&merged);
+        assert_eq!(
+            batch.shard_senones,
+            vec![2 * a.senones_scored, 2 * b.senones_scored]
+        );
+        // A mixed merge (sharded machine + unsharded machine) folds the
+        // unsharded side in as one shard, keeping the balance total honest.
+        let mixed = merged.merge(&a);
+        assert_eq!(
+            mixed.shard_senones.iter().sum::<u64>(),
+            mixed.senones_scored,
+            "sum(shard_senones) must stay equal to senones_scored"
+        );
+        assert_eq!(
+            mixed.shard_senones,
+            vec![2 * a.senones_scored, b.senones_scored]
+        );
+        // Two unsharded reports merge without inventing a shard vector.
+        assert!(a.merge(&b).shard_senones.is_empty());
         // Concurrent flash streams add up.
         assert!(merged.peak_bandwidth_gb_per_s >= a.peak_bandwidth_gb_per_s);
         // Activity stays a valid factor and the fold is associative.

@@ -69,6 +69,14 @@ fn main() -> Result<(), LvcsrError> {
         100.0 * report.real_time_fraction,
         report.worst_frame_rtf
     );
+    if let Some(share) = report.worst_shard_share() {
+        println!(
+            "shard balance           : {:?} senones/shard (worst share {:.1}%, {:.1}% = perfect)",
+            report.shard_senones,
+            100.0 * share,
+            100.0 / report.shard_senones.len() as f64
+        );
+    }
     println!(
         "average power, 4 shards : {:.3} W (paper budget: 0.400 W per fully active SoC)",
         report.energy.average_power_w()

@@ -1,12 +1,18 @@
 //! Sharding integration tests: a `ShardedScorer` must be observationally
 //! identical to its unsharded inner scorer — same senone scores, same
-//! hypotheses, same decode statistics — for any shard count.  Sharding is a
-//! pure throughput optimisation, exactly like batching.
+//! hypotheses, same decode statistics — for any shard count, any dispatch
+//! mechanism (persistent worker pool, per-frame scoped threads, inline
+//! fan-out) and any partition policy (equal split, cost-weighted).  Sharding
+//! is a pure throughput optimisation, exactly like batching.
 
+use lvcsr::acoustic::{
+    AcousticModel, AcousticModelConfig, DiagGaussian, GaussianMixture, HmmTopology, PhoneId,
+    SenoneId, SenonePool, TransitionMatrix, Triphone, TriphoneInventory,
+};
 use lvcsr::corpus::{SyntheticTask, TaskConfig, TaskGenerator};
 use lvcsr::decoder::{
     DecodeResult, DecoderConfig, GmmSelectionConfig, PhoneDecoder, Recognizer, ScoringBackendKind,
-    SenoneScorer, ShardedScorer,
+    SenoneScorer, ShardDispatch, ShardPartition, ShardTuning, ShardedScorer,
 };
 use proptest::prelude::*;
 
@@ -26,11 +32,18 @@ fn build_recognizer(task: &SyntheticTask, config: DecoderConfig) -> Recognizer {
     .expect("recogniser")
 }
 
+/// The four stock backends a shard can run: the three leaves plus a nested
+/// sharded backend (pointless but legal, and it must stay pure too).
 fn inner_backend(index: usize) -> ScoringBackendKind {
-    match index % 3 {
+    match index % 4 {
         0 => ScoringBackendKind::Software,
         1 => ScoringBackendKind::Simd,
-        _ => ScoringBackendKind::Hardware(lvcsr::hw::SocConfig::default()),
+        2 => ScoringBackendKind::Hardware(lvcsr::hw::SocConfig::default()),
+        _ => ScoringBackendKind::Sharded {
+            shards: 2,
+            inner: Box::new(ScoringBackendKind::Hardware(lvcsr::hw::SocConfig::default())),
+            tuning: ShardTuning::default(),
+        },
     }
 }
 
@@ -52,17 +65,28 @@ fn fingerprint(r: &DecodeResult) -> Fingerprint {
 }
 
 proptest! {
-    /// Sharded(n, inner) == inner, for n in {1, 2, 4}, every inner backend,
-    /// with and without Conditional Down Sampling in the loop.
+    /// Sharded(n, inner, tuning) == inner, for n in {1, 2, 4}, every inner
+    /// backend (software / simd / soc / nested sharded), every dispatch ×
+    /// partition tuning, with and without Conditional Down Sampling — both
+    /// offline and through `DecodeSession` streaming steps.
     #[test]
     fn sharded_decoding_matches_the_unsharded_inner_scorer(
-        backend_index in 0usize..3,
+        backend_index in 0usize..4,
         shards_index in 0usize..3,
+        dispatch_index in 0usize..2,
+        partition_index in 0usize..2,
         cds_period in 1usize..3,
         words in 1usize..3,
+        chunk_index in 0usize..3,
         seed in 0u64..500,
     ) {
         let shards = [1usize, 2, 4][shards_index];
+        let tuning = ShardTuning {
+            dispatch: [ShardDispatch::Pooled, ShardDispatch::ScopedSpawn][dispatch_index],
+            partition: [ShardPartition::EqualSplit, ShardPartition::CostWeighted][partition_index],
+            ..ShardTuning::default()
+        };
+        let chunk = [1usize, 3, 7][chunk_index];
         let task = build_task();
         let inner = inner_backend(backend_index);
         let selection = GmmSelectionConfig::with_cds(cds_period);
@@ -76,6 +100,7 @@ proptest! {
             backend: ScoringBackendKind::Sharded {
                 shards,
                 inner: Box::new(inner),
+                tuning,
             },
             ..DecoderConfig::default()
         };
@@ -88,19 +113,29 @@ proptest! {
         let want = plain.decode_features(&features).expect("plain decode");
         let got = sharded.decode_features(&features).expect("sharded decode");
         prop_assert_eq!(fingerprint(&want), fingerprint(&got));
+
+        // The same sharded decoder fed frame chunks through a streaming
+        // session must land on the identical result.
+        let mut session = sharded.begin_session().expect("session");
+        for piece in features.chunks(chunk) {
+            session.push_chunk(piece).expect("chunk decodes");
+        }
+        let streamed = session.finish().expect("finish");
+        prop_assert_eq!(fingerprint(&want), fingerprint(&streamed));
     }
 }
 
-/// The scoped-thread path must give the same results as the sequential
-/// fan-out path on the same shards — run both explicitly so the parallel
-/// code is exercised even where the host heuristic would disable it
-/// (single-CPU CI containers).
+/// The threaded dispatch paths (persistent pool, scoped spawn) must give
+/// the same results as the inline fan-out on the same shards — run all
+/// three explicitly so the parallel code is exercised even where the host
+/// heuristic would disable it (single-CPU CI containers), both offline and
+/// through `DecodeSession` streaming steps.
 #[test]
-fn forced_parallel_decode_matches_sequential_decode() {
+fn forced_pool_scoped_and_inline_dispatch_agree() {
     let task = build_task();
     let rec = build_recognizer(&task, DecoderConfig::software());
     let (features, _) = task.synthesize_utterance(2, 0.2, 11);
-    let decode_with = |parallel: bool| -> DecodeResult {
+    let decoder_with = |parallel: bool, dispatch: ShardDispatch| -> PhoneDecoder {
         let selection = GmmSelectionConfig::default();
         let shards: Vec<Box<dyn SenoneScorer>> = (0..4)
             .map(|_| {
@@ -111,17 +146,79 @@ fn forced_parallel_decode_matches_sequential_decode() {
             .collect();
         let scorer = ShardedScorer::new(shards)
             .expect("sharded scorer")
-            .with_parallelism(parallel);
-        let mut decoder = PhoneDecoder::new(Box::new(scorer), selection);
+            .with_parallelism(parallel)
+            .with_dispatch(dispatch);
+        PhoneDecoder::new(Box::new(scorer), selection)
+    };
+    let decode_with = |parallel: bool, dispatch: ShardDispatch| -> DecodeResult {
+        let mut decoder = decoder_with(parallel, dispatch);
         rec.decode_features_with(&features, &mut decoder)
             .expect("decode")
     };
-    let threaded = decode_with(true);
-    let sequential = decode_with(false);
-    assert_eq!(fingerprint(&threaded), fingerprint(&sequential));
-    // Both produced a merged hardware report covering the whole utterance.
-    let hw = threaded.hardware.expect("sharded SoC report");
+    let pooled = decode_with(true, ShardDispatch::Pooled);
+    let scoped = decode_with(true, ShardDispatch::ScopedSpawn);
+    let inline = decode_with(false, ShardDispatch::Pooled);
+    assert_eq!(fingerprint(&pooled), fingerprint(&scoped));
+    assert_eq!(fingerprint(&pooled), fingerprint(&inline));
+    // All produced a merged hardware report covering the whole utterance.
+    let hw = pooled.hardware.as_ref().expect("sharded SoC report");
     assert_eq!(hw.frames, features.len());
+    assert_eq!(hw.shard_senones.iter().sum::<u64>(), hw.senones_scored);
+
+    // The pool path holds across streaming steps too: frames arrive one
+    // chunk at a time, the workers persist between chunks, and finish()
+    // joins them.
+    let session_result = {
+        let mut session = rec.begin_session_with(decoder_with(true, ShardDispatch::Pooled));
+        for piece in features.chunks(3) {
+            session.push_chunk(piece).expect("chunk decodes");
+        }
+        session.finish().expect("finish")
+    };
+    assert_eq!(fingerprint(&pooled), fingerprint(&session_result));
+}
+
+/// Pooled dispatch must spawn its workers at most once per utterance —
+/// never per frame — while the scoped baseline pays one spawn per shard per
+/// scored frame.  Driven through the real decode loop (`PhoneDecoder` +
+/// `Recognizer::decode_features_with` would hide the counter behind the
+/// trait object, so the scorer is driven directly here).
+#[test]
+fn pooled_dispatch_spawns_zero_threads_per_frame() {
+    let task = build_task();
+    let model = &task.acoustic_model;
+    let ids: Vec<SenoneId> = (0..model.senones().len() as u32).map(SenoneId).collect();
+    let frames = 25;
+    let run = |dispatch: ShardDispatch| -> usize {
+        let selection = GmmSelectionConfig::default();
+        let shards: Vec<Box<dyn SenoneScorer>> = (0..4)
+            .map(|_| {
+                ScoringBackendKind::Software
+                    .build_scorer(&selection)
+                    .expect("shard")
+            })
+            .collect();
+        let mut scorer = ShardedScorer::new(shards)
+            .expect("sharded scorer")
+            .with_parallelism(true)
+            .with_dispatch(dispatch);
+        for f in 0..frames {
+            let x: Vec<f32> = (0..model.feature_dim())
+                .map(|d| 0.02 * (f + d) as f32)
+                .collect();
+            scorer.begin_frame(&x);
+            scorer.score_senones(model, &ids, &x).expect("score");
+            scorer.end_frame(0, 0);
+        }
+        assert!(scorer.finish_utterance().is_none(), "software shards");
+        scorer.threads_spawned()
+    };
+    assert_eq!(
+        run(ShardDispatch::Pooled),
+        3,
+        "3 workers for 4 shards, once"
+    );
+    assert_eq!(run(ShardDispatch::ScopedSpawn), frames * 3);
 }
 
 /// Sharding the SoC quarters the per-shard accelerator load, which the
@@ -131,7 +228,6 @@ fn forced_parallel_decode_matches_sequential_decode() {
 /// single-CPU CI containers where no wall-clock win is possible).
 #[test]
 fn sharding_creates_real_time_slack_in_simulated_cycles() {
-    use lvcsr::acoustic::SenoneId;
     // A heavy acoustic load: every senone of a 12-component, 39-dim model
     // scored every frame, with no host-stage charge, so the real-time factor
     // is purely the accelerator's.
@@ -168,6 +264,7 @@ fn sharding_creates_real_time_slack_in_simulated_cycles() {
         inner: Box::new(lvcsr::decoder::ScoringBackendKind::Hardware(
             lvcsr::hw::SocConfig::default(),
         )),
+        tuning: ShardTuning::default(),
     });
     assert_eq!(sharded.frames, single.frames);
     assert_eq!(sharded.senones_scored, single.senones_scored);
@@ -179,5 +276,160 @@ fn sharding_creates_real_time_slack_in_simulated_cycles() {
         "4 shards must at least halve the accelerator load: {} vs {}",
         sharded.worst_frame_rtf,
         single.worst_frame_rtf
+    );
+    // This model is uniform-cost, so the default cost-weighted partition
+    // degenerated to the equal split: the per-shard balance is near-perfect.
+    let share = sharded.worst_shard_share().expect("sharded share");
+    assert!(share < 0.27, "uniform model must split evenly: {share}");
+}
+
+/// A 120-senone model whose second half costs 32 mixture components per
+/// senone against the first half's 2: the equal *count* split piles the
+/// heavy senones onto the last two shards, the cost-weighted split does
+/// not.  Sized so the busiest shard's accelerator cycles dominate the
+/// constant host-stage floor, which `worst_frame_rtf` takes a max with.
+fn skewed_cost_model() -> AcousticModel {
+    const DIM: usize = 39;
+    const PHONES: usize = 40;
+    const STATES: usize = 3;
+    let n = PHONES * STATES;
+    let mixtures: Vec<GaussianMixture> = (0..n)
+        .map(|i| {
+            let components = if i < n / 2 { 2 } else { 32 };
+            let comps: Vec<(f32, DiagGaussian)> = (0..components)
+                .map(|c| {
+                    let mean: Vec<f32> = (0..DIM)
+                        .map(|d| 0.1 * i as f32 + 0.01 * c as f32 + 0.05 * d as f32)
+                        .collect();
+                    (
+                        1.0 / components as f32,
+                        DiagGaussian::new(mean, vec![1.0; DIM]).unwrap(),
+                    )
+                })
+                .collect();
+            GaussianMixture::new(comps).unwrap()
+        })
+        .collect();
+    let pool = SenonePool::new(mixtures).unwrap();
+    let mut inventory = TriphoneInventory::new(HmmTopology::Three);
+    for p in 0..PHONES {
+        let senones: Vec<SenoneId> = (0..STATES)
+            .map(|s| SenoneId((p * STATES + s) as u32))
+            .collect();
+        inventory
+            .add(Triphone::context_independent(PhoneId(p as u16)), senones)
+            .unwrap();
+    }
+    AcousticModel::new(
+        AcousticModelConfig {
+            num_senones: n,
+            num_components: 32,
+            feature_dim: DIM,
+            topology: HmmTopology::Three,
+            num_phones: PHONES,
+            self_loop_prob: 0.5,
+        },
+        pool,
+        inventory,
+        TransitionMatrix::bakis(HmmTopology::Three, 0.5).unwrap(),
+    )
+    .unwrap()
+}
+
+/// On a skewed-cost model the cost-weighted partition actually moves the
+/// boundaries, the scores stay bit-identical, and the merged report's
+/// worst-shard bound (`worst_frame_rtf`, the figure the ROADMAP's
+/// load-balancing item promised to tighten) comes down.
+#[test]
+fn cost_weighted_partition_tightens_the_worst_shard_bound_on_skewed_models() {
+    let model = skewed_cost_model();
+    let ids: Vec<SenoneId> = (0..model.senones().len() as u32).map(SenoneId).collect();
+    let build = |partition: ShardPartition| -> ShardedScorer {
+        let selection = GmmSelectionConfig::default();
+        // Single-structure SoCs per shard: the intra-SoC structure split is
+        // count-based, so a multi-structure shard would re-skew the load the
+        // shard-level cost weighting just balanced.
+        let shards: Vec<Box<dyn SenoneScorer>> = (0..4)
+            .map(|_| {
+                ScoringBackendKind::Hardware(lvcsr::hw::SocConfig {
+                    num_structures: 1,
+                    ..lvcsr::hw::SocConfig::default()
+                })
+                .build_scorer(&selection)
+                .expect("shard")
+            })
+            .collect();
+        ShardedScorer::new(shards)
+            .expect("sharded scorer")
+            .with_partition(partition)
+    };
+
+    // The partitions differ: equal-split cuts by count, cost-weighted by
+    // estimated component cost (total 60·2 + 60·32 = 2040, ~510 per shard).
+    let mut weighted = build(ShardPartition::CostWeighted);
+    let mut equal = build(ShardPartition::EqualSplit);
+    let wb = weighted.partition_bounds(&model, &ids);
+    let eb = equal.partition_bounds(&model, &ids);
+    assert_eq!(eb, vec![0, 30, 60, 90, 120]);
+    assert_ne!(wb, eb, "cost weighting must move the boundaries");
+    let shard_cost = |bounds: &[usize], k: usize| -> u64 {
+        ids[bounds[k]..bounds[k + 1]]
+            .iter()
+            .map(|id| {
+                model
+                    .senones()
+                    .get(*id)
+                    .map(|s| s.mixture().num_components() as u64)
+                    .unwrap_or(1)
+            })
+            .sum()
+    };
+    let worst_cost = |bounds: &[usize]| (0..4).map(|k| shard_cost(bounds, k)).max().unwrap();
+    assert!(
+        worst_cost(&wb) < worst_cost(&eb),
+        "cost-weighted worst shard {} must beat equal-split's {}",
+        worst_cost(&wb),
+        worst_cost(&eb)
+    );
+
+    let run = |scorer: &mut ShardedScorer| {
+        let mut scores = Vec::new();
+        for f in 0..8 {
+            let x: Vec<f32> = (0..model.feature_dim())
+                .map(|d| 0.01 * (f + d) as f32)
+                .collect();
+            scorer.begin_frame(&x);
+            scores.push(scorer.score_senones(&model, &ids, &x).expect("score"));
+            scorer.end_frame(0, 0);
+        }
+        (scores, scorer.finish_utterance().expect("report"))
+    };
+    let (weighted_scores, weighted_report) = run(&mut weighted);
+    let (equal_scores, equal_report) = run(&mut equal);
+
+    // Observational purity: the partition choice never changes a score.
+    for (a_frame, b_frame) in weighted_scores.iter().zip(&equal_scores) {
+        for ((ia, sa), (ib, sb)) in a_frame.iter().zip(b_frame) {
+            assert_eq!(ia, ib);
+            assert_eq!(sa.raw(), sb.raw(), "partition changed {ia:?}");
+        }
+    }
+    assert_eq!(weighted_report.senones_scored, equal_report.senones_scored);
+
+    // The balance stats surface the difference: equal-split is count-perfect
+    // but cost-lopsided; cost-weighting trades senone counts for a tighter
+    // worst-shard work bound, which the merged simulated-cycle report shows.
+    assert_eq!(equal_report.shard_senones, vec![240, 240, 240, 240]);
+    assert_eq!(
+        weighted_report.shard_senones.iter().sum::<u64>(),
+        weighted_report.senones_scored
+    );
+    assert_ne!(weighted_report.shard_senones, equal_report.shard_senones);
+    assert!((equal_report.worst_shard_share().unwrap() - 0.25).abs() < 1e-12);
+    assert!(
+        weighted_report.worst_frame_rtf < equal_report.worst_frame_rtf * 0.95,
+        "cost weighting must tighten the worst-shard bound: {} vs {}",
+        weighted_report.worst_frame_rtf,
+        equal_report.worst_frame_rtf
     );
 }

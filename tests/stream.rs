@@ -40,6 +40,7 @@ fn backend(index: usize) -> ScoringBackendKind {
         _ => ScoringBackendKind::Sharded {
             shards: 2,
             inner: Box::new(ScoringBackendKind::Hardware(lvcsr::hw::SocConfig::default())),
+            tuning: lvcsr::decoder::ShardTuning::default(),
         },
     }
 }
