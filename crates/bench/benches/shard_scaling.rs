@@ -94,26 +94,19 @@ fn bench_shard_scaling(c: &mut Criterion) {
 
 /// Records two pseudo-entries next to the criterion results:
 ///
-/// * `shard_scaling/host_cpus` — the measurement host's CPU count, so the
-///   gate applies the strict pool-beats-scoped rule only when the numbers
-///   were measured with real parallelism available (mirroring the
-///   `serve_throughput/host_cpus` convention).
+/// * the shared `host/cpus` metadata record (see
+///   `asr_bench::bench_json::record_host_metadata`), so the gate applies the
+///   strict pool-beats-scoped rule only when the numbers were measured with
+///   real parallelism available;
 /// * `shard_scaling/pool_dispatch_overhead_per_frame_seconds` — pooled
 ///   minus inline wall-clock per frame on a directly timed run (clamped at
 ///   zero: on multi-core hosts the pool can beat the inline floor outright).
 fn record_dispatch_metadata(model: &AcousticModel, ids: &[SenoneId], x: &[f32]) {
+    asr_bench::bench_json::record_host_metadata();
     let path = match std::env::var("LVCSR_BENCH_JSON") {
         Ok(p) if !p.is_empty() => p,
         _ => return,
     };
-    let cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if let Err(e) =
-        asr_bench::bench_json::record_entry(&path, "shard_scaling/host_cpus", cpus as f64)
-    {
-        eprintln!("warning: could not record host_cpus in {path}: {e}");
-    }
     let time_utterances = |dispatch: ShardDispatch, parallel: bool| -> f64 {
         let mut scorer = build_sharded(dispatch, parallel);
         run_utterance(&mut scorer, model, ids, x); // warm-up

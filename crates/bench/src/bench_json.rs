@@ -47,6 +47,28 @@ pub fn render_flat_map(map: &BTreeMap<String, f64>) -> String {
     out
 }
 
+/// Key of the shared host-metadata record: the measurement host's logical
+/// CPU count, written once per document (not once per bench target) so the
+/// gate's host-dependent bounds — shard scaling, multi-worker serving — all
+/// read the same figure.
+pub const HOST_CPUS_KEY: &str = "host/cpus";
+
+/// Records the measurement host's CPU count under [`HOST_CPUS_KEY`] in the
+/// document named by `LVCSR_BENCH_JSON`.  Every bench target that feeds a
+/// host-gated bound calls this; the record-entry merge makes the calls
+/// idempotent and order-independent.  A no-op without the env var (plain
+/// `cargo bench` timing runs write no document), and a warning — not a
+/// failure — when the document cannot be written.
+pub fn record_host_metadata() {
+    let Ok(path) = std::env::var("LVCSR_BENCH_JSON") else {
+        return;
+    };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if let Err(e) = record_entry(&path, HOST_CPUS_KEY, cpus as f64) {
+        eprintln!("warning: failed to record host metadata in {path}: {e}");
+    }
+}
+
 /// Read-modify-writes one entry into the document at `path`, preserving
 /// every other entry (the same merge discipline the shim uses, so bench
 /// binaries and metadata writers can run in any order).

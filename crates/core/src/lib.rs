@@ -55,7 +55,7 @@ pub use scorer::{
 };
 pub use search::{SearchNetwork, SearchOutcome, SearchState, TokenPassingSearch};
 pub use session::{DecodeSession, PartialHypothesis};
-pub use shard::ShardedScorer;
+pub use shard::{shard_threads_spawned_total, ShardedScorer};
 pub use stats::{DecodeStats, FrameStats};
 
 /// Errors produced by decoding.

@@ -15,10 +15,13 @@
 //!
 //! * **Dispatch** ([`ShardDispatch`]) — how per-frame work reaches the
 //!   shards.  The default [`ShardDispatch::Pooled`] keeps N−1 long-lived
-//!   worker threads per utterance (spawned lazily on the first parallel
-//!   frame, fed jobs over channels, joined at
-//!   [`SenoneScorer::finish_utterance`]); shard 0 always scores inline on
-//!   the calling thread.  [`ShardDispatch::ScopedSpawn`] is the historical
+//!   worker threads for the *life of the scorer* (spawned lazily on the
+//!   first parallel frame, fed jobs over channels, joined when the scorer
+//!   is dropped or [`SenoneScorer::reset`]); shard 0 always scores inline
+//!   on the calling thread.  Because [`SenoneScorer::finish_utterance`]
+//!   leaves the pool warm, a batch — or a serving worker decoding
+//!   indefinitely — spawns its threads exactly once, not once per
+//!   utterance.  [`ShardDispatch::ScopedSpawn`] is the historical
 //!   thread-per-frame dispatch, kept as the overhead baseline the
 //!   `shard_scaling` bench gates against.  Worker lifetime is safe-Rust
 //!   only: shard boxes and an [`Arc`]-cloned acoustic model round-trip
@@ -45,7 +48,24 @@ use crate::DecodeError;
 use asr_acoustic::{AcousticModel, SenoneId, TransitionMatrix};
 use asr_float::LogProb;
 use asr_hw::UtteranceReport;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
+
+/// Process-wide count of OS threads spawned by every [`ShardedScorer`] in
+/// this process (pool workers and scoped per-frame threads alike).
+static THREADS_SPAWNED_TOTAL: AtomicUsize = AtomicUsize::new(0);
+
+/// Cumulative number of OS threads spawned by all [`ShardedScorer`]s in this
+/// process, across their whole lifetime.
+///
+/// The per-scorer [`ShardedScorer::threads_spawned`] counter is unreachable
+/// when the scorer lives inside another thread (a serving worker); this
+/// process-wide counter is the observable the steady-state zero-spawn
+/// property of a warm server is asserted on: once every worker's pool is
+/// live, decoding more utterances must not move it.
+pub fn shard_threads_spawned_total() -> usize {
+    THREADS_SPAWNED_TOTAL.load(Ordering::Relaxed)
+}
 
 /// Message loss on the worker channels means a worker thread died, which
 /// only happens if an inner scorer panicked — propagate as a panic, exactly
@@ -210,6 +230,7 @@ impl WorkerPool {
             replies.push(reply_rx);
             handles.push(handle);
         }
+        THREADS_SPAWNED_TOTAL.fetch_add(workers, Ordering::Relaxed);
         WorkerPool {
             senders,
             replies,
@@ -224,9 +245,11 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Closing the senders ends every worker's receive loop; joining
-        // bounds the thread lifetime to the utterance.  A worker that
-        // panicked already surfaced as a caller panic on the reply channel,
-        // so join errors are not re-raised here.
+        // bounds the thread lifetime to the scorer's (the pool survives
+        // `finish_utterance`, so a warm scorer decodes a whole stream of
+        // utterances on one set of threads).  A worker that panicked
+        // already surfaced as a caller panic on the reply channel, so join
+        // errors are not re-raised here.
         self.senders.clear();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -284,11 +307,13 @@ fn fill_bounds(bounds: &mut Vec<usize>, n: usize, active: &[SenoneId], costs: Op
 ///   or scored on per-frame scoped threads ([`ShardDispatch::ScopedSpawn`]).
 /// * [`SenoneScorer::step_hmm`] dispatches HMM updates round-robin across the
 ///   shards, mirroring [`SpeechSoc`]'s internal structure scheduling.
-/// * [`SenoneScorer::finish_utterance`] joins the worker pool and folds the
-///   shards' reports with [`UtteranceReport::merge_parallel`], which also
-///   records the per-shard scored-senone balance
-///   ([`UtteranceReport::shard_senones`] /
-///   [`UtteranceReport::worst_shard_share`]).
+/// * [`SenoneScorer::finish_utterance`] folds the shards' reports with
+///   [`UtteranceReport::merge_parallel`], which also records the per-shard
+///   scored-senone balance ([`UtteranceReport::shard_senones`] /
+///   [`UtteranceReport::worst_shard_share`]).  The worker pool stays warm
+///   across utterances; it joins when the scorer is dropped (or
+///   [`SenoneScorer::reset`]), so a batch — or a serving worker — spawns
+///   threads once, not once per utterance.
 /// * The host-side bookkeeping calls ([`SenoneScorer::dma_fetch`], the
 ///   software-stage charge of [`SenoneScorer::end_frame`]) go to shard 0
 ///   only, so host cycles and dictionary traffic are not multiplied by the
@@ -312,11 +337,12 @@ pub struct ShardedScorer {
     tuning: ShardTuning,
     /// Per-model cost table + pooled model clone (survives utterances).
     model_cache: Option<ModelCache>,
-    /// The per-utterance worker pool (pooled dispatch only; `None` until the
-    /// first parallel frame, joined at `finish_utterance`).
+    /// The long-lived worker pool (pooled dispatch only; `None` until the
+    /// first parallel frame, then warm across utterances until the scorer
+    /// drops or `reset`s).
     pool: Option<WorkerPool>,
     /// Cumulative OS threads spawned (pool workers + scoped threads) — the
-    /// observable the zero-spawns-per-frame property is asserted on.
+    /// observable the zero-spawns-per-utterance property is asserted on.
     threads_spawned: usize,
     /// Reusable partition-boundary scratch.
     bounds: Vec<usize>,
@@ -405,16 +431,20 @@ impl ShardedScorer {
     }
 
     /// Cumulative count of OS threads this scorer has spawned — pool workers
-    /// (at most `num_shards() - 1` per utterance, usually per *batch* of
-    /// frames) plus per-frame scoped threads under
-    /// [`ShardDispatch::ScopedSpawn`].  The pooled zero-spawns-per-frame
-    /// property is asserted on this counter.
+    /// (`num_shards() - 1`, exactly once for the scorer's whole life under
+    /// [`ShardDispatch::Pooled`], however many utterances it decodes) plus
+    /// per-frame scoped threads under [`ShardDispatch::ScopedSpawn`].  The
+    /// pooled zero-spawns-per-utterance property is asserted on this
+    /// counter; see [`shard_threads_spawned_total`] for the process-wide
+    /// form serving tests observe.
     pub fn threads_spawned(&self) -> usize {
         self.threads_spawned
     }
 
-    /// Whether the worker pool is currently live (pooled dispatch, between
-    /// the first parallel frame and `finish_utterance`).
+    /// Whether the worker pool is currently live (pooled dispatch, any time
+    /// after the first parallel frame; the pool survives
+    /// [`SenoneScorer::finish_utterance`] and joins on drop or
+    /// [`SenoneScorer::reset`]).
     pub fn pool_is_live(&self) -> bool {
         self.pool.is_some()
     }
@@ -735,11 +765,11 @@ impl SenoneScorer for ShardedScorer {
 
     fn finish_utterance(&mut self) -> Option<UtteranceReport> {
         self.next_hmm_shard = 0;
-        // The utterance's worker pool joins here: threads are created at
-        // most once per utterance (lazily, on the first parallel frame) and
-        // never per frame.  The model cache survives, so the next utterance
-        // of a batch reuses the cost table and pooled model clone.
-        self.pool = None;
+        // The worker pool deliberately survives this call: like the model
+        // cache (cost table, pooled model clone), it is cross-utterance
+        // state, so the next utterance of a batch — or the next request on a
+        // warm serving worker — reuses the same threads.  The pool joins
+        // when the scorer drops (`WorkerPool::drop`) or on `reset`.
         let mut merged: Option<UtteranceReport> = None;
         for slot in &mut self.shards {
             if let Some(report) = slot.as_mut().expect(SHARD_PRESENT).finish_utterance() {
@@ -754,6 +784,8 @@ impl SenoneScorer for ShardedScorer {
 
     fn reset(&mut self) {
         self.next_hmm_shard = 0;
+        // A full reset is the one explicit way to release the pool threads
+        // without dropping the scorer; the next parallel frame respawns them.
         self.pool = None;
         for slot in &mut self.shards {
             slot.as_mut().expect(SHARD_PRESENT).reset();
@@ -847,7 +879,7 @@ mod tests {
     }
 
     #[test]
-    fn pooled_dispatch_spawns_workers_once_per_utterance() {
+    fn pooled_dispatch_spawns_workers_once_per_scorer() {
         let m = model();
         let ids = all_ids(&m);
         let frames = 12;
@@ -855,7 +887,7 @@ mod tests {
             .with_parallelism(true)
             .with_dispatch(ShardDispatch::Pooled);
         assert_eq!(pooled.threads_spawned(), 0);
-        for utterance in 1..=2u32 {
+        for _utterance in 1..=2u32 {
             for f in 0..frames {
                 let x: Vec<f32> = (0..m.feature_dim())
                     .map(|d| 0.01 * (f + d) as f32)
@@ -866,10 +898,19 @@ mod tests {
             }
             assert!(pooled.pool_is_live());
             pooled.finish_utterance().unwrap();
-            assert!(!pooled.pool_is_live(), "finish_utterance joins the pool");
-            // Workers spawn once per utterance, never per frame.
-            assert_eq!(pooled.threads_spawned(), 2 * utterance as usize);
+            // The pool survives the utterance boundary: the workers spawned
+            // on the first parallel frame serve every later utterance too.
+            assert!(pooled.pool_is_live(), "finish_utterance keeps the pool");
+            assert_eq!(pooled.threads_spawned(), 2);
         }
+        // reset() is the explicit thread-release path; the next parallel
+        // frame respawns.
+        pooled.reset();
+        assert!(!pooled.pool_is_live(), "reset joins the pool");
+        let x = vec![0.1f32; m.feature_dim()];
+        pooled.begin_frame(&x);
+        pooled.score_senones(&m, &ids, &x).unwrap();
+        assert_eq!(pooled.threads_spawned(), 4);
         // The scoped baseline pays the spawn on every scored frame.
         let mut scoped = soc_shards(3)
             .with_parallelism(true)
@@ -884,6 +925,52 @@ mod tests {
         }
         scoped.finish_utterance().unwrap();
         assert_eq!(scoped.threads_spawned(), frames * 2);
+    }
+
+    /// The tentpole property behind warm-server zero-spawn serving: a
+    /// 16-utterance stream through one pooled scorer spawns its N−1 workers
+    /// exactly once, on the first parallel frame of the first utterance,
+    /// and the results stay identical to a fresh scorer's.
+    #[test]
+    fn pool_survives_a_16_utterance_stream_with_one_spawn() {
+        let m = model();
+        let ids = all_ids(&m);
+        let before_total = shard_threads_spawned_total();
+        let mut warm = soc_shards(3)
+            .with_parallelism(true)
+            .with_dispatch(ShardDispatch::Pooled);
+        let mut reports = Vec::new();
+        for utterance in 0..16 {
+            for f in 0..4 {
+                let x: Vec<f32> = (0..m.feature_dim())
+                    .map(|d| 0.01 * (utterance + f + d) as f32)
+                    .collect();
+                warm.begin_frame(&x);
+                let scores = warm.score_senones(&m, &ids, &x).unwrap();
+                // Same arithmetic as a cold scorer on the same frame.
+                let mut cold = soc_shards(3)
+                    .with_parallelism(false)
+                    .with_dispatch(ShardDispatch::Pooled);
+                cold.begin_frame(&x);
+                let want = cold.score_senones(&m, &ids, &x).unwrap();
+                for ((ia, sa), (ib, sb)) in want.iter().zip(&scores) {
+                    assert_eq!(ia, ib);
+                    assert_eq!(sa.raw(), sb.raw());
+                }
+                warm.end_frame(1, 0);
+            }
+            reports.push(warm.finish_utterance().unwrap());
+            assert_eq!(
+                warm.threads_spawned(),
+                2,
+                "utterance {utterance} must not respawn the pool"
+            );
+        }
+        assert_eq!(reports.len(), 16);
+        assert!(reports.iter().all(|r| r.frames == 4));
+        // Other tests run concurrently, so the process-wide counter can only
+        // be bounded below: this scorer contributed exactly its 2 workers.
+        assert!(shard_threads_spawned_total() >= before_total + 2);
     }
 
     /// A backend whose scoring panics — stands in for an inner-scorer bug.
@@ -916,6 +1003,96 @@ mod tests {
             None
         }
         fn reset(&mut self) {}
+    }
+
+    /// A backend that scores normally for `healthy_calls` frames, then
+    /// panics — an inner-scorer bug that only bites once the pool is warm.
+    #[derive(Debug)]
+    struct LatePanickingScorer {
+        inner: SoftwareScorer,
+        healthy_calls: usize,
+        calls: usize,
+    }
+
+    impl SenoneScorer for LatePanickingScorer {
+        fn name(&self) -> &'static str {
+            "late-panicking"
+        }
+        fn begin_frame(&mut self, _feature: &[f32]) {}
+        fn score_senones(
+            &mut self,
+            model: &AcousticModel,
+            active: &[SenoneId],
+            feature: &[f32],
+        ) -> Result<Vec<(SenoneId, LogProb)>, DecodeError> {
+            self.calls += 1;
+            if self.calls > self.healthy_calls {
+                panic!("inner scorer bug on call {}", self.calls);
+            }
+            self.inner.score_senones(model, active, feature)
+        }
+        fn step_hmm(
+            &mut self,
+            prev_scores: &[LogProb],
+            entry_score: LogProb,
+            transitions: &TransitionMatrix,
+            senone_scores: &[LogProb],
+        ) -> Result<HmmStepResult, DecodeError> {
+            crate::scorer::software_step_hmm(prev_scores, entry_score, transitions, senone_scores)
+        }
+        fn finish_utterance(&mut self) -> Option<UtteranceReport> {
+            None
+        }
+        fn reset(&mut self) {}
+    }
+
+    /// With the pool surviving utterance boundaries, a worker that panics on
+    /// a *later* utterance of a batch (its threads long since spawned) must
+    /// still propagate to the caller as a panic, never a hang: the worker's
+    /// private reply channel disconnects and `recv` fails immediately.
+    #[test]
+    fn pooled_worker_panic_mid_batch_propagates() {
+        let m = model();
+        let ids = all_ids(&m);
+        let sel = GmmSelectionConfig::default();
+        let healthy = |sel| Box::new(SoftwareScorer::new(sel)) as Box<dyn SenoneScorer>;
+        // Worker shard 1 stays healthy for its first 2 frames (utterance 1),
+        // then dies on its first frame of utterance 2.
+        let mut sharded = ShardedScorer::new(vec![
+            healthy(sel),
+            Box::new(LatePanickingScorer {
+                inner: SoftwareScorer::new(sel),
+                healthy_calls: 2,
+                calls: 0,
+            }) as Box<dyn SenoneScorer>,
+            healthy(sel),
+        ])
+        .unwrap()
+        .with_parallelism(true)
+        .with_dispatch(ShardDispatch::Pooled);
+        let x = vec![0.1f32; m.feature_dim()];
+        for _ in 0..2 {
+            sharded.begin_frame(&x);
+            sharded.score_senones(&m, &ids, &x).unwrap();
+            sharded.end_frame(1, 0);
+        }
+        assert!(sharded.finish_utterance().is_none());
+        assert!(sharded.pool_is_live(), "pool warm into utterance 2");
+        sharded.begin_frame(&x);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = sharded.score_senones(&m, &ids, &x);
+        }))
+        .expect_err("a dead worker must panic the caller");
+        let message = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("shard scoring worker panicked"),
+            "unexpected panic payload: {message}"
+        );
     }
 
     /// A worker that dies mid-job must panic the caller (its private reply

@@ -2,20 +2,28 @@
 //!
 //! The paper's SoC decodes one utterance at a time; this crate turns the
 //! reproduction into a traffic-serving system.  Callers [`submit`] utterances
-//! into a **bounded request queue** and get back a [`DecodeFuture`]; a
-//! dedicated batcher thread coalesces pending requests into micro-batches
-//! and streams them through **one long-lived scorer** (flushing on batch
-//! size or deadline, whichever comes first) — the amortisation of
-//! [`Recognizer::decode_batch_with`], with per-request error isolation, so
-//! the backend's model-level caches pay off across the whole request stream
-//! just as `decode_batch` pays off for a single caller.
+//! into a **bounded request queue** and get back a [`DecodeFuture`]; M
+//! decoder workers ([`ServeConfig::workers`]) drain the queue, each
+//! coalescing pending requests into micro-batches and streaming them through
+//! its **own long-lived scorer** (flushing on batch size or deadline,
+//! whichever comes first) — the amortisation of
+//! [`Recognizer::decode_batch_with`] per worker, with per-request error
+//! isolation, so every backend's model-level caches pay off across the whole
+//! request stream just as `decode_batch` pays off for a single caller.
+//! Under a sharded backend each worker's shard pool stays warm across
+//! utterances, so a warm server decodes indefinitely with zero thread
+//! spawns.
 //!
 //! ```text
-//!  clients ──submit()──► bounded queue ──► micro-batcher ──► batched decode
-//!     ▲                   (backpressure:     (flush on max_batch    (one warmed
-//!     │                    QueueFull)         or max_batch_delay)    scorer)
-//!     └──────── DecodeFuture (std Future and/or blocking wait()) ◄───┘
+//!  clients ──submit()──► bounded queue ──┬─► worker 0 ─► decoder (N shards)
+//!     ▲                   (backpressure:  ├─► worker 1 ─► decoder (N shards)
+//!     │                    QueueFull)     └─► worker M ─► decoder (N shards)
+//!     └──────── DecodeFuture (std Future and/or blocking wait()) ◄──┘
 //! ```
+//!
+//! Whole-utterance requests go to whichever worker is idle; stream sessions
+//! are **pinned** to one worker (`id % workers`), which keeps each session's
+//! chunks in order while different sessions fan out across workers.
 //!
 //! Overload is **typed, not silent**: when the queue is full, [`submit`]
 //! returns [`ServeError::QueueFull`] immediately — the request is never
@@ -103,6 +111,12 @@ pub struct ServeConfig {
     /// comes first.  The knob trades per-request latency against batch
     /// amortisation.
     pub max_batch_delay: Duration,
+    /// Number of decoder workers draining the queue.  Each worker owns its
+    /// own long-lived decoder (with the backend's shard threads underneath),
+    /// so `workers` independent micro-batches decode concurrently; stream
+    /// sessions are pinned to one worker each so their chunks stay ordered.
+    /// The default of 1 reproduces the single-batcher behaviour exactly.
+    pub workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -111,23 +125,35 @@ impl Default for ServeConfig {
             max_pending: 64,
             max_batch: 8,
             max_batch_delay: Duration::from_millis(2),
+            workers: 1,
         }
     }
 }
 
 impl ServeConfig {
+    /// Sets the number of decoder workers (builder style):
+    /// `ServeConfig::default().workers(4)` is a four-lane serving front.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] when the queue bound or batch
-    /// size is zero.
+    /// Returns [`ServeError::InvalidConfig`] when the queue bound, batch
+    /// size, or worker count is zero.
     pub fn validate(&self) -> Result<(), ServeError> {
         if self.max_pending == 0 {
             return Err(ServeError::InvalidConfig("max_pending must be >= 1".into()));
         }
         if self.max_batch == 0 {
             return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be >= 1".into()));
         }
         Ok(())
     }

@@ -1,6 +1,7 @@
-//! The server: a bounded request queue in front of a micro-batching worker
-//! thread that owns the recogniser and one long-lived phone decoder, plus
-//! incremental stream sessions multiplexed over the same queue.
+//! The server: a bounded request queue fanned out to M micro-batching
+//! decoder workers, each owning one long-lived phone decoder, plus
+//! incremental stream sessions multiplexed over the same queue (pinned to
+//! one worker each so their chunks stay ordered).
 
 use crate::future::{DecodeFuture, Slot};
 use crate::{ServeConfig, ServeError};
@@ -10,7 +11,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One accepted command: a whole-utterance decode, or one step in the life
 /// of an incremental stream session.
@@ -44,6 +45,21 @@ impl Command {
     /// coalescing wait while one is queued.
     fn is_stream(&self) -> bool {
         !matches!(self, Command::Decode { .. })
+    }
+
+    /// Whether worker `worker` (of `workers`) may take this command.
+    /// Whole-utterance decodes go to whichever worker is free; stream
+    /// commands are pinned to `id % workers`, so one worker sees a session's
+    /// open/push/finish in queue order and its partials stay ordered even
+    /// while other sessions decode on other workers.
+    fn belongs_to(&self, worker: usize, workers: usize) -> bool {
+        match self {
+            Command::Decode { .. } => true,
+            Command::StreamOpen { id, .. }
+            | Command::StreamPush { id, .. }
+            | Command::StreamFinish { id, .. }
+            | Command::StreamCancel { id } => id % workers as u64 == worker as u64,
+        }
     }
 }
 
@@ -95,7 +111,66 @@ struct Queue {
     closed: bool,
 }
 
-/// Monotonic counters shared between callers and the worker.
+/// Number of power-of-two latency buckets: bucket `i` holds observations of
+/// at most `2^i` microseconds, so 26 buckets span 1 µs to ~33 s (the last
+/// bucket absorbs anything slower).
+const LATENCY_BUCKETS: usize = 26;
+
+/// A small fixed-bucket latency histogram: power-of-two microsecond buckets,
+/// lock-free to record, summarised as p50/p99 upper bounds.  One heap-free
+/// array per metric is all the serving stats need — per-request timing
+/// without a timeseries dependency or an unbounded reservoir.
+#[derive(Debug)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn record(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        // Bucket index = ceil(log2(µs)), so each bucket's upper bound is a
+        // power of two; sub-microsecond observations land in bucket 0.
+        let index = micros
+            .saturating_sub(1)
+            .checked_ilog2()
+            .map_or(0, |bits| bits as usize + 1)
+            .min(LATENCY_BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The upper bound of the bucket holding the `p`-quantile observation
+    /// (e.g. 0.50, 0.99); `None` until something was recorded.
+    fn percentile(&self, p: f64) -> Option<Duration> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(Duration::from_micros(1u64 << i));
+            }
+        }
+        None
+    }
+}
+
+/// Monotonic counters shared between callers and the workers.
 #[derive(Debug, Default)]
 struct Counters {
     submitted: AtomicU64,
@@ -106,8 +181,14 @@ struct Counters {
     largest_batch: AtomicUsize,
     stream_sessions: AtomicU64,
     stream_chunks: AtomicU64,
-    /// Stream-session ids (monotonic; never reused within a server).
+    /// Stream-session ids (monotonic; never reused within a server).  Also
+    /// the pinning key: session `id` lives on worker `id % workers`.
     next_stream_id: AtomicU64,
+    /// Enqueue-to-dequeue wait of result-producing requests (decodes and
+    /// stream finishes — the same units `submitted` counts).
+    queue_wait: LatencyHistogram,
+    /// Decode/finish execution time of those same requests.
+    service: LatencyHistogram,
 }
 
 #[derive(Debug)]
@@ -115,11 +196,16 @@ struct Shared {
     queue: Mutex<Queue>,
     wakeup: Condvar,
     counters: Counters,
-    /// The stream-level hardware report: every served utterance's report
-    /// folded with [`UtteranceReport::merge`] (a sequential stream through
-    /// one scorer — sharded backends have already parallel-merged their
-    /// shards underneath).
-    hardware: Mutex<Option<UtteranceReport>>,
+    /// Per-worker hardware accumulators, indexed by worker.  Within a worker
+    /// the served utterances fold *sequentially* with
+    /// [`UtteranceReport::merge`] (one scorer, one request stream — sharded
+    /// backends have already parallel-merged their shards underneath);
+    /// across workers the accumulators fold with
+    /// [`UtteranceReport::merge_parallel`] at read time, because the workers
+    /// decode concurrently — summing their frame counts would overstate the
+    /// wall-clock audio the server saw, exactly the distinction the two merge
+    /// operations exist for.
+    hardware: Mutex<Vec<Option<UtteranceReport>>>,
 }
 
 /// A point-in-time snapshot of the serving counters.
@@ -142,8 +228,22 @@ pub struct ServeStats {
     pub largest_batch: usize,
     /// Incremental stream sessions opened.
     pub stream_sessions: u64,
-    /// Stream feature chunks processed by the worker.
+    /// Stream feature chunks processed by the workers.
     pub stream_chunks: u64,
+    /// Median queue wait (enqueue to dequeue) of result-producing requests,
+    /// as the upper bound of its power-of-two-microsecond histogram bucket.
+    /// `None` until a request has been dequeued.
+    pub queue_wait_p50: Option<Duration>,
+    /// 99th-percentile queue wait (same histogram as
+    /// [`ServeStats::queue_wait_p50`]).
+    pub queue_wait_p99: Option<Duration>,
+    /// Median service time (decode/finish execution) of result-producing
+    /// requests, bucketed like the queue-wait percentiles.  Stream chunk
+    /// decoding is paid during pushes, so a stream's service time covers its
+    /// finish step only.
+    pub service_p50: Option<Duration>,
+    /// 99th-percentile service time.
+    pub service_p99: Option<Duration>,
 }
 
 impl ServeStats {
@@ -160,28 +260,33 @@ impl ServeStats {
 
 /// The async batched serving front.
 ///
-/// [`AsrServer::spawn`] moves a [`Recognizer`] onto a dedicated batcher
-/// thread, which builds **one** phone decoder from the configured backend and
-/// reuses it for every micro-batch — the serving-scale version of
-/// [`Recognizer::decode_batch`]'s one-scorer amortisation.  Requests enter
-/// through [`AsrServer::submit`] (bounded queue, typed backpressure) and
-/// complete through their [`DecodeFuture`]s.
+/// [`AsrServer::spawn`] moves a [`Recognizer`] behind
+/// [`ServeConfig::workers`] decoder worker threads.  Each worker builds its
+/// **own** long-lived phone decoder from the configured backend and reuses
+/// it for every micro-batch it drains — the serving-scale version of
+/// [`Recognizer::decode_batch`]'s one-scorer amortisation, replicated M
+/// ways.  Requests enter through [`AsrServer::submit`] (bounded queue, typed
+/// backpressure), fan out to whichever worker is idle, and complete through
+/// their [`DecodeFuture`]s; stream sessions are pinned to one worker each.
+/// With a sharded backend each worker's shard pool survives across
+/// utterances, so a warm server decodes indefinitely without spawning a
+/// single thread.
 ///
 /// Dropping the server closes the queue, drains the already-accepted
-/// requests, and joins the worker; see [`AsrServer::close`] for the explicit
-/// form.
+/// requests, and joins every worker; see [`AsrServer::close`] for the
+/// explicit form.
 ///
 /// [`Recognizer::decode_batch`]: asr_core::Recognizer::decode_batch
 #[derive(Debug)]
 pub struct AsrServer {
     shared: Arc<Shared>,
-    worker: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     config: ServeConfig,
 }
 
 impl AsrServer {
-    /// Validates `config`, builds the backend scorer, and starts the batcher
-    /// thread.
+    /// Validates `config`, builds one backend decoder per worker, and starts
+    /// the worker threads.
     ///
     /// # Errors
     ///
@@ -190,24 +295,34 @@ impl AsrServer {
     /// build.
     pub fn spawn(recognizer: Recognizer, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
-        // Build the long-lived decoder up front so a bad backend config fails
-        // at spawn, not on the first request.
-        let decoder = recognizer.phone_decoder()?;
+        // Build every worker's long-lived decoder up front so a bad backend
+        // config fails at spawn, not on the first request.
+        let decoders: Vec<PhoneDecoder> = (0..config.workers)
+            .map(|_| recognizer.phone_decoder())
+            .collect::<Result<_, _>>()?;
+        let recognizer = Arc::new(recognizer);
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue::default()),
             wakeup: Condvar::new(),
             counters: Counters::default(),
-            hardware: Mutex::new(None),
+            hardware: Mutex::new(vec![None; config.workers]),
         });
-        let worker_shared = Arc::clone(&shared);
-        let worker_config = config.clone();
-        let worker = std::thread::Builder::new()
-            .name("asr-serve-batcher".into())
-            .spawn(move || batcher_loop(&recognizer, decoder, &worker_shared, &worker_config))
-            .expect("spawning the batcher thread failed");
+        let workers = decoders
+            .into_iter()
+            .enumerate()
+            .map(|(worker, decoder)| {
+                let shared = Arc::clone(&shared);
+                let recognizer = Arc::clone(&recognizer);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("asr-serve-worker-{worker}"))
+                    .spawn(move || worker_loop(worker, &recognizer, decoder, &shared, &config))
+                    .expect("spawning a serve worker thread failed")
+            })
+            .collect();
         Ok(AsrServer {
             shared,
-            worker: Some(worker),
+            workers,
             config,
         })
     }
@@ -293,10 +408,12 @@ impl AsrServer {
     /// Push feature chunks as they arrive, read partial hypotheses between
     /// pushes, and [`StreamHandle::finish`] for a [`DecodeFuture`] resolving
     /// to the same result an offline decode of the concatenated chunks would
-    /// produce.  Sessions share the worker (and its queue) with batch
-    /// requests; the micro-batcher skips its coalescing delay while stream
-    /// commands are queued, so interactive sessions are not taxed with batch
-    /// latency.
+    /// produce.  Sessions share the queue with batch requests but are
+    /// **pinned** to worker `id % workers`, so one worker sees a session's
+    /// commands in queue order (partials stay prefix-consistent) while
+    /// different sessions spread across workers; a worker skips its
+    /// coalescing delay while stream commands are queued for it, so
+    /// interactive sessions are not taxed with batch latency.
     ///
     /// # Errors
     ///
@@ -340,19 +457,36 @@ impl AsrServer {
             largest_batch: c.largest_batch.load(Ordering::Relaxed),
             stream_sessions: c.stream_sessions.load(Ordering::Relaxed),
             stream_chunks: c.stream_chunks.load(Ordering::Relaxed),
+            queue_wait_p50: c.queue_wait.percentile(0.50),
+            queue_wait_p99: c.queue_wait.percentile(0.99),
+            service_p50: c.service.percentile(0.50),
+            service_p99: c.service.percentile(0.99),
         }
     }
 
-    /// The hardware report of the whole served stream so far: every decoded
-    /// utterance's report folded with [`UtteranceReport::merge`].  `None`
-    /// until a hardware-backed utterance completes (software backends keep no
-    /// report).
+    /// The hardware report of the whole served stream so far.  Within each
+    /// worker the served utterances fold sequentially with
+    /// [`UtteranceReport::merge`]; the per-worker accumulators then fold with
+    /// [`UtteranceReport::merge_parallel`], since the workers decode
+    /// concurrently — work counters (senones, HMM updates, energy) add
+    /// across workers while frame/audio figures take the maximum instead of
+    /// multiplying the wall-clock stream length by M.  With one worker this
+    /// is exactly the single-batcher fold.  `None` until a hardware-backed
+    /// utterance completes (software backends keep no report).
     pub fn hardware_report(&self) -> Option<UtteranceReport> {
-        self.shared
+        let slots = self
+            .shared
             .hardware
             .lock()
-            .expect("hardware report lock poisoned")
-            .clone()
+            .expect("hardware report lock poisoned");
+        let mut merged: Option<UtteranceReport> = None;
+        for report in slots.iter().flatten() {
+            merged = Some(match merged {
+                Some(acc) => acc.merge_parallel(report),
+                None => report.clone(),
+            });
+        }
+        merged
     }
 
     /// Number of requests currently waiting in the queue.
@@ -361,8 +495,8 @@ impl AsrServer {
     }
 
     /// Closes the queue, waits for the already-accepted requests to finish,
-    /// and joins the batcher thread.  Equivalent to dropping the server, but
-    /// explicit about when the blocking happens.
+    /// and joins every worker thread.  Equivalent to dropping the server,
+    /// but explicit about when the blocking happens.
     pub fn close(mut self) {
         self.shutdown();
     }
@@ -377,13 +511,13 @@ impl AsrServer {
     fn shutdown(&mut self) {
         self.lock_queue().closed = true;
         self.shared.wakeup.notify_all();
-        if let Some(worker) = self.worker.take() {
+        for worker in self.workers.drain(..) {
             // A panicked worker is already detached from the queue; the drain
             // below (and each Request's drop guard) fails what it left behind.
             let _ = worker.join();
         }
-        // Normally empty (the worker drains before exiting); non-empty only
-        // if the worker died mid-stream.
+        // Normally empty (every worker drains its own work before exiting);
+        // non-empty only if a worker died mid-stream.
         self.lock_queue().pending.clear();
     }
 }
@@ -490,49 +624,63 @@ impl StreamHandle<'_> {
     }
 }
 
-/// Closes the queue and fails its pending requests when the worker exits —
-/// including by panic.  Without this, a panicking worker (e.g. a poisoned
-/// lock) would leave `closed == false`: `submit` would keep accepting
-/// requests that nothing will ever dequeue, and their futures would hang
-/// until the server itself is dropped.  A no-op on the normal exit path,
-/// where the queue is already closed and drained.
+/// Closes the queue and fails every pending request: each dropped `Request`
+/// fires its drop guard, so pending futures resolve to
+/// [`ServeError::Closed`] instead of hanging.  Recovers the queue lock even
+/// when the caller is panicking with it poisoned.
+fn fail_pending(shared: &Shared) {
+    let mut queue = shared
+        .queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    queue.closed = true;
+    queue.pending.clear();
+    drop(queue);
+    shared.wakeup.notify_all();
+}
+
+/// Fails the queue when a worker dies by *panic*.  Without this, a panicking
+/// worker (e.g. a poisoned lock, a backend bug) would leave `closed ==
+/// false`: `submit` would keep accepting requests that nothing will ever
+/// dequeue, and their futures would hang until the server itself is dropped.
+/// A normal worker exit must NOT trigger it: with M workers, one worker
+/// returning from its loop (queue closed, nothing left *for it*) must not
+/// clear commands still pending for its siblings.
 struct CloseOnExit<'a>(&'a Shared);
 
 impl Drop for CloseOnExit<'_> {
     fn drop(&mut self) {
-        // Recover the queue even if the panic poisoned its lock.
-        let mut queue = self
-            .0
-            .queue
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        queue.closed = true;
-        // Dropping the requests fires their drop guards: every pending
-        // future resolves to `ServeError::Closed` instead of hanging.
-        queue.pending.clear();
-        drop(queue);
-        self.0.wakeup.notify_all();
+        if std::thread::panicking() {
+            fail_pending(self.0);
+        }
     }
 }
 
-/// One live stream session on the worker: the incremental decoder plus the
+/// One live stream session on a worker: the incremental decoder plus the
 /// shared state its partials publish into.  The whole entry degrades to the
 /// first error the session hit; the finish command collects it.
 type WorkerStream<'a> = Result<(DecodeSession<'a>, Arc<StreamState>), ServeError>;
 
 /// Folds a decoded utterance's outcome into the stream-level counters and
-/// hardware report.
-fn record_outcome(shared: &Shared, outcome: &Result<asr_core::DecodeResult, ServeError>) {
+/// `worker`'s hardware accumulator (sequential [`UtteranceReport::merge`]
+/// within a worker; the parallel fold across workers happens at read time in
+/// [`AsrServer::hardware_report`]).
+fn record_outcome(
+    shared: &Shared,
+    worker: usize,
+    outcome: &Result<asr_core::DecodeResult, ServeError>,
+) {
     let c = &shared.counters;
     match outcome {
         Ok(result) => {
             c.completed.fetch_add(1, Ordering::Relaxed);
             if let Some(report) = &result.hardware {
-                let mut merged = shared
+                let mut slots = shared
                     .hardware
                     .lock()
                     .expect("hardware report lock poisoned");
-                *merged = Some(match merged.take() {
+                let slot = &mut slots[worker];
+                *slot = Some(match slot.take() {
                     Some(acc) => acc.merge(report),
                     None => report.clone(),
                 });
@@ -544,25 +692,45 @@ fn record_outcome(shared: &Shared, outcome: &Result<asr_core::DecodeResult, Serv
     }
 }
 
-/// The worker: wait for commands, coalesce, decode, fulfil — until the queue
-/// is closed *and* drained.  Whole-utterance decodes run through the one
-/// long-lived `decoder`; each stream session owns its own incremental
+/// One decoder worker: wait for commands it may take, coalesce, decode,
+/// fulfil — until the queue is closed *and* holds nothing for this worker.
+/// Whole-utterance decodes run through the worker's one long-lived
+/// `decoder`; each stream session pinned here owns its own incremental
 /// decoder state in `sessions` (interleaved sessions cannot share CDS /
-/// arena state).
-fn batcher_loop(
+/// arena state).  Requests this worker does not take (streams pinned to a
+/// sibling) are left in place, in order, for their owner.
+fn worker_loop(
+    worker: usize,
     recognizer: &Recognizer,
     mut decoder: PhoneDecoder,
     shared: &Shared,
     config: &ServeConfig,
 ) {
+    let workers = config.workers;
     let _close_on_exit = CloseOnExit(shared);
     let mut sessions: HashMap<u64, WorkerStream<'_>> = HashMap::new();
+    let mine = |queue: &Queue| {
+        queue
+            .pending
+            .iter()
+            .filter(|r| r.command.belongs_to(worker, workers))
+            .count()
+    };
+    let my_stream = |queue: &Queue| {
+        queue
+            .pending
+            .iter()
+            .any(|r| r.command.is_stream() && r.command.belongs_to(worker, workers))
+    };
     loop {
         let batch = {
             let mut queue = shared.queue.lock().expect("request queue lock poisoned");
-            // Sleep until there is work (or shutdown with nothing left).
+            // Sleep until there is work for this worker (or shutdown with
+            // nothing left that it could ever take — a decode belongs to
+            // everyone, so no worker exits while decodes remain, and a
+            // pinned stream command is only ever left for a live sibling).
             loop {
-                if !queue.pending.is_empty() {
+                if mine(&queue) > 0 {
                     break;
                 }
                 if queue.closed {
@@ -574,22 +742,23 @@ fn batcher_loop(
                     .expect("request queue lock poisoned");
             }
             // Micro-batching: give later requests until the *oldest* pending
-            // request has waited `max_batch_delay` to join this flush, unless
-            // the batch is already full, the server is draining for shutdown
-            // (then latency no longer buys anything), or a stream command is
-            // queued (streams are latency-bound: their chunks gain nothing
-            // from coalescing with batch traffic).  Anchoring the deadline at
-            // enqueue time means a request that already waited out a previous
-            // flush's decode is not made to wait a fresh window on top.
-            let has_stream = queue.pending.iter().any(|r| r.command.is_stream());
-            if queue.pending.len() < config.max_batch && !queue.closed && !has_stream {
+            // request of this worker has waited `max_batch_delay` to join
+            // this flush, unless the batch is already full, the server is
+            // draining for shutdown (then latency no longer buys anything),
+            // or a stream command is queued for this worker (streams are
+            // latency-bound: their chunks gain nothing from coalescing with
+            // batch traffic).  Anchoring the deadline at enqueue time means
+            // a request that already waited out a previous flush's decode is
+            // not made to wait a fresh window on top.
+            if mine(&queue) < config.max_batch && !queue.closed && !my_stream(&queue) {
                 let deadline = queue
                     .pending
-                    .front()
-                    .expect("pending is non-empty here")
+                    .iter()
+                    .find(|r| r.command.belongs_to(worker, workers))
+                    .expect("this worker has pending work here")
                     .enqueued
                     + config.max_batch_delay;
-                while queue.pending.len() < config.max_batch && !queue.closed {
+                while mine(&queue) < config.max_batch && !queue.closed {
                     let now = Instant::now();
                     if now >= deadline {
                         break;
@@ -599,14 +768,30 @@ fn batcher_loop(
                         .wait_timeout(queue, deadline - now)
                         .expect("request queue lock poisoned");
                     queue = guard;
-                    if queue.pending.iter().any(|r| r.command.is_stream()) {
+                    if my_stream(&queue) {
                         break;
                     }
                 }
             }
-            let take = queue.pending.len().min(config.max_batch);
-            queue.pending.drain(..take).collect::<Vec<Request>>()
+            // Take up to max_batch of this worker's requests, preserving
+            // their relative order; everything else stays queued, in order,
+            // for the other workers.
+            let mut batch = Vec::new();
+            let mut rest = VecDeque::with_capacity(queue.pending.len());
+            for request in queue.pending.drain(..) {
+                if batch.len() < config.max_batch && request.command.belongs_to(worker, workers) {
+                    batch.push(request);
+                } else {
+                    rest.push_back(request);
+                }
+            }
+            queue.pending = rest;
+            batch
         };
+        // Taking a batch may have freed queue capacity and left work for
+        // siblings in front; wake them in case they slept through the
+        // original notify while this worker held the lock.
+        shared.wakeup.notify_all();
 
         // Work outside the lock so submissions stay non-blocking.  Commands
         // run in arrival order: whole-utterance decodes stream through the
@@ -620,10 +805,13 @@ fn batcher_loop(
         for request in batch {
             match &request.command {
                 Command::Decode { features, slot } => {
+                    c.queue_wait.record(request.enqueued.elapsed());
+                    let started = Instant::now();
                     let outcome = recognizer
                         .decode_features_with(features, &mut decoder)
                         .map_err(ServeError::from);
-                    record_outcome(shared, &outcome);
+                    c.service.record(started.elapsed());
+                    record_outcome(shared, worker, &outcome);
                     slot.fulfil(outcome);
                 }
                 Command::StreamOpen { id, state } => {
@@ -647,14 +835,18 @@ fn batcher_loop(
                     }
                 }
                 Command::StreamFinish { id, slot } => {
+                    c.queue_wait.record(request.enqueued.elapsed());
+                    let started = Instant::now();
                     let outcome = match sessions.remove(id) {
                         Some(Ok((session, _state))) => session.finish().map_err(ServeError::from),
                         Some(Err(e)) => Err(e),
                         // Unreachable through the handle API (open precedes
-                        // finish in queue order); fail typed, not by hanging.
+                        // finish in queue order on the same pinned worker);
+                        // fail typed, not by hanging.
                         None => Err(ServeError::Closed),
                     };
-                    record_outcome(shared, &outcome);
+                    c.service.record(started.elapsed());
+                    record_outcome(shared, worker, &outcome);
                     slot.fulfil(outcome);
                 }
                 Command::StreamCancel { id } => {
@@ -750,6 +942,7 @@ mod tests {
                 max_pending: 2,
                 max_batch: 64,
                 max_batch_delay: std::time::Duration::from_millis(250),
+                ..ServeConfig::default()
             },
         )
         .unwrap();
@@ -845,17 +1038,16 @@ mod tests {
         assert_eq!(stats.failed, 1);
     }
 
-    #[test]
-    fn a_dying_worker_closes_the_queue_and_fails_pending_futures() {
-        // Drive the exit guard directly: whatever takes the batcher down
-        // (panic included), the queue must close and pending futures must
-        // resolve instead of hanging.
-        let shared = Shared {
+    fn bare_shared(workers: usize) -> Shared {
+        Shared {
             queue: Mutex::new(Queue::default()),
             wakeup: Condvar::new(),
             counters: Counters::default(),
-            hardware: Mutex::new(None),
-        };
+            hardware: Mutex::new(vec![None; workers]),
+        }
+    }
+
+    fn enqueue_decode(shared: &Shared) -> DecodeFuture {
         let slot = Slot::new();
         shared.queue.lock().unwrap().pending.push_back(Request {
             command: Command::Decode {
@@ -864,8 +1056,39 @@ mod tests {
             },
             enqueued: Instant::now(),
         });
-        let future = DecodeFuture::new(slot);
+        DecodeFuture::new(slot)
+    }
+
+    #[test]
+    fn a_dying_worker_closes_the_queue_and_fails_pending_futures() {
+        // Drive the failure path directly: whatever takes a worker down, the
+        // queue must close and pending futures must resolve instead of
+        // hanging.
+        let shared = bare_shared(1);
+        let future = enqueue_decode(&shared);
+        fail_pending(&shared);
+        assert!(shared.queue.lock().unwrap().closed);
+        assert!(matches!(future.wait(), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn the_exit_guard_fires_on_panic_but_not_on_normal_exit() {
+        // Normal exit: a worker returning from its loop must leave the queue
+        // open and its siblings' pending work intact.
+        let shared = bare_shared(2);
+        let future = enqueue_decode(&shared);
         drop(CloseOnExit(&shared));
+        assert!(!shared.queue.lock().unwrap().closed);
+        assert_eq!(shared.queue.lock().unwrap().pending.len(), 1);
+
+        // Panic: the guard must close the queue and fail what is pending.
+        let shared = Arc::new(shared);
+        let panicking = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            let _guard = CloseOnExit(&panicking);
+            panic!("synthetic worker death");
+        });
+        assert!(handle.join().is_err());
         assert!(shared.queue.lock().unwrap().closed);
         assert!(matches!(future.wait(), Err(ServeError::Closed)));
     }
@@ -1132,5 +1355,139 @@ mod tests {
             reference
         );
         assert!(sharded.hardware_report().is_some());
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile(0.50), None);
+        // 1 µs lands in bucket 0, 3 µs in bucket 2 (upper bound 4 µs).
+        h.record(Duration::from_micros(1));
+        assert_eq!(h.percentile(0.50), Some(Duration::from_micros(1)));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.percentile(0.50), Some(Duration::from_micros(4)));
+        assert_eq!(h.percentile(0.99), Some(Duration::from_micros(4)));
+        // An absurd observation saturates into the last bucket instead of
+        // indexing out of bounds.
+        h.record(Duration::from_secs(3600));
+        assert_eq!(
+            h.percentile(1.0),
+            Some(Duration::from_micros(1u64 << (LATENCY_BUCKETS - 1)))
+        );
+    }
+
+    #[test]
+    fn stats_expose_queue_wait_and_service_percentiles() {
+        let task = task();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(server.stats().queue_wait_p50, None);
+        assert_eq!(server.stats().service_p50, None);
+        let (features, _) = task.synthesize_utterance(1, 0.2, 13);
+        for _ in 0..3 {
+            server.submit(features.clone()).unwrap().wait().unwrap();
+        }
+        let stats = server.stats();
+        let (p50, p99) = (stats.queue_wait_p50.unwrap(), stats.queue_wait_p99.unwrap());
+        assert!(p50 <= p99, "p50 {p50:?} must not exceed p99 {p99:?}");
+        let (s50, s99) = (stats.service_p50.unwrap(), stats.service_p99.unwrap());
+        assert!(s50 <= s99);
+        server.close();
+    }
+
+    #[test]
+    fn multi_worker_server_matches_direct_decode() {
+        let task = task();
+        let direct = recognizer(&task, DecoderConfig::simd());
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default().workers(3),
+        )
+        .unwrap();
+        let utterances: Vec<_> = (0..9)
+            .map(|seed| task.synthesize_utterance(1, 0.2, seed).0)
+            .collect();
+        let futures: Vec<_> = utterances
+            .iter()
+            .map(|u| server.submit(u.clone()).unwrap())
+            .collect();
+        let want = direct.decode_batch(&utterances).unwrap();
+        for (future, want) in futures.into_iter().zip(&want) {
+            assert_eq!(future.wait().unwrap().hypothesis, want.hypothesis);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 9);
+        assert_eq!(stats.failed, 0);
+        server.close();
+    }
+
+    #[test]
+    fn multi_worker_hardware_reports_fold_in_parallel() {
+        let task = task();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::hardware(2)),
+            ServeConfig::default().workers(2),
+        )
+        .unwrap();
+        let (features, _) = task.synthesize_utterance(1, 0.2, 3);
+        let frames = features.len();
+        let futures: Vec<_> = (0..4)
+            .map(|_| server.submit(features.clone()).unwrap())
+            .collect();
+        for future in futures {
+            future.wait().unwrap();
+        }
+        let report = server.hardware_report().expect("merged stream report");
+        // Frames fold with max across workers (concurrent lanes do not add
+        // wall-clock audio), so the figure is between one utterance's worth
+        // (perfectly even split... still >= frames) and the sequential sum.
+        assert!(report.frames >= frames);
+        assert!(report.frames <= 4 * frames);
+        server.close();
+    }
+
+    #[test]
+    fn streams_stay_pinned_and_ordered_across_workers() {
+        let task = task();
+        let direct = recognizer(&task, DecoderConfig::simd());
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default().workers(4),
+        )
+        .unwrap();
+        let sessions: Vec<_> = (0..6)
+            .map(|i| {
+                let (features, reference) = task.synthesize_utterance(1, 0.2, 100 + i);
+                (server.open_stream().unwrap(), features, reference)
+            })
+            .collect();
+        // Interleave every session's chunks round-robin across the one queue.
+        let mut offsets = vec![0usize; sessions.len()];
+        loop {
+            let mut pushed = false;
+            for (i, (handle, features, _)) in sessions.iter().enumerate() {
+                if offsets[i] < features.len() {
+                    let end = (offsets[i] + 2).min(features.len());
+                    handle.push_chunk(&features[offsets[i]..end]).unwrap();
+                    offsets[i] = end;
+                    pushed = true;
+                }
+            }
+            if !pushed {
+                break;
+            }
+        }
+        for (handle, features, reference) in sessions {
+            let want = direct.decode_features(&features).unwrap();
+            let got = handle.finish().unwrap().wait().unwrap();
+            assert_eq!(got.hypothesis.words, reference);
+            assert_eq!(got.hypothesis, want.hypothesis);
+        }
+        assert_eq!(server.stats().completed, 6);
+        server.close();
     }
 }

@@ -1,8 +1,8 @@
 //! Serving quickstart: an async batched front over a sharded multi-SoC
-//! scorer.  32 utterances are enqueued into the bounded request queue, the
-//! micro-batcher coalesces them into `decode_batch` calls over one warmed
-//! scorer, and the stream-level hardware report shows what the sharded
-//! machine did.
+//! scorer.  32 utterances are enqueued into the bounded request queue, two
+//! decoder workers coalesce them into micro-batches over their own warmed
+//! scorers, and the stream-level hardware report shows what the sharded
+//! machines did.
 //!
 //! Run with: `cargo run --example serving --release`
 
@@ -24,14 +24,17 @@ fn main() -> Result<(), LvcsrError> {
     )?;
 
     // 2. The serving front: a bounded queue (typed backpressure when full)
-    //    feeding a micro-batcher that flushes every 8 requests or 2 ms.
+    //    feeding two decoder workers, each coalescing micro-batches of up to
+    //    8 requests (or 2 ms) through its own long-lived sharded scorer.
     let server = AsrServer::spawn(
         recognizer,
         ServeConfig {
             max_pending: 64,
             max_batch: 8,
             max_batch_delay: Duration::from_millis(2),
-        },
+            ..ServeConfig::default()
+        }
+        .workers(2),
     )?;
 
     // 3. Enqueue 32 utterances; every submit returns a future immediately.
@@ -58,6 +61,17 @@ fn main() -> Result<(), LvcsrError> {
         stats.batches,
         stats.mean_batch_size(),
         stats.largest_batch
+    );
+    let ms = |d: Option<Duration>| d.map_or(f64::NAN, |d| d.as_secs_f64() * 1e3);
+    println!(
+        "queue wait              : p50 {:.1} ms, p99 {:.1} ms",
+        ms(stats.queue_wait_p50),
+        ms(stats.queue_wait_p99)
+    );
+    println!(
+        "service time            : p50 {:.1} ms, p99 {:.1} ms",
+        ms(stats.service_p50),
+        ms(stats.service_p99)
     );
     println!("word error rate         : {:.1}%", 100.0 * wer.wer());
     println!(

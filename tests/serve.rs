@@ -5,7 +5,8 @@
 
 use lvcsr::corpus::{SyntheticTask, TaskConfig, TaskGenerator};
 use lvcsr::decoder::{DecodeResult, DecoderConfig, Recognizer};
-use lvcsr::serve::{AsrServer, ServeConfig, ServeError};
+use lvcsr::serve::{AsrServer, PartialHypothesis, ServeConfig, ServeError};
+use proptest::prelude::*;
 use std::time::Duration;
 
 fn build_task() -> SyntheticTask {
@@ -74,6 +75,100 @@ fn queued_decoding_matches_direct_decode_batch_on_every_backend() {
     }
 }
 
+/// The four stock backends the serving front must be transparent over.
+fn backend(index: usize) -> DecoderConfig {
+    match index % 4 {
+        0 => DecoderConfig::software(),
+        1 => DecoderConfig::simd(),
+        2 => DecoderConfig::hardware(2),
+        _ => DecoderConfig::sharded_hardware(4),
+    }
+}
+
+proptest! {
+    /// Acceptance: an M-worker server is observationally identical to direct
+    /// decoding for workers ∈ {1, 2, 4} on every backend — batch submissions
+    /// match `decode_batch`, and stream sessions interleaved with the batch
+    /// traffic match offline decodes of their chunks, with partials
+    /// prefix-consistent and per-session chunk order preserved (the pinning
+    /// rule at work: more workers must never reorder one session's chunks).
+    #[test]
+    fn multi_worker_serving_matches_direct_decoding_on_every_backend(
+        backend_index in 0usize..4,
+        workers_index in 0usize..3,
+        n_utterances in 2usize..6,
+        chunk in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let workers = [1usize, 2, 4][workers_index];
+        let task = build_task();
+        let config = backend(backend_index);
+        let direct = build_recognizer(&task, config.clone());
+        let server = AsrServer::spawn(
+            build_recognizer(&task, config),
+            ServeConfig::default().workers(workers),
+        )
+        .expect("server");
+
+        let utterances: Vec<Vec<Vec<f32>>> = (0..n_utterances)
+            .map(|i| {
+                task.synthesize_utterance(1 + i % 2, 0.2, seed + i as u64).0
+            })
+            .collect();
+        let want_batch = direct.decode_batch(&utterances).expect("direct batch");
+        let (stream_a, _) = task.synthesize_utterance(1, 0.2, seed + 1000);
+        let (stream_b, _) = task.synthesize_utterance(2, 0.2, seed + 2000);
+        let want_a = direct.decode_features(&stream_a).expect("direct a");
+        let want_b = direct.decode_features(&stream_b).expect("direct b");
+
+        // Open both sessions, then flood the batch traffic, then interleave
+        // the two sessions' chunks — everything shares the one queue.
+        let a = server.open_stream().expect("open a");
+        let b = server.open_stream().expect("open b");
+        let futures: Vec<_> = utterances
+            .iter()
+            .map(|u| server.submit(u.clone()).expect("submit"))
+            .collect();
+        let mut pushed = [0usize; 2];
+        let mut previous = [PartialHypothesis::default(), PartialHypothesis::default()];
+        let sessions = [(&a, &stream_a), (&b, &stream_b)];
+        loop {
+            let mut advanced = false;
+            for (i, (handle, features)) in sessions.iter().enumerate() {
+                if pushed[i] < features.len() {
+                    let end = (pushed[i] + chunk).min(features.len());
+                    handle.push_chunk(&features[pushed[i]..end]).expect("push");
+                    pushed[i] = end;
+                    advanced = true;
+                    // Wait for the pinned worker to publish, then check the
+                    // partial extends (never rewrites) the previous snapshot.
+                    while handle.partial().frames < pushed[i] {
+                        std::thread::yield_now();
+                    }
+                    let partial = handle.partial();
+                    prop_assert!(partial.words.starts_with(&previous[i].words));
+                    previous[i] = partial;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        let got_a = a.finish().expect("finish a").wait().expect("stream a");
+        let got_b = b.finish().expect("finish b").wait().expect("stream b");
+        prop_assert_eq!(fingerprint(&got_a), fingerprint(&want_a));
+        prop_assert_eq!(fingerprint(&got_b), fingerprint(&want_b));
+        for (future, want) in futures.into_iter().zip(&want_batch) {
+            let got = future.wait().expect("queued decode");
+            prop_assert_eq!(fingerprint(&got), fingerprint(want));
+        }
+        let stats = server.stats();
+        prop_assert_eq!(stats.completed, n_utterances as u64 + 2);
+        prop_assert_eq!(stats.failed, 0);
+        server.close();
+    }
+}
+
 /// Overload: a full queue refuses with the typed [`ServeError::QueueFull`]
 /// and *every accepted request still completes* — backpressure sheds at the
 /// door, it never drops admitted work.
@@ -88,6 +183,7 @@ fn overload_returns_typed_backpressure_and_drops_nothing() {
             // A long coalescing window keeps the worker waiting while the
             // burst overfills the queue.
             max_batch_delay: Duration::from_millis(300),
+            ..ServeConfig::default()
         },
     )
     .expect("server");
