@@ -11,11 +11,13 @@
 //! multi-worker claim is regressing.  An open-loop arrival smoke
 //! (`open_loop_workers2_32`) replays a fixed pseudo-random arrival schedule
 //! through a two-worker server, covering the worker wake-up path that
-//! closed-loop floods never exercise.
+//! closed-loop floods never exercise, and `two_model_mixed_32` floods a
+//! two-model registry with interleaved per-model traffic to guard the
+//! routing / per-model micro-batching overhead.
 
 use asr_bench::experiments::{recognizer, serve_bench_task};
 use asr_core::DecoderConfig;
-use asr_serve::{AsrServer, ServeConfig};
+use asr_serve::{AsrServer, DecodeRequest, ModelRegistry, ServeConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,12 +47,10 @@ fn bench_serve_throughput(c: &mut Criterion) {
 
     // The full serving path: 32 submissions through the bounded queue, the
     // micro-batcher coalescing them onto the worker's warmed sharded scorer.
-    let serve_config = ServeConfig {
-        max_pending: 64,
-        max_batch: 8,
-        max_batch_delay: Duration::from_millis(1),
-        ..ServeConfig::default()
-    };
+    let serve_config = ServeConfig::default()
+        .max_pending(64)
+        .max_batch(8)
+        .max_batch_delay(Duration::from_millis(1));
     let server = AsrServer::spawn(
         recognizer(&task, DecoderConfig::sharded_hardware(4)).expect("recogniser"),
         serve_config.clone(),
@@ -83,6 +83,53 @@ fn bench_serve_throughput(c: &mut Criterion) {
             b.iter(|| flood(&server))
         });
     }
+
+    // Two models co-resident in one server, mixed traffic: 16 requests to
+    // each, interleaved, through two workers.  Routing, per-model admission
+    // and version-anchored micro-batching are all on the hot path here, so
+    // the variant guards the multi-model layer's overhead.
+    let other_task = serve_bench_task(14);
+    let other_utterances: Vec<Vec<Vec<f32>>> = (0..16)
+        .map(|i| other_task.synthesize_utterance(1, 0.3, 400 + i as u64).0)
+        .collect();
+    let registry = ModelRegistry::new()
+        .register(
+            "dictation",
+            recognizer(&task, DecoderConfig::hardware(2)).expect("recogniser"),
+        )
+        .expect("register")
+        .register(
+            "command",
+            recognizer(&other_task, DecoderConfig::hardware(2)).expect("recogniser"),
+        )
+        .expect("register")
+        .default_model("dictation");
+    let two_model_server =
+        AsrServer::spawn_registry(registry, serve_config.clone().workers(2)).expect("server");
+    group.bench_function("two_model_mixed_32", |b| {
+        b.iter(|| {
+            let pending: Vec<_> = utterances
+                .iter()
+                .take(16)
+                .zip(&other_utterances)
+                .flat_map(|(a, b)| {
+                    [
+                        two_model_server
+                            .submit(DecodeRequest::new(a.clone()).model("dictation"))
+                            .expect("submit"),
+                        two_model_server
+                            .submit(DecodeRequest::new(b.clone()).model("command"))
+                            .expect("submit"),
+                    ]
+                })
+                .collect();
+            pending
+                .into_iter()
+                .map(|f| f.wait().expect("decode").hypothesis.words.len())
+                .sum::<usize>()
+        })
+    });
+    drop(two_model_server);
 
     // Open-loop arrival smoke: requests arrive on a fixed pseudo-random
     // schedule (deterministic seed, so baseline and PR replay the same

@@ -54,7 +54,7 @@ pub use scorer::{
     SoftwareScorer,
 };
 pub use search::{SearchNetwork, SearchOutcome, SearchState, TokenPassingSearch};
-pub use session::{DecodeSession, PartialHypothesis};
+pub use session::{DecodeSession, PartialHypothesis, SharedDecodeSession};
 pub use shard::{shard_threads_spawned_total, ShardedScorer};
 pub use stats::{DecodeStats, FrameStats};
 

@@ -12,6 +12,15 @@
 //! [`Recognizer::decode_features`] on the concatenated input — the invariant
 //! the workspace's `tests/stream.rs` property test pins on every backend.
 //!
+//! Two flavours share one engine (`SessionCore`, private):
+//!
+//! - [`DecodeSession`] borrows its [`Recognizer`] — the natural shape for a
+//!   caller that owns the recogniser on the same thread.
+//! - [`SharedDecodeSession`] holds an [`Arc<Recognizer>`] — an **owned**
+//!   decode-task handle with no lifetime, for worker threads that serve many
+//!   models and must pin each session to the model version it was opened on
+//!   (the serve layer's hot-swap invariant).
+//!
 //! [`finish`]: DecodeSession::finish
 
 use crate::phone_decode::PhoneDecoder;
@@ -19,6 +28,7 @@ use crate::recognizer::{DecodeResult, Recognizer};
 use crate::search::{SearchState, TokenPassingSearch};
 use crate::DecodeError;
 use asr_lexicon::WordId;
+use std::sync::Arc;
 
 /// A snapshot of what the search believes so far, surfaced between chunks.
 ///
@@ -43,6 +53,100 @@ impl PartialHypothesis {
     /// The partial as a single space-separated string.
     pub fn to_sentence(&self) -> String {
         self.text.join(" ")
+    }
+}
+
+/// The session engine shared by both session flavours: everything an
+/// in-flight incremental decode owns *except* the recogniser handle.  Every
+/// method takes the recogniser explicitly, so the wrappers decide whether it
+/// is borrowed ([`DecodeSession`]) or `Arc`-held ([`SharedDecodeSession`]).
+#[derive(Debug)]
+struct SessionCore {
+    phone_decoder: PhoneDecoder,
+    state: SearchState,
+    partial_words: Vec<WordId>,
+}
+
+fn search(recognizer: &Recognizer) -> TokenPassingSearch<'_> {
+    TokenPassingSearch::new(
+        recognizer.model(),
+        recognizer.network(),
+        recognizer.language_model(),
+        recognizer.config(),
+    )
+}
+
+impl SessionCore {
+    fn begin(recognizer: &Recognizer, mut phone_decoder: PhoneDecoder) -> Self {
+        phone_decoder.begin_utterance();
+        SessionCore {
+            phone_decoder,
+            state: search(recognizer).begin(),
+            partial_words: Vec::new(),
+        }
+    }
+
+    fn frames(&self) -> usize {
+        self.state.frames()
+    }
+
+    fn step_frame(&mut self, recognizer: &Recognizer, feature: &[f32]) -> Result<(), DecodeError> {
+        search(recognizer).step(&mut self.state, &mut self.phone_decoder, feature)?;
+        // Hold the previous partial while the search revises; only ever
+        // extend, so partials stay prefix-consistent.
+        let best = self.state.best_words();
+        if best.len() > self.partial_words.len() && best.starts_with(&self.partial_words) {
+            self.partial_words = best.to_vec();
+        }
+        Ok(())
+    }
+
+    fn push_chunk(
+        &mut self,
+        recognizer: &Recognizer,
+        frames: &[Vec<f32>],
+    ) -> Result<(), DecodeError> {
+        for frame in frames {
+            self.step_frame(recognizer, frame)?;
+        }
+        Ok(())
+    }
+
+    fn partial(&self, recognizer: &Recognizer) -> PartialHypothesis {
+        let spelled = self
+            .partial_words
+            .iter()
+            .map(|&w| {
+                recognizer
+                    .dictionary()
+                    .spelling(w)
+                    .unwrap_or("<unk>")
+                    .to_string()
+            })
+            .collect();
+        PartialHypothesis {
+            frames: self.state.frames(),
+            words: self.partial_words.clone(),
+            text: spelled,
+        }
+    }
+
+    fn finish_parts(
+        mut self,
+        recognizer: &Recognizer,
+    ) -> (Result<DecodeResult, DecodeError>, PhoneDecoder) {
+        if self.state.frames() == 0 {
+            // Matches the offline path for empty input: no search ran, no
+            // hardware report (the backend scored nothing).
+            self.phone_decoder.begin_utterance();
+            return (Ok(DecodeResult::empty()), self.phone_decoder);
+        }
+        let outcome = search(recognizer).finish(self.state);
+        let hardware = self.phone_decoder.finish_utterance();
+        (
+            Ok(recognizer.assemble_result(outcome, hardware)),
+            self.phone_decoder,
+        )
     }
 }
 
@@ -81,9 +185,7 @@ impl PartialHypothesis {
 #[derive(Debug)]
 pub struct DecodeSession<'r> {
     recognizer: &'r Recognizer,
-    phone_decoder: PhoneDecoder,
-    state: SearchState,
-    partial_words: Vec<WordId>,
+    core: SessionCore,
 }
 
 impl Recognizer {
@@ -102,33 +204,15 @@ impl Recognizer {
     /// [`Recognizer::decode_features_with`], for custom backends and for
     /// reusing one warmed decoder across consecutive sessions (reclaim it
     /// with [`DecodeSession::finish_parts`]).
-    pub fn begin_session_with(&self, mut phone_decoder: PhoneDecoder) -> DecodeSession<'_> {
-        phone_decoder.begin_utterance();
-        let search = TokenPassingSearch::new(
-            self.model(),
-            self.network(),
-            self.language_model(),
-            self.config(),
-        );
+    pub fn begin_session_with(&self, phone_decoder: PhoneDecoder) -> DecodeSession<'_> {
         DecodeSession {
             recognizer: self,
-            phone_decoder,
-            state: search.begin(),
-            partial_words: Vec::new(),
+            core: SessionCore::begin(self, phone_decoder),
         }
     }
 }
 
 impl<'r> DecodeSession<'r> {
-    fn search(&self) -> TokenPassingSearch<'r> {
-        TokenPassingSearch::new(
-            self.recognizer.model(),
-            self.recognizer.network(),
-            self.recognizer.language_model(),
-            self.recognizer.config(),
-        )
-    }
-
     /// The recogniser this session decodes against.
     pub fn recognizer(&self) -> &'r Recognizer {
         self.recognizer
@@ -136,7 +220,7 @@ impl<'r> DecodeSession<'r> {
 
     /// Feature frames consumed so far.
     pub fn frames(&self) -> usize {
-        self.state.frames()
+        self.core.frames()
     }
 
     /// Consumes one feature frame.
@@ -148,15 +232,7 @@ impl<'r> DecodeSession<'r> {
     /// after a dimension error (the bad frame was rejected before touching
     /// the search).
     pub fn step_frame(&mut self, feature: &[f32]) -> Result<(), DecodeError> {
-        let search = self.search();
-        search.step(&mut self.state, &mut self.phone_decoder, feature)?;
-        // Hold the previous partial while the search revises; only ever
-        // extend, so partials stay prefix-consistent.
-        let best = self.state.best_words();
-        if best.len() > self.partial_words.len() && best.starts_with(&self.partial_words) {
-            self.partial_words = best.to_vec();
-        }
-        Ok(())
+        self.core.step_frame(self.recognizer, feature)
     }
 
     /// Consumes a chunk of feature frames (any size, including empty).
@@ -166,30 +242,12 @@ impl<'r> DecodeSession<'r> {
     /// Fails on the first frame that fails to decode; earlier frames of the
     /// chunk have been consumed.
     pub fn push_chunk(&mut self, frames: &[Vec<f32>]) -> Result<(), DecodeError> {
-        for frame in frames {
-            self.step_frame(frame)?;
-        }
-        Ok(())
+        self.core.push_chunk(self.recognizer, frames)
     }
 
     /// The current partial hypothesis (words completed so far).
     pub fn partial(&self) -> PartialHypothesis {
-        let spelled = self
-            .partial_words
-            .iter()
-            .map(|&w| {
-                self.recognizer
-                    .dictionary()
-                    .spelling(w)
-                    .unwrap_or("<unk>")
-                    .to_string()
-            })
-            .collect();
-        PartialHypothesis {
-            frames: self.state.frames(),
-            words: self.partial_words.clone(),
-            text: spelled,
-        }
+        self.core.partial(self.recognizer)
     }
 
     /// Closes the session: runs the global best path search over the lattice
@@ -207,20 +265,130 @@ impl<'r> DecodeSession<'r> {
     /// Like [`DecodeSession::finish`], but also hands back the phone decoder
     /// so one warmed backend can serve the next session
     /// (via [`Recognizer::begin_session_with`]).
-    pub fn finish_parts(mut self) -> (Result<DecodeResult, DecodeError>, PhoneDecoder) {
-        if self.state.frames() == 0 {
-            // Matches the offline path for empty input: no search ran, no
-            // hardware report (the backend scored nothing).
-            self.phone_decoder.begin_utterance();
-            return (Ok(DecodeResult::empty()), self.phone_decoder);
-        }
-        let search = self.search();
-        let outcome = search.finish(self.state);
-        let hardware = self.phone_decoder.finish_utterance();
-        (
-            Ok(self.recognizer.assemble_result(outcome, hardware)),
-            self.phone_decoder,
-        )
+    pub fn finish_parts(self) -> (Result<DecodeResult, DecodeError>, PhoneDecoder) {
+        self.core.finish_parts(self.recognizer)
+    }
+}
+
+/// An in-flight incremental decode that **owns** its recogniser handle.
+///
+/// Identical in behaviour to [`DecodeSession`] (same engine, same
+/// stream==offline invariant), but the recogniser travels as an
+/// [`Arc<Recognizer>`] instead of a borrow, so the session has no lifetime
+/// and can be stored in long-lived worker state, moved across threads, or
+/// outlive the place that opened it.  This is the decode-task handle the
+/// serve layer's workers hold: a session opened on one model *version* keeps
+/// decoding that exact version even if the registry has since hot-swapped
+/// the name to a newer one — the `Arc` pins it.
+///
+/// # Example
+///
+/// ```
+/// use asr_core::{DecoderConfig, Recognizer, SharedDecodeSession};
+/// use asr_corpus::{TaskConfig, TaskGenerator};
+/// use std::sync::Arc;
+///
+/// let task = TaskGenerator::new(5).generate(&TaskConfig::tiny()).unwrap();
+/// let recognizer = Arc::new(
+///     Recognizer::new(
+///         task.acoustic_model.clone(),
+///         task.dictionary.clone(),
+///         task.language_model.clone(),
+///         DecoderConfig::simd(),
+///     )
+///     .unwrap(),
+/// );
+/// let (features, reference) = task.synthesize_utterance(2, 0.2, 1);
+///
+/// let mut session = SharedDecodeSession::begin(Arc::clone(&recognizer)).unwrap();
+/// // No lifetime: the session may move to another thread, and dropping (or
+/// // even replacing) `recognizer` would not invalidate it.
+/// session.push_chunk(&features).unwrap();
+/// let streamed = session.finish().unwrap();
+/// assert_eq!(streamed.hypothesis.words, reference);
+/// assert_eq!(
+///     streamed.hypothesis,
+///     recognizer.decode_features(&features).unwrap().hypothesis,
+/// );
+/// ```
+#[derive(Debug)]
+pub struct SharedDecodeSession {
+    recognizer: Arc<Recognizer>,
+    core: SessionCore,
+}
+
+impl SharedDecodeSession {
+    /// Opens an owned incremental decode session on the recogniser's
+    /// configured backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidConfig`] if the backend configuration is
+    /// invalid.
+    pub fn begin(recognizer: Arc<Recognizer>) -> Result<Self, DecodeError> {
+        let phone_decoder = recognizer.phone_decoder()?;
+        Ok(Self::begin_with(recognizer, phone_decoder))
+    }
+
+    /// Opens an owned session around a caller-supplied phone decoder — the
+    /// `Arc` counterpart of [`Recognizer::begin_session_with`], for reusing
+    /// one warmed decoder across consecutive sessions (reclaim it with
+    /// [`SharedDecodeSession::finish_parts`]).
+    pub fn begin_with(recognizer: Arc<Recognizer>, phone_decoder: PhoneDecoder) -> Self {
+        let core = SessionCore::begin(&recognizer, phone_decoder);
+        SharedDecodeSession { recognizer, core }
+    }
+
+    /// The recogniser this session decodes against (and keeps alive).
+    pub fn recognizer(&self) -> &Arc<Recognizer> {
+        &self.recognizer
+    }
+
+    /// Feature frames consumed so far.
+    pub fn frames(&self) -> usize {
+        self.core.frames()
+    }
+
+    /// Consumes one feature frame; see [`DecodeSession::step_frame`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::DimensionMismatch`] for a frame of the wrong
+    /// dimension, or propagates backend errors.  The session stays usable
+    /// after a dimension error.
+    pub fn step_frame(&mut self, feature: &[f32]) -> Result<(), DecodeError> {
+        self.core.step_frame(&self.recognizer, feature)
+    }
+
+    /// Consumes a chunk of feature frames (any size, including empty).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first frame that fails to decode; earlier frames of the
+    /// chunk have been consumed.
+    pub fn push_chunk(&mut self, frames: &[Vec<f32>]) -> Result<(), DecodeError> {
+        self.core.push_chunk(&self.recognizer, frames)
+    }
+
+    /// The current partial hypothesis (words completed so far).
+    pub fn partial(&self) -> PartialHypothesis {
+        self.core.partial(&self.recognizer)
+    }
+
+    /// Closes the session; see [`DecodeSession::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` keeps the signature
+    /// stable for backends that may fail on utterance close.
+    pub fn finish(self) -> Result<DecodeResult, DecodeError> {
+        self.finish_parts().0
+    }
+
+    /// Like [`SharedDecodeSession::finish`], but also hands back the phone
+    /// decoder so one warmed backend can serve the next session.
+    pub fn finish_parts(self) -> (Result<DecodeResult, DecodeError>, PhoneDecoder) {
+        self.core.finish_parts(&self.recognizer)
     }
 }
 
@@ -348,5 +516,49 @@ mod tests {
             assert_eq!(result.unwrap().hypothesis.words, reference);
             decoder = recycled;
         }
+    }
+
+    #[test]
+    fn shared_session_matches_the_borrowed_session_and_outlives_its_opener() {
+        let task = task();
+        let rec = Arc::new(recognizer(&task, DecoderConfig::hardware(2)));
+        let (features, reference) = task.synthesize_utterance(2, 0.2, 12);
+        let offline = rec.decode_features(&features).unwrap();
+
+        // Open on this thread, decode on another: no lifetime ties the
+        // session to the opener's stack frame.
+        let mut session = SharedDecodeSession::begin(Arc::clone(&rec)).unwrap();
+        assert!(Arc::ptr_eq(session.recognizer(), &rec));
+        let streamed = std::thread::spawn(move || {
+            for chunk in features.chunks(3) {
+                session.push_chunk(chunk).unwrap();
+            }
+            assert_eq!(session.partial().frames, session.frames());
+            session.finish().unwrap()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(streamed.hypothesis.words, reference);
+        assert_eq!(streamed.hypothesis, offline.hypothesis);
+        assert_eq!(streamed.best_score.raw(), offline.best_score.raw());
+        let (a, b) = (streamed.hardware.unwrap(), offline.hardware.unwrap());
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.senones_scored, b.senones_scored);
+    }
+
+    #[test]
+    fn shared_session_recycles_decoders_and_handles_empty_input() {
+        let task = task();
+        let rec = Arc::new(recognizer(&task, DecoderConfig::simd()));
+        let (features, reference) = task.synthesize_utterance(1, 0.2, 6);
+
+        // Zero frames → typed empty result, decoder handed back.
+        let empty = SharedDecodeSession::begin(Arc::clone(&rec)).unwrap();
+        let (result, decoder) = empty.finish_parts();
+        assert!(result.unwrap().is_empty());
+
+        let mut session = SharedDecodeSession::begin_with(Arc::clone(&rec), decoder);
+        session.push_chunk(&features).unwrap();
+        assert_eq!(session.finish().unwrap().hypothesis.words, reference);
     }
 }

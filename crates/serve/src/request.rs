@@ -1,0 +1,144 @@
+//! The typed request API: what a caller hands to
+//! [`AsrServer::submit`](crate::AsrServer::submit) and
+//! [`AsrServer::open_stream_with`](crate::AsrServer::open_stream_with).
+//!
+//! A bare `Vec<Vec<f32>>` carries no routing information; a
+//! [`DecodeRequest`] carries the feature frames plus *where they go*: which
+//! registered model decodes them and which tenant's admission quota they
+//! count against.  Both are optional — `From<Vec<Vec<f32>>>` keeps
+//! single-model callers at `server.submit(features)`.
+
+/// One whole-utterance decode request: feature frames plus routing.
+///
+/// ```
+/// use asr_serve::DecodeRequest;
+///
+/// let features = vec![vec![0.0f32; 39]; 20];
+/// // Route to a named model, count against a tenant's quota:
+/// let request = DecodeRequest::new(features.clone())
+///     .model("dictation")
+///     .tenant("acme");
+/// assert_eq!(request.model_name(), Some("dictation"));
+/// assert_eq!(request.tenant_name(), Some("acme"));
+///
+/// // Zero-arg default: plain features route to the default model.
+/// let request = DecodeRequest::from(features);
+/// assert_eq!(request.model_name(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodeRequest {
+    features: Vec<Vec<f32>>,
+    model: Option<String>,
+    tenant: Option<String>,
+}
+
+impl DecodeRequest {
+    /// A request for `features`, routed to the registry's default model and
+    /// no tenant until the builders say otherwise.
+    pub fn new(features: Vec<Vec<f32>>) -> Self {
+        DecodeRequest {
+            features,
+            model: None,
+            tenant: None,
+        }
+    }
+
+    /// Routes the request to the named registered model.
+    #[must_use]
+    pub fn model(mut self, name: impl Into<String>) -> Self {
+        self.model = Some(name.into());
+        self
+    }
+
+    /// Attributes the request to a tenant for per-tenant admission control
+    /// ([`ServeConfig::tenant_quota`](crate::ServeConfig::tenant_quota)).
+    #[must_use]
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// The feature frames to decode.
+    pub fn features(&self) -> &[Vec<f32>] {
+        &self.features
+    }
+
+    /// The requested model name, if any (`None` routes to the default).
+    pub fn model_name(&self) -> Option<&str> {
+        self.model.as_deref()
+    }
+
+    /// The tenant the request counts against, if any.
+    pub fn tenant_name(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<Vec<f32>>, Option<String>, Option<String>) {
+        (self.features, self.model, self.tenant)
+    }
+}
+
+impl From<Vec<Vec<f32>>> for DecodeRequest {
+    /// Plain features are a complete request: default model, no tenant.
+    fn from(features: Vec<Vec<f32>>) -> Self {
+        DecodeRequest::new(features)
+    }
+}
+
+/// Routing options for a stream session
+/// ([`AsrServer::open_stream_with`](crate::AsrServer::open_stream_with)).
+///
+/// The default (`StreamOptions::default()`, what
+/// [`AsrServer::open_stream`](crate::AsrServer::open_stream) uses) routes to
+/// the registry's default model with no tenant.  The model is resolved — and
+/// its version pinned — when the stream *opens*; every chunk of the session
+/// decodes on that version even across a hot-swap.
+///
+/// ```
+/// use asr_serve::StreamOptions;
+///
+/// let options = StreamOptions::new().model("dictation").tenant("acme");
+/// assert_eq!(options.model_name(), Some("dictation"));
+/// assert_eq!(options.tenant_name(), Some("acme"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamOptions {
+    model: Option<String>,
+    tenant: Option<String>,
+}
+
+impl StreamOptions {
+    /// Default routing: the registry's default model, no tenant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Routes the session to the named registered model.
+    #[must_use]
+    pub fn model(mut self, name: impl Into<String>) -> Self {
+        self.model = Some(name.into());
+        self
+    }
+
+    /// Attributes the session's chunks to a tenant for per-tenant admission
+    /// control.
+    #[must_use]
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// The requested model name, if any (`None` routes to the default).
+    pub fn model_name(&self) -> Option<&str> {
+        self.model.as_deref()
+    }
+
+    /// The tenant the session counts against, if any.
+    pub fn tenant_name(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    pub(crate) fn into_parts(self) -> (Option<String>, Option<String>) {
+        (self.model, self.tenant)
+    }
+}

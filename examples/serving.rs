@@ -28,13 +28,11 @@ fn main() -> Result<(), LvcsrError> {
     //    8 requests (or 2 ms) through its own long-lived sharded scorer.
     let server = AsrServer::spawn(
         recognizer,
-        ServeConfig {
-            max_pending: 64,
-            max_batch: 8,
-            max_batch_delay: Duration::from_millis(2),
-            ..ServeConfig::default()
-        }
-        .workers(2),
+        ServeConfig::default()
+            .max_pending(64)
+            .max_batch(8)
+            .max_batch_delay(Duration::from_millis(2))
+            .workers(2),
     )?;
 
     // 3. Enqueue 32 utterances; every submit returns a future immediately.

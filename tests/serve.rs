@@ -177,14 +177,12 @@ fn overload_returns_typed_backpressure_and_drops_nothing() {
     let task = build_task();
     let server = AsrServer::spawn(
         build_recognizer(&task, DecoderConfig::simd()),
-        ServeConfig {
-            max_pending: 3,
-            max_batch: 16,
+        ServeConfig::default()
+            .max_pending(3)
+            .max_batch(16)
             // A long coalescing window keeps the worker waiting while the
             // burst overfills the queue.
-            max_batch_delay: Duration::from_millis(300),
-            ..ServeConfig::default()
-        },
+            .max_batch_delay(Duration::from_millis(300)),
     )
     .expect("server");
     let (features, reference) = task.synthesize_utterance(1, 0.2, 7);
@@ -193,8 +191,11 @@ fn overload_returns_typed_backpressure_and_drops_nothing() {
     for _ in 0..24 {
         match server.submit(features.clone()) {
             Ok(future) => accepted.push(future),
-            Err(ServeError::QueueFull { capacity }) => {
+            Err(ServeError::QueueFull {
+                capacity, scope, ..
+            }) => {
                 assert_eq!(capacity, 3);
+                assert_eq!(scope, lvcsr::serve::QueueScope::Queue);
                 rejected += 1;
             }
             Err(other) => panic!("overload must be QueueFull, got {other}"),
@@ -254,10 +255,7 @@ fn shutdown_drains_accepted_work() {
     let task = build_task();
     let server = AsrServer::spawn(
         build_recognizer(&task, DecoderConfig::simd()),
-        ServeConfig {
-            max_batch_delay: Duration::from_millis(200),
-            ..ServeConfig::default()
-        },
+        ServeConfig::default().max_batch_delay(Duration::from_millis(200)),
     )
     .expect("server");
     let (features, reference) = task.synthesize_utterance(1, 0.2, 3);
