@@ -13,8 +13,9 @@
 //! ordinary regression rule.
 
 use asr_bench::experiments::{batch_bench_task, recognizer};
-use asr_core::DecoderConfig;
-use asr_stream::StreamingRecognizer;
+use asr_core::{DecoderConfig, Recognizer};
+use asr_corpus::{ScenarioGenerator, ScenarioKind, ScenarioVoiceTask};
+use asr_stream::{AdaptiveVadConfig, StreamConfig, StreamingRecognizer, VadConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
@@ -67,6 +68,61 @@ fn bench_stream_latency(c: &mut Criterion) {
     record_p50_chunk_latency(&streamer, &utterances);
 }
 
+/// Adversarial audio streaming: the full VAD → frontend → decoder path over a
+/// scenario whose noise floor ramps an order of magnitude, endpointed by the
+/// adaptive tracker.  Measures the cost of continuous-listening operation —
+/// every hop pays RMS tracking and the percentile floor even when no
+/// utterance is open — on the same 15 % gate as the plain streaming path.
+fn bench_stream_adversarial(c: &mut Criterion) {
+    let task = ScenarioVoiceTask::train(11).expect("scenario task trains");
+    let scenario = ScenarioGenerator::new(&task.dictionary, 17).generate(ScenarioKind::NoiseRampUp);
+    let streamer = StreamingRecognizer::new(
+        Recognizer::new(
+            task.acoustic_model.clone(),
+            task.dictionary.clone(),
+            task.language_model.clone(),
+            DecoderConfig::simd(),
+        )
+        .expect("recogniser"),
+        StreamConfig {
+            frontend: ScenarioVoiceTask::frontend_config(),
+            vad: VadConfig {
+                adaptive: Some(AdaptiveVadConfig::default()),
+                ..VadConfig::default()
+            },
+            ..StreamConfig::default()
+        },
+    )
+    .expect("streamer");
+
+    let mut group = c.benchmark_group("stream_adversarial");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    // 480-sample chunks: 30 ms packets, three VAD hops per push.
+    group.bench_function("noise_ramp_session", |b| {
+        b.iter(|| {
+            let mut session = streamer.audio_session().expect("session");
+            let mut utterances = 0usize;
+            for chunk in scenario.samples.chunks(480) {
+                for event in session.push_audio(chunk).expect("push") {
+                    if matches!(
+                        event,
+                        asr_stream::StreamEvent::UtteranceEnd(_)
+                            | asr_stream::StreamEvent::UtteranceForceEnded(_)
+                    ) {
+                        utterances += 1;
+                    }
+                }
+            }
+            session.close().expect("close");
+            utterances
+        })
+    });
+    group.finish();
+}
+
 /// Measures one representative streamed pass and records the median per-chunk
 /// latency into the `LVCSR_BENCH_JSON` document as
 /// `stream_latency/p50_chunk_seconds`.
@@ -93,5 +149,5 @@ fn record_p50_chunk_latency(streamer: &StreamingRecognizer, utterances: &[Vec<Ve
     }
 }
 
-criterion_group!(benches, bench_stream_latency);
+criterion_group!(benches, bench_stream_latency, bench_stream_adversarial);
 criterion_main!(benches);

@@ -148,6 +148,15 @@ impl SessionCore {
             self.phone_decoder,
         )
     }
+
+    fn cancel(mut self) -> PhoneDecoder {
+        // Abandon the search state and hard-reset the backend's
+        // per-utterance state without producing a report — the same re-arm
+        // the zero-frame finish path uses, so a cancelled decoder is
+        // indistinguishable from a fresh one.
+        self.phone_decoder.begin_utterance();
+        self.phone_decoder
+    }
 }
 
 /// An in-flight incremental decode of one utterance.
@@ -267,6 +276,15 @@ impl<'r> DecodeSession<'r> {
     /// (via [`Recognizer::begin_session_with`]).
     pub fn finish_parts(self) -> (Result<DecodeResult, DecodeError>, PhoneDecoder) {
         self.core.finish_parts(self.recognizer)
+    }
+
+    /// Abandons the utterance without running the final best-path search
+    /// (barge-in / client cancellation): everything decoded so far is
+    /// discarded and the phone decoder is handed back, already re-armed for
+    /// the next utterance — no [`UtteranceReport`](asr_hw::UtteranceReport)
+    /// is produced for the abandoned frames.
+    pub fn cancel(self) -> PhoneDecoder {
+        self.core.cancel()
     }
 }
 
@@ -389,6 +407,13 @@ impl SharedDecodeSession {
     /// decoder so one warmed backend can serve the next session.
     pub fn finish_parts(self) -> (Result<DecodeResult, DecodeError>, PhoneDecoder) {
         self.core.finish_parts(&self.recognizer)
+    }
+
+    /// Abandons the utterance without a final result; see
+    /// [`DecodeSession::cancel`].  Releases the `Arc` on the recogniser and
+    /// hands back the re-armed phone decoder.
+    pub fn cancel(self) -> PhoneDecoder {
+        self.core.cancel()
     }
 }
 
@@ -544,6 +569,48 @@ mod tests {
         let (a, b) = (streamed.hardware.unwrap(), offline.hardware.unwrap());
         assert_eq!(a.frames, b.frames);
         assert_eq!(a.senones_scored, b.senones_scored);
+    }
+
+    #[test]
+    fn cancel_hands_back_a_decoder_that_decodes_the_next_utterance_cleanly() {
+        let task = task();
+        let (features, reference) = task.synthesize_utterance(2, 0.2, 8);
+        for config in [DecoderConfig::software(), DecoderConfig::hardware(2)] {
+            let rec = recognizer(&task, config);
+            let offline = rec.decode_features(&features).unwrap();
+
+            // Decode half an utterance, then abandon it mid-flight.
+            let mut session = rec.begin_session().unwrap();
+            session.push_chunk(&features[..features.len() / 2]).unwrap();
+            assert!(session.frames() > 0);
+            let decoder = session.cancel();
+
+            // The recycled decoder behaves exactly like a fresh one — no
+            // residue from the abandoned frames (hardware counters included).
+            let mut session = rec.begin_session_with(decoder);
+            session.push_chunk(&features).unwrap();
+            let streamed = session.finish().unwrap();
+            assert_eq!(streamed.hypothesis.words, reference);
+            assert_eq!(streamed.hypothesis, offline.hypothesis);
+            assert_eq!(streamed.best_score.raw(), offline.best_score.raw());
+            match (&streamed.hardware, &offline.hardware) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.frames, b.frames);
+                    assert_eq!(a.senones_scored, b.senones_scored);
+                }
+                (None, None) => {}
+                other => panic!("hardware report mismatch: {other:?}"),
+            }
+        }
+
+        // The shared (Arc) wrapper exposes the same seam.
+        let rec = Arc::new(recognizer(&task, DecoderConfig::simd()));
+        let mut session = SharedDecodeSession::begin(Arc::clone(&rec)).unwrap();
+        session.push_chunk(&features[..3]).unwrap();
+        let decoder = session.cancel();
+        let mut session = SharedDecodeSession::begin_with(Arc::clone(&rec), decoder);
+        session.push_chunk(&features).unwrap();
+        assert_eq!(session.finish().unwrap().hypothesis.words, reference);
     }
 
     #[test]

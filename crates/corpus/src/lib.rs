@@ -15,6 +15,11 @@
 //!   difficulty is tunable and ground truth is exact;
 //! * [`AudioSynthesizer`] renders a phone sequence to an actual waveform so
 //!   the MFCC frontend (`asr-frontend`) is exercised from raw samples;
+//! * [`ScenarioGenerator`] assembles labelled *adversarial* audio streams on
+//!   top of it — noise ramps, hard clipping, far-field gain, back-to-back and
+//!   long multi-utterance sessions — each carrying exact utterance boundaries
+//!   and transcripts over the audio-trained [`ScenarioVoiceTask`] vocabulary,
+//!   for streaming/endpointing tests;
 //! * [`wer`] scores hypotheses against references with the standard
 //!   edit-distance word error rate;
 //! * [`Wsj5kTask`] packages the paper's evaluation geometry (5 000-word
@@ -36,12 +41,14 @@
 
 pub mod audio;
 pub mod generator;
+pub mod scenario;
 pub mod synth;
 pub mod wer;
 pub mod wsj;
 
 pub use audio::AudioSynthesizer;
 pub use generator::{SyntheticTask, TaskConfig, TaskGenerator};
+pub use scenario::{Scenario, ScenarioGenerator, ScenarioKind, ScenarioVoiceTask, SpeechSpan};
 pub use synth::UtteranceSynthesizer;
 pub use wer::{align_wer, WerScore};
 pub use wsj::Wsj5kTask;

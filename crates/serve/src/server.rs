@@ -1006,6 +1006,23 @@ impl StreamHandle<'_> {
         )?;
         Ok(DecodeFuture::new(slot))
     }
+
+    /// Explicitly cancels the session (barge-in): the worker discards its
+    /// decoder state without producing a result — nothing counts as
+    /// completed or failed.  Equivalent to dropping the handle, but returns
+    /// whether the cancel was actually enqueued, so callers can distinguish
+    /// a delivered barge-in from a server already shutting down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] if the server shut down first (the
+    /// worker's session map dies with it, so the session is gone either
+    /// way).
+    pub fn cancel(mut self) -> Result<(), ServeError> {
+        self.consumed = true;
+        self.server
+            .enqueue(Command::StreamCancel { id: self.id }, false, false)
+    }
 }
 
 /// Closes the queue and fails every pending request: each dropped `Request`
@@ -1303,9 +1320,14 @@ fn worker_loop(worker: usize, shared: &Shared, config: &ServeConfig) {
                     slot.fulfil(outcome);
                 }
                 Command::StreamCancel { id } => {
-                    // The client dropped its handle: discard the session's
-                    // decoder state.  No result, no completed/failed tick.
-                    sessions.remove(id);
+                    // The client cancelled (explicitly or by dropping its
+                    // handle): abandon the session through the decode-side
+                    // cancel seam, which hard-resets the backend's
+                    // per-utterance state.  No result, no completed/failed
+                    // tick.
+                    if let Some(Ok((session, _state))) = sessions.remove(id) {
+                        drop(session.cancel());
+                    }
                 }
             }
         }
@@ -1728,6 +1750,50 @@ mod tests {
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.failed, 0);
         server.close();
+    }
+
+    #[test]
+    fn explicit_stream_cancel_is_a_delivered_barge_in() {
+        let task = task();
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::hardware(1)),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let (features, reference) = task.synthesize_utterance(2, 0.2, 83);
+
+        // Cancel one session mid-utterance while a sibling keeps decoding.
+        let doomed = server.open_stream().unwrap();
+        let survivor = server.open_stream().unwrap();
+        doomed.push_chunk(&features[..features.len() / 2]).unwrap();
+        survivor.push_chunk(&features).unwrap();
+        doomed.cancel().unwrap();
+
+        // The survivor (and fresh traffic) is unaffected; the cancelled
+        // session produced no completed/failed tick.
+        let got = survivor.finish().unwrap().wait().unwrap();
+        assert_eq!(got.hypothesis.words, reference);
+        let got = server.submit(features.clone()).unwrap().wait().unwrap();
+        assert_eq!(got.hypothesis.words, reference);
+        let stats = server.stats();
+        assert_eq!(stats.stream_sessions, 2);
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
+        server.close();
+        // Cancelling after shutdown reports Closed instead of pretending the
+        // barge-in was delivered.
+        let server = AsrServer::spawn(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let handle = server.open_stream().unwrap();
+        {
+            // Mark the shared queue closed exactly as shutdown does.
+            server.lock_queue().closed = true;
+        }
+        assert!(matches!(handle.cancel(), Err(ServeError::Closed)));
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub use frontend::StreamingFrontend;
 pub use session::{
     AudioStreamSession, FeatureStreamSession, StreamEvent, StreamOutcome, StreamingRecognizer,
 };
-pub use vad::{EnergyVad, VadConfig, VadEvent};
+pub use vad::{AdaptiveVadConfig, EnergyVad, VadConfig, VadEvent};
 
 // The partial-hypothesis type is asr-core's (the serving layer shares it);
 // re-exported so streaming callers need only this crate.
@@ -101,18 +101,60 @@ pub struct StreamConfig {
     pub frontend: FrontendConfig,
     /// Energy VAD / endpointing parameters.
     pub vad: VadConfig,
+    /// Forced endpoint: when an open utterance has decoded this many feature
+    /// frames, the session closes it (emitting
+    /// [`StreamEvent::UtteranceForceEnded`]) and immediately re-opens, so a
+    /// noise step the adaptive VAD mistakes for unending speech cannot grow
+    /// an utterance without bound.  The limit is a *trigger* threshold: the
+    /// closing utterance still flushes its delta-lookahead tail, so its
+    /// final frame count can exceed the limit by that tail.  `None` (the
+    /// default) disables forcing.
+    pub max_utterance_frames: Option<usize>,
+    /// When set, every [`StreamOutcome`] carries the exact feature frames
+    /// that were decoded ([`StreamOutcome::features`]), so tests can replay
+    /// them through the offline decoder and assert parity.  Off by default —
+    /// it clones every frame.
+    pub capture_features: bool,
 }
 
 impl StreamConfig {
-    /// Validates the configuration.
+    /// Validates the configuration, including the cross-field endpointing
+    /// guarantee: any endpointed utterance has received at least
+    /// `min_speech_hops + hangover_hops` hops of audio (preroll is *not*
+    /// guaranteed — the stream may start mid-trigger), so
+    ///
+    /// ```text
+    /// (min_speech_hops + hangover_hops) · frame_shift  ≥  frame_length
+    /// ```
+    ///
+    /// is exactly the condition under which every `UtteranceEnd` carries at
+    /// least one analysis window — i.e. a non-empty decode.  Configurations
+    /// violating it could emit empty-utterance endpoints and are rejected.
     ///
     /// # Errors
     ///
     /// Returns [`StreamError::Frontend`] or [`StreamError::InvalidConfig`]
-    /// for an invalid frontend or VAD configuration.
+    /// for an invalid frontend or VAD configuration, a zero
+    /// `max_utterance_frames`, or a debounce+hangover span shorter than one
+    /// analysis window.
     pub fn validate(&self) -> Result<(), StreamError> {
         self.frontend.validate()?;
         self.vad.validate()?;
+        if self.max_utterance_frames == Some(0) {
+            return Err(StreamError::InvalidConfig(
+                "max_utterance_frames must be >= 1 when set".into(),
+            ));
+        }
+        let buffered_samples = (self.vad.min_speech_hops + self.vad.hangover_hops)
+            * self.frontend.frame_shift_samples();
+        if buffered_samples < self.frontend.frame_length_samples() {
+            return Err(StreamError::InvalidConfig(format!(
+                "min_speech_hops + hangover_hops buffer only {buffered_samples} samples, \
+                 fewer than one {}-sample analysis window: an endpointed utterance could \
+                 be empty",
+                self.frontend.frame_length_samples()
+            )));
+        }
         Ok(())
     }
 }
@@ -204,6 +246,52 @@ mod tests {
             bad_vad.validate(),
             Err(StreamError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn zero_max_utterance_frames_is_rejected() {
+        let bad = StreamConfig {
+            max_utterance_frames: Some(0),
+            ..StreamConfig::default()
+        };
+        assert!(matches!(bad.validate(), Err(StreamError::InvalidConfig(_))));
+        StreamConfig {
+            max_utterance_frames: Some(1),
+            ..StreamConfig::default()
+        }
+        .validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn endpoint_shorter_than_one_window_is_rejected() {
+        // 1 debounce + 1 hangover hop buffer 2 × 160 = 320 samples — less
+        // than the 400-sample analysis window, so an utterance endpointed at
+        // stream start (no preroll yet) would decode zero frames.  The
+        // cross-field check must reject this even though each half validates
+        // on its own.
+        let bad = StreamConfig {
+            vad: VadConfig {
+                min_speech_hops: 1,
+                hangover_hops: 1,
+                preroll_hops: 0,
+                ..VadConfig::default()
+            },
+            ..StreamConfig::default()
+        };
+        bad.vad.validate().unwrap();
+        assert!(matches!(bad.validate(), Err(StreamError::InvalidConfig(_))));
+        // One more hangover hop crosses the window boundary (480 >= 400).
+        let ok = StreamConfig {
+            vad: VadConfig {
+                min_speech_hops: 1,
+                hangover_hops: 2,
+                preroll_hops: 0,
+                ..VadConfig::default()
+            },
+            ..StreamConfig::default()
+        };
+        ok.validate().unwrap();
     }
 
     #[test]

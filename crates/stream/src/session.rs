@@ -20,17 +20,32 @@ pub struct StreamOutcome {
     pub result: DecodeResult,
     /// Per-chunk latency / stream real-time-factor record.
     pub timing: StreamTiming,
+    /// The exact feature frames this utterance decoded, captured when
+    /// [`StreamConfig::capture_features`] is set (`None` otherwise).
+    /// Replaying them through
+    /// [`Recognizer::decode_features`](asr_core::Recognizer::decode_features)
+    /// reproduces `result` exactly — the parity oracle the scenario tests
+    /// assert on.
+    pub features: Option<Vec<Vec<f32>>>,
 }
 
 /// An event surfaced by [`AudioStreamSession::push_audio`].
 #[derive(Debug, Clone)]
 pub enum StreamEvent {
-    /// The endpointer opened an utterance (speech detected).
+    /// The endpointer opened an utterance (speech detected).  Also emitted
+    /// after an [`UtteranceForceEnded`](StreamEvent::UtteranceForceEnded)
+    /// re-open, so `UtteranceStarted` and the two end events strictly
+    /// alternate.
     UtteranceStarted,
     /// The in-flight utterance's partial hypothesis grew.
     Partial(PartialHypothesis),
     /// The endpointer closed the utterance; here is everything it produced.
     UtteranceEnd(Box<StreamOutcome>),
+    /// The utterance hit [`StreamConfig::max_utterance_frames`] and was
+    /// force-closed mid-speech; a fresh utterance re-opens on the very next
+    /// event.  No frames are lost: every feature decoded so far is in this
+    /// outcome, and subsequent audio feeds the re-opened utterance.
+    UtteranceForceEnded(Box<StreamOutcome>),
 }
 
 /// The streaming façade over a [`Recognizer`]: owns it plus the stream
@@ -97,6 +112,7 @@ impl StreamingRecognizer {
             session: self.recognizer.begin_session()?,
             timing: StreamTiming::new(),
             frame_shift_s: self.frame_shift_s(),
+            captured: self.config.capture_features.then(Vec::new),
         })
     }
 
@@ -108,6 +124,7 @@ impl StreamingRecognizer {
             session: self.recognizer.begin_session_with(decoder),
             timing: StreamTiming::new(),
             frame_shift_s: self.frame_shift_s(),
+            captured: self.config.capture_features.then(Vec::new),
         }
     }
 
@@ -139,6 +156,9 @@ impl StreamingRecognizer {
             current: None,
             last_partial_words: 0,
             utterances_finished: 0,
+            utterances_cancelled: 0,
+            features_emitted: 0,
+            frames_discarded: 0,
         })
     }
 }
@@ -157,6 +177,9 @@ pub struct FeatureStreamSession<'r> {
     session: DecodeSession<'r>,
     timing: StreamTiming,
     frame_shift_s: f64,
+    /// `Some` when [`StreamConfig::capture_features`] is on: every pushed
+    /// frame, for offline-parity replay.
+    captured: Option<Vec<Vec<f32>>>,
 }
 
 impl<'r> FeatureStreamSession<'r> {
@@ -170,6 +193,9 @@ impl<'r> FeatureStreamSession<'r> {
     pub fn push_chunk(&mut self, frames: &[Vec<f32>]) -> Result<PartialHypothesis, StreamError> {
         let start = Instant::now();
         self.session.push_chunk(frames)?;
+        if let Some(captured) = &mut self.captured {
+            captured.extend(frames.iter().cloned());
+        }
         self.timing.record_chunk(
             start.elapsed().as_secs_f64(),
             frames.len() as f64 * self.frame_shift_s,
@@ -209,14 +235,27 @@ impl<'r> FeatureStreamSession<'r> {
     /// [`StreamingRecognizer::feature_session_with`].
     pub fn finish_parts(self) -> (Result<StreamOutcome, StreamError>, PhoneDecoder) {
         let timing = self.timing;
+        let captured = self.captured;
         let (result, decoder) = self.session.finish_parts();
         let outcome = result.map_err(StreamError::from).map(|mut result| {
             if let Some(hw) = &mut result.hardware {
                 hw.streaming = Some(timing.clone());
             }
-            StreamOutcome { result, timing }
+            StreamOutcome {
+                result,
+                timing,
+                features: captured,
+            }
         });
         (outcome, decoder)
+    }
+
+    /// Abandons the utterance without decoding a final result (barge-in):
+    /// the search state is discarded and the phone decoder handed back,
+    /// re-armed for the next utterance.  Frames already pushed are simply
+    /// dropped.
+    pub fn cancel(self) -> PhoneDecoder {
+        self.session.cancel()
     }
 }
 
@@ -240,6 +279,15 @@ pub struct AudioStreamSession<'r> {
     current: Option<FeatureStreamSession<'r>>,
     last_partial_words: usize,
     utterances_finished: usize,
+    utterances_cancelled: usize,
+    /// Feature frames the frontend has emitted into decode sessions (preroll
+    /// replay + in-speech hops + endpoint tails).  On an error-free stream,
+    /// `features_emitted == Σ finished num_frames + frames_discarded +
+    /// frames still in the open utterance` — the zero-loss ledger the
+    /// forced-endpoint tests audit.
+    features_emitted: usize,
+    /// Feature frames deliberately dropped by [`AudioStreamSession::cancel`].
+    frames_discarded: usize,
 }
 
 impl<'r> AudioStreamSession<'r> {
@@ -251,6 +299,38 @@ impl<'r> AudioStreamSession<'r> {
     /// Utterances endpointed and decoded so far.
     pub fn utterances_finished(&self) -> usize {
         self.utterances_finished
+    }
+
+    /// Utterances abandoned via [`AudioStreamSession::cancel`].
+    pub fn utterances_cancelled(&self) -> usize {
+        self.utterances_cancelled
+    }
+
+    /// Feature frames the frontend has emitted into decode sessions so far.
+    pub fn features_emitted(&self) -> usize {
+        self.features_emitted
+    }
+
+    /// Feature frames deliberately discarded by cancellation.
+    pub fn frames_discarded(&self) -> usize {
+        self.frames_discarded
+    }
+
+    /// Feature frames decoded by the currently open utterance (0 when idle).
+    pub fn frames_in_flight(&self) -> usize {
+        self.current.as_ref().map_or(0, |s| s.frames())
+    }
+
+    /// Silence hops currently buffered for pre-roll replay — bounded by
+    /// `preroll_hops + min_speech_hops` at all times.
+    pub fn preroll_buffered(&self) -> usize {
+        self.preroll.len()
+    }
+
+    /// The endpointer's current voiced threshold (adapts when
+    /// [`crate::VadConfig::adaptive`] is set).
+    pub fn vad_threshold(&self) -> f32 {
+        self.vad.threshold()
     }
 
     /// Consumes a chunk of PCM samples (any size) and returns the stream
@@ -304,6 +384,7 @@ impl<'r> AudioStreamSession<'r> {
         // of the utterance.
         let ended = self.vad.push_hop(rms) == Some(VadEvent::SpeechEnd);
         let features = self.frontend.push_samples(&hop);
+        self.features_emitted += features.len();
         let session = self
             .current
             .as_mut()
@@ -318,6 +399,28 @@ impl<'r> AudioStreamSession<'r> {
         if ended {
             let outcome = self.finish_current()?;
             events.push(StreamEvent::UtteranceEnd(Box::new(outcome)));
+        } else if let Some(limit) = self.owner.config.max_utterance_frames {
+            let frames = self
+                .current
+                .as_ref()
+                .expect("utterance still open: the VAD did not end it")
+                .frames();
+            if frames >= limit {
+                // Forced endpoint: close the runaway utterance (flushing the
+                // frontend tail into it — nothing decoded so far is lost) and
+                // re-open immediately, since the VAD still reports speech.
+                let outcome = self.finish_current()?;
+                events.push(StreamEvent::UtteranceForceEnded(Box::new(outcome)));
+                if let Err(e) = self.open_utterance() {
+                    // Same rollback as the SpeechStart path: return the whole
+                    // session to silence so it stays usable.
+                    self.vad.reset();
+                    self.current = None;
+                    self.frontend.finish_utterance();
+                    return Err(e);
+                }
+                events.push(StreamEvent::UtteranceStarted);
+            }
         }
         Ok(())
     }
@@ -328,6 +431,7 @@ impl<'r> AudioStreamSession<'r> {
         let mut session = self.owner.feature_session()?;
         for buffered in self.preroll.drain(..) {
             let features = self.frontend.push_samples(&buffered);
+            self.features_emitted += features.len();
             if !features.is_empty() {
                 session.push_chunk(&features)?;
             }
@@ -343,6 +447,7 @@ impl<'r> AudioStreamSession<'r> {
             .take()
             .expect("finish_current requires an open utterance");
         let tail = self.frontend.finish_utterance();
+        self.features_emitted += tail.len();
         if !tail.is_empty() {
             session.push_chunk(&tail)?;
         }
@@ -350,6 +455,29 @@ impl<'r> AudioStreamSession<'r> {
         let outcome = session.finish()?;
         self.utterances_finished += 1;
         Ok(outcome)
+    }
+
+    /// Barge-in: abandons the in-flight utterance, discarding everything it
+    /// decoded, and re-arms the session for fresh speech.  Returns the
+    /// number of feature frames discarded (decoded so far plus the flushed
+    /// frontend tail), or `None` if no utterance was open.  The VAD resets
+    /// (adaptive noise floor re-primed), and buffered pre-roll and sub-hop
+    /// sample residue are cleared — the next audio pushed is treated as the
+    /// start of a new listening window.
+    pub fn cancel(&mut self) -> Option<usize> {
+        let session = self.current.take()?;
+        let decoded = session.frames();
+        drop(session.cancel());
+        let tail = self.frontend.finish_utterance();
+        self.features_emitted += tail.len();
+        let discarded = decoded + tail.len();
+        self.frames_discarded += discarded;
+        self.utterances_cancelled += 1;
+        self.vad.reset();
+        self.preroll.clear();
+        self.residue.clear();
+        self.last_partial_words = 0;
+        Some(discarded)
     }
 
     /// Closes the session.  An utterance still open (speech ran into the end
@@ -369,6 +497,7 @@ impl<'r> AudioStreamSession<'r> {
             Ok(StreamOutcome {
                 result: DecodeResult::empty(),
                 timing: StreamTiming::new(),
+                features: None,
             })
         }
     }
@@ -415,7 +544,9 @@ mod tests {
                 min_speech_hops: 2,
                 hangover_hops: 5,
                 preroll_hops: 2,
+                adaptive: None,
             },
+            ..StreamConfig::default()
         }
     }
 
@@ -555,6 +686,145 @@ mod tests {
         assert!(outcome.result.is_empty());
         assert_eq!(outcome.result.hypothesis.words.len(), 0);
         assert_eq!(outcome.timing.chunks(), 0);
+    }
+
+    #[test]
+    fn forced_endpoint_splits_a_long_utterance_without_losing_frames() {
+        let task = task_with_dim(13);
+        let rec = recognizer(&task, DecoderConfig::software());
+        let config = StreamConfig {
+            max_utterance_frames: Some(20),
+            capture_features: true,
+            ..audio_config()
+        };
+        let streamer = StreamingRecognizer::new(rec, config).unwrap();
+        let mut session = streamer.audio_session().unwrap();
+        let mut audio = vec![0.0f32; 3200];
+        audio.extend(tone(1.0)); // ~100 frames of speech: several forced cuts
+        audio.extend(vec![0.0f32; 4800]);
+        let mut events = Vec::new();
+        for chunk in audio.chunks(640) {
+            events.extend(session.push_audio(chunk).unwrap());
+        }
+        let forced: Vec<&StreamOutcome> = events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::UtteranceForceEnded(o) => Some(o.as_ref()),
+                _ => None,
+            })
+            .collect();
+        let natural: Vec<&StreamOutcome> = events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::UtteranceEnd(o) => Some(o.as_ref()),
+                _ => None,
+            })
+            .collect();
+        let started = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::UtteranceStarted))
+            .count();
+        assert!(forced.len() >= 2, "{} forced cuts", forced.len());
+        assert_eq!(natural.len(), 1, "the hangover still closes the last piece");
+        // Every end (forced or natural) pairs with a start.
+        assert_eq!(started, forced.len() + natural.len());
+        assert_eq!(session.utterances_finished(), started);
+        // Zero-loss ledger: every feature the frontend emitted is in exactly
+        // one finished outcome.
+        let total_frames: usize = forced
+            .iter()
+            .chain(natural.iter())
+            .map(|o| o.result.stats.num_frames())
+            .sum();
+        assert_eq!(session.frames_discarded(), 0);
+        assert_eq!(session.features_emitted(), total_frames);
+        // Each piece hits the trigger (the tail flush may push it past it).
+        for piece in &forced {
+            assert!(piece.result.stats.num_frames() >= 20);
+        }
+        // And every piece replays to offline parity.
+        for piece in forced.iter().chain(natural.iter()) {
+            let captured = piece.features.as_ref().expect("capture_features on");
+            assert_eq!(captured.len(), piece.result.stats.num_frames());
+            let offline = streamer.recognizer().decode_features(captured).unwrap();
+            assert_eq!(piece.result.hypothesis, offline.hypothesis);
+        }
+    }
+
+    #[test]
+    fn cancel_discards_the_utterance_and_rearms_the_session() {
+        let task = task_with_dim(13);
+        let rec = recognizer(&task, DecoderConfig::software());
+        let streamer = StreamingRecognizer::new(rec, audio_config()).unwrap();
+        let mut session = streamer.audio_session().unwrap();
+        // Nothing open yet: cancel is a no-op.
+        assert_eq!(session.cancel(), None);
+        session.push_audio(&tone(0.3)).unwrap();
+        assert!(session.in_utterance());
+        let emitted_before = session.features_emitted();
+        assert!(emitted_before > 0);
+        let discarded = session.cancel().expect("an utterance was open");
+        assert!(discarded > 0);
+        assert!(!session.in_utterance());
+        assert_eq!(session.utterances_cancelled(), 1);
+        assert_eq!(session.utterances_finished(), 0);
+        assert_eq!(session.frames_discarded(), discarded);
+        // Ledger: everything emitted so far was discarded (the cancel also
+        // flushed the frontend tail).
+        assert_eq!(session.features_emitted(), session.frames_discarded());
+        assert_eq!(session.preroll_buffered(), 0);
+
+        // The session is re-armed: a fresh burst endpoints normally.
+        let mut audio = vec![0.0f32; 3200];
+        audio.extend(tone(0.3));
+        audio.extend(vec![0.0f32; 4800]);
+        let mut events = Vec::new();
+        for chunk in audio.chunks(777) {
+            events.extend(session.push_audio(chunk).unwrap());
+        }
+        let ended = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::UtteranceEnd(_)))
+            .count();
+        assert_eq!(ended, 1, "{events:?}");
+        assert_eq!(session.utterances_finished(), 1);
+        assert_eq!(
+            session.features_emitted(),
+            session.frames_discarded()
+                + events
+                    .iter()
+                    .filter_map(|e| match e {
+                        StreamEvent::UtteranceEnd(o) => Some(o.result.stats.num_frames()),
+                        _ => None,
+                    })
+                    .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn adaptive_session_reports_a_moving_threshold() {
+        let task = task_with_dim(13);
+        let rec = recognizer(&task, DecoderConfig::software());
+        let config = StreamConfig {
+            vad: VadConfig {
+                adaptive: Some(crate::vad::AdaptiveVadConfig {
+                    window_hops: 20,
+                    ..Default::default()
+                }),
+                ..audio_config().vad
+            },
+            ..audio_config()
+        };
+        let streamer = StreamingRecognizer::new(rec, config).unwrap();
+        let mut session = streamer.audio_session().unwrap();
+        let initial = session.vad_threshold();
+        // A steady 0.004-RMS noise bed: the threshold settles onto it.
+        let noise: Vec<f32> = (0..8000)
+            .map(|n| if n % 2 == 0 { 0.004 } else { -0.004 })
+            .collect();
+        session.push_audio(&noise).unwrap();
+        assert!(!session.in_utterance(), "noise bed must not trigger");
+        assert!(session.vad_threshold() < initial);
     }
 
     #[test]

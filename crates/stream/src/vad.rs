@@ -3,7 +3,7 @@
 //! The continuous-audio session needs to know where utterances begin and end
 //! so the decoder is only driven while someone is speaking — the same
 //! power-saving instinct as the paper's feedback path, one stage earlier.
-//! The detector is deliberately simple (per-hop RMS energy against a fixed
+//! The detector is deliberately simple (per-hop RMS energy against a
 //! threshold, with debounce and hangover), which is exactly what low-power
 //! always-listening front ends deploy: the expensive recognizer only wakes
 //! up behind it.
@@ -18,14 +18,128 @@
 //!      └──────────────────────────────────────────────────┘
 //!             ≥ hangover_hops consecutive silent hops
 //! ```
+//!
+//! The voiced/silent decision compares the hop RMS against either a **fixed**
+//! threshold ([`VadConfig::energy_threshold`], the default mode) or an
+//! **adaptive** one ([`VadConfig::adaptive`]): a running percentile of recent
+//! hop energies estimates the noise floor, and the threshold rides a
+//! multiplicative margin above it.  Fixed thresholds break under exactly the
+//! conditions a deployed endpointer meets — a rising noise floor *floods* the
+//! detector (everything is "speech"), a falling one plus a quiet talker
+//! *freezes* it (nothing ever is) — while the adaptive floor tracks both
+//! directions.  Hops that classify as voiced while an utterance is open are
+//! excluded from the floor estimate, so speech itself cannot lift the
+//! threshold from under the very utterance it belongs to.  To keep that
+//! exclusion from immortalising an utterance when the noise floor rises
+//! *during* speech (the stale threshold would classify the new, louder
+//! noise as voiced forever), adaptive mode also tracks the utterance's
+//! running peak energy: a hop more than [`AdaptiveVadConfig::drop_ratio`]
+//! below the peak counts as silent regardless of the floor — the classic
+//! peak-relative endpoint rule — which both ends the utterance through the
+//! normal hangover and resumes floor observation.  The hard bound on
+//! utterance length remains the session's forced endpoint
+//! (`StreamConfig::max_utterance_frames`).
 
 use crate::StreamError;
+use std::collections::VecDeque;
+
+/// Configuration of the adaptive noise-floor tracker behind [`EnergyVad`].
+///
+/// The floor is the configured percentile of the last `window_hops` observed
+/// hop RMS values (voiced hops inside an open utterance are not observed),
+/// and the voiced threshold is `floor * margin`, clamped to
+/// `[min_threshold, max_threshold]`.  Until real hops displace it, the
+/// window is pre-filled with the prior `energy_threshold / margin`, so an
+/// adaptive detector starts out behaving exactly like the fixed one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveVadConfig {
+    /// Hops of history the floor percentile is computed over (1 s at the
+    /// 10 ms default hop).
+    pub window_hops: usize,
+    /// Percentile of the windowed energies taken as the noise floor, in
+    /// `(0, 1)`.  A low percentile makes the floor a robust minimum
+    /// statistic: brief energy bursts in the window cannot raise it.
+    pub percentile: f32,
+    /// Multiplicative headroom between the floor and the voiced threshold
+    /// (`> 1`).  Noise may drift by up to this factor per window without
+    /// ever classifying as speech.
+    pub margin: f32,
+    /// Lower clamp on the derived threshold, so digital silence cannot
+    /// collapse it to zero and arm the detector on quantisation noise.
+    pub min_threshold: f32,
+    /// Upper clamp on the derived threshold.
+    pub max_threshold: f32,
+    /// Peak-relative endpoint level: while an utterance is open, a hop whose
+    /// RMS falls below `drop_ratio` times the utterance's running peak is
+    /// classified silent even if it clears the (possibly stale) floor
+    /// threshold.  The default 0.1 is a 20 dB drop — far below any speech,
+    /// far above a noise floor that merely drifted during the utterance.
+    /// `0` disables the rule.
+    pub drop_ratio: f32,
+}
+
+impl Default for AdaptiveVadConfig {
+    fn default() -> Self {
+        AdaptiveVadConfig {
+            window_hops: 100,
+            percentile: 0.2,
+            margin: 3.0,
+            min_threshold: 0.004,
+            max_threshold: 0.5,
+            drop_ratio: 0.1,
+        }
+    }
+}
+
+impl AdaptiveVadConfig {
+    /// Validates the adaptive-tracker parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for a window under 2 hops, a
+    /// percentile outside `(0, 1)`, a margin not greater than 1, or clamp
+    /// bounds that are non-positive, non-finite or inverted.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if self.window_hops < 2 {
+            return Err(StreamError::InvalidConfig(
+                "adaptive window_hops must be >= 2".into(),
+            ));
+        }
+        if !self.percentile.is_finite() || self.percentile <= 0.0 || self.percentile >= 1.0 {
+            return Err(StreamError::InvalidConfig(
+                "adaptive percentile must be inside (0, 1)".into(),
+            ));
+        }
+        if !self.margin.is_finite() || self.margin <= 1.0 {
+            return Err(StreamError::InvalidConfig(
+                "adaptive margin must be finite and > 1".into(),
+            ));
+        }
+        if !self.min_threshold.is_finite()
+            || !self.max_threshold.is_finite()
+            || self.min_threshold <= 0.0
+            || self.max_threshold < self.min_threshold
+        {
+            return Err(StreamError::InvalidConfig(
+                "adaptive threshold clamps must satisfy 0 < min <= max".into(),
+            ));
+        }
+        if !self.drop_ratio.is_finite() || self.drop_ratio < 0.0 || self.drop_ratio >= 1.0 {
+            return Err(StreamError::InvalidConfig(
+                "adaptive drop_ratio must be inside [0, 1)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Configuration of the energy VAD / endpointer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VadConfig {
     /// RMS amplitude above which a hop counts as voiced (input samples are
-    /// expected roughly in `[-1, 1]`).
+    /// expected roughly in `[-1, 1]`).  In adaptive mode this is the
+    /// *bootstrap* threshold: the tracker starts from it and then follows
+    /// the measured noise floor.
     pub energy_threshold: f32,
     /// Consecutive voiced hops required to open an utterance (debounce
     /// against clicks).
@@ -36,6 +150,9 @@ pub struct VadConfig {
     /// Hops of audio kept before the trigger and prepended to the utterance,
     /// so a soft word onset is not clipped.
     pub preroll_hops: usize,
+    /// `Some` enables the adaptive noise-floor tracker; `None` (the default)
+    /// keeps the fixed-threshold behaviour.
+    pub adaptive: Option<AdaptiveVadConfig>,
 }
 
 impl Default for VadConfig {
@@ -46,17 +163,33 @@ impl Default for VadConfig {
             // 300 ms of hangover at the 10 ms default hop.
             hangover_hops: 30,
             preroll_hops: 5,
+            adaptive: None,
         }
     }
 }
 
 impl VadConfig {
+    /// The default configuration with the adaptive noise-floor tracker on.
+    pub fn adaptive() -> Self {
+        VadConfig {
+            adaptive: Some(AdaptiveVadConfig::default()),
+            ..VadConfig::default()
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
     ///
     /// Returns [`StreamError::InvalidConfig`] for a non-positive or
-    /// non-finite threshold or zero debounce/hangover counts.
+    /// non-finite threshold, zero debounce/hangover counts, or invalid
+    /// adaptive-tracker parameters.
+    ///
+    /// This check is per-field only: whether `min_speech_hops` +
+    /// `hangover_hops` buffer enough audio for at least one analysis window
+    /// (so an endpointed utterance can never finish empty) depends on the
+    /// frontend geometry and is enforced by
+    /// [`crate::StreamConfig::validate`].
     pub fn validate(&self) -> Result<(), StreamError> {
         if !self.energy_threshold.is_finite() || self.energy_threshold <= 0.0 {
             return Err(StreamError::InvalidConfig(
@@ -72,6 +205,9 @@ impl VadConfig {
             return Err(StreamError::InvalidConfig(
                 "hangover_hops must be >= 1".into(),
             ));
+        }
+        if let Some(adaptive) = &self.adaptive {
+            adaptive.validate()?;
         }
         Ok(())
     }
@@ -98,24 +234,46 @@ pub fn hop_rms(samples: &[f32]) -> f32 {
 }
 
 /// The energy endpointer state machine.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the *entire* detector state (configuration, speech
+/// state, debounce/hangover runs and the adaptive floor window), so
+/// `detector == EnergyVad::new(config)` is the definition of "freshly
+/// reset" — the property `reset()` guarantees.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyVad {
     config: VadConfig,
     in_speech: bool,
     voiced_run: usize,
     silent_run: usize,
+    /// Recent observed hop energies (adaptive mode only; empty in fixed
+    /// mode).  Pre-filled with the bootstrap prior on construction/reset.
+    window: VecDeque<f32>,
+    /// The current noise-floor estimate (adaptive mode only).
+    noise_floor: f32,
+    /// The current voiced threshold (equals `energy_threshold` in fixed
+    /// mode).
+    threshold: f32,
+    /// Running peak RMS of the current (or forming) utterance, for the
+    /// adaptive peak-relative drop rule; 0 while listening to silence.
+    speech_peak: f32,
 }
 
 impl EnergyVad {
     /// Creates a detector (validate the config first via
     /// [`VadConfig::validate`]; [`crate::StreamConfig::validate`] does).
     pub fn new(config: VadConfig) -> Self {
-        EnergyVad {
+        let mut vad = EnergyVad {
             config,
             in_speech: false,
             voiced_run: 0,
             silent_run: 0,
-        }
+            window: VecDeque::new(),
+            noise_floor: 0.0,
+            threshold: 0.0,
+            speech_peak: 0.0,
+        };
+        vad.reset();
+        vad
     }
 
     /// The configuration.
@@ -128,10 +286,62 @@ impl EnergyVad {
         self.in_speech
     }
 
+    /// The RMS threshold the *next* hop will be classified against: the
+    /// fixed `energy_threshold`, or `noise_floor() * margin` (clamped) in
+    /// adaptive mode.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// The current noise-floor estimate, or `None` in fixed-threshold mode.
+    pub fn noise_floor(&self) -> Option<f32> {
+        self.config.adaptive.as_ref().map(|_| self.noise_floor)
+    }
+
+    /// Feeds one observed hop energy into the adaptive floor window and
+    /// refreshes the cached floor/threshold.  Voiced hops inside an open
+    /// utterance are excluded so speech cannot lift the floor; everything
+    /// else — silence, noise, and the few debounce hops before a trigger —
+    /// is tracked.
+    fn observe(&mut self, rms: f32, voiced: bool) {
+        let Some(adaptive) = &self.config.adaptive else {
+            return;
+        };
+        if voiced && self.in_speech {
+            return;
+        }
+        self.window.push_back(rms.max(0.0));
+        while self.window.len() > adaptive.window_hops {
+            self.window.pop_front();
+        }
+        let mut sorted: Vec<f32> = self.window.iter().copied().collect();
+        sorted.sort_by(f32::total_cmp);
+        let rank = (adaptive.percentile * (sorted.len() - 1) as f32).round() as usize;
+        self.noise_floor = sorted[rank.min(sorted.len() - 1)];
+        self.threshold = (self.noise_floor * adaptive.margin)
+            .clamp(adaptive.min_threshold, adaptive.max_threshold);
+    }
+
     /// Consumes one hop's RMS energy; returns the state transition it caused,
     /// if any.
     pub fn push_hop(&mut self, rms: f32) -> Option<VadEvent> {
-        let voiced = rms >= self.config.energy_threshold;
+        let mut voiced = rms >= self.threshold;
+        if voiced && self.in_speech {
+            if let Some(adaptive) = &self.config.adaptive {
+                // Peak-relative drop: a hop this far under the utterance's
+                // own level is silence, whatever a stale floor says.
+                if adaptive.drop_ratio > 0.0 && rms < self.speech_peak * adaptive.drop_ratio {
+                    voiced = false;
+                }
+            }
+        }
+        self.observe(rms, voiced);
+        if voiced {
+            self.speech_peak = self.speech_peak.max(rms);
+        } else if !self.in_speech {
+            // The debounce run broke: nothing to anchor a peak to.
+            self.speech_peak = 0.0;
+        }
         if self.in_speech {
             if voiced {
                 self.silent_run = 0;
@@ -141,6 +351,7 @@ impl EnergyVad {
                     self.in_speech = false;
                     self.voiced_run = 0;
                     self.silent_run = 0;
+                    self.speech_peak = 0.0;
                     return Some(VadEvent::SpeechEnd);
                 }
             }
@@ -157,12 +368,31 @@ impl EnergyVad {
         None
     }
 
-    /// Returns the detector to silence (e.g. when a session force-closes an
-    /// utterance).
+    /// Returns the detector to its exact initial state (e.g. when a session
+    /// force-closes or cancels an utterance): silence, empty runs, and the
+    /// adaptive floor window re-primed with the bootstrap prior — total, by
+    /// the `PartialEq` definition (`*self == EnergyVad::new(config)`).
     pub fn reset(&mut self) {
         self.in_speech = false;
         self.voiced_run = 0;
         self.silent_run = 0;
+        self.speech_peak = 0.0;
+        self.window.clear();
+        match &self.config.adaptive {
+            Some(adaptive) => {
+                let prior = self.config.energy_threshold / adaptive.margin;
+                for _ in 0..adaptive.window_hops {
+                    self.window.push_back(prior);
+                }
+                self.noise_floor = prior;
+                self.threshold =
+                    (prior * adaptive.margin).clamp(adaptive.min_threshold, adaptive.max_threshold);
+            }
+            None => {
+                self.noise_floor = 0.0;
+                self.threshold = self.config.energy_threshold;
+            }
+        }
     }
 }
 
@@ -176,6 +406,20 @@ mod tests {
             min_speech_hops: 3,
             hangover_hops: 4,
             preroll_hops: 2,
+            adaptive: None,
+        })
+    }
+
+    fn adaptive_vad() -> EnergyVad {
+        EnergyVad::new(VadConfig {
+            energy_threshold: 0.03,
+            min_speech_hops: 2,
+            hangover_hops: 4,
+            preroll_hops: 2,
+            adaptive: Some(AdaptiveVadConfig {
+                window_hops: 20,
+                ..AdaptiveVadConfig::default()
+            }),
         })
     }
 
@@ -243,6 +487,20 @@ mod tests {
     }
 
     #[test]
+    fn reset_is_total_in_both_modes() {
+        for mut v in [vad(), adaptive_vad()] {
+            let fresh = EnergyVad::new(v.config().clone());
+            assert_eq!(v, fresh, "a new detector is its own reset state");
+            for rms in [0.0, 0.7, 0.7, 0.7, 0.01, 0.0, 0.2, 0.0, 0.0] {
+                v.push_hop(rms);
+            }
+            assert_ne!(v, fresh, "pushing hops must move the state");
+            v.reset();
+            assert_eq!(v, fresh, "reset must restore the exact initial state");
+        }
+    }
+
+    #[test]
     fn rms_is_zero_for_empty_and_scales_with_amplitude() {
         assert_eq!(hop_rms(&[]), 0.0);
         assert!((hop_rms(&[0.5; 160]) - 0.5).abs() < 1e-6);
@@ -250,8 +508,105 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_starts_at_the_bootstrap_threshold() {
+        let v = adaptive_vad();
+        assert!((v.threshold() - 0.03).abs() < 1e-6);
+        assert!((v.noise_floor().unwrap() - 0.01).abs() < 1e-6);
+        // Fixed mode reports no floor.
+        assert_eq!(vad().noise_floor(), None);
+        assert!((vad().threshold() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adaptive_floor_tracks_a_rising_ramp_without_flooding() {
+        let mut v = adaptive_vad();
+        // Noise rises 0.002 → 0.02 over 200 hops: always inside the margin,
+        // so the detector must never open an utterance.
+        for i in 0..200 {
+            let rms = 0.002 + 0.018 * i as f32 / 200.0;
+            assert_eq!(v.push_hop(rms), None, "hop {i}: noise must not trigger");
+        }
+        assert!(!v.in_speech());
+        // The threshold followed the ramp up…
+        assert!(v.threshold() > 0.04, "threshold {}", v.threshold());
+        // …and genuine speech above it still triggers.
+        assert_eq!(v.push_hop(0.4), None);
+        assert_eq!(v.push_hop(0.4), Some(VadEvent::SpeechStart));
+    }
+
+    #[test]
+    fn adaptive_floor_falls_so_quiet_speech_is_found_again() {
+        let mut v = adaptive_vad();
+        // A long stretch of near-silence drags the floor to the clamp.
+        for _ in 0..100 {
+            v.push_hop(0.0005);
+        }
+        assert!((v.threshold() - 0.004).abs() < 1e-6, "clamped at min");
+        // Far-field speech at 0.01 RMS — under the 0.03 bootstrap threshold,
+        // but over the adapted one.
+        assert_eq!(v.push_hop(0.01), None);
+        assert_eq!(v.push_hop(0.01), Some(VadEvent::SpeechStart));
+    }
+
+    #[test]
+    fn speech_does_not_lift_the_adaptive_floor() {
+        let mut v = adaptive_vad();
+        for _ in 0..30 {
+            v.push_hop(0.001);
+        }
+        let before = v.threshold();
+        v.push_hop(0.5);
+        v.push_hop(0.5);
+        assert!(v.in_speech());
+        // A long loud utterance: voiced hops are excluded from the window.
+        for _ in 0..100 {
+            assert_eq!(v.push_hop(0.5), None);
+        }
+        assert!(v.in_speech(), "speech must not end itself via the floor");
+        assert!((v.threshold() - before).abs() < 1e-6);
+        // Hangover silence still closes it (and is observed again).
+        for _ in 0..3 {
+            assert_eq!(v.push_hop(0.0), None);
+        }
+        assert_eq!(v.push_hop(0.0), Some(VadEvent::SpeechEnd));
+    }
+
+    #[test]
+    fn a_noise_step_during_speech_ends_via_the_peak_relative_drop() {
+        let mut v = adaptive_vad();
+        for _ in 0..30 {
+            v.push_hop(0.001);
+        }
+        v.push_hop(0.5);
+        assert_eq!(v.push_hop(0.5), Some(VadEvent::SpeechStart));
+        for _ in 0..10 {
+            assert_eq!(v.push_hop(0.5), None);
+        }
+        // The noise floor steps to 0.02 mid-utterance: above the stale
+        // 0.004 threshold (so floor-only classification would keep the
+        // utterance open forever) but 28 dB under the utterance's peak —
+        // the drop rule classifies it silent and the hangover closes.
+        for _ in 0..3 {
+            assert_eq!(v.push_hop(0.02), None);
+        }
+        assert_eq!(v.push_hop(0.02), Some(VadEvent::SpeechEnd));
+        // The hops were observed, so the floor is free to absorb the step.
+        assert!(!v.in_speech());
+    }
+
+    #[test]
+    fn adaptive_threshold_respects_the_max_clamp() {
+        let mut v = adaptive_vad();
+        for _ in 0..100 {
+            v.push_hop(0.9);
+        }
+        assert!(v.threshold() <= 0.5 + 1e-6);
+    }
+
+    #[test]
     fn config_validation() {
         VadConfig::default().validate().unwrap();
+        VadConfig::adaptive().validate().unwrap();
         for bad in [
             VadConfig {
                 energy_threshold: 0.0,
@@ -267,6 +622,49 @@ mod tests {
             },
             VadConfig {
                 hangover_hops: 0,
+                ..VadConfig::default()
+            },
+            VadConfig {
+                adaptive: Some(AdaptiveVadConfig {
+                    window_hops: 1,
+                    ..AdaptiveVadConfig::default()
+                }),
+                ..VadConfig::default()
+            },
+            VadConfig {
+                adaptive: Some(AdaptiveVadConfig {
+                    percentile: 1.0,
+                    ..AdaptiveVadConfig::default()
+                }),
+                ..VadConfig::default()
+            },
+            VadConfig {
+                adaptive: Some(AdaptiveVadConfig {
+                    margin: 1.0,
+                    ..AdaptiveVadConfig::default()
+                }),
+                ..VadConfig::default()
+            },
+            VadConfig {
+                adaptive: Some(AdaptiveVadConfig {
+                    min_threshold: 0.0,
+                    ..AdaptiveVadConfig::default()
+                }),
+                ..VadConfig::default()
+            },
+            VadConfig {
+                adaptive: Some(AdaptiveVadConfig {
+                    min_threshold: 0.4,
+                    max_threshold: 0.1,
+                    ..AdaptiveVadConfig::default()
+                }),
+                ..VadConfig::default()
+            },
+            VadConfig {
+                adaptive: Some(AdaptiveVadConfig {
+                    drop_ratio: 1.0,
+                    ..AdaptiveVadConfig::default()
+                }),
                 ..VadConfig::default()
             },
         ] {

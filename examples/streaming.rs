@@ -97,7 +97,9 @@ fn main() -> Result<(), LvcsrError> {
                 min_speech_hops: 2,
                 hangover_hops: 8,
                 preroll_hops: 3,
+                adaptive: None,
             },
+            ..StreamConfig::default()
         },
     )?;
     let mut audio_session = streamer.audio_session()?;
@@ -129,6 +131,10 @@ fn main() -> Result<(), LvcsrError> {
                     "  [VAD] speech ended: {} frames decoded, stream RTF {:.4}",
                     outcome.result.stats.num_frames(),
                     outcome.timing.real_time_factor()
+                ),
+                StreamEvent::UtteranceForceEnded(outcome) => println!(
+                    "  [VAD] forced endpoint at the frame budget: {} frames decoded",
+                    outcome.result.stats.num_frames(),
                 ),
             }
         }

@@ -171,6 +171,7 @@ fn silent_audio_session_closes_empty() {
                 ..lvcsr::frontend::FrontendConfig::default()
             },
             vad: VadConfig::default(),
+            ..lvcsr::stream::StreamConfig::default()
         },
     )
     .expect("streamer");
