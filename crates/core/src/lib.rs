@@ -55,7 +55,11 @@ pub use scorer::{
 };
 pub use search::{SearchNetwork, SearchOutcome, SearchState, TokenPassingSearch};
 pub use session::{DecodeSession, PartialHypothesis, SharedDecodeSession};
-pub use shard::{shard_threads_spawned_total, ShardedScorer};
+pub use shard::{ShardedScorer, SHARD_THREADS_SPAWNED_METRIC};
+// The deprecated shim stays re-exported so pre-registry callers keep
+// compiling; new code reads the metric from the global registry.
+#[allow(deprecated)]
+pub use shard::shard_threads_spawned_total;
 pub use stats::{DecodeStats, FrameStats};
 
 /// Errors produced by decoding.

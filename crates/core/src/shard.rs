@@ -48,23 +48,37 @@ use crate::DecodeError;
 use asr_acoustic::{AcousticModel, SenoneId, TransitionMatrix};
 use asr_float::LogProb;
 use asr_hw::UtteranceReport;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use asr_obs::Counter;
+use std::sync::{mpsc, Arc, OnceLock};
 
-/// Process-wide count of OS threads spawned by every [`ShardedScorer`] in
-/// this process (pool workers and scoped per-frame threads alike).
-static THREADS_SPAWNED_TOTAL: AtomicUsize = AtomicUsize::new(0);
+/// Name of the process-wide shard pool spawn counter in the global metrics
+/// registry ([`asr_obs::MetricsRegistry::global`]): cumulative OS threads
+/// spawned by every [`ShardedScorer`] pool in this process.
+pub const SHARD_THREADS_SPAWNED_METRIC: &str = "shard.threads_spawned_total";
 
-/// Cumulative number of OS threads spawned by all [`ShardedScorer`]s in this
-/// process, across their whole lifetime.
+/// The registry-backed spawn counter, registered once and cached (the handle
+/// is an `Arc` over one atomic — incrementing it costs what the old static
+/// did).
+fn spawn_counter() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| asr_obs::MetricsRegistry::global().counter(SHARD_THREADS_SPAWNED_METRIC))
+}
+
+/// Cumulative number of OS threads spawned by all [`ShardedScorer`] pools in
+/// this process, across their whole lifetime.
 ///
 /// The per-scorer [`ShardedScorer::threads_spawned`] counter is unreachable
 /// when the scorer lives inside another thread (a serving worker); this
 /// process-wide counter is the observable the steady-state zero-spawn
 /// property of a warm server is asserted on: once every worker's pool is
 /// live, decoding more utterances must not move it.
+#[deprecated(
+    since = "0.1.0",
+    note = "read the `shard.threads_spawned_total` counter from \
+            `asr_obs::MetricsRegistry::global()` instead"
+)]
 pub fn shard_threads_spawned_total() -> usize {
-    THREADS_SPAWNED_TOTAL.load(Ordering::Relaxed)
+    spawn_counter().get() as usize
 }
 
 /// Message loss on the worker channels means a worker thread died, which
@@ -230,7 +244,7 @@ impl WorkerPool {
             replies.push(reply_rx);
             handles.push(handle);
         }
-        THREADS_SPAWNED_TOTAL.fetch_add(workers, Ordering::Relaxed);
+        spawn_counter().add(workers as u64);
         WorkerPool {
             senders,
             replies,
@@ -435,8 +449,9 @@ impl ShardedScorer {
     /// [`ShardDispatch::Pooled`], however many utterances it decodes) plus
     /// per-frame scoped threads under [`ShardDispatch::ScopedSpawn`].  The
     /// pooled zero-spawns-per-utterance property is asserted on this
-    /// counter; see [`shard_threads_spawned_total`] for the process-wide
-    /// form serving tests observe.
+    /// counter; the process-wide form serving tests observe is the
+    /// [`SHARD_THREADS_SPAWNED_METRIC`] counter in the global metrics
+    /// registry.
     pub fn threads_spawned(&self) -> usize {
         self.threads_spawned
     }
@@ -536,6 +551,21 @@ impl ShardedScorer {
         if self.pool.is_none() {
             self.pool = Some(WorkerPool::spawn(n - 1));
             self.threads_spawned += n - 1;
+            // The one observable shard-pool lifecycle moment: attribute the
+            // spawn to whichever trace is decoding (the serve worker pins
+            // the admitted request's trace around its decode call), or
+            // trace 0 for direct/offline decodes.  Gated on the cheap flag
+            // so a telemetry-free process pays one relaxed load, and only
+            // on this cold path.
+            if asr_obs::global_enabled() {
+                asr_obs::global().emit(
+                    asr_obs::current_trace(),
+                    &asr_obs::SpanEvent::ShardDispatch {
+                        shards: n,
+                        threads: n - 1,
+                    },
+                );
+            }
         }
         let ShardedScorer {
             shards,
@@ -935,7 +965,7 @@ mod tests {
     fn pool_survives_a_16_utterance_stream_with_one_spawn() {
         let m = model();
         let ids = all_ids(&m);
-        let before_total = shard_threads_spawned_total();
+        let before_total = spawn_counter().get();
         let mut warm = soc_shards(3)
             .with_parallelism(true)
             .with_dispatch(ShardDispatch::Pooled);
@@ -970,7 +1000,7 @@ mod tests {
         assert!(reports.iter().all(|r| r.frames == 4));
         // Other tests run concurrently, so the process-wide counter can only
         // be bounded below: this scorer contributed exactly its 2 workers.
-        assert!(shard_threads_spawned_total() >= before_total + 2);
+        assert!(spawn_counter().get() >= before_total + 2);
     }
 
     /// A backend whose scoring panics — stands in for an inner-scorer bug.

@@ -170,6 +170,40 @@ impl UtteranceReport {
         Some(worst as f64 / total as f64)
     }
 
+    /// This report as one self-describing telemetry fact (kind
+    /// `"hw_report"`), ready for an [`asr_obs::ObsSink`] — the bridge from
+    /// the cycle-accurate hardware model into the JSONL observability
+    /// pipeline.  Flat scalar fields only; the per-shard senone vector is
+    /// summarised by `shards` and [`worst_shard_share`], and the streaming
+    /// latency record by chunk count and stream RTF.
+    ///
+    /// [`worst_shard_share`]: UtteranceReport::worst_shard_share
+    pub fn snapshot_fact(&self) -> asr_obs::Fact {
+        let mut fact = asr_obs::Fact::new("hw_report")
+            .with("frames", self.frames as u64)
+            .with("senones_scored", self.senones_scored)
+            .with("hmm_updates", self.hmm_updates)
+            .with("mean_senones_per_frame", self.mean_senones_per_frame)
+            .with("worst_frame_rtf", self.worst_frame_rtf)
+            .with("mean_rtf", self.mean_rtf)
+            .with("real_time_fraction", self.real_time_fraction)
+            .with("peak_bandwidth_gb_per_s", self.peak_bandwidth_gb_per_s)
+            .with("accelerator_energy_j", self.energy.accelerator_energy_j)
+            .with("host_energy_j", self.energy.host_energy_j)
+            .with("audio_seconds", self.energy.audio_seconds)
+            .with("average_power_w", self.energy.average_power_w())
+            .with("shards", self.shard_senones.len() as u64);
+        if let Some(share) = self.worst_shard_share() {
+            fact = fact.with("worst_shard_share", share);
+        }
+        if let Some(timing) = &self.streaming {
+            fact = fact
+                .with("stream_chunks", timing.chunks() as u64)
+                .with("stream_rtf", timing.real_time_factor());
+        }
+        fact
+    }
+
     /// This report's per-shard senone counts as a parallel leaf: an already
     /// folded report contributes its shard vector, an unsharded report
     /// contributes itself as a single shard.
@@ -699,6 +733,35 @@ mod tests {
         assert_eq!(soc.frame_reports().len(), 1);
         assert_eq!(soc.dma().transfers(), 1);
         assert!(soc.ram().stats().bytes_written > 0);
+    }
+
+    #[test]
+    fn snapshot_fact_round_trips_through_jsonl() {
+        let report = UtteranceReport {
+            frames: 7,
+            senones_scored: 140,
+            hmm_updates: 21,
+            mean_senones_per_frame: 20.0,
+            worst_frame_rtf: 0.25,
+            mean_rtf: 0.1,
+            real_time_fraction: 1.0,
+            shard_senones: vec![90, 50],
+            ..UtteranceReport::default()
+        };
+        let fact = report.snapshot_fact();
+        assert_eq!(fact.kind, "hw_report");
+        let parsed = asr_obs::Fact::parse_json(&fact.to_json()).unwrap();
+        assert_eq!(parsed.field("frames").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(parsed.field("shards").and_then(|v| v.as_u64()), Some(2));
+        let share = match parsed.field("worst_shard_share") {
+            Some(asr_obs::FieldValue::F64(v)) => *v,
+            other => panic!("expected f64 share, got {other:?}"),
+        };
+        assert!((share - 90.0 / 140.0).abs() < 1e-12);
+        // An unsharded offline report omits the optional fields.
+        let plain = UtteranceReport::default().snapshot_fact();
+        assert!(plain.field("worst_shard_share").is_none());
+        assert!(plain.field("stream_chunks").is_none());
     }
 
     #[test]

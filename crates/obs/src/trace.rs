@@ -1,0 +1,488 @@
+//! Request tracing: trace ids minted at admission, typed span events emitted
+//! at every seam of the serve→stream→shard pipeline, recorded as `span`
+//! facts through an [`ObsSink`].
+//!
+//! A **trace** is one admitted unit of work — a whole-utterance decode
+//! request, a stream session, or a rejected admission attempt.  Its span
+//! events form a flat tree ordered by a per-telemetry sequence number:
+//! [`SpanEvent::Admitted`] first, then interior events, then exactly one
+//! terminal ([`SpanEvent::Finished`] or [`SpanEvent::Rejected`]).  The
+//! workspace's `tests/obs_trace.rs` property-checks this balance across all
+//! backends and worker counts.
+//!
+//! [`Telemetry`] is the handle instrumented code holds.  It is off by
+//! default ([`Telemetry::disabled`]) and then every call is a branch on a
+//! `None` — the hot path pays near zero, which the `obs_overhead` bench
+//! gate enforces.  Layers that cannot be handed a handle explicitly (the
+//! shard pool, deep under the decode call) read the process-global
+//! telemetry ([`set_global`]/[`global`]) and the thread-ambient trace id
+//! ([`with_trace`]/[`current_trace`]) that the serve worker pins around a
+//! decode.
+
+use crate::sink::{Fact, ObsSink};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Identifier of one trace (one admitted request / session).  Ids are minted
+/// by [`Telemetry::begin_trace`], start at 1, and never repeat within a
+/// telemetry instance; [`TraceId::NONE`] (0) marks untraced work and
+/// process-scope events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The null trace: untraced work, or an event scoped to a worker or the
+    /// process rather than a request.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Rebuilds a trace id from its raw value (fact-file readers).
+    pub fn from_raw(raw: u64) -> TraceId {
+        TraceId(raw)
+    }
+
+    /// The raw id value (0 for [`TraceId::NONE`]).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the null trace.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// How a finished trace ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The request decoded successfully.
+    Completed,
+    /// The decode failed; the error went to the caller.
+    Failed,
+    /// The client abandoned the work (dropped handle / barge-in cancel).
+    Cancelled,
+}
+
+impl Outcome {
+    /// Stable lowercase name used in fact records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Completed => "completed",
+            Outcome::Failed => "failed",
+            Outcome::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// What kind of work a trace covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A whole-utterance decode request.
+    Decode,
+    /// An incremental stream session.
+    Stream,
+}
+
+impl RequestKind {
+    /// Stable lowercase name used in fact records.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Decode => "decode",
+            RequestKind::Stream => "stream",
+        }
+    }
+}
+
+/// One typed span event.  Every variant maps to one `span` fact whose
+/// `event` field is [`SpanEvent::name`]; variant payloads become additional
+/// fact fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanEvent {
+    /// The request passed admission routing: a trace exists.  Always the
+    /// first event of a trace.
+    Admitted {
+        /// Decode request or stream session.
+        kind: RequestKind,
+        /// The model name it was admitted under, when routed by a registry.
+        model: Option<String>,
+        /// The tenant it was charged to, when tenant quotas apply.
+        tenant: Option<String>,
+    },
+    /// The command entered the bounded queue.
+    Enqueued {
+        /// Queue depth after the insert (this command included).
+        depth: usize,
+    },
+    /// A micro-batch was flushed to a decoder.  Worker-scope when emitted
+    /// with [`TraceId::NONE`] (the batch as a whole), per-trace otherwise.
+    BatchFormed {
+        /// Which worker flushed it.
+        worker: usize,
+        /// Whole-utterance decodes coalesced into the flush.
+        batch: usize,
+    },
+    /// A worker began decoding this request.
+    DecodeStarted {
+        /// Which worker picked it up.
+        worker: usize,
+    },
+    /// The sharded scorer pool dispatched work for the current trace —
+    /// emitted when a pool spins up its persistent workers.
+    ShardDispatch {
+        /// Number of shards in the scorer.
+        shards: usize,
+        /// Worker threads the pool just spawned.
+        threads: usize,
+    },
+    /// The stream endpointer opened an utterance (speech detected).
+    VadSpeechStart {
+        /// Stream position (feature frames consumed so far).
+        frame: usize,
+    },
+    /// The endpointer closed an utterance naturally (trailing silence).
+    VadSpeechEnd {
+        /// Feature frames the closed utterance decoded.
+        frames: usize,
+    },
+    /// The session forced an endpoint at the utterance length cap.
+    ForcedEndpoint {
+        /// Feature frames the force-closed utterance decoded.
+        frames: usize,
+    },
+    /// A partial hypothesis was published to the client.
+    PartialEmitted {
+        /// Words in the partial.
+        words: usize,
+        /// Wall-clock cost of the chunk that produced it, in microseconds.
+        latency_us: u64,
+    },
+    /// The client cancelled mid-stream (barge-in); the session continues.
+    BargeIn {
+        /// Feature frames of the utterance that was discarded.
+        frames: usize,
+    },
+    /// Terminal: the trace's work finished (successfully or not).
+    Finished {
+        /// How it ended.
+        outcome: Outcome,
+        /// Feature frames processed over the trace's lifetime.
+        frames: usize,
+    },
+    /// Terminal: admission refused the request (queue/model/tenant quota).
+    Rejected {
+        /// The quota scope that rejected it (`"queue"`, `"model"`,
+        /// `"tenant"`).
+        scope: String,
+    },
+}
+
+impl SpanEvent {
+    /// Stable lowercase event name used in fact records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanEvent::Admitted { .. } => "admitted",
+            SpanEvent::Enqueued { .. } => "enqueued",
+            SpanEvent::BatchFormed { .. } => "batch_formed",
+            SpanEvent::DecodeStarted { .. } => "decode_started",
+            SpanEvent::ShardDispatch { .. } => "shard_dispatch",
+            SpanEvent::VadSpeechStart { .. } => "vad_speech_start",
+            SpanEvent::VadSpeechEnd { .. } => "vad_speech_end",
+            SpanEvent::ForcedEndpoint { .. } => "forced_endpoint",
+            SpanEvent::PartialEmitted { .. } => "partial_emitted",
+            SpanEvent::BargeIn { .. } => "barge_in",
+            SpanEvent::Finished { .. } => "finished",
+            SpanEvent::Rejected { .. } => "rejected",
+        }
+    }
+
+    /// Whether this event closes its trace (each trace must end with
+    /// exactly one terminal event).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            SpanEvent::Finished { .. } | SpanEvent::Rejected { .. }
+        )
+    }
+
+    fn append_fields(&self, fact: Fact) -> Fact {
+        match self {
+            SpanEvent::Admitted {
+                kind,
+                model,
+                tenant,
+            } => {
+                let mut fact = fact.with("req", kind.name());
+                if let Some(model) = model {
+                    fact = fact.with("model", model.as_str());
+                }
+                if let Some(tenant) = tenant {
+                    fact = fact.with("tenant", tenant.as_str());
+                }
+                fact
+            }
+            SpanEvent::Enqueued { depth } => fact.with("depth", *depth),
+            SpanEvent::BatchFormed { worker, batch } => {
+                fact.with("worker", *worker).with("batch", *batch)
+            }
+            SpanEvent::DecodeStarted { worker } => fact.with("worker", *worker),
+            SpanEvent::ShardDispatch { shards, threads } => {
+                fact.with("shards", *shards).with("threads", *threads)
+            }
+            SpanEvent::VadSpeechStart { frame } => fact.with("frame", *frame),
+            SpanEvent::VadSpeechEnd { frames } | SpanEvent::ForcedEndpoint { frames } => {
+                fact.with("frames", *frames)
+            }
+            SpanEvent::PartialEmitted { words, latency_us } => {
+                fact.with("words", *words).with("latency_us", *latency_us)
+            }
+            SpanEvent::BargeIn { frames } => fact.with("frames", *frames),
+            SpanEvent::Finished { outcome, frames } => {
+                fact.with("outcome", outcome.name()).with("frames", *frames)
+            }
+            SpanEvent::Rejected { scope } => fact.with("scope", scope.as_str()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TelemetryInner {
+    sink: Arc<dyn ObsSink>,
+    next_trace: AtomicU64,
+    seq: AtomicU64,
+}
+
+/// The tracing handle instrumented code holds.  Cheap to clone (an
+/// `Option<Arc>`); [`Telemetry::disabled`] is the default everywhere, and
+/// then [`Telemetry::emit`] is a single branch — the off state costs
+/// near zero on the hot path (bench-gated by `obs_overhead`).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// The no-op handle: mints no trace ids, records nothing.
+    pub const fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle recording every span fact into `sink`.
+    pub fn to_sink(sink: Arc<dyn ObsSink>) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                sink,
+                next_trace: AtomicU64::new(1),
+                seq: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// Shorthand: an enabled handle over a fresh [`crate::MemorySink`],
+    /// returning both (tests).
+    pub fn to_memory() -> (Telemetry, Arc<crate::MemorySink>) {
+        let sink = Arc::new(crate::MemorySink::new());
+        (Telemetry::to_sink(sink.clone() as Arc<dyn ObsSink>), sink)
+    }
+
+    /// Whether events will be recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Mints a fresh trace id, or [`TraceId::NONE`] when disabled.
+    pub fn begin_trace(&self) -> TraceId {
+        match &self.inner {
+            Some(inner) => TraceId(inner.next_trace.fetch_add(1, Ordering::Relaxed)),
+            None => TraceId::NONE,
+        }
+    }
+
+    /// Records `event` under `trace` as one `span` fact.  No-op when
+    /// disabled.  `trace` may be [`TraceId::NONE`] for worker- or
+    /// process-scope events (recorded with `trace` 0).
+    pub fn emit(&self, trace: TraceId, event: &SpanEvent) {
+        let Some(inner) = &self.inner else { return };
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let fact = Fact::new("span")
+            .with("trace", trace.raw())
+            .with("seq", seq)
+            .with("event", event.name());
+        inner.sink.record(&event.append_fields(fact));
+    }
+
+    /// Flushes the underlying sink (no-op when disabled).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+
+    /// The sink behind this handle, when enabled (snapshot export paths).
+    pub fn sink(&self) -> Option<Arc<dyn ObsSink>> {
+        self.inner.as_ref().map(|inner| inner.sink.clone())
+    }
+}
+
+/// Fast "is the global telemetry enabled?" flag, readable without the lock.
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: RwLock<Telemetry> = RwLock::new(Telemetry::disabled());
+
+/// Installs `telemetry` as the process-global handle read by layers that
+/// cannot be handed one explicitly (the shard pool under a decode call).
+/// Installing a disabled handle turns global emission back off.
+pub fn set_global(telemetry: Telemetry) {
+    GLOBAL_ENABLED.store(telemetry.is_enabled(), Ordering::Release);
+    *GLOBAL.write().expect("global telemetry poisoned") = telemetry;
+}
+
+/// The current process-global telemetry (disabled unless [`set_global`] was
+/// called).  A clone: cheap, and stable even if another thread swaps the
+/// global afterwards.
+pub fn global() -> Telemetry {
+    if !global_enabled() {
+        return Telemetry::disabled();
+    }
+    GLOBAL.read().expect("global telemetry poisoned").clone()
+}
+
+/// Whether the process-global telemetry is enabled — one relaxed atomic
+/// load, safe to call on any hot path.
+pub fn global_enabled() -> bool {
+    GLOBAL_ENABLED.load(Ordering::Acquire)
+}
+
+thread_local! {
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Runs `f` with `trace` as this thread's ambient trace id, restoring the
+/// previous one after (nesting-safe).  The serve worker wraps each decode in
+/// this so the shard pool, layers below, can attribute its
+/// [`SpanEvent::ShardDispatch`] to the right trace via [`current_trace`].
+pub fn with_trace<R>(trace: TraceId, f: impl FnOnce() -> R) -> R {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_TRACE.with(|cell| cell.set(self.0));
+        }
+    }
+    let previous = CURRENT_TRACE.with(|cell| cell.replace(trace.raw()));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// This thread's ambient trace id ([`TraceId::NONE`] outside
+/// [`with_trace`]).
+pub fn current_trace() -> TraceId {
+    TraceId(CURRENT_TRACE.with(Cell::get))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.begin_trace(), TraceId::NONE);
+        t.emit(TraceId::NONE, &SpanEvent::DecodeStarted { worker: 0 }); // must not panic
+        t.flush();
+        assert!(t.sink().is_none());
+    }
+
+    #[test]
+    fn emit_records_span_facts_with_monotone_seq() {
+        let (t, sink) = Telemetry::to_memory();
+        let a = t.begin_trace();
+        let b = t.begin_trace();
+        assert_ne!(a, b);
+        assert!(!a.is_none());
+        t.emit(
+            a,
+            &SpanEvent::Admitted {
+                kind: RequestKind::Decode,
+                model: Some("default".into()),
+                tenant: None,
+            },
+        );
+        t.emit(a, &SpanEvent::Enqueued { depth: 1 });
+        t.emit(
+            b,
+            &SpanEvent::Rejected {
+                scope: "queue".into(),
+            },
+        );
+        let facts = sink.facts();
+        assert_eq!(facts.len(), 3);
+        let seqs: Vec<u64> = facts
+            .iter()
+            .map(|f| f.field("seq").and_then(|v| v.as_u64()).unwrap())
+            .collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seqs {seqs:?}");
+        assert_eq!(
+            facts[0].field("event").and_then(|v| v.as_str()),
+            Some("admitted")
+        );
+        assert_eq!(
+            facts[0].field("trace").and_then(|v| v.as_u64()),
+            Some(a.raw())
+        );
+        assert_eq!(
+            facts[2].field("scope").and_then(|v| v.as_str()),
+            Some("queue")
+        );
+        // Round-trip through the JSONL encoding.
+        let line = facts[0].to_json();
+        assert_eq!(Fact::parse_json(&line).unwrap(), facts[0]);
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(SpanEvent::Finished {
+            outcome: Outcome::Completed,
+            frames: 1
+        }
+        .is_terminal());
+        assert!(SpanEvent::Rejected {
+            scope: "model".into()
+        }
+        .is_terminal());
+        assert!(!SpanEvent::Enqueued { depth: 0 }.is_terminal());
+        assert!(!SpanEvent::BargeIn { frames: 3 }.is_terminal());
+    }
+
+    /// The only test in this crate touching the process-global handle — no
+    /// parallel-test interference.
+    #[test]
+    fn global_telemetry_installs_and_uninstalls() {
+        assert!(!global_enabled());
+        let (t, sink) = Telemetry::to_memory();
+        set_global(t);
+        assert!(global_enabled());
+        global().emit(
+            TraceId::from_raw(3),
+            &SpanEvent::ShardDispatch {
+                shards: 2,
+                threads: 1,
+            },
+        );
+        assert_eq!(sink.len(), 1);
+        set_global(Telemetry::disabled());
+        assert!(!global_enabled());
+        assert!(!global().is_enabled());
+    }
+
+    #[test]
+    fn ambient_trace_nests_and_restores() {
+        assert_eq!(current_trace(), TraceId::NONE);
+        let outer = TraceId::from_raw(7);
+        let inner = TraceId::from_raw(9);
+        with_trace(outer, || {
+            assert_eq!(current_trace(), outer);
+            with_trace(inner, || assert_eq!(current_trace(), inner));
+            assert_eq!(current_trace(), outer);
+        });
+        assert_eq!(current_trace(), TraceId::NONE);
+    }
+}

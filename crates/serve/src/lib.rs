@@ -130,6 +130,10 @@ pub use server::{AsrServer, ServeStats, StreamHandle};
 // type is asr-core's, re-exported so callers need only this crate.
 pub use asr_core::PartialHypothesis;
 
+// The observability types the observed spawn paths and metrics snapshot
+// speak in; re-exported so serving callers need only this crate.
+pub use asr_obs::{MetricsRegistry, MetricsSnapshot, Telemetry};
+
 use asr_core::DecodeError;
 use std::time::Duration;
 

@@ -12,8 +12,12 @@ use crate::request::{DecodeRequest, StreamOptions};
 use crate::{QueueScope, ServeConfig, ServeError};
 use asr_core::{PartialHypothesis, PhoneDecoder, Recognizer, SharedDecodeSession};
 use asr_hw::UtteranceReport;
+use asr_obs::{
+    percentile_of, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Outcome,
+    RequestKind, SpanEvent, Telemetry, TraceId, LATENCY_BUCKETS,
+};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -29,6 +33,10 @@ use std::time::{Duration, Instant};
 struct Admission {
     model: Arc<ModelVersion>,
     tenant: Option<Arc<str>>,
+    /// The request's trace id ([`TraceId::NONE`] when telemetry is off).
+    /// A decode request mints one per request; a stream session mints one
+    /// at open, and every push/finish/cancel of the session reuses it.
+    trace: TraceId,
 }
 
 /// One accepted command: a whole-utterance decode, or one step in the life
@@ -67,8 +75,10 @@ enum Command {
         admission: Admission,
     },
     /// Discard stream `id`'s session without producing a result (the
-    /// client's handle was dropped unfinished).
-    StreamCancel { id: u64 },
+    /// client's handle was dropped unfinished).  Carries the session's
+    /// trace id so the worker can terminate the trace — a cancel is the
+    /// one command without an [`Admission`].
+    StreamCancel { id: u64, trace: TraceId },
 }
 
 impl Command {
@@ -89,7 +99,7 @@ impl Command {
             Command::StreamOpen { id, .. }
             | Command::StreamPush { id, .. }
             | Command::StreamFinish { id, .. }
-            | Command::StreamCancel { id } => id % workers as u64 == worker as u64,
+            | Command::StreamCancel { id, .. } => id % workers as u64 == worker as u64,
         }
     }
 
@@ -169,96 +179,51 @@ struct Queue {
     closed: bool,
 }
 
-/// Number of power-of-two latency buckets: bucket `i` holds observations of
-/// at most `2^i` microseconds, so 26 buckets span 1 µs to ~33 s (the last
-/// bucket absorbs anything slower).
-const LATENCY_BUCKETS: usize = 26;
-
-/// A small fixed-bucket latency histogram: power-of-two microsecond buckets,
-/// lock-free to record, summarised as p50/p99 upper bounds.  One heap-free
-/// array per metric is all the serving stats need — per-request timing
-/// without a timeseries dependency or an unbounded reservoir.  Per-model
-/// histograms sum bucket-wise ([`LatencyHistogram::add_counts`]) before the
-/// percentile walk, so the whole-server percentiles are exact over the
-/// merged observations, not an average of per-model percentiles.
-#[derive(Debug)]
-struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn record(&self, elapsed: Duration) {
-        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        // Bucket index = ceil(log2(µs)), so each bucket's upper bound is a
-        // power of two; sub-microsecond observations land in bucket 0.
-        let index = micros
-            .saturating_sub(1)
-            .checked_ilog2()
-            .map_or(0, |bits| bits as usize + 1)
-            .min(LATENCY_BUCKETS - 1);
-        self.buckets[index].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Accumulates this histogram's bucket counts into `into` (the
-    /// cross-model aggregation primitive).
-    fn add_counts(&self, into: &mut [u64; LATENCY_BUCKETS]) {
-        for (acc, bucket) in into.iter_mut().zip(&self.buckets) {
-            *acc += bucket.load(Ordering::Relaxed);
-        }
-    }
-
-    #[cfg(test)]
-    fn percentile(&self, p: f64) -> Option<Duration> {
-        let mut counts = [0u64; LATENCY_BUCKETS];
-        self.add_counts(&mut counts);
-        percentile_of(&counts, p)
-    }
-}
-
-/// The upper bound of the bucket holding the `p`-quantile observation
-/// (e.g. 0.50, 0.99) of summed histogram counts; `None` until something was
-/// recorded.
-fn percentile_of(counts: &[u64; LATENCY_BUCKETS], p: f64) -> Option<Duration> {
-    let total: u64 = counts.iter().sum();
-    if total == 0 {
-        return None;
-    }
-    let target = ((p * total as f64).ceil() as u64).clamp(1, total);
-    let mut seen = 0u64;
-    for (i, count) in counts.iter().enumerate() {
-        seen += count;
-        if seen >= target {
-            return Some(Duration::from_micros(1u64 << i));
-        }
-    }
-    None
-}
-
 /// Monotonic counters, one set **per registered model**; the whole-server
 /// snapshot is a fold over every model's set.
-#[derive(Debug, Default)]
+///
+/// Each field is a registry-backed handle (the [`asr_obs::LatencyHistogram`]
+/// this crate's private histogram was promoted into lives behind
+/// [`Histogram`]), registered in the server's [`MetricsRegistry`] as
+/// `serve.<model>.<name>` — so [`AsrServer::metrics`] exports the same
+/// values [`AsrServer::stats`] folds, under stable names.  Handles are
+/// relaxed atomics underneath: the hot path pays what the old private
+/// `AtomicU64` fields did.
+#[derive(Debug)]
 struct Counters {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    batches: AtomicU64,
-    largest_batch: AtomicUsize,
-    stream_sessions: AtomicU64,
-    stream_chunks: AtomicU64,
+    submitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    failed: Counter,
+    batches: Counter,
+    largest_batch: Gauge,
+    stream_sessions: Counter,
+    stream_chunks: Counter,
     /// Enqueue-to-dequeue wait of result-producing requests (decodes and
     /// stream finishes — the same units `submitted` counts).
-    queue_wait: LatencyHistogram,
+    queue_wait: Histogram,
     /// Decode/finish execution time of those same requests.
-    service: LatencyHistogram,
+    service: Histogram,
+}
+
+impl Counters {
+    /// Registers one model's counter set in `metrics` under
+    /// `serve.<model>.*`.
+    fn register(metrics: &MetricsRegistry, model: &str) -> Counters {
+        let name = |field: &str| format!("serve.{model}.{field}");
+        Counters {
+            submitted: metrics.counter(&name("submitted")),
+            rejected: metrics.counter(&name("rejected")),
+            completed: metrics.counter(&name("completed")),
+            failed: metrics.counter(&name("failed")),
+            batches: metrics.counter(&name("batches")),
+            largest_batch: metrics.gauge(&name("largest_batch")),
+            stream_sessions: metrics.counter(&name("stream_sessions")),
+            stream_chunks: metrics.counter(&name("stream_chunks")),
+            queue_wait: metrics.histogram(&name("queue_wait_us")),
+            service: metrics.histogram(&name("service_us")),
+        }
+    }
 }
 
 /// One registry slot: the hot-swappable current version plus the model's
@@ -293,6 +258,13 @@ struct Shared {
     /// wall-clock audio the server saw, exactly the distinction the two merge
     /// operations exist for.
     hardware: Mutex<Vec<HashMap<Arc<str>, UtteranceReport>>>,
+    /// The registry every model's [`Counters`] set registers in — one
+    /// snapshot ([`AsrServer::metrics`]) reads the whole server.
+    metrics: MetricsRegistry,
+    /// The tracing handle: disabled unless the server was spawned through
+    /// [`AsrServer::spawn_observed`] / [`AsrServer::spawn_registry_observed`],
+    /// and then every admitted request's span events record through it.
+    telemetry: Telemetry,
 }
 
 impl Shared {
@@ -369,16 +341,16 @@ fn fold_stats<'c>(counters: impl Iterator<Item = &'c Counters>) -> ServeStats {
     let mut queue_wait = [0u64; LATENCY_BUCKETS];
     let mut service = [0u64; LATENCY_BUCKETS];
     for c in counters {
-        stats.submitted += c.submitted.load(Ordering::Relaxed);
-        stats.rejected += c.rejected.load(Ordering::Relaxed);
-        stats.completed += c.completed.load(Ordering::Relaxed);
-        stats.failed += c.failed.load(Ordering::Relaxed);
-        stats.batches += c.batches.load(Ordering::Relaxed);
+        stats.submitted += c.submitted.get();
+        stats.rejected += c.rejected.get();
+        stats.completed += c.completed.get();
+        stats.failed += c.failed.get();
+        stats.batches += c.batches.get();
         stats.largest_batch = stats
             .largest_batch
-            .max(c.largest_batch.load(Ordering::Relaxed));
-        stats.stream_sessions += c.stream_sessions.load(Ordering::Relaxed);
-        stats.stream_chunks += c.stream_chunks.load(Ordering::Relaxed);
+            .max(c.largest_batch.get().max(0) as usize);
+        stats.stream_sessions += c.stream_sessions.get();
+        stats.stream_chunks += c.stream_chunks.get();
         c.queue_wait.add_counts(&mut queue_wait);
         c.service.add_counts(&mut service);
     }
@@ -440,6 +412,26 @@ impl AsrServer {
         )
     }
 
+    /// [`AsrServer::spawn`] with request tracing: every admitted request's
+    /// span events record through `telemetry` (pass
+    /// [`Telemetry::disabled`] for the plain untraced server — that is
+    /// exactly what [`AsrServer::spawn`] does).
+    ///
+    /// # Errors
+    ///
+    /// As [`AsrServer::spawn`].
+    pub fn spawn_observed(
+        recognizer: Recognizer,
+        config: ServeConfig,
+        telemetry: Telemetry,
+    ) -> Result<Self, ServeError> {
+        Self::spawn_registry_observed(
+            ModelRegistry::new().register(DEFAULT_MODEL, recognizer)?,
+            config,
+            telemetry,
+        )
+    }
+
     /// Validates `config` and `registry`, probes every model's backend, and
     /// starts the worker threads serving all registered models side by side.
     ///
@@ -453,8 +445,23 @@ impl AsrServer {
         registry: ModelRegistry,
         config: ServeConfig,
     ) -> Result<Self, ServeError> {
+        Self::spawn_registry_observed(registry, config, Telemetry::disabled())
+    }
+
+    /// [`AsrServer::spawn_registry`] with request tracing; see
+    /// [`AsrServer::spawn_observed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`AsrServer::spawn_registry`].
+    pub fn spawn_registry_observed(
+        registry: ModelRegistry,
+        config: ServeConfig,
+        telemetry: Telemetry,
+    ) -> Result<Self, ServeError> {
         config.validate()?;
         let (models, default) = registry.into_parts()?;
+        let metrics = MetricsRegistry::new();
         let mut map = HashMap::with_capacity(models.len());
         let mut default_name: Option<Arc<str>> = None;
         for (name, recognizer) in models {
@@ -471,11 +478,12 @@ impl AsrServer {
                 version: 1,
                 recognizer,
             });
+            let counters = Counters::register(&metrics, &name);
             map.insert(
                 name,
                 ModelState {
                     current: RwLock::new(version),
-                    counters: Counters::default(),
+                    counters,
                 },
             );
         }
@@ -486,6 +494,8 @@ impl AsrServer {
             default_model: default_name.expect("into_parts validated the default name"),
             next_stream_id: AtomicU64::new(0),
             hardware: Mutex::new(vec![HashMap::new(); config.workers]),
+            metrics,
+            telemetry,
         });
         let workers = (0..config.workers)
             .map(|worker| {
@@ -549,7 +559,51 @@ impl AsrServer {
         Ok(Admission {
             model,
             tenant: tenant.map(Arc::from),
+            trace: TraceId::NONE,
         })
+    }
+
+    /// Mints the trace for a freshly resolved admission and emits its
+    /// [`SpanEvent::Admitted`] — the first event of every trace.  A no-op
+    /// (leaving the trace [`TraceId::NONE`]) when telemetry is disabled.
+    fn trace_admission(&self, admission: &mut Admission, kind: RequestKind) {
+        let telemetry = &self.shared.telemetry;
+        if !telemetry.is_enabled() {
+            return;
+        }
+        admission.trace = telemetry.begin_trace();
+        telemetry.emit(
+            admission.trace,
+            &SpanEvent::Admitted {
+                kind,
+                model: Some(admission.model.name.to_string()),
+                tenant: admission.tenant.as_deref().map(str::to_string),
+            },
+        );
+    }
+
+    /// Terminates `trace` after a failed enqueue: admission rejections map
+    /// to [`SpanEvent::Rejected`] with their quota scope, a closed server
+    /// to scope `"closed"` — either way the trace is balanced.
+    fn trace_rejection(&self, trace: TraceId, error: &ServeError) {
+        if trace.is_none() {
+            return;
+        }
+        let scope = match error {
+            ServeError::QueueFull { scope, .. } => match scope {
+                QueueScope::Queue => "queue",
+                QueueScope::Model(_) => "model",
+                QueueScope::Tenant(_) => "tenant",
+            },
+            ServeError::Closed => "closed",
+            _ => "error",
+        };
+        self.shared.telemetry.emit(
+            trace,
+            &SpanEvent::Rejected {
+                scope: scope.to_string(),
+            },
+        );
     }
 
     /// Enqueues one utterance for decoding and returns its future.  Takes
@@ -571,9 +625,11 @@ impl AsrServer {
     /// [`AsrServer::close`]/drop began.
     pub fn submit(&self, request: impl Into<DecodeRequest>) -> Result<DecodeFuture, ServeError> {
         let (features, model, tenant) = request.into().into_parts();
-        let admission = self.admission_for(model.as_deref(), tenant)?;
+        let mut admission = self.admission_for(model.as_deref(), tenant)?;
+        self.trace_admission(&mut admission, RequestKind::Decode);
+        let trace = admission.trace;
         let slot = Slot::new();
-        self.enqueue(
+        if let Err(error) = self.enqueue(
             Command::Decode {
                 features,
                 slot: Arc::clone(&slot),
@@ -581,7 +637,10 @@ impl AsrServer {
             },
             true,
             true,
-        )?;
+        ) {
+            self.trace_rejection(trace, &error);
+            return Err(error);
+        }
         Ok(DecodeFuture::new(slot))
     }
 
@@ -652,10 +711,7 @@ impl AsrServer {
                 .admission()
                 .expect("bounded commands carry an admission");
             if let Err(rejection) = self.check_quotas(&queue, admission) {
-                self.shared
-                    .counters(&admission.model.name)
-                    .rejected
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.counters(&admission.model.name).rejected.inc();
                 return Err(rejection);
             }
         }
@@ -663,15 +719,32 @@ impl AsrServer {
             let admission = command
                 .admission()
                 .expect("counted commands carry an admission");
-            self.shared
-                .counters(&admission.model.name)
-                .submitted
-                .fetch_add(1, Ordering::Relaxed);
+            self.shared.counters(&admission.model.name).submitted.inc();
         }
         queue.pending.push_back(Request {
             command,
             enqueued: Instant::now(),
         });
+        // Emit the Enqueued span while the queue lock is still held: the
+        // worker cannot dequeue (and emit this trace's next event) until
+        // the lock drops, so per-trace event order matches queue order.
+        // One branch when telemetry is off.
+        if self.shared.telemetry.is_enabled() {
+            let depth = queue.pending.len();
+            if let Some(admission) = queue
+                .pending
+                .back()
+                .expect("command was just pushed")
+                .command
+                .admission()
+            {
+                if !admission.trace.is_none() {
+                    self.shared
+                        .telemetry
+                        .emit(admission.trace, &SpanEvent::Enqueued { depth });
+                }
+            }
+        }
         drop(queue);
         self.shared.wakeup.notify_all();
         Ok(())
@@ -707,10 +780,11 @@ impl AsrServer {
     /// and [`ServeError::Closed`] after shutdown began.
     pub fn open_stream_with(&self, options: StreamOptions) -> Result<StreamHandle<'_>, ServeError> {
         let (model, tenant) = options.into_parts();
-        let admission = self.admission_for(model.as_deref(), tenant)?;
+        let mut admission = self.admission_for(model.as_deref(), tenant)?;
+        self.trace_admission(&mut admission, RequestKind::Stream);
         let id = self.shared.next_stream_id.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(StreamState::default());
-        self.enqueue(
+        if let Err(error) = self.enqueue(
             Command::StreamOpen {
                 id,
                 state: Arc::clone(&state),
@@ -718,11 +792,14 @@ impl AsrServer {
             },
             false,
             false,
-        )?;
+        ) {
+            self.trace_rejection(admission.trace, &error);
+            return Err(error);
+        }
         self.shared
             .counters(&admission.model.name)
             .stream_sessions
-            .fetch_add(1, Ordering::Relaxed);
+            .inc();
         Ok(StreamHandle {
             server: self,
             id,
@@ -786,6 +863,28 @@ impl AsrServer {
     /// percentiles are exact over the merged observations).
     pub fn stats(&self) -> ServeStats {
         fold_stats(self.shared.models.values().map(|m| &m.counters))
+    }
+
+    /// A point-in-time snapshot of the server's metrics registry: every
+    /// per-model counter, gauge, and histogram under its stable
+    /// `serve.<model>.<name>` key — the same values [`AsrServer::stats`]
+    /// folds, exportable as `metric` facts
+    /// ([`MetricsSnapshot::to_facts`]).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The server's metrics registry, so callers can register their own
+    /// metrics next to the serving counters (one snapshot reads both).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// The telemetry handle this server traces requests through — disabled
+    /// unless spawned via [`AsrServer::spawn_observed`] /
+    /// [`AsrServer::spawn_registry_observed`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// One model's slice of the serving counters; `None` for an
@@ -930,10 +1029,25 @@ impl Drop for StreamHandle<'_> {
     fn drop(&mut self) {
         if !self.consumed {
             // Best effort: on a closed server the worker is draining anyway
-            // and its session map dies with it.
-            let _ = self
-                .server
-                .enqueue(Command::StreamCancel { id: self.id }, false, false);
+            // and its session map dies with it.  The worker terminates the
+            // trace when it processes the cancel; if the cancel cannot even
+            // be enqueued, terminate it here so the trace stays balanced.
+            if let Err(_closed) = self.server.enqueue(
+                Command::StreamCancel {
+                    id: self.id,
+                    trace: self.admission.trace,
+                },
+                false,
+                false,
+            ) {
+                self.server.shared.telemetry.emit(
+                    self.admission.trace,
+                    &SpanEvent::Finished {
+                        outcome: Outcome::Cancelled,
+                        frames: 0,
+                    },
+                );
+            }
         }
     }
 }
@@ -995,7 +1109,7 @@ impl StreamHandle<'_> {
         // after this.
         self.consumed = true;
         let slot = Slot::new();
-        self.server.enqueue(
+        if let Err(error) = self.server.enqueue(
             Command::StreamFinish {
                 id: self.id,
                 slot: Arc::clone(&slot),
@@ -1003,7 +1117,18 @@ impl StreamHandle<'_> {
             },
             false,
             true,
-        )?;
+        ) {
+            // The worker will never see this session again: terminate its
+            // trace here (the error went to the caller).
+            self.server.shared.telemetry.emit(
+                self.admission.trace,
+                &SpanEvent::Finished {
+                    outcome: Outcome::Failed,
+                    frames: 0,
+                },
+            );
+            return Err(error);
+        }
         Ok(DecodeFuture::new(slot))
     }
 
@@ -1020,8 +1145,25 @@ impl StreamHandle<'_> {
     /// way).
     pub fn cancel(mut self) -> Result<(), ServeError> {
         self.consumed = true;
-        self.server
-            .enqueue(Command::StreamCancel { id: self.id }, false, false)
+        let result = self.server.enqueue(
+            Command::StreamCancel {
+                id: self.id,
+                trace: self.admission.trace,
+            },
+            false,
+            false,
+        );
+        if result.is_err() {
+            // As in drop: the worker will never terminate this trace.
+            self.server.shared.telemetry.emit(
+                self.admission.trace,
+                &SpanEvent::Finished {
+                    outcome: Outcome::Cancelled,
+                    frames: 0,
+                },
+            );
+        }
+        result
     }
 }
 
@@ -1089,7 +1231,7 @@ fn record_outcome(
     let c = shared.counters(model);
     match outcome {
         Ok(result) => {
-            c.completed.fetch_add(1, Ordering::Relaxed);
+            c.completed.inc();
             if let Some(report) = &result.hardware {
                 let mut slots = shared
                     .hardware
@@ -1103,7 +1245,7 @@ fn record_outcome(
             }
         }
         Err(_) => {
-            c.failed.fetch_add(1, Ordering::Relaxed);
+            c.failed.inc();
         }
     }
 }
@@ -1244,8 +1386,22 @@ fn worker_loop(worker: usize, shared: &Shared, config: &ServeConfig) {
                 })
                 .expect("a flush with decodes has an anchor");
             let c = shared.counters(anchor_name);
-            c.batches.fetch_add(1, Ordering::Relaxed);
-            c.largest_batch.fetch_max(decodes, Ordering::Relaxed);
+            c.batches.inc();
+            c.largest_batch.set_max(decodes as i64);
+            // Every coalesced decode's trace records the flush it rode in.
+            if shared.telemetry.is_enabled() {
+                for request in &batch {
+                    if let Command::Decode { admission, .. } = &request.command {
+                        shared.telemetry.emit(
+                            admission.trace,
+                            &SpanEvent::BatchFormed {
+                                worker,
+                                batch: decodes,
+                            },
+                        );
+                    }
+                }
+            }
         }
         for request in batch {
             match &request.command {
@@ -1257,16 +1413,41 @@ fn worker_loop(worker: usize, shared: &Shared, config: &ServeConfig) {
                     let model = &admission.model;
                     let c = shared.counters(&model.name);
                     c.queue_wait.record(request.enqueued.elapsed());
+                    shared
+                        .telemetry
+                        .emit(admission.trace, &SpanEvent::DecodeStarted { worker });
                     let started = Instant::now();
                     let outcome = match decoder_for(&mut decoders, model) {
-                        Ok(decoder) => model
-                            .recognizer
-                            .decode_features_with(features, decoder)
-                            .map_err(ServeError::from),
+                        Ok(decoder) => {
+                            let mut decode = || {
+                                model
+                                    .recognizer
+                                    .decode_features_with(features, decoder)
+                                    .map_err(ServeError::from)
+                            };
+                            if admission.trace.is_none() {
+                                decode()
+                            } else {
+                                // Pin the trace as this thread's ambient one
+                                // so layers below the decode call (the shard
+                                // pool's spawn) can attribute their events.
+                                asr_obs::with_trace(admission.trace, decode)
+                            }
+                        }
                         Err(e) => Err(e),
                     };
                     c.service.record(started.elapsed());
                     record_outcome(shared, worker, &model.name, &outcome);
+                    shared.telemetry.emit(
+                        admission.trace,
+                        &SpanEvent::Finished {
+                            outcome: match &outcome {
+                                Ok(_) => Outcome::Completed,
+                                Err(_) => Outcome::Failed,
+                            },
+                            frames: features.len(),
+                        },
+                    );
                     slot.fulfil(outcome);
                 }
                 Command::StreamOpen {
@@ -1284,14 +1465,30 @@ fn worker_loop(worker: usize, shared: &Shared, config: &ServeConfig) {
                     chunk,
                     admission,
                 } => {
-                    shared
-                        .counters(&admission.model.name)
-                        .stream_chunks
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.counters(&admission.model.name).stream_chunks.inc();
                     if let Some(entry) = sessions.get_mut(id) {
                         if let Ok((session, state)) = entry {
+                            // Timestamps only when traced: the disabled
+                            // path pays one branch per push.
+                            let started = shared.telemetry.is_enabled().then(Instant::now);
                             match session.push_chunk(chunk) {
-                                Ok(()) => state.store(session.partial()),
+                                Ok(()) => {
+                                    let partial = session.partial();
+                                    if let Some(started) = started {
+                                        shared.telemetry.emit(
+                                            admission.trace,
+                                            &SpanEvent::PartialEmitted {
+                                                words: partial.words.len(),
+                                                latency_us: started
+                                                    .elapsed()
+                                                    .as_micros()
+                                                    .min(u64::MAX as u128)
+                                                    as u64,
+                                            },
+                                        );
+                                    }
+                                    state.store(partial);
+                                }
                                 // The session degrades to its first error;
                                 // finish() will deliver it.
                                 Err(e) => *entry = Err(ServeError::from(e)),
@@ -1317,17 +1514,36 @@ fn worker_loop(worker: usize, shared: &Shared, config: &ServeConfig) {
                     };
                     c.service.record(started.elapsed());
                     record_outcome(shared, worker, &admission.model.name, &outcome);
+                    shared.telemetry.emit(
+                        admission.trace,
+                        &SpanEvent::Finished {
+                            outcome: match &outcome {
+                                Ok(_) => Outcome::Completed,
+                                Err(_) => Outcome::Failed,
+                            },
+                            frames: outcome
+                                .as_ref()
+                                .map_or(0, |result| result.stats.num_frames()),
+                        },
+                    );
                     slot.fulfil(outcome);
                 }
-                Command::StreamCancel { id } => {
+                Command::StreamCancel { id, trace } => {
                     // The client cancelled (explicitly or by dropping its
                     // handle): abandon the session through the decode-side
                     // cancel seam, which hard-resets the backend's
                     // per-utterance state.  No result, no completed/failed
-                    // tick.
+                    // tick — but the trace terminates as cancelled.
                     if let Some(Ok((session, _state))) = sessions.remove(id) {
                         drop(session.cancel());
                     }
+                    shared.telemetry.emit(
+                        *trace,
+                        &SpanEvent::Finished {
+                            outcome: Outcome::Cancelled,
+                            frames: 0,
+                        },
+                    );
                 }
             }
         }
@@ -1621,12 +1837,13 @@ mod tests {
             version: 1,
             recognizer: Arc::new(recognizer(&task, DecoderConfig::simd())),
         });
+        let metrics = MetricsRegistry::new();
         let mut models = HashMap::new();
         models.insert(
             Arc::clone(&name),
             ModelState {
                 current: RwLock::new(version),
-                counters: Counters::default(),
+                counters: Counters::register(&metrics, &name),
             },
         );
         Shared {
@@ -1636,6 +1853,8 @@ mod tests {
             default_model: name,
             next_stream_id: AtomicU64::new(0),
             hardware: Mutex::new(vec![HashMap::new(); workers]),
+            metrics,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -1654,6 +1873,7 @@ mod tests {
                 admission: Admission {
                     model,
                     tenant: None,
+                    trace: TraceId::NONE,
                 },
             },
             enqueued: Instant::now(),
@@ -2001,24 +2221,68 @@ mod tests {
         assert!(sharded.hardware_report().is_some());
     }
 
+    /// The histogram itself (promoted to `asr-obs`) is unit-tested there;
+    /// here: the registry-backed counters surface through both `stats()`
+    /// and the named `metrics()` snapshot, and an observed server's traces
+    /// are balanced.
     #[test]
-    fn latency_histogram_buckets_and_percentiles() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.percentile(0.50), None);
-        // 1 µs lands in bucket 0, 3 µs in bucket 2 (upper bound 4 µs).
-        h.record(Duration::from_micros(1));
-        assert_eq!(h.percentile(0.50), Some(Duration::from_micros(1)));
-        h.record(Duration::from_micros(3));
-        h.record(Duration::from_micros(3));
-        assert_eq!(h.percentile(0.50), Some(Duration::from_micros(4)));
-        assert_eq!(h.percentile(0.99), Some(Duration::from_micros(4)));
-        // An absurd observation saturates into the last bucket instead of
-        // indexing out of bounds.
-        h.record(Duration::from_secs(3600));
+    fn metrics_snapshot_mirrors_stats_and_traces_balance() {
+        use asr_obs::MetricValue;
+        let task = task();
+        let (telemetry, sink) = Telemetry::to_memory();
+        let server = AsrServer::spawn_observed(
+            recognizer(&task, DecoderConfig::simd()),
+            ServeConfig::default(),
+            telemetry,
+        )
+        .unwrap();
+        assert!(server.telemetry().is_enabled());
+        let (features, _) = task.synthesize_utterance(1, 0.2, 21);
+        for _ in 0..3 {
+            server.submit(features.clone()).unwrap().wait().unwrap();
+        }
+        let stats = server.stats();
+        let snapshot = server.metrics();
         assert_eq!(
-            h.percentile(1.0),
-            Some(Duration::from_micros(1u64 << (LATENCY_BUCKETS - 1)))
+            snapshot.get(&format!("serve.{DEFAULT_MODEL}.completed")),
+            Some(&MetricValue::Counter(stats.completed))
         );
+        assert_eq!(
+            snapshot.get(&format!("serve.{DEFAULT_MODEL}.submitted")),
+            Some(&MetricValue::Counter(3))
+        );
+        match snapshot.get(&format!("serve.{DEFAULT_MODEL}.queue_wait_us")) {
+            Some(MetricValue::Histogram { total, p50, .. }) => {
+                assert_eq!(*total, 3);
+                assert_eq!(*p50, stats.queue_wait_p50);
+            }
+            other => panic!("bad queue_wait metric: {other:?}"),
+        }
+        // Three decode traces, each Admitted → … → exactly one terminal.
+        let spans = sink.facts();
+        let mut by_trace: HashMap<u64, Vec<&asr_obs::Fact>> = HashMap::new();
+        for fact in &spans {
+            assert_eq!(fact.kind, "span");
+            let trace = fact.field("trace").and_then(|v| v.as_u64()).unwrap();
+            by_trace.entry(trace).or_default().push(fact);
+        }
+        assert_eq!(by_trace.len(), 3);
+        for events in by_trace.values() {
+            let names: Vec<&str> = events
+                .iter()
+                .map(|f| f.field("event").and_then(|v| v.as_str()).unwrap())
+                .collect();
+            assert_eq!(names.first(), Some(&"admitted"));
+            assert_eq!(names.last(), Some(&"finished"));
+            assert_eq!(
+                names.iter().filter(|n| **n == "finished").count(),
+                1,
+                "one terminal per trace: {names:?}"
+            );
+            assert!(names.contains(&"enqueued"));
+            assert!(names.contains(&"decode_started"));
+        }
+        server.close();
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::vad::{hop_rms, EnergyVad, VadEvent};
 use crate::{StreamConfig, StreamError};
 use asr_core::{DecodeResult, DecodeSession, PartialHypothesis, PhoneDecoder, Recognizer};
 use asr_hw::StreamTiming;
+use asr_obs::{Outcome, RequestKind, SpanEvent, Telemetry, TraceId};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -54,6 +55,7 @@ pub enum StreamEvent {
 pub struct StreamingRecognizer {
     recognizer: Recognizer,
     config: StreamConfig,
+    telemetry: Telemetry,
 }
 
 impl StreamingRecognizer {
@@ -66,7 +68,31 @@ impl StreamingRecognizer {
     /// session is opened — feature sessions don't involve the frontend.)
     pub fn new(recognizer: Recognizer, config: StreamConfig) -> Result<Self, StreamError> {
         config.validate()?;
-        Ok(StreamingRecognizer { recognizer, config })
+        Ok(StreamingRecognizer {
+            recognizer,
+            config,
+            telemetry: Telemetry::disabled(),
+        })
+    }
+
+    /// Attaches a telemetry pipeline: every subsequent
+    /// [`audio_session`](StreamingRecognizer::audio_session) mints a trace
+    /// and emits endpointing span events ([`SpanEvent::VadSpeechStart`],
+    /// [`SpanEvent::VadSpeechEnd`], [`SpanEvent::ForcedEndpoint`],
+    /// [`SpanEvent::PartialEmitted`], [`SpanEvent::BargeIn`]) as the VAD
+    /// drives the session, ending with one [`SpanEvent::Finished`] when the
+    /// session is [`close`](AudioStreamSession::close)d.  With the default
+    /// [`Telemetry::disabled`], every emission site is a single branch.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry pipeline (disabled unless
+    /// [`with_telemetry`](StreamingRecognizer::with_telemetry) was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Wraps a recogniser for feature-level streaming with the default
@@ -146,8 +172,23 @@ impl StreamingRecognizer {
             )));
         }
         let hop = self.config.frontend.frame_shift_samples();
+        let trace = if self.telemetry.is_enabled() {
+            let trace = self.telemetry.begin_trace();
+            self.telemetry.emit(
+                trace,
+                &SpanEvent::Admitted {
+                    kind: RequestKind::Stream,
+                    model: None,
+                    tenant: None,
+                },
+            );
+            trace
+        } else {
+            TraceId::NONE
+        };
         Ok(AudioStreamSession {
             owner: self,
+            trace,
             frontend: StreamingFrontend::new(self.config.frontend.clone())?,
             vad: EnergyVad::new(self.config.vad.clone()),
             hop,
@@ -269,6 +310,15 @@ impl<'r> FeatureStreamSession<'r> {
 #[derive(Debug)]
 pub struct AudioStreamSession<'r> {
     owner: &'r StreamingRecognizer,
+    /// The session's telemetry trace ([`TraceId::NONE`] when telemetry is
+    /// disabled).  One trace spans the whole session: every endpointed
+    /// utterance adds span events to it, and [`close`] emits the single
+    /// terminal [`SpanEvent::Finished`].  Dropping the session without
+    /// closing it leaves the trace unterminated — same as a client that
+    /// vanished mid-stream.
+    ///
+    /// [`close`]: AudioStreamSession::close
+    trace: TraceId,
     frontend: StreamingFrontend,
     vad: EnergyVad,
     hop: usize,
@@ -291,6 +341,18 @@ pub struct AudioStreamSession<'r> {
 }
 
 impl<'r> AudioStreamSession<'r> {
+    /// Emits a span event on the session trace (one branch when telemetry is
+    /// disabled: `Telemetry::emit` returns immediately).
+    fn emit(&self, event: &SpanEvent) {
+        self.owner.telemetry.emit(self.trace, event);
+    }
+
+    /// The session's telemetry trace ([`TraceId::NONE`] when the owning
+    /// recogniser has no telemetry attached).
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
     /// Whether an utterance is currently open.
     pub fn in_utterance(&self) -> bool {
         self.current.is_some()
@@ -366,6 +428,9 @@ impl<'r> AudioStreamSession<'r> {
             }
             if self.vad.push_hop(rms) == Some(VadEvent::SpeechStart) {
                 events.push(StreamEvent::UtteranceStarted);
+                self.emit(&SpanEvent::VadSpeechStart {
+                    frame: self.features_emitted,
+                });
                 self.last_partial_words = 0;
                 if let Err(e) = self.open_utterance() {
                     // The VAD already flipped to speech; roll everything back
@@ -390,14 +455,25 @@ impl<'r> AudioStreamSession<'r> {
             .as_mut()
             .expect("an utterance is open while the VAD is in speech");
         if !features.is_empty() {
+            let started = self.owner.telemetry.is_enabled().then(Instant::now);
             let partial = session.push_chunk(&features)?;
             if partial.words.len() > self.last_partial_words {
                 self.last_partial_words = partial.words.len();
+                let words = partial.words.len();
                 events.push(StreamEvent::Partial(partial));
+                if let Some(started) = started {
+                    self.emit(&SpanEvent::PartialEmitted {
+                        words,
+                        latency_us: started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                    });
+                }
             }
         }
         if ended {
             let outcome = self.finish_current()?;
+            self.emit(&SpanEvent::VadSpeechEnd {
+                frames: outcome.result.stats.num_frames(),
+            });
             events.push(StreamEvent::UtteranceEnd(Box::new(outcome)));
         } else if let Some(limit) = self.owner.config.max_utterance_frames {
             let frames = self
@@ -410,6 +486,9 @@ impl<'r> AudioStreamSession<'r> {
                 // frontend tail into it — nothing decoded so far is lost) and
                 // re-open immediately, since the VAD still reports speech.
                 let outcome = self.finish_current()?;
+                self.emit(&SpanEvent::ForcedEndpoint {
+                    frames: outcome.result.stats.num_frames(),
+                });
                 events.push(StreamEvent::UtteranceForceEnded(Box::new(outcome)));
                 if let Err(e) = self.open_utterance() {
                     // Same rollback as the SpeechStart path: return the whole
@@ -420,6 +499,9 @@ impl<'r> AudioStreamSession<'r> {
                     return Err(e);
                 }
                 events.push(StreamEvent::UtteranceStarted);
+                self.emit(&SpanEvent::VadSpeechStart {
+                    frame: self.features_emitted,
+                });
             }
         }
         Ok(())
@@ -473,6 +555,7 @@ impl<'r> AudioStreamSession<'r> {
         let discarded = decoded + tail.len();
         self.frames_discarded += discarded;
         self.utterances_cancelled += 1;
+        self.emit(&SpanEvent::BargeIn { frames: discarded });
         self.vad.reset();
         self.preroll.clear();
         self.residue.clear();
@@ -490,16 +573,33 @@ impl<'r> AudioStreamSession<'r> {
     ///
     /// Propagates decode errors from finishing the open utterance.
     pub fn close(mut self) -> Result<StreamOutcome, StreamError> {
-        if self.current.is_some() {
+        let outcome = if self.current.is_some() {
             self.vad.reset();
-            self.finish_current()
+            let finished = self.finish_current();
+            if let Ok(outcome) = &finished {
+                // Speech ran into the end of the stream: balance the
+                // trace's VadSpeechStart before terminating it.
+                self.emit(&SpanEvent::VadSpeechEnd {
+                    frames: outcome.result.stats.num_frames(),
+                });
+            }
+            finished
         } else {
             Ok(StreamOutcome {
                 result: DecodeResult::empty(),
                 timing: StreamTiming::new(),
                 features: None,
             })
-        }
+        };
+        self.emit(&SpanEvent::Finished {
+            outcome: if outcome.is_ok() {
+                Outcome::Completed
+            } else {
+                Outcome::Failed
+            },
+            frames: self.features_emitted,
+        });
+        outcome
     }
 }
 
@@ -654,6 +754,60 @@ mod tests {
         assert!(!session.in_utterance());
         let last = session.close().unwrap();
         assert!(last.result.is_empty());
+    }
+
+    #[test]
+    fn telemetry_traces_an_endpointed_session() {
+        let task = task_with_dim(13);
+        let rec = recognizer(&task, DecoderConfig::software());
+        let (telemetry, sink) = asr_obs::Telemetry::to_memory();
+        let streamer = StreamingRecognizer::new(rec, audio_config())
+            .unwrap()
+            .with_telemetry(telemetry);
+        let mut session = streamer.audio_session().unwrap();
+        assert!(!session.trace().is_none());
+
+        let mut audio = vec![0.0f32; 3200];
+        audio.extend(tone(0.3));
+        audio.extend(vec![0.0f32; 4800]);
+        for chunk in audio.chunks(777) {
+            session.push_audio(chunk).unwrap();
+        }
+        // Second burst, abandoned by barge-in mid-speech.
+        audio = vec![0.0f32; 3200];
+        audio.extend(tone(0.3));
+        for chunk in audio.chunks(777) {
+            session.push_audio(chunk).unwrap();
+        }
+        assert!(session.in_utterance());
+        assert!(session.cancel().unwrap() > 0);
+        session.close().unwrap();
+
+        let facts = sink.facts();
+        let events: Vec<String> = facts
+            .iter()
+            .filter(|f| f.kind == "span")
+            .map(|f| {
+                f.field("event")
+                    .and_then(asr_obs::FieldValue::as_str)
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(events.first().map(String::as_str), Some("admitted"));
+        assert_eq!(events.last().map(String::as_str), Some("finished"));
+        assert_eq!(events.iter().filter(|e| *e == "finished").count(), 1);
+        assert_eq!(
+            events.iter().filter(|e| *e == "vad_speech_start").count(),
+            2
+        );
+        // The first utterance ended naturally; the second was barged in on.
+        assert_eq!(events.iter().filter(|e| *e == "vad_speech_end").count(), 1);
+        assert_eq!(events.iter().filter(|e| *e == "barge_in").count(), 1);
+        assert!(events.iter().any(|e| e == "partial_emitted"));
+        // Timestamps are monotone in emission order.
+        let spans: Vec<&asr_obs::Fact> = facts.iter().filter(|f| f.kind == "span").collect();
+        assert!(spans.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
     }
 
     #[test]

@@ -1,15 +1,23 @@
 //! Serving quickstart: an async batched front over a sharded multi-SoC
-//! scorer.  32 utterances are enqueued into the bounded request queue, two
-//! decoder workers coalesce them into micro-batches over their own warmed
-//! scorers, and the stream-level hardware report shows what the sharded
+//! scorer, with end-to-end telemetry.  32 utterances are enqueued into the
+//! bounded request queue, two decoder workers coalesce them into
+//! micro-batches over their own warmed scorers, every request is traced
+//! admission-to-finish into a JSONL run directory, and the unified metrics
+//! registry plus the stream-level hardware report show what the sharded
 //! machines did.
 //!
 //! Run with: `cargo run --example serving --release`
+//!
+//! The run directory defaults to `target/obs-demo`; set `LVCSR_OBS_DIR` to
+//! write the `facts.jsonl` somewhere else (CI points it at a scratch dir and
+//! validates the document with the `obs_validate` tool).
 
 use lvcsr::corpus::{align_wer, TaskConfig, TaskGenerator, WerScore};
 use lvcsr::decoder::{DecoderConfig, Recognizer};
+use lvcsr::obs::{ObsSink, RunDirSink, Telemetry};
 use lvcsr::serve::{AsrServer, ServeConfig};
 use lvcsr::LvcsrError;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> Result<(), LvcsrError> {
@@ -23,26 +31,41 @@ fn main() -> Result<(), LvcsrError> {
         DecoderConfig::sharded_hardware(4),
     )?;
 
-    // 2. The serving front: a bounded queue (typed backpressure when full)
+    // 2. Telemetry: an append-only run directory receiving one JSONL fact
+    //    per span event and snapshot.  Installing the handle as the process
+    //    global lets the shard pool attribute its dispatch events to the
+    //    request trace that triggered them.
+    let obs_dir = std::env::var("LVCSR_OBS_DIR").unwrap_or_else(|_| "target/obs-demo".to_string());
+    // The sink appends; start each demo run from a fresh document so the
+    // file always holds exactly one validatable run.
+    let _ = std::fs::remove_file(std::path::Path::new(&obs_dir).join("facts.jsonl"));
+    let sink = Arc::new(RunDirSink::create(&obs_dir).map_err(|e| {
+        lvcsr::serve::ServeError::InvalidConfig(format!("cannot create run dir {obs_dir}: {e}"))
+    })?);
+    let telemetry = Telemetry::to_sink(sink.clone() as Arc<dyn ObsSink>);
+    lvcsr::obs::set_global(telemetry.clone());
+
+    // 3. The serving front: a bounded queue (typed backpressure when full)
     //    feeding two decoder workers, each coalescing micro-batches of up to
     //    8 requests (or 2 ms) through its own long-lived sharded scorer.
-    let server = AsrServer::spawn(
+    let server = AsrServer::spawn_observed(
         recognizer,
         ServeConfig::default()
             .max_pending(64)
             .max_batch(8)
             .max_batch_delay(Duration::from_millis(2))
             .workers(2),
+        telemetry,
     )?;
 
-    // 3. Enqueue 32 utterances; every submit returns a future immediately.
+    // 4. Enqueue 32 utterances; every submit returns a future immediately.
     let test_set = task.synthesize_test_set(32, 3, 0.3);
     let pending: Vec<_> = test_set
         .iter()
         .map(|(features, _)| server.submit(features.clone()))
         .collect::<Result<_, _>>()?;
 
-    // 4. Collect results (DecodeFuture also implements std::future::Future
+    // 5. Collect results (DecodeFuture also implements std::future::Future
     //    for async callers; wait() is the blocking form).
     let mut wer = WerScore::default();
     for ((_, reference), future) in test_set.iter().zip(pending) {
@@ -50,7 +73,7 @@ fn main() -> Result<(), LvcsrError> {
         wer = wer.merge(&align_wer(reference, &result.hypothesis.words));
     }
 
-    // 5. What the serving layer and the sharded machine did.
+    // 6. What the serving layer and the sharded machine did.
     let stats = server.stats();
     let report = server.hardware_report().expect("hardware stream report");
     println!("served                  : {} utterances", stats.completed);
@@ -93,6 +116,25 @@ fn main() -> Result<(), LvcsrError> {
         "average power, 4 shards : {:.3} W (paper budget: 0.400 W per fully active SoC)",
         report.energy.average_power_w()
     );
+
+    // 7. The unified metrics registry: every serving counter/gauge/histogram
+    //    by name, in one snapshot.  The snapshot also exports as facts, so
+    //    the run directory ends with the final metric values and the
+    //    hardware report next to the per-request spans.
+    let snapshot = server.metrics();
+    println!("\nmetrics registry ({} entries):", snapshot.len());
+    print!("{snapshot}");
+    for fact in snapshot.to_facts() {
+        sink.record(&fact);
+    }
+    sink.record(&report.snapshot_fact());
     server.close();
+    lvcsr::obs::set_global(Telemetry::disabled());
+    sink.flush();
+    assert_eq!(sink.dropped(), 0, "telemetry sink dropped facts");
+    println!(
+        "\ntelemetry               : run directory {}",
+        sink.facts_path().display()
+    );
     Ok(())
 }

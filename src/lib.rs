@@ -15,6 +15,7 @@
 //! | [`baseline`] | `asr-baseline` | software-decoder and related-work accelerator baselines |
 //! | [`serve`] | `asr-serve` | async batched serving front: bounded queue, micro-batcher, typed backpressure, incremental stream sessions |
 //! | [`stream`] | `asr-stream` | streaming recognition: chunked frontend with live CMN, energy VAD endpointing, incremental decode sessions with partials and chunk-latency accounting |
+//! | [`obs`] | `asr-obs` | observability: request traces with typed span events, the unified metrics registry (counters / gauges / latency histograms), JSONL fact sinks |
 //!
 //! # Quickstart
 //!
@@ -92,6 +93,7 @@ pub use asr_float as float;
 pub use asr_frontend as frontend;
 pub use asr_hw as hw;
 pub use asr_lexicon as lexicon;
+pub use asr_obs as obs;
 pub use asr_serve as serve;
 pub use asr_stream as stream;
 

@@ -11,6 +11,11 @@
 //! inline, making zero spawns trivially true here — the forced-parallel pool
 //! lifetime property is carried by the asr-core shard tests either way.
 
+// The legacy free-function counter is deprecated in favour of the
+// `shard.threads_spawned_total` registry counter; these tests deliberately
+// keep exercising the shim so its readings stay wired to the registry.
+#![allow(deprecated)]
+
 use lvcsr::corpus::{SyntheticTask, TaskConfig, TaskGenerator};
 use lvcsr::decoder::{shard_threads_spawned_total, DecoderConfig, Recognizer};
 use lvcsr::serve::{AsrServer, ServeConfig};
